@@ -1,0 +1,38 @@
+//! E10 — guarding flips tractability: the Example 21 union (guarded, runs
+//! through the DelayClin pipeline) vs the Example 20 union (same body,
+//! smaller heads, unguarded — naive fallback only).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use ucq_bench::{engine_for, instance_for};
+use ucq_enumerate::Enumerator;
+
+fn bench(c: &mut Criterion) {
+    let eng21 = engine_for("example21");
+    let eng20 = engine_for("example20");
+    let mut group = c.benchmark_group("e10_guarding");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for rows in [2_000usize, 8_000] {
+        let inst21 = instance_for("example21", rows, 11);
+        group.bench_with_input(
+            BenchmarkId::new("example21_pipeline", rows),
+            &inst21,
+            |b, inst| {
+                b.iter(|| {
+                    let mut ans = eng21.enumerate(inst).expect("pipeline");
+                    ans.collect_all().len()
+                })
+            },
+        );
+        let inst20 = instance_for("example20", rows, 11);
+        group.bench_with_input(
+            BenchmarkId::new("example20_naive", rows),
+            &inst20,
+            |b, inst| b.iter(|| eng20.enumerate_naive(inst).expect("naive").len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

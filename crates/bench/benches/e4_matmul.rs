@@ -1,0 +1,28 @@
+//! E4 — Boolean matrix multiplication through queries (Theorem 3(2) and
+//! Lemma 25/Example 20) vs direct bitset multiplication.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use ucq_reductions::{bmm_via_cq, bmm_via_example20, BoolMat};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_matmul");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for n in [32usize, 64, 128] {
+        let a = BoolMat::random(n, 0.08, n as u64);
+        let b = BoolMat::random(n, 0.08, n as u64 + 1);
+        group.bench_with_input(BenchmarkId::new("direct", n), &n, |bench, _| {
+            bench.iter(|| a.multiply(&b).count_ones())
+        });
+        group.bench_with_input(BenchmarkId::new("via_pi_cq", n), &n, |bench, _| {
+            bench.iter(|| bmm_via_cq(&a, &b).count_ones())
+        });
+        group.bench_with_input(BenchmarkId::new("via_example20", n), &n, |bench, _| {
+            bench.iter(|| bmm_via_example20(&a, &b).count_ones())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

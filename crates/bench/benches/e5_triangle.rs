@@ -1,0 +1,24 @@
+//! E5 — triangle detection through the Example 18 union vs direct bitset
+//! detection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use ucq_reductions::{has_triangle_via_example18, Graph};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_triangle");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for n in [64usize, 128, 256] {
+        let g = Graph::gnp(n, 4.0 / n as f64, 13);
+        group.bench_with_input(BenchmarkId::new("direct", n), &n, |b, _| {
+            b.iter(|| g.has_triangle())
+        });
+        group.bench_with_input(BenchmarkId::new("via_example18", n), &n, |b, _| {
+            b.iter(|| has_triangle_via_example18(&g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

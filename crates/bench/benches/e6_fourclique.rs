@@ -1,0 +1,33 @@
+//! E6 — 4-clique detection through the three UCQ routes (Examples 22, 31,
+//! 39) vs the direct combinatorial check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use ucq_reductions::{
+    has_4clique_via_example22, has_4clique_via_example31, has_4clique_via_example39,
+    Graph,
+};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_fourclique");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for n in [16usize, 24, 32] {
+        let g = Graph::gnp(n, 0.3, 17);
+        group.bench_with_input(BenchmarkId::new("direct", n), &n, |b, _| {
+            b.iter(|| g.has_4clique())
+        });
+        group.bench_with_input(BenchmarkId::new("via_example22", n), &n, |b, _| {
+            b.iter(|| has_4clique_via_example22(&g))
+        });
+        group.bench_with_input(BenchmarkId::new("via_example31", n), &n, |b, _| {
+            b.iter(|| has_4clique_via_example31(&g))
+        });
+        group.bench_with_input(BenchmarkId::new("via_example39", n), &n, |b, _| {
+            b.iter(|| has_4clique_via_example39(&g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E7 — the Cheater's Lemma compiler (Lemma 5): dedup + pacing overhead on
+//! duplicated streams vs a raw drain.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use ucq_enumerate::{Cheater, Enumerator, VecEnumerator};
+use ucq_storage::Tuple;
+
+fn stream(unique: usize, dup: usize) -> Vec<Tuple> {
+    (0..unique)
+        .flat_map(|i| {
+            std::iter::repeat_with(move || Tuple::from(&[i as i64, (i * 7) as i64][..]))
+                .take(dup)
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_cheater");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let unique = 100_000usize;
+    for dup in [1usize, 2, 4] {
+        let tuples = stream(unique, dup);
+        group.bench_with_input(BenchmarkId::new("raw_drain", dup), &dup, |b, _| {
+            b.iter(|| VecEnumerator::new(tuples.clone()).collect_all().len())
+        });
+        group.bench_with_input(BenchmarkId::new("cheater", dup), &dup, |b, _| {
+            b.iter(|| {
+                Cheater::new(VecEnumerator::new(tuples.clone()), dup)
+                    .collect_all()
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

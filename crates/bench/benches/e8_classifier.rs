@@ -1,0 +1,37 @@
+//! E8 — classifier cost: the full classification (minimization, fixpoint,
+//! guard checks) over the paper catalog and over the Example 31 family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use ucq_core::classify;
+use ucq_workloads::{by_id, catalog, example31};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_classifier");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group.bench_function("whole_catalog", |b| {
+        let entries = catalog();
+        b.iter(|| {
+            entries
+                .iter()
+                .filter(|e| classify(&e.ucq).is_tractable())
+                .count()
+        })
+    });
+    for id in ["example2", "example13", "example21", "example31_k4"] {
+        let ucq = by_id(id).expect("entry").ucq;
+        group.bench_with_input(BenchmarkId::new("single", id), &ucq, |b, u| {
+            b.iter(|| classify(u).is_tractable())
+        });
+    }
+    for k in [3usize, 5] {
+        let u = example31(k);
+        group.bench_with_input(BenchmarkId::new("example31_family", k), &u, |b, u| {
+            b.iter(|| classify(u).is_tractable())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

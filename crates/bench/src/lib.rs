@@ -1,0 +1,69 @@
+//! Shared helpers for the Criterion benches and the `experiments` binary.
+
+use ucq_core::UcqEngine;
+use ucq_enumerate::{measure, DelayProfile};
+use ucq_storage::{Instance, Tuple};
+use ucq_workloads::{by_id, random_instance, InstanceSpec};
+
+/// Fetches a catalog entry's query and builds its engine.
+pub fn engine_for(id: &str) -> UcqEngine {
+    UcqEngine::new(by_id(id).unwrap_or_else(|| panic!("catalog entry {id}")).ucq)
+}
+
+/// A deterministic random instance for a catalog entry.
+pub fn instance_for(id: &str, rows: usize, seed: u64) -> Instance {
+    let e = by_id(id).unwrap_or_else(|| panic!("catalog entry {id}"));
+    random_instance(&e.ucq, &InstanceSpec::scaled(rows, seed))
+}
+
+/// Runs the engine's chosen DelayClin strategy, instrumented.
+pub fn run_pipeline(engine: &UcqEngine, inst: &Instance) -> (Vec<Tuple>, DelayProfile) {
+    measure(|| engine.enumerate(inst).expect("DelayClin strategy"))
+}
+
+/// Runs the naive baseline, returning (answers, wall time).
+pub fn run_naive(engine: &UcqEngine, inst: &Instance) -> (Vec<Tuple>, std::time::Duration) {
+    let t0 = std::time::Instant::now();
+    let out = engine.enumerate_naive(inst).expect("naive");
+    (out, t0.elapsed())
+}
+
+/// Formats a nanosecond count compactly.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+/// Formats a duration compactly.
+pub fn fmt_dur(d: std::time::Duration) -> String {
+    fmt_ns(d.as_nanos() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_ns(12), "12ns");
+        assert_eq!(fmt_ns(1_500), "1.5µs");
+        assert_eq!(fmt_ns(2_500_000), "2.5ms");
+        assert_eq!(fmt_ns(3_210_000_000), "3.21s");
+    }
+
+    #[test]
+    fn helpers_wire_up() {
+        let eng = engine_for("example2");
+        let inst = instance_for("example2", 200, 1);
+        let (pipe, _) = run_pipeline(&eng, &inst);
+        let (naive, _) = run_naive(&eng, &inst);
+        assert_eq!(pipe.len(), naive.len());
+    }
+}

@@ -1,0 +1,397 @@
+//! The `ucq` command-line tool.
+//!
+//! ```text
+//! ucq classify <query-file>                 three-way verdict + certificate
+//! ucq explain  <query-file>                 per-member structure report
+//! ucq run      <query-file> <instance>      enumerate answers (DelayClin
+//!                                           strategy when available)
+//!              [--limit N] [--naive] [--stats]
+//! ucq decide   <query-file> <instance>      answer existence
+//! ucq catalog                               the paper's example table
+//! ```
+//!
+//! Query files use the parser syntax (one rule per line); instance files use
+//! the fact format of `ucq_storage::parse_instance`. All command logic lives
+//! in this library so it is unit-testable; `main.rs` is a thin shim.
+
+use std::fmt::Write as _;
+use ucq_core::{classify, Strategy, UcqEngine, Verdict};
+use ucq_enumerate::Enumerator;
+use ucq_query::{parse_ucq, Ucq};
+use ucq_storage::{parse_instance, Instance};
+
+/// A CLI failure: message + suggested exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+    /// Process exit code.
+    pub code: i32,
+}
+
+impl CliError {
+    fn new(message: impl Into<String>) -> CliError {
+        CliError {
+            message: message.into(),
+            code: 2,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "usage:
+  ucq classify <query-file>
+  ucq explain  <query-file>
+  ucq run      <query-file> <instance-file> [--limit N] [--naive] [--stats]
+  ucq decide   <query-file> <instance-file>
+  ucq catalog
+
+query files: one rule per line, e.g.  Q(x, y) <- R(x, z), S(z, y)
+instance files: facts, e.g.           R(1, 2). S(2, 3).";
+
+/// Entry point: dispatches on argv (without the program name), returning
+/// the text to print.
+pub fn dispatch(args: &[String]) -> Result<String, CliError> {
+    match args.first().map(String::as_str) {
+        Some("classify") => {
+            let [path] = expect_args(args, 1)?;
+            cmd_classify(&load_query(&path)?)
+        }
+        Some("explain") => {
+            let [path] = expect_args(args, 1)?;
+            cmd_explain(&load_query(&path)?)
+        }
+        Some("run") => {
+            let (paths, flags) = split_flags(&args[1..]);
+            if paths.len() != 2 {
+                return Err(CliError::new(USAGE));
+            }
+            let limit = flag_value(&flags, "--limit")?
+                .map(|v| {
+                    v.parse::<usize>()
+                        .map_err(|e| CliError::new(format!("bad --limit: {e}")))
+                })
+                .transpose()?;
+            cmd_run(
+                &load_query(&paths[0])?,
+                &load_instance(&paths[1])?,
+                limit,
+                flags.iter().any(|f| f == "--naive"),
+                flags.iter().any(|f| f == "--stats"),
+            )
+        }
+        Some("decide") => {
+            let [q, i] = expect_args(args, 2)?;
+            cmd_decide(&load_query(&q)?, &load_instance(&i)?)
+        }
+        Some("catalog") => Ok(cmd_catalog()),
+        Some("--help") | Some("-h") | Some("help") => Ok(USAGE.to_string()),
+        _ => Err(CliError::new(USAGE)),
+    }
+}
+
+fn expect_args<const N: usize>(args: &[String], n: usize) -> Result<[String; N], CliError> {
+    let rest = &args[1..];
+    if rest.len() != n {
+        return Err(CliError::new(USAGE));
+    }
+    Ok(std::array::from_fn(|i| rest[i].clone()))
+}
+
+fn split_flags(rest: &[String]) -> (Vec<String>, Vec<String>) {
+    let mut paths = Vec::new();
+    let mut flags = Vec::new();
+    let mut it = rest.iter().peekable();
+    while let Some(a) = it.next() {
+        if a.starts_with("--") {
+            flags.push(a.clone());
+            if a == "--limit" {
+                if let Some(v) = it.next() {
+                    flags.push(v.clone());
+                }
+            }
+        } else {
+            paths.push(a.clone());
+        }
+    }
+    (paths, flags)
+}
+
+fn flag_value(flags: &[String], name: &str) -> Result<Option<String>, CliError> {
+    match flags.iter().position(|f| f == name) {
+        None => Ok(None),
+        Some(i) => flags
+            .get(i + 1)
+            .cloned()
+            .map(Some)
+            .ok_or_else(|| CliError::new(format!("{name} needs a value"))),
+    }
+}
+
+fn load_query(path: &str) -> Result<Ucq, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::new(format!("cannot read {path}: {e}")))?;
+    parse_ucq(&text).map_err(|e| CliError::new(format!("{path}: {e}")))
+}
+
+fn load_instance(path: &str) -> Result<Instance, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::new(format!("cannot read {path}: {e}")))?;
+    parse_instance(&text).map_err(|e| CliError::new(format!("{path}: {e}")))
+}
+
+fn cmd_classify(ucq: &Ucq) -> Result<String, CliError> {
+    let c = classify(ucq);
+    let mut out = String::new();
+    let _ = writeln!(out, "query:\n{}", c.minimized);
+    if c.kept.len() != ucq.len() {
+        let _ = writeln!(
+            out,
+            "(redundant members removed; kept originals {:?})",
+            c.kept
+        );
+    }
+    let _ = writeln!(out, "\nper-member status (Theorem 3): {:?}", c.statuses);
+    match &c.verdict {
+        Verdict::FreeConnex { plan } => {
+            let _ = writeln!(out, "verdict: FREE-CONNEX — in DelayClin");
+            if plan.atoms.is_empty() {
+                let _ = writeln!(out, "  all members free-connex (Theorem 4 / Algorithm 1)");
+            }
+            for atom in &plan.atoms {
+                let _ = writeln!(
+                    out,
+                    "  virtual atom {} on member {} ← provided by member {} (S = {}, {} uses, stage {})",
+                    atom.rel_name,
+                    atom.target,
+                    atom.provenance.provider,
+                    atom.provenance.s,
+                    atom.provenance.uses.len(),
+                    atom.provenance.stage
+                );
+            }
+        }
+        Verdict::Intractable { witness } => {
+            let _ = writeln!(
+                out,
+                "verdict: INTRACTABLE — {} (assuming {})",
+                witness.reference(),
+                witness.hypothesis()
+            );
+        }
+        Verdict::Unknown { notes } => {
+            let _ = writeln!(out, "verdict: UNKNOWN — outside the proven classes");
+            for n in notes {
+                let _ = writeln!(out, "  note: {n}");
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_explain(ucq: &Ucq) -> Result<String, CliError> {
+    let mut out = String::new();
+    for (i, cq) in ucq.cqs().iter().enumerate() {
+        let _ = writeln!(out, "member {i}: {cq}");
+        let _ = writeln!(
+            out,
+            "  variables: {}  atoms: {}  self-join free: {}",
+            cq.n_vars(),
+            cq.atoms().len(),
+            cq.is_self_join_free()
+        );
+        let _ = writeln!(
+            out,
+            "  acyclic: {}  free-connex: {}",
+            cq.is_acyclic(),
+            cq.is_free_connex()
+        );
+        let paths = cq.free_paths();
+        if paths.is_empty() {
+            let _ = writeln!(out, "  free-paths: none");
+        } else {
+            for p in paths {
+                let names: Vec<&str> =
+                    p.0.iter().map(|&v| cq.var_name(v)).collect();
+                let _ = writeln!(out, "  free-path: ({})", names.join(", "));
+            }
+        }
+        let _ = writeln!(out);
+    }
+    Ok(out)
+}
+
+fn cmd_run(
+    ucq: &Ucq,
+    inst: &Instance,
+    limit: Option<usize>,
+    force_naive: bool,
+    stats: bool,
+) -> Result<String, CliError> {
+    let engine = UcqEngine::new(ucq.clone());
+    let mut out = String::new();
+    let strategy = if force_naive {
+        Strategy::Naive
+    } else {
+        engine.strategy()
+    };
+    let _ = writeln!(out, "strategy: {strategy:?}");
+    let started = std::time::Instant::now();
+    let mut count = 0usize;
+    if force_naive {
+        for t in engine
+            .enumerate_naive(inst)
+            .map_err(|e| CliError::new(e.to_string()))?
+        {
+            if limit.map(|l| count >= l).unwrap_or(false) {
+                break;
+            }
+            let _ = writeln!(out, "{t}");
+            count += 1;
+        }
+    } else {
+        let mut ans = engine
+            .enumerate(inst)
+            .map_err(|e| CliError::new(e.to_string()))?;
+        while let Some(t) = ans.next() {
+            if limit.map(|l| count >= l).unwrap_or(false) {
+                break;
+            }
+            let _ = writeln!(out, "{t}");
+            count += 1;
+        }
+    }
+    if stats {
+        let _ = writeln!(
+            out,
+            "-- {count} answer(s) in {:?} over {} tuples",
+            started.elapsed(),
+            inst.total_tuples()
+        );
+    }
+    Ok(out)
+}
+
+fn cmd_decide(ucq: &Ucq, inst: &Instance) -> Result<String, CliError> {
+    let engine = UcqEngine::new(ucq.clone());
+    let yes = engine
+        .decide(inst)
+        .map_err(|e| CliError::new(e.to_string()))?;
+    Ok(format!("{}\n", if yes { "yes" } else { "no" }))
+}
+
+fn cmd_catalog() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<16} {:<28} {}", "id", "paper ref", "description");
+    for e in ucq_workloads::catalog() {
+        let _ = writeln!(out, "{:<16} {:<28} {}", e.id, e.paper_ref, e.description);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_temp(name: &str, content: &str) -> String {
+        let path = std::env::temp_dir().join(format!("ucq_cli_test_{name}_{}", std::process::id()));
+        std::fs::write(&path, content).expect("temp write");
+        path.to_string_lossy().into_owned()
+    }
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn classify_example2() {
+        let q = write_temp(
+            "classify_q",
+            "Q1(x, y, w) <- R1(x, z), R2(z, y), R3(y, w)\nQ2(x, y, w) <- R1(x, y), R2(y, w)",
+        );
+        let out = dispatch(&args(&["classify", &q])).unwrap();
+        assert!(out.contains("FREE-CONNEX"), "{out}");
+        assert!(out.contains("virtual atom"));
+    }
+
+    #[test]
+    fn classify_hard_query() {
+        let q = write_temp("classify_hard", "Q(x, y) <- A(x, z), B(z, y)");
+        let out = dispatch(&args(&["classify", &q])).unwrap();
+        assert!(out.contains("INTRACTABLE"), "{out}");
+        assert!(out.contains("mat-mul"));
+    }
+
+    #[test]
+    fn explain_lists_free_paths() {
+        let q = write_temp("explain_q", "Q(x, y) <- A(x, z), B(z, y)");
+        let out = dispatch(&args(&["explain", &q])).unwrap();
+        assert!(out.contains("free-path: (x, z, y)"), "{out}");
+    }
+
+    #[test]
+    fn run_and_decide() {
+        let q = write_temp("run_q", "Q(x, y) <- R(x, z), S(z, y)");
+        let i = write_temp("run_i", "R(1, 2). S(2, 3). S(2, 4).");
+        let out = dispatch(&args(&["run", &q, &i, "--stats"])).unwrap();
+        assert!(out.contains("(1, 3)") && out.contains("(1, 4)"), "{out}");
+        assert!(out.contains("2 answer(s)"), "{out}");
+
+        let out = dispatch(&args(&["decide", &q, &i])).unwrap();
+        assert_eq!(out, "yes\n");
+
+        let empty = write_temp("run_empty", "R(1, 2).");
+        let out = dispatch(&args(&["decide", &q, &empty])).unwrap();
+        assert_eq!(out, "no\n");
+    }
+
+    #[test]
+    fn run_with_limit_and_naive() {
+        let q = write_temp("limit_q", "Q(x, y) <- R(x, y)");
+        let i = write_temp("limit_i", "R(1, 1). R(2, 2). R(3, 3).");
+        let out = dispatch(&args(&["run", &q, &i, "--limit", "2"])).unwrap();
+        assert_eq!(out.lines().filter(|l| l.starts_with('(')).count(), 2);
+        let out = dispatch(&args(&["run", &q, &i, "--naive"])).unwrap();
+        assert!(out.contains("strategy: Naive"));
+    }
+
+    #[test]
+    fn catalog_prints_table() {
+        let out = dispatch(&args(&["catalog"])).unwrap();
+        assert!(out.contains("example13"));
+        assert!(out.contains("Example 22"));
+    }
+
+    #[test]
+    fn bad_usage_is_an_error() {
+        assert!(dispatch(&args(&[])).is_err());
+        assert!(dispatch(&args(&["frobnicate"])).is_err());
+        assert!(dispatch(&args(&["classify"])).is_err());
+        assert!(dispatch(&args(&["run", "only_one_path"])).is_err());
+    }
+
+    #[test]
+    fn missing_file_reports_path() {
+        let err = dispatch(&args(&["classify", "/no/such/file"])).unwrap_err();
+        assert!(err.message.contains("/no/such/file"));
+    }
+
+    #[test]
+    fn bad_limit_rejected() {
+        let q = write_temp("badlimit_q", "Q(x) <- R(x)");
+        let i = write_temp("badlimit_i", "R(1).");
+        let err = dispatch(&args(&["run", &q, &i, "--limit", "soon"])).unwrap_err();
+        assert!(err.message.contains("bad --limit"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        assert_eq!(dispatch(&args(&["--help"])).unwrap(), USAGE);
+    }
+}

@@ -1,0 +1,12 @@
+//! Thin shim over [`ucq_cli::dispatch`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match ucq_cli::dispatch(&args) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(e.code);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Rewriting unions of body-isomorphic CQs into the paper's §4.2 form:
+//! one body, several heads.
+//!
+//! When all members of a UCQ are pairwise body-isomorphic, each member can
+//! be renamed into member 0's variable space; the union is then the single
+//! body of member 0 with one free-variable set per member.
+
+use ucq_hypergraph::VSet;
+use ucq_query::{body_isomorphism, Cq, Ucq};
+
+/// A UCQ of body-isomorphic CQs rewritten over a common body.
+#[derive(Clone, Debug)]
+pub struct AlignedUnion {
+    /// Member 0's CQ — the common body (and name source).
+    pub body: Cq,
+    /// Per member: its free variables expressed in the common body's space.
+    pub frees: Vec<VSet>,
+}
+
+impl AlignedUnion {
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.frees.len()
+    }
+
+    /// Non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Attempts the rewriting; `None` unless all members are body-isomorphic.
+pub fn align_body_isomorphic(ucq: &Ucq) -> Option<AlignedUnion> {
+    let base = &ucq.cqs()[0];
+    let mut frees = Vec::with_capacity(ucq.len());
+    frees.push(base.free());
+    for cq in &ucq.cqs()[1..] {
+        // `body_isomorphism(base, cq)` returns h : var(cq) → var(base)
+        // (requiring homomorphisms both ways).
+        let h = body_isomorphism(base, cq)?;
+        let image: VSet = cq.free().iter().map(|v| h[v as usize]).collect();
+        // A body-isomorphism between self-join-free queries is a bijection,
+        // so the image keeps the head's distinct-variable count.
+        if image.len() != cq.free().len() {
+            return None;
+        }
+        frees.push(image);
+    }
+    Some(AlignedUnion {
+        body: base.clone(),
+        frees,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucq_query::parse_ucq;
+
+    fn vs(v: &[u32]) -> VSet {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn example20_alignment() {
+        // Rewritten in the paper as
+        // Q1(w,y,z), Q2(x,y,v) <- R1(w,v),R2(v,y),R3(y,z),R4(z,x).
+        let u = parse_ucq(
+            "Q1(x, y, v) <- R1(x, z), R2(z, y), R3(y, v), R4(v, w)\n\
+             Q2(x, y, v) <- R1(w, v), R2(v, y), R3(y, z), R4(z, x)",
+        )
+        .unwrap();
+        let a = align_body_isomorphic(&u).expect("body-isomorphic");
+        // Q1 space: x=0, y=1, v=2, z=3, w=4.
+        assert_eq!(a.frees[0], vs(&[0, 1, 2]));
+        // h maps Q2's (x,y,v) into Q1's space: Q2 body R1(w,v) ~ R1(x,z)
+        // gives h(w)=x, h(v)=z; R2(v,y) ~ R2(z,y): h(y)=y; R3(y,z) ~
+        // R3(y,v): h(z)=v; R4(z,x) ~ R4(v,w): h(x)=w.
+        // So free(Q2) = {x,y,v} maps to {w, y, z} = ids {4, 1, 3}.
+        assert_eq!(a.frees[1], vs(&[4, 1, 3]));
+    }
+
+    #[test]
+    fn non_isomorphic_rejected() {
+        let u = parse_ucq(
+            "Q1(x, y) <- R(x, y)\n\
+             Q2(a, b) <- S(a, b)",
+        )
+        .unwrap();
+        assert!(align_body_isomorphic(&u).is_none());
+    }
+
+    #[test]
+    fn example31_alignment() {
+        // Four heads over one star body.
+        let u = parse_ucq(
+            "Q1(x1, x2, x3) <- R1(x1, z), R2(x2, z), R3(x3, z)\n\
+             Q2(x1, x2, z) <- R1(x1, z), R2(x2, z), R3(x3, z)\n\
+             Q3(x1, x3, z) <- R1(x1, z), R2(x2, z), R3(x3, z)\n\
+             Q4(x2, x3, z) <- R1(x1, z), R2(x2, z), R3(x3, z)",
+        )
+        .unwrap();
+        let a = align_body_isomorphic(&u).expect("same body");
+        assert_eq!(a.len(), 4);
+        // Q1 space: x1=0, x2=1, x3=2, z=3.
+        assert_eq!(a.frees[0], vs(&[0, 1, 2]));
+        assert_eq!(a.frees[1], vs(&[0, 1, 3]));
+        assert_eq!(a.frees[2], vs(&[0, 2, 3]));
+        assert_eq!(a.frees[3], vs(&[1, 2, 3]));
+    }
+}

@@ -1,0 +1,265 @@
+//! The top-level engine: classify once, then evaluate instances with the
+//! best applicable strategy.
+
+use crate::algorithm1::Algorithm1;
+use crate::classify::{classify_with, Classification, CqStatus, Verdict};
+use crate::naive_ucq::evaluate_ucq_naive;
+use crate::pipeline::UcqPipeline;
+use crate::search::SearchConfig;
+use ucq_enumerate::{Enumerator, VecEnumerator};
+use ucq_query::Ucq;
+use ucq_storage::{Instance, Tuple};
+use ucq_yannakakis::EvalError;
+
+/// Which evaluation strategy a run used.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Algorithm 1 (Theorem 4): all members free-connex; constant writable
+    /// memory during enumeration.
+    Algorithm1,
+    /// The Theorem 12 union-extension pipeline.
+    UnionExtension,
+    /// Materializing fallback for intractable/unknown queries.
+    Naive,
+}
+
+/// A classified UCQ ready to evaluate instances.
+pub struct UcqEngine {
+    ucq: Ucq,
+    classification: Classification,
+}
+
+impl UcqEngine {
+    /// Classifies `ucq` with default search bounds.
+    pub fn new(ucq: Ucq) -> UcqEngine {
+        UcqEngine::with_config(ucq, &SearchConfig::default())
+    }
+
+    /// Classifies `ucq` with explicit search bounds.
+    pub fn with_config(ucq: Ucq, cfg: &SearchConfig) -> UcqEngine {
+        let classification = classify_with(&ucq, cfg);
+        UcqEngine {
+            ucq,
+            classification,
+        }
+    }
+
+    /// The original union.
+    pub fn ucq(&self) -> &Ucq {
+        &self.ucq
+    }
+
+    /// The classification (verdict, statuses, minimized union).
+    pub fn classification(&self) -> &Classification {
+        &self.classification
+    }
+
+    /// The strategy [`UcqEngine::enumerate`] will pick.
+    pub fn strategy(&self) -> Strategy {
+        match &self.classification.verdict {
+            Verdict::FreeConnex { plan } => {
+                let all_fc = self
+                    .classification
+                    .statuses
+                    .iter()
+                    .all(|s| *s == CqStatus::FreeConnex);
+                if all_fc && !plan.needs_extension() {
+                    Strategy::Algorithm1
+                } else {
+                    Strategy::UnionExtension
+                }
+            }
+            _ => Strategy::Naive,
+        }
+    }
+
+    /// Evaluates over `instance`, returning an answer stream tagged with
+    /// the strategy that produced it. `DelayClin` guarantees apply exactly
+    /// when the strategy is not [`Strategy::Naive`].
+    pub fn enumerate(&self, instance: &Instance) -> Result<UcqAnswers, EvalError> {
+        let minimized = &self.classification.minimized;
+        match self.strategy() {
+            Strategy::Algorithm1 => Ok(UcqAnswers {
+                strategy: Strategy::Algorithm1,
+                inner: Box::new(Algorithm1::build(minimized, instance)?),
+            }),
+            Strategy::UnionExtension => {
+                let Verdict::FreeConnex { plan } = &self.classification.verdict else {
+                    unreachable!("strategy() checked the verdict");
+                };
+                Ok(UcqAnswers {
+                    strategy: Strategy::UnionExtension,
+                    inner: Box::new(UcqPipeline::build(minimized, plan, instance)?),
+                })
+            }
+            Strategy::Naive => Ok(UcqAnswers {
+                strategy: Strategy::Naive,
+                inner: Box::new(VecEnumerator::new(evaluate_ucq_naive(
+                    minimized, instance,
+                )?)),
+            }),
+        }
+    }
+
+    /// Forces the naive strategy (baseline for experiments).
+    pub fn enumerate_naive(&self, instance: &Instance) -> Result<Vec<Tuple>, EvalError> {
+        evaluate_ucq_naive(&self.classification.minimized, instance)
+    }
+
+    /// `Decide⟨Q⟩`: whether the union has at least one answer. For unions
+    /// of free-connex members this is a pure preprocessing question (each
+    /// member's CDY `decide()` after its linear pass); otherwise it asks
+    /// the chosen enumeration strategy for a first answer.
+    pub fn decide(&self, instance: &Instance) -> Result<bool, EvalError> {
+        let minimized = &self.classification.minimized;
+        if minimized
+            .cqs()
+            .iter()
+            .all(|cq| matches!(crate::classify::cq_status(cq), CqStatus::FreeConnex))
+        {
+            for cq in minimized.cqs() {
+                if crate::pipeline_decide(cq, instance)? {
+                    return Ok(true);
+                }
+            }
+            return Ok(false);
+        }
+        let mut ans = self.enumerate(instance)?;
+        Ok(ans.next().is_some())
+    }
+}
+
+/// A strategy-tagged answer stream.
+pub struct UcqAnswers {
+    strategy: Strategy,
+    inner: Box<dyn Enumerator>,
+}
+
+impl UcqAnswers {
+    /// Which strategy produced this stream.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+}
+
+impl Enumerator for UcqAnswers {
+    fn next(&mut self) -> Option<Tuple> {
+        self.inner.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive_ucq::evaluate_ucq_naive_set;
+    use std::collections::HashSet;
+    use ucq_query::parse_ucq;
+    use ucq_storage::Relation;
+
+    fn inst(rels: &[(&str, Vec<(i64, i64)>)]) -> Instance {
+        rels.iter()
+            .map(|(n, pairs)| {
+                (n.to_string(), Relation::from_pairs(pairs.iter().copied()))
+            })
+            .collect()
+    }
+
+    fn check_strategy(text: &str, i: &Instance, expect: Strategy) {
+        let u = parse_ucq(text).unwrap();
+        let eng = UcqEngine::new(u.clone());
+        assert_eq!(eng.strategy(), expect, "strategy for {text}");
+        let mut ans = eng.enumerate(i).unwrap();
+        let got: HashSet<Tuple> = ans.collect_all().into_iter().collect();
+        let want = evaluate_ucq_naive_set(&u, i).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn all_free_connex_uses_algorithm1() {
+        let i = inst(&[("R", vec![(1, 2)]), ("S", vec![(1, 2), (5, 6)])]);
+        check_strategy(
+            "Q1(x, y) <- R(x, y)\nQ2(a, b) <- S(a, b)",
+            &i,
+            Strategy::Algorithm1,
+        );
+    }
+
+    #[test]
+    fn example2_uses_pipeline() {
+        let i = inst(&[
+            ("R1", vec![(1, 2)]),
+            ("R2", vec![(2, 3)]),
+            ("R3", vec![(3, 4)]),
+        ]);
+        check_strategy(
+            "Q1(x, y, w) <- R1(x, z), R2(z, y), R3(y, w)\n\
+             Q2(x, y, w) <- R1(x, y), R2(y, w)",
+            &i,
+            Strategy::UnionExtension,
+        );
+    }
+
+    #[test]
+    fn hard_query_falls_back_to_naive() {
+        let i = inst(&[("A", vec![(1, 2)]), ("B", vec![(2, 3)])]);
+        check_strategy("Q(x, y) <- A(x, z), B(z, y)", &i, Strategy::Naive);
+    }
+
+    #[test]
+    fn redundancy_removed_before_evaluation() {
+        // Example 1: the union equals Q2, so Algorithm 1 applies even
+        // though Q1 alone is cyclic.
+        let i = inst(&[
+            ("R1", vec![(1, 2), (2, 3)]),
+            ("R2", vec![(2, 4), (3, 4)]),
+            ("R3", vec![(4, 1)]),
+        ]);
+        check_strategy(
+            "Q1(x, y) <- R1(x, y), R2(y, z), R3(z, x)\n\
+             Q2(x, y) <- R1(x, y), R2(y, z)",
+            &i,
+            Strategy::Algorithm1,
+        );
+    }
+}
+
+#[cfg(test)]
+mod decide_tests {
+    use super::*;
+    use ucq_query::parse_ucq;
+    use ucq_storage::Relation;
+
+    #[test]
+    fn decide_free_connex_union() {
+        let u = parse_ucq("Q1(x, y) <- R(x, y)\nQ2(a, b) <- S(a, b)").unwrap();
+        let eng = UcqEngine::new(u);
+        let yes: Instance =
+            [("R", Relation::new(2)), ("S", Relation::from_pairs([(1, 1)]))]
+                .into_iter()
+                .collect();
+        assert!(eng.decide(&yes).unwrap());
+        let no: Instance =
+            [("R", Relation::new(2)), ("S", Relation::new(2))].into_iter().collect();
+        assert!(!eng.decide(&no).unwrap());
+    }
+
+    #[test]
+    fn decide_via_enumeration_for_hard_queries() {
+        let u = parse_ucq("Q(x, y) <- A(x, z), B(z, y)").unwrap();
+        let eng = UcqEngine::new(u);
+        let yes: Instance = [
+            ("A", Relation::from_pairs([(1, 2)])),
+            ("B", Relation::from_pairs([(2, 3)])),
+        ]
+        .into_iter()
+        .collect();
+        assert!(eng.decide(&yes).unwrap());
+        let no: Instance = [
+            ("A", Relation::from_pairs([(1, 2)])),
+            ("B", Relation::from_pairs([(9, 3)])),
+        ]
+        .into_iter()
+        .collect();
+        assert!(!eng.decide(&no).unwrap());
+    }
+}

@@ -1,0 +1,268 @@
+//! Guardedness conditions for body-isomorphic unions: Definition 23
+//! (free-path guarded, bypass guarded), Definition 32 (union guards) and
+//! Definition 34 (isolated free-paths).
+
+use ucq_hypergraph::{free_paths, is_s_connex, FreePath, Hypergraph, VSet};
+use ucq_query::Cq;
+
+/// Whether member `a` (with free set `free_a`) is *free-path guarded* by
+/// `free_b`: every free-path of `(H, free_a)` uses only variables free in
+/// the other member.
+pub fn is_free_path_guarded(h: &Hypergraph, free_a: VSet, free_b: VSet) -> bool {
+    free_paths(h, free_a)
+        .iter()
+        .all(|p| p.vars().is_subset(free_b))
+}
+
+/// Whether member `a` is *bypass guarded* by `free_b`: for every free-path
+/// `P` of `(H(Q), free_a)` and every variable `u` occurring in two
+/// subsequent `P`-atoms, `u ∈ free_b`.
+pub fn is_bypass_guarded(body: &Cq, free_a: VSet, free_b: VSet) -> bool {
+    let h = body.hypergraph();
+    for p in free_paths(&h, free_a) {
+        for u in subsequent_atom_vars(body, &p) {
+            if !free_b.contains(u) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Variables occurring in two subsequent `P`-atoms (Definition 23): atoms
+/// `A ∋ {z_{i-1}, z_i}` and `B ∋ {z_i, z_{i+1}}` for an interior position
+/// `i`; `A ≠ B` is automatic because `P` is chordless.
+pub fn subsequent_atom_vars(body: &Cq, p: &FreePath) -> VSet {
+    let verts = &p.0;
+    let mut out = VSet::EMPTY;
+    for c in 1..verts.len() - 1 {
+        let left: VSet = [verts[c - 1], verts[c]].into_iter().collect();
+        let right: VSet = [verts[c], verts[c + 1]].into_iter().collect();
+        for a in body.atoms() {
+            let va = a.var_set();
+            if !left.is_subset(va) {
+                continue;
+            }
+            for b in body.atoms() {
+                let vb = b.var_set();
+                if !right.is_subset(vb) || va == vb {
+                    continue;
+                }
+                out = out.union(va.inter(vb));
+            }
+        }
+    }
+    out
+}
+
+/// Whether the free-path `p` has a union guard (Definition 32) with respect
+/// to the members' free sets.
+pub fn is_union_guarded(p: &FreePath, frees: &[VSet]) -> bool {
+    let z = &p.0;
+    let n = z.len();
+    // Base requirement: {z_0, z_{k+1}} itself must be covered.
+    if !pair_covered(z[0], z[n - 1], frees) {
+        return false;
+    }
+    // guardable(a, c): the interval can be recursively split by covered
+    // triples.
+    let mut memo = vec![vec![None; n]; n];
+    guardable(z, 0, n - 1, frees, &mut memo)
+}
+
+fn pair_covered(a: u32, b: u32, frees: &[VSet]) -> bool {
+    let pair: VSet = [a, b].into_iter().collect();
+    frees.iter().any(|f| pair.is_subset(*f))
+}
+
+fn triple_covered(a: u32, b: u32, c: u32, frees: &[VSet]) -> bool {
+    let triple: VSet = [a, b, c].into_iter().collect();
+    frees.iter().any(|f| triple.is_subset(*f))
+}
+
+fn guardable(
+    z: &[u32],
+    a: usize,
+    c: usize,
+    frees: &[VSet],
+    memo: &mut Vec<Vec<Option<bool>>>,
+) -> bool {
+    if c <= a + 1 {
+        return true;
+    }
+    if let Some(v) = memo[a][c] {
+        return v;
+    }
+    let mut ok = false;
+    for b in a + 1..c {
+        if triple_covered(z[a], z[b], z[c], frees)
+            && guardable(z, a, b, frees, memo)
+            && guardable(z, b, c, frees, memo)
+        {
+            ok = true;
+            break;
+        }
+    }
+    memo[a][c] = Some(ok);
+    ok
+}
+
+/// Whether the free-path `p` of one member is *isolated* (Definition 34):
+/// the body is `var(P)`-connex, and no other free-path of the same member
+/// shares a variable with it.
+pub fn is_isolated(h: &Hypergraph, member_paths: &[FreePath], p: &FreePath) -> bool {
+    if !is_s_connex(h, p.vars()) {
+        return false;
+    }
+    member_paths
+        .iter()
+        .filter(|q| *q != p)
+        .all(|q| q.vars().inter(p.vars()).is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::body_iso::align_body_isomorphic;
+    use ucq_query::parse_ucq;
+
+    /// The Example 20 pair (not free-path guarded).
+    fn ex20() -> crate::body_iso::AlignedUnion {
+        align_body_isomorphic(
+            &parse_ucq(
+                "Q1(x, y, v) <- R1(x, z), R2(z, y), R3(y, v), R4(v, w)\n\
+                 Q2(x, y, v) <- R1(w, v), R2(v, y), R3(y, z), R4(z, x)",
+            )
+            .unwrap(),
+        )
+        .unwrap()
+    }
+
+    /// The Example 21 pair (guarded both ways).
+    fn ex21() -> crate::body_iso::AlignedUnion {
+        align_body_isomorphic(
+            &parse_ucq(
+                "Q1(w, y, x, z) <- R1(w, v), R2(v, y), R3(y, z), R4(z, x)\n\
+                 Q2(x, y, w, v) <- R1(w, v), R2(v, y), R3(y, z), R4(z, x)",
+            )
+            .unwrap(),
+        )
+        .unwrap()
+    }
+
+    /// The Example 22 pair (free-path guarded, not bypass guarded).
+    fn ex22() -> crate::body_iso::AlignedUnion {
+        align_body_isomorphic(
+            &parse_ucq(
+                "Q1(x, y, t) <- R1(x, w, t), R2(y, w, t)\n\
+                 Q2(x, y, w) <- R1(x, w, t), R2(y, w, t)",
+            )
+            .unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn example20_not_free_path_guarded() {
+        let a = ex20();
+        let h = a.body.hypergraph();
+        // Q1's free-paths are not inside free(Q2) (Example 24 discussion).
+        assert!(!is_free_path_guarded(&h, a.frees[0], a.frees[1]));
+    }
+
+    #[test]
+    fn example21_guarded_both_ways() {
+        let a = ex21();
+        let h = a.body.hypergraph();
+        for (x, y) in [(0, 1), (1, 0)] {
+            assert!(is_free_path_guarded(&h, a.frees[x], a.frees[y]));
+            assert!(is_bypass_guarded(&a.body, a.frees[x], a.frees[y]));
+        }
+    }
+
+    #[test]
+    fn example22_bypass_violation() {
+        let a = ex22();
+        let h = a.body.hypergraph();
+        // Both directions are free-path guarded…
+        assert!(is_free_path_guarded(&h, a.frees[0], a.frees[1]));
+        assert!(is_free_path_guarded(&h, a.frees[1], a.frees[0]));
+        // …but Q1's free-path (x, w, y) has t in both subsequent atoms and
+        // t ∉ free(Q2).
+        assert!(!is_bypass_guarded(&a.body, a.frees[0], a.frees[1]));
+    }
+
+    #[test]
+    fn subsequent_vars_of_example22() {
+        let a = ex22();
+        let h = a.body.hypergraph();
+        let paths = free_paths(&h, a.frees[0]);
+        assert_eq!(paths.len(), 1);
+        let vars = subsequent_atom_vars(&a.body, &paths[0]);
+        // Q1 space: x=0, y=1, t=2, w=3; both atoms share {w, t}.
+        assert_eq!(vars, [3u32, 2].into_iter().collect::<VSet>());
+    }
+
+    #[test]
+    fn union_guard_of_example31() {
+        // Star with four heads: every free-path (xi, z, xj) is union
+        // guarded because some head contains {xi, z, xj}.
+        let u = parse_ucq(
+            "Q1(x1, x2, x3) <- R1(x1, z), R2(x2, z), R3(x3, z)\n\
+             Q2(x1, x2, z) <- R1(x1, z), R2(x2, z), R3(x3, z)\n\
+             Q3(x1, x3, z) <- R1(x1, z), R2(x2, z), R3(x3, z)\n\
+             Q4(x2, x3, z) <- R1(x1, z), R2(x2, z), R3(x3, z)",
+        )
+        .unwrap();
+        let a = align_body_isomorphic(&u).unwrap();
+        let h = a.body.hypergraph();
+        for f in &a.frees {
+            for p in free_paths(&h, *f) {
+                assert!(is_union_guarded(&p, &a.frees));
+            }
+        }
+    }
+
+    #[test]
+    fn union_guard_fails_without_triples() {
+        // Two heads only: the free-path (x1, z, x2) of Q1 has {x1, x2}
+        // covered by Q1 itself but no head covers {x1, z, x2}.
+        let u = parse_ucq(
+            "Q1(x1, x2, x3) <- R1(x1, z), R2(x2, z), R3(x3, z)\n\
+             Q2(x1, x2, x3) <- R1(x1, z), R2(x2, z), R3(x3, z)",
+        )
+        .unwrap();
+        let a = align_body_isomorphic(&u).unwrap();
+        let h = a.body.hypergraph();
+        let paths = free_paths(&h, a.frees[0]);
+        assert!(!paths.is_empty());
+        assert!(paths.iter().all(|p| !is_union_guarded(p, &a.frees)));
+    }
+
+    #[test]
+    fn isolation_in_example31() {
+        // The three free-paths of Q1 share z: none is isolated.
+        let u = parse_ucq(
+            "Q1(x1, x2, x3) <- R1(x1, z), R2(x2, z), R3(x3, z)\n\
+             Q2(x1, x2, z) <- R1(x1, z), R2(x2, z), R3(x3, z)",
+        )
+        .unwrap();
+        let a = align_body_isomorphic(&u).unwrap();
+        let h = a.body.hypergraph();
+        let paths = free_paths(&h, a.frees[0]);
+        assert_eq!(paths.len(), 3);
+        for p in &paths {
+            assert!(!is_isolated(&h, &paths, p));
+        }
+    }
+
+    #[test]
+    fn single_free_path_is_isolated_when_connex() {
+        // Path body: the only free-path (x, z, y) is var(P)-connex.
+        let u = parse_ucq("Q(x, y) <- A(x, z), B(z, y)").unwrap();
+        let h = u.cqs()[0].hypergraph();
+        let paths = free_paths(&h, u.cqs()[0].free());
+        assert_eq!(paths.len(), 1);
+        assert!(is_isolated(&h, &paths, &paths[0]));
+    }
+}

@@ -1,0 +1,192 @@
+//! Materializing provided relations (Lemma 8).
+//!
+//! For a planned atom with provenance `(provider j, h, S, uses)`:
+//!
+//! 1. extend `Q_j` with its own (already materialized) virtual atoms `uses`;
+//! 2. run CDY on the extension with connex target `S` — by construction it
+//!    is `S`-connex, and the preprocessing is linear;
+//! 3. for every `S`-binding, extend it once to a full homomorphism (the
+//!    reducer guarantees a witness) and *emit* the corresponding provider
+//!    answer — this is how the lemma charges the work against legitimate
+//!    output;
+//! 4. translate the binding through `h⁻¹` (skipping bindings that disagree
+//!    on two preimages of the same target variable) into a row of the
+//!    virtual relation.
+//!
+//! The result **contains** `π_{V1}(hom(body Q_target))` — possibly strictly
+//! (see DESIGN.md, adaptation 2) — which is exactly what joining it into the
+//! target preserves semantics.
+
+use crate::plan::PlannedAtom;
+use ucq_query::{Atom, Ucq, VarId};
+use ucq_storage::{Relation, RowSet, Tuple, Value};
+use ucq_yannakakis::{CdyEngine, EvalError};
+
+/// The outcome of materializing one virtual atom.
+#[derive(Debug)]
+pub struct Materialized {
+    /// The virtual relation (columns = the atom's variables, sorted).
+    pub relation: Relation,
+    /// Provider answers emitted along the way (a subset `M ⊆ Q_j(I)`).
+    pub provider_answers: Vec<Tuple>,
+}
+
+/// Materializes `atom` against `instance`, which must already contain the
+/// relations named by the provenance's `uses` (guaranteed by plan order).
+pub fn materialize_atom(
+    ucq: &Ucq,
+    atom: &PlannedAtom,
+    rel_name_of: &dyn Fn(usize, ucq_hypergraph::VSet) -> String,
+    instance: &ucq_storage::Instance,
+) -> Result<Materialized, EvalError> {
+    let prov = &atom.provenance;
+    let provider = &ucq.cqs()[prov.provider];
+
+    // Build the provider's extension Q_j⁺.
+    let extra: Vec<Atom> = prov
+        .uses
+        .iter()
+        .map(|&u| Atom {
+            rel: rel_name_of(prov.provider, u),
+            args: u.iter().collect(),
+        })
+        .collect();
+    let qplus = if extra.is_empty() {
+        provider.clone()
+    } else {
+        provider.with_extra_atoms(&extra)
+    };
+
+    // CDY with connex target S, outputting the S variables.
+    let eng = CdyEngine::for_projection(&qplus, prov.s, instance)?;
+
+    // Preimage positions: for each target variable of the atom (sorted),
+    // the provider variables in S that h maps onto it.
+    let preimages: Vec<Vec<VarId>> = atom
+        .vars
+        .iter()
+        .map(|v1| {
+            let pre: Vec<VarId> = (0..provider.n_vars())
+                .filter(|&v2| prov.s.contains(v2) && prov.hom[v2 as usize] == v1)
+                .collect();
+            assert!(
+                !pre.is_empty(),
+                "provided variables always have a preimage inside S"
+            );
+            pre
+        })
+        .collect();
+
+    let mut relation = Relation::new(atom.vars.len() as usize);
+    let mut seen = RowSet::default();
+    let mut provider_answers = Vec::new();
+    let mut row: Vec<Value> = Vec::with_capacity(preimages.len());
+    let head = provider.head().to_vec();
+
+    let mut it = eng.iter();
+    while let Some((_s_tuple, binding)) = it.next_with_full_binding() {
+        // Emit the provider answer μ|free(Q_j).
+        provider_answers.push(Tuple(
+            head.iter().map(|&v| binding[v as usize]).collect(),
+        ));
+        // Translate through h⁻¹.
+        row.clear();
+        let mut consistent = true;
+        for pre in &preimages {
+            let val = binding[pre[0] as usize];
+            if pre[1..].iter().any(|&v2| binding[v2 as usize] != val) {
+                consistent = false;
+                break;
+            }
+            row.push(val);
+        }
+        if consistent && seen.insert(&row) {
+            relation.push_row(&row);
+        }
+    }
+    Ok(Materialized {
+        relation,
+        provider_answers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::plan_free_connex;
+    use crate::search::SearchConfig;
+    use std::collections::HashSet;
+    use ucq_query::parse_ucq;
+    use ucq_storage::Instance;
+    use ucq_yannakakis::evaluate_cq_naive;
+
+    fn inst(rels: &[(&str, Vec<(i64, i64)>)]) -> Instance {
+        rels.iter()
+            .map(|(n, pairs)| {
+                (n.to_string(), Relation::from_pairs(pairs.iter().copied()))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn example2_materialization_invariants() {
+        let u = parse_ucq(
+            "Q1(x, y, w) <- R1(x, z), R2(z, y), R3(y, w)\n\
+             Q2(x, y, w) <- R1(x, y), R2(y, w)",
+        )
+        .unwrap();
+        let plan = plan_free_connex(&u, &SearchConfig::default()).unwrap();
+        let i = inst(&[
+            ("R1", vec![(1, 2), (1, 5), (9, 9)]),
+            ("R2", vec![(2, 3), (5, 3), (9, 8)]),
+            ("R3", vec![(3, 4), (8, 0)]),
+        ]);
+        let atom = &plan.atoms[0];
+        let name_of = |t: usize, v: ucq_hypergraph::VSet| {
+            plan.atom_for(t, v).rel_name.clone()
+        };
+        let m = materialize_atom(&u, atom, &name_of, &i).unwrap();
+
+        // Invariant 1: contents ⊇ π_vars(hom(body Q1)). Compute the
+        // projection with the naive evaluator on a re-headed Q1.
+        let target_vars: Vec<u32> = atom.vars.iter().collect();
+        let reheaded = u.cqs()[atom.target].with_head(target_vars).unwrap();
+        let projection = evaluate_cq_naive(&reheaded, &i).unwrap();
+        let content: HashSet<Tuple> = m.relation.to_tuples().into_iter().collect();
+        for t in &projection {
+            assert!(
+                content.contains(t),
+                "materialized relation must contain projection tuple {t}"
+            );
+        }
+
+        // Invariant 2: emitted provider answers are genuine Q2 answers.
+        let q2_answers: HashSet<Tuple> = evaluate_cq_naive(&u.cqs()[atom.provenance.provider], &i)
+            .unwrap()
+            .into_iter()
+            .collect();
+        for t in &m.provider_answers {
+            assert!(q2_answers.contains(t), "emitted {t} must be a provider answer");
+        }
+
+        // Invariant 3: |relation| bounded by provider output count.
+        assert!(m.relation.len() <= m.provider_answers.len().max(1));
+    }
+
+    #[test]
+    fn empty_provider_gives_empty_relation() {
+        let u = parse_ucq(
+            "Q1(x, y, w) <- R1(x, z), R2(z, y), R3(y, w)\n\
+             Q2(x, y, w) <- R1(x, y), R2(y, w)",
+        )
+        .unwrap();
+        let plan = plan_free_connex(&u, &SearchConfig::default()).unwrap();
+        let i = inst(&[("R1", vec![]), ("R2", vec![]), ("R3", vec![])]);
+        let name_of = |t: usize, v: ucq_hypergraph::VSet| {
+            plan.atom_for(t, v).rel_name.clone()
+        };
+        let m = materialize_atom(&u, &plan.atoms[0], &name_of, &i).unwrap();
+        assert!(m.relation.is_empty());
+        assert!(m.provider_answers.is_empty());
+    }
+}

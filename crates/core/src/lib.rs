@@ -1,0 +1,58 @@
+//! # ucq-core — the paper's primary contribution
+//!
+//! Union extensions, free-connex UCQs, classification, and `DelayClin`
+//! evaluation pipelines from Carmeli & Kröll, *On the Enumeration
+//! Complexity of Unions of Conjunctive Queries* (PODS 2019).
+//!
+//! Quick tour:
+//!
+//! * [`classify`] — three-way verdict (free-connex / intractable-with-
+//!   witness / unknown) for any UCQ, implementing Theorems 3, 4, 12, 17,
+//!   19, 29, 33, 35 plus Lemmas 14/15/16/25/26;
+//! * [`UcqEngine`] — classify once, evaluate many instances: Algorithm 1
+//!   for unions of free-connex CQs, the Theorem 12 union-extension
+//!   pipeline otherwise, naive fallback outside `DelayClin`;
+//! * [`plan_free_connex`] / [`UcqPipeline`] — the executable free-connex
+//!   certificates;
+//! * [`provides`] / [`search`] — Definition 7's provided variable sets and
+//!   the fixpoint over union extensions (Definition 10/11);
+//! * [`guards`] — Definitions 23/32/34 (free-path/bypass guards, union
+//!   guards, isolation).
+
+pub mod algorithm1;
+pub mod body_iso;
+pub mod classify;
+pub mod engine;
+pub mod fd;
+pub mod fd_engine;
+pub mod guards;
+pub mod lemma8;
+pub mod naive_ucq;
+pub mod pipeline;
+pub mod plan;
+pub mod provides;
+pub mod search;
+
+pub use algorithm1::Algorithm1;
+pub use body_iso::{align_body_isomorphic, AlignedUnion};
+pub use classify::{
+    classify, classify_with, cq_status, Classification, CqStatus, HardnessWitness,
+    Hypothesis, Verdict,
+};
+pub use engine::{Strategy, UcqAnswers, UcqEngine};
+pub use fd::{extend_instance, fd_extend_cq, fd_extend_ucq, Fd, FdExtension, FdSet};
+pub use fd_engine::{FdAnswers, FdUcqEngine};
+pub use naive_ucq::{evaluate_ucq_naive, evaluate_ucq_naive_set};
+pub use pipeline::UcqPipeline;
+pub use plan::{plan_free_connex, ExtensionPlan, PlannedAtom};
+pub use provides::{compute_availability, Availability, Provenance};
+pub use search::{ConnexOracle, SearchConfig};
+
+/// `Decide` for a single free-connex CQ: linear preprocessing, constant
+/// answer (Theorem 3(1) specialized to the Boolean question).
+pub fn pipeline_decide(
+    cq: &ucq_query::Cq,
+    instance: &ucq_storage::Instance,
+) -> Result<bool, ucq_yannakakis::EvalError> {
+    Ok(ucq_yannakakis::CdyEngine::for_query(cq, instance)?.decide())
+}

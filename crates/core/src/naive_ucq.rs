@@ -1,0 +1,71 @@
+//! Naive UCQ evaluation: the union of per-member naive evaluations with
+//! global deduplication. Works for any UCQ (the fallback for queries the
+//! classifier marks intractable or unknown) and serves as ground truth in
+//! tests and as the baseline in benchmarks.
+
+use std::collections::HashSet;
+use ucq_query::Ucq;
+use ucq_storage::{Instance, Tuple};
+use ucq_yannakakis::{evaluate_cq_naive, EvalError};
+
+/// Evaluates `Q(I)` by materializing every member and deduplicating.
+pub fn evaluate_ucq_naive(ucq: &Ucq, instance: &Instance) -> Result<Vec<Tuple>, EvalError> {
+    let mut seen: HashSet<Tuple> = HashSet::new();
+    let mut out = Vec::new();
+    for cq in ucq.cqs() {
+        for t in evaluate_cq_naive(cq, instance)? {
+            if seen.insert(t.clone()) {
+                out.push(t);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Evaluates into a set.
+pub fn evaluate_ucq_naive_set(
+    ucq: &Ucq,
+    instance: &Instance,
+) -> Result<HashSet<Tuple>, EvalError> {
+    Ok(evaluate_ucq_naive(ucq, instance)?.into_iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucq_query::parse_ucq;
+    use ucq_storage::Relation;
+
+    #[test]
+    fn union_dedups_across_members() {
+        let u = parse_ucq("Q1(x, y) <- R(x, y)\nQ2(a, b) <- S(a, b)").unwrap();
+        let i: Instance = [
+            ("R", Relation::from_pairs([(1, 2), (3, 4)])),
+            ("S", Relation::from_pairs([(3, 4), (5, 6)])),
+        ]
+        .into_iter()
+        .collect();
+        let got = evaluate_ucq_naive(&u, &i).unwrap();
+        assert_eq!(got.len(), 3);
+    }
+
+    #[test]
+    fn example1_redundant_member_changes_nothing() {
+        let full = parse_ucq(
+            "Q1(x, y) <- R1(x, y), R2(y, z), R3(z, x)\n\
+             Q2(x, y) <- R1(x, y), R2(y, z)",
+        )
+        .unwrap();
+        let only_q2 = parse_ucq("Q2(x, y) <- R1(x, y), R2(y, z)").unwrap();
+        let i: Instance = [
+            ("R1", Relation::from_pairs([(1, 2), (2, 3)])),
+            ("R2", Relation::from_pairs([(2, 1), (3, 1)])),
+            ("R3", Relation::from_pairs([(1, 1)])),
+        ]
+        .into_iter()
+        .collect();
+        let a = evaluate_ucq_naive_set(&full, &i).unwrap();
+        let b = evaluate_ucq_naive_set(&only_q2, &i).unwrap();
+        assert_eq!(a, b, "Q1 ⊆ Q2 means the union equals Q2");
+    }
+}

@@ -1,0 +1,241 @@
+//! Free-connex union-extension plans (Definitions 10 and 11).
+//!
+//! A UCQ is *free-connex* when every member has a free-connex union
+//! extension. [`plan_free_connex`] decides this (within the search bounds)
+//! and, on success, produces an executable certificate: the set of virtual
+//! atoms each member's evaluation uses, plus a well-founded materialization
+//! schedule with one [`Provenance`] per atom.
+
+use crate::provides::{compute_availability, Availability, Provenance};
+use crate::search::{ConnexOracle, SearchConfig};
+use std::collections::HashMap;
+use ucq_hypergraph::VSet;
+use ucq_query::{Atom, Cq, Ucq};
+
+/// One virtual atom scheduled for materialization.
+#[derive(Clone, Debug)]
+pub struct PlannedAtom {
+    /// The CQ (index in the union) whose extension carries this atom.
+    pub target: usize,
+    /// The atom's variables, in the target's variable space.
+    pub vars: VSet,
+    /// Fresh relation symbol for the materialized content.
+    pub rel_name: String,
+    /// How to fill it (Lemma 8).
+    pub provenance: Provenance,
+}
+
+impl PlannedAtom {
+    /// The atom as it appears in the extended query (arguments sorted by
+    /// variable id, matching the materialized column order).
+    pub fn as_atom(&self) -> Atom {
+        Atom {
+            rel: self.rel_name.clone(),
+            args: self.vars.iter().collect(),
+        }
+    }
+}
+
+/// A free-connex certificate for a whole UCQ.
+#[derive(Clone, Debug, Default)]
+pub struct ExtensionPlan {
+    /// Atoms in materialization order (dependencies first).
+    pub atoms: Vec<PlannedAtom>,
+    /// Per member: the variable sets of the virtual atoms its final
+    /// free-connex evaluation uses (possibly empty).
+    pub chosen: Vec<Vec<VSet>>,
+}
+
+impl ExtensionPlan {
+    /// Whether the plan needs any union extension at all (false = all
+    /// members are free-connex on their own, the Theorem 4 case).
+    pub fn needs_extension(&self) -> bool {
+        !self.atoms.is_empty()
+    }
+
+    /// The extended query for member `i` (the member itself when no atoms
+    /// were chosen for it).
+    pub fn extended_query(&self, ucq: &Ucq, i: usize) -> Cq {
+        let extra: Vec<Atom> = self
+            .chosen[i]
+            .iter()
+            .map(|&vars| self.atom_for(i, vars).as_atom())
+            .collect();
+        if extra.is_empty() {
+            ucq.cqs()[i].clone()
+        } else {
+            ucq.cqs()[i].with_extra_atoms(&extra)
+        }
+    }
+
+    /// Looks up the planned atom `(target, vars)`.
+    pub fn atom_for(&self, target: usize, vars: VSet) -> &PlannedAtom {
+        self.atoms
+            .iter()
+            .find(|a| a.target == target && a.vars == vars)
+            .expect("chosen atoms are always planned")
+    }
+}
+
+/// Decides free-connexity of the union (within `cfg`'s search bounds) and
+/// builds the plan. `None` means *no certificate found* — for the classes
+/// with proven dichotomies this coincides with "not free-connex".
+pub fn plan_free_connex(ucq: &Ucq, cfg: &SearchConfig) -> Option<ExtensionPlan> {
+    let mut oracle = ConnexOracle::default();
+
+    // Fast path: every member free-connex by itself.
+    if ucq.cqs().iter().all(Cq::is_free_connex) {
+        return Some(ExtensionPlan {
+            atoms: Vec::new(),
+            chosen: vec![Vec::new(); ucq.len()],
+        });
+    }
+
+    let avail = compute_availability(ucq, &mut oracle, cfg);
+    let hypergraphs: Vec<_> = ucq.cqs().iter().map(|q| q.hypergraph()).collect();
+
+    // Choose a free-connex extension per member.
+    let mut chosen: Vec<Vec<VSet>> = Vec::with_capacity(ucq.len());
+    for (i, h) in hypergraphs.iter().enumerate() {
+        let pool = avail.pool_for(i, h, cfg.pool_cap);
+        let atoms = oracle.find_extension(h, ucq.cqs()[i].free(), &pool, cfg)?;
+        chosen.push(atoms);
+    }
+
+    // Schedule materializations: DFS over (target, vars) dependencies,
+    // dependencies (the provenance's `uses`, in provider space) first.
+    let mut order: Vec<(usize, VSet)> = Vec::new();
+    let mut seen: HashMap<(usize, VSet), ()> = HashMap::new();
+    fn visit(
+        key: (usize, VSet),
+        avail: &Availability,
+        order: &mut Vec<(usize, VSet)>,
+        seen: &mut HashMap<(usize, VSet), ()>,
+    ) {
+        if seen.contains_key(&key) {
+            return;
+        }
+        seen.insert(key, ());
+        let prov = avail
+            .resolve(key.0, key.1)
+            .expect("planned atoms are always available");
+        for &u in &prov.uses {
+            visit((prov.provider, u), avail, order, seen);
+        }
+        order.push(key);
+    }
+    for (i, atoms) in chosen.iter().enumerate() {
+        for &vars in atoms {
+            visit((i, vars), &avail, &mut order, &mut seen);
+        }
+    }
+
+    let atoms: Vec<PlannedAtom> = order
+        .into_iter()
+        .map(|(target, vars)| PlannedAtom {
+            target,
+            vars,
+            rel_name: format!("@prov_{target}_{:x}", vars.0),
+            provenance: avail.resolve(target, vars).expect("resolved above").clone(),
+        })
+        .collect();
+
+    Some(ExtensionPlan { atoms, chosen })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucq_query::parse_ucq;
+
+    #[test]
+    fn all_free_connex_needs_no_atoms() {
+        let u = parse_ucq(
+            "Q1(x, y) <- R(x, y)\n\
+             Q2(x, y) <- S(x, z), T(z, y), U(x, z, y)",
+        )
+        .unwrap();
+        let plan = plan_free_connex(&u, &SearchConfig::default()).unwrap();
+        assert!(!plan.needs_extension());
+    }
+
+    #[test]
+    fn example2_plans_one_atom() {
+        let u = parse_ucq(
+            "Q1(x, y, w) <- R1(x, z), R2(z, y), R3(y, w)\n\
+             Q2(x, y, w) <- R1(x, y), R2(y, w)",
+        )
+        .unwrap();
+        let plan = plan_free_connex(&u, &SearchConfig::default()).unwrap();
+        assert!(plan.needs_extension());
+        assert_eq!(plan.chosen[1], vec![], "Q2 is already free-connex");
+        assert_eq!(plan.chosen[0].len(), 1, "Q1 needs one virtual atom");
+        let ext = plan.extended_query(&u, 0);
+        assert!(ext.is_free_connex());
+        assert_eq!(ext.atoms().len(), 4);
+    }
+
+    #[test]
+    fn example13_plans_recursively() {
+        let u = parse_ucq(
+            "Q1(x, y, v, u) <- R1(x, z1), R2(z1, z2), R3(z2, z3), R4(z3, y), R5(y, v, u)\n\
+             Q2(x, y, v, u) <- R1(x, y), R2(y, v), R3(v, z1), R4(z1, u), R5(u, t1, t2)\n\
+             Q3(x, y, v, u) <- R1(x, z1), R2(z1, y), R3(y, v), R4(v, u), R5(u, t1, t2)",
+        )
+        .unwrap();
+        let plan = plan_free_connex(&u, &SearchConfig::default())
+            .expect("Example 13 is a free-connex UCQ");
+        for i in 0..3 {
+            let ext = plan.extended_query(&u, i);
+            assert!(ext.is_free_connex(), "member {i} extension must be free-connex");
+        }
+        // Dependencies precede dependents in the schedule.
+        for (pos, atom) in plan.atoms.iter().enumerate() {
+            for &u_vars in &atom.provenance.uses {
+                let dep_pos = plan
+                    .atoms
+                    .iter()
+                    .position(|a| {
+                        a.target == atom.provenance.provider && a.vars == u_vars
+                    })
+                    .expect("dependency scheduled");
+                assert!(dep_pos < pos, "dependency must be materialized first");
+            }
+        }
+    }
+
+    #[test]
+    fn example20_has_no_plan() {
+        // Body-isomorphic pair that is not free-path guarded (Example 20):
+        // no free-connex union extension exists (Theorem 29).
+        let u = parse_ucq(
+            "Q1(x, y, v) <- R1(x, z), R2(z, y), R3(y, v), R4(v, w)\n\
+             Q2(x, y, v) <- R1(w, v), R2(v, y), R3(y, z), R4(z, x)",
+        )
+        .unwrap();
+        assert!(plan_free_connex(&u, &SearchConfig::default()).is_none());
+    }
+
+    #[test]
+    fn example21_plans_both_members() {
+        // Example 21: same body as Example 20, bigger heads; both members
+        // get a single virtual atom.
+        let u = parse_ucq(
+            "Q1(w, y, x, z) <- R1(w, v), R2(v, y), R3(y, z), R4(z, x)\n\
+             Q2(x, y, w, v) <- R1(w, v), R2(v, y), R3(y, z), R4(z, x)",
+        )
+        .unwrap();
+        let plan = plan_free_connex(&u, &SearchConfig::default())
+            .expect("Example 21 is free-connex");
+        assert!(plan.needs_extension());
+        for i in 0..2 {
+            assert!(plan.extended_query(&u, i).is_free_connex());
+        }
+    }
+
+    #[test]
+    fn single_hard_cq_has_no_plan() {
+        let u = parse_ucq("Q(x, y) <- A(x, z), B(z, y)").unwrap();
+        assert!(plan_free_connex(&u, &SearchConfig::default()).is_none());
+    }
+}

@@ -1,0 +1,277 @@
+//! Search for virtual-atom sets that establish `S`-connexity.
+//!
+//! Both sides of the union-extension machinery need the same primitive:
+//! *given a hypergraph `H`, a target set `S`, and a pool of candidate
+//! virtual atoms, find a subset `A` of the pool such that `H + A` is
+//! `S`-connex.* Providers use it with `S ⊆ free(Q_j)` (Definition 7,
+//! condition 3); the final free-connex test uses it with `S = free(Q_i)`
+//! (Definition 11).
+//!
+//! The search is exact for `|A| ≤ max_exact_subset` and falls back to a
+//! Lemma-28-style greedy pass that repeatedly adds the candidate that most
+//! reduces the number of remaining free-paths (preferring acyclicity).
+//! Queries are constant-sized, so this is query-complexity work; the caps
+//! exist because no complete decision procedure for Definition 11 is known
+//! (the full dichotomy is open — paper §5), and they are reported in any
+//! `Unknown` verdict.
+
+use std::collections::HashMap;
+use ucq_hypergraph::{free_paths, is_acyclic, is_s_connex, Hypergraph, VSet};
+
+/// Tunables for the union-extension search.
+#[derive(Clone, Debug)]
+pub struct SearchConfig {
+    /// Exact subset search up to this many virtual atoms (default 2).
+    pub max_exact_subset: usize,
+    /// Greedy free-path-elimination steps after exact search (default 8).
+    pub max_greedy_steps: usize,
+    /// Cap on enumerated body-homomorphisms per query pair (default 128).
+    pub hom_cap: usize,
+    /// Cap on fixpoint rounds of the availability computation (default 6).
+    pub max_rounds: usize,
+    /// Cap on the candidate-atom pool per query (default 160).
+    pub pool_cap: usize,
+}
+
+impl Default for SearchConfig {
+    fn default() -> SearchConfig {
+        SearchConfig {
+            max_exact_subset: 2,
+            max_greedy_steps: 8,
+            hom_cap: 128,
+            max_rounds: 6,
+            pool_cap: 160,
+        }
+    }
+}
+
+/// Memoized `S`-connexity oracle over extended hypergraphs.
+#[derive(Default)]
+pub struct ConnexOracle {
+    memo: HashMap<(Vec<VSet>, VSet), bool>,
+}
+
+impl ConnexOracle {
+    /// Whether `base + extra` is `s`-connex (memoized).
+    pub fn is_s_connex(&mut self, base: &Hypergraph, extra: &[VSet], s: VSet) -> bool {
+        let mut edges: Vec<VSet> = base.edges().to_vec();
+        edges.extend_from_slice(extra);
+        edges.sort_unstable();
+        let key = (edges, s);
+        if let Some(&v) = self.memo.get(&key) {
+            return v;
+        }
+        let h = base.with_edges(extra);
+        let v = is_s_connex(&h, s);
+        self.memo.insert(key, v);
+        v
+    }
+
+    /// Finds `A ⊆ pool` with `base + A` `s`-connex, or `None` within the
+    /// configured search bounds. An empty `A` is returned when `base` is
+    /// already `s`-connex.
+    pub fn find_extension(
+        &mut self,
+        base: &Hypergraph,
+        s: VSet,
+        pool: &[VSet],
+        cfg: &SearchConfig,
+    ) -> Option<Vec<VSet>> {
+        if self.is_s_connex(base, &[], s) {
+            return Some(Vec::new());
+        }
+        let pool = prune_pool(base, pool, cfg.pool_cap);
+        // Exact search, size 1.
+        if cfg.max_exact_subset >= 1 {
+            for &c in &pool {
+                if self.is_s_connex(base, &[c], s) {
+                    return Some(vec![c]);
+                }
+            }
+        }
+        // Exact search, size 2.
+        if cfg.max_exact_subset >= 2 {
+            for i in 0..pool.len() {
+                for j in i + 1..pool.len() {
+                    if self.is_s_connex(base, &[pool[i], pool[j]], s) {
+                        return Some(vec![pool[i], pool[j]]);
+                    }
+                }
+            }
+        }
+        // Greedy fallback (Lemma 28 style): add the candidate with the best
+        // (acyclicity, remaining free-paths) score, require strict progress.
+        let mut chosen: Vec<VSet> = Vec::new();
+        let mut score = score_of(base, &chosen, s);
+        for _ in 0..cfg.max_greedy_steps {
+            let mut best: Option<(VSet, (bool, usize))> = None;
+            for &c in &pool {
+                if chosen.contains(&c) {
+                    continue;
+                }
+                chosen.push(c);
+                let sc = score_of(base, &chosen, s);
+                chosen.pop();
+                if better(sc, score) && best.is_none_or(|(_, b)| better(sc, b)) {
+                    best = Some((c, sc));
+                }
+            }
+            let (c, sc) = best?;
+            chosen.push(c);
+            score = sc;
+            if self.is_s_connex(base, &chosen, s) {
+                return Some(chosen);
+            }
+        }
+        None
+    }
+}
+
+/// Score: `(acyclic, number of S-free-paths)`. Lower is better; cyclic is
+/// worst.
+fn score_of(base: &Hypergraph, extra: &[VSet], s: VSet) -> (bool, usize) {
+    let h = base.with_edges(extra);
+    if !is_acyclic(&h) {
+        return (false, usize::MAX);
+    }
+    (true, free_paths(&h, s.inter(h.covered_vertices())).len())
+}
+
+fn better(a: (bool, usize), b: (bool, usize)) -> bool {
+    match (a.0, b.0) {
+        (true, false) => true,
+        (false, true) => false,
+        _ => a.1 < b.1,
+    }
+}
+
+/// Cleans a candidate pool: drops singletons (absorbed immediately by GYO),
+/// atoms contained in a base edge (no structural effect), and duplicates;
+/// sorts large-to-small for deterministic search; truncates to `cap`.
+pub fn prune_pool(base: &Hypergraph, pool: &[VSet], cap: usize) -> Vec<VSet> {
+    let mut out: Vec<VSet> = pool
+        .iter()
+        .copied()
+        .filter(|c| c.len() >= 2 && !base.edges().iter().any(|e| c.is_subset(*e)))
+        .collect();
+    out.sort_unstable_by(|a, b| b.len().cmp(&a.len()).then(a.cmp(b)));
+    out.dedup();
+    out.truncate(cap);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hg(n: u32, edges: &[&[u32]]) -> Hypergraph {
+        Hypergraph::new(
+            n,
+            edges
+                .iter()
+                .map(|e| e.iter().copied().collect())
+                .collect(),
+        )
+    }
+
+    fn vs(v: &[u32]) -> VSet {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn already_connex_needs_nothing() {
+        let h = hg(3, &[&[0, 2], &[2, 1]]);
+        let mut o = ConnexOracle::default();
+        let a = o
+            .find_extension(&h, vs(&[0, 1, 2]), &[], &SearchConfig::default())
+            .unwrap();
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn example2_single_atom_fix() {
+        // Q1(x,y,w) <- R1(x,z),R2(z,y),R3(y,w): x=0,y=1,w=2,z=3.
+        // Adding {x,z,y} = {0,3,1} makes it free-connex.
+        let h = hg(4, &[&[0, 3], &[3, 1], &[1, 2]]);
+        let free = vs(&[0, 1, 2]);
+        let pool = [vs(&[0, 3, 1])];
+        let mut o = ConnexOracle::default();
+        let a = o
+            .find_extension(&h, free, &pool, &SearchConfig::default())
+            .unwrap();
+        assert_eq!(a, vec![vs(&[0, 3, 1])]);
+    }
+
+    #[test]
+    fn useless_pool_fails() {
+        let h = hg(4, &[&[0, 3], &[3, 1], &[1, 2]]);
+        let free = vs(&[0, 1, 2]);
+        // Only an atom inside an existing edge: pruned away.
+        let pool = [vs(&[0, 3])];
+        let mut o = ConnexOracle::default();
+        assert!(o
+            .find_extension(&h, free, &pool, &SearchConfig::default())
+            .is_none());
+    }
+
+    #[test]
+    fn example13_needs_two_atoms() {
+        // Q1(x,y,v,u) <- R1(x,z1),R2(z1,z2),R3(z2,z3),R4(z3,y),R5(y,v,u)
+        // x=0,y=1,v=2,u=3,z1=4,z2=5,z3=6; free={x,y,v,u}.
+        // Pool: {x,z1,z2,y} and {x,z2,z3,y} (as provided in the paper).
+        let h = hg(7, &[&[0, 4], &[4, 5], &[5, 6], &[6, 1], &[1, 2, 3]]);
+        let free = vs(&[0, 1, 2, 3]);
+        let pool = [vs(&[0, 4, 5, 1]), vs(&[0, 5, 6, 1])];
+        let mut o = ConnexOracle::default();
+        let a = o
+            .find_extension(&h, free, &pool, &SearchConfig::default())
+            .expect("Example 13's Q1 has a free-connex union extension");
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn example36_cyclic_fixed_by_one_atom() {
+        // Q1(x,y,z,w) <- R1(y,z,w,x),R2(t,y,w),R3(t,z,w),R4(t,y,z)
+        // x=0,y=1,z=2,w=3,t=4; adding {t,y,z,w} = {4,1,2,3} resolves it.
+        let h = hg(
+            5,
+            &[&[1, 2, 3, 0], &[4, 1, 3], &[4, 2, 3], &[4, 1, 2]],
+        );
+        let free = vs(&[0, 1, 2, 3]);
+        assert!(!is_acyclic(&h));
+        let pool = [vs(&[4, 1, 2, 3])];
+        let mut o = ConnexOracle::default();
+        let a = o
+            .find_extension(&h, free, &pool, &SearchConfig::default())
+            .expect("Example 36 becomes free-connex");
+        assert_eq!(a, vec![vs(&[4, 1, 2, 3])]);
+    }
+
+    #[test]
+    fn example39_full_set_creates_hyperclique() {
+        // Q1(x2,x3,x4) <- R1(x2,x3,x4),R2(x1,x3,x4),R3(x1,x2,x4):
+        // x1=0,x2=1,x3=2,x4=3; adding {x1,x2,x3} introduces the hyperclique
+        // and does NOT make the query free-connex.
+        let h = hg(4, &[&[1, 2, 3], &[0, 2, 3], &[0, 1, 3]]);
+        let free = vs(&[1, 2, 3]);
+        let pool = [vs(&[0, 1, 2])];
+        let mut o = ConnexOracle::default();
+        assert!(o
+            .find_extension(&h, free, &pool, &SearchConfig::default())
+            .is_none());
+    }
+
+    #[test]
+    fn pool_pruning() {
+        let h = hg(4, &[&[0, 1], &[1, 2]]);
+        let pool = [
+            vs(&[0]),          // singleton: dropped
+            vs(&[0, 1]),       // inside an edge: dropped
+            vs(&[0, 1, 2]),    // kept
+            vs(&[0, 1, 2]),    // duplicate: dropped
+            vs(&[2, 3]),       // kept
+        ];
+        let pruned = prune_pool(&h, &pool, 10);
+        assert_eq!(pruned, vec![vs(&[0, 1, 2]), vs(&[2, 3])]);
+    }
+}

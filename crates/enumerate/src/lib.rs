@@ -1,0 +1,11 @@
+//! Enumeration framework: the [`Enumerator`] abstraction, the Cheater's
+//! Lemma compiler ([`Cheater`], Lemma 5 of the paper), and wall-clock delay
+//! instrumentation ([`DelayProfile`]).
+
+pub mod cheater;
+pub mod delay;
+pub mod enumerator;
+
+pub use cheater::{Cheater, CheaterStats};
+pub use delay::{measure, DelayProfile};
+pub use enumerator::{ChainEnumerator, Enumerator, FnEnumerator, VecEnumerator};

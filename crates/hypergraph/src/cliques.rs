@@ -1,0 +1,170 @@
+//! Cliques and hypercliques.
+//!
+//! The hyperclique hypothesis (paper §2) concerns finding `l`-hypercliques
+//! in `k`-uniform hypergraphs: a set of `l > k` vertices all of whose
+//! `k`-subsets are edges. These helpers back the hardness-witness machinery
+//! (Theorem 3(3)) and the diagnostics in `ucq-core` (e.g. the hyperclique
+//! that Example 39's extension introduces).
+
+use crate::hypergraph::Hypergraph;
+use crate::vset::VSet;
+
+/// Whether the vertex set forms a clique in the Gaifman graph (every two
+/// members co-occur in some edge).
+pub fn is_gaifman_clique(h: &Hypergraph, set: VSet) -> bool {
+    let vs: Vec<u32> = set.iter().collect();
+    for i in 0..vs.len() {
+        for j in i + 1..vs.len() {
+            if !h.are_neighbors(vs[i], vs[j]) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Whether `set` is an `l`-hyperclique in a `k`-uniform hypergraph: it has
+/// `l` vertices and each of its `k`-subsets is an edge.
+pub fn is_hyperclique(h: &Hypergraph, set: VSet, k: u32) -> bool {
+    if set.len() <= k {
+        return false;
+    }
+    let edges: std::collections::HashSet<VSet> = h.edges().iter().copied().collect();
+    k_subsets(set, k).into_iter().all(|s| edges.contains(&s))
+}
+
+/// Finds some `l`-hyperclique in a `k`-uniform hypergraph, if one exists.
+pub fn find_hyperclique(h: &Hypergraph, l: u32, k: u32) -> Option<VSet> {
+    if !h.is_uniform(k) || l <= k {
+        return None;
+    }
+    let verts: Vec<u32> = h.covered_vertices().iter().collect();
+    let mut chosen = VSet::EMPTY;
+    search(h, &verts, 0, l, k, &mut chosen)
+}
+
+fn search(
+    h: &Hypergraph,
+    verts: &[u32],
+    from: usize,
+    l: u32,
+    k: u32,
+    chosen: &mut VSet,
+) -> Option<VSet> {
+    if chosen.len() == l {
+        return is_hyperclique(h, *chosen, k).then_some(*chosen);
+    }
+    for (idx, &v) in verts.iter().enumerate().skip(from) {
+        let cand = chosen.insert(v);
+        // Prune: every complete k-subset of the candidate must be an edge.
+        if complete_subsets_ok(h, cand, k) {
+            *chosen = cand;
+            if let Some(found) = search(h, verts, idx + 1, l, k, chosen) {
+                return Some(found);
+            }
+            *chosen = chosen.remove(v);
+        }
+    }
+    None
+}
+
+fn complete_subsets_ok(h: &Hypergraph, set: VSet, k: u32) -> bool {
+    if set.len() < k {
+        return true;
+    }
+    let edges: std::collections::HashSet<VSet> = h.edges().iter().copied().collect();
+    k_subsets(set, k).into_iter().all(|s| edges.contains(&s))
+}
+
+/// All `k`-element subsets of `set`.
+pub fn k_subsets(set: VSet, k: u32) -> Vec<VSet> {
+    let vs: Vec<u32> = set.iter().collect();
+    let mut out = Vec::new();
+    let mut cur = VSet::EMPTY;
+    fn rec(vs: &[u32], from: usize, k: u32, cur: &mut VSet, out: &mut Vec<VSet>) {
+        if cur.len() == k {
+            out.push(*cur);
+            return;
+        }
+        let need = (k - cur.len()) as usize;
+        for idx in from..vs.len() {
+            if vs.len() - idx < need {
+                break;
+            }
+            *cur = cur.insert(vs[idx]);
+            rec(vs, idx + 1, k, cur, out);
+            *cur = cur.remove(vs[idx]);
+        }
+    }
+    rec(&vs, 0, k, &mut cur, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hg(n: u32, edges: &[&[u32]]) -> Hypergraph {
+        Hypergraph::new(
+            n,
+            edges
+                .iter()
+                .map(|e| e.iter().copied().collect())
+                .collect(),
+        )
+    }
+
+    fn vs(v: &[u32]) -> VSet {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn k_subsets_counts() {
+        assert_eq!(k_subsets(vs(&[0, 1, 2, 3]), 2).len(), 6);
+        assert_eq!(k_subsets(vs(&[0, 1, 2, 3]), 3).len(), 4);
+        assert_eq!(k_subsets(vs(&[0, 1]), 3).len(), 0);
+    }
+
+    #[test]
+    fn triangle_is_tetra3_free_but_k4_has_one() {
+        // Tetra<3>: 4-hyperclique in a 2-uniform graph = a K4.
+        let tri = hg(3, &[&[0, 1], &[1, 2], &[0, 2]]);
+        assert_eq!(find_hyperclique(&tri, 4, 2), None);
+        let k4 = hg(
+            4,
+            &[&[0, 1], &[0, 2], &[0, 3], &[1, 2], &[1, 3], &[2, 3]],
+        );
+        assert_eq!(find_hyperclique(&k4, 4, 2), Some(vs(&[0, 1, 2, 3])));
+    }
+
+    #[test]
+    fn example39_extension_hyperclique() {
+        // Example 39: adding R(x1,x2,x3) to {R1(x2,x3,x4),R2(x1,x3,x4),
+        // R3(x1,x2,x4)} creates the hyperclique {x1,x2,x3,x4} in a 3-uniform
+        // hypergraph. x1=0..x4=3.
+        let h = hg(
+            4,
+            &[&[1, 2, 3], &[0, 2, 3], &[0, 1, 3], &[0, 1, 2]],
+        );
+        assert!(h.is_uniform(3));
+        assert_eq!(find_hyperclique(&h, 4, 3), Some(vs(&[0, 1, 2, 3])));
+        // Without the added edge there is no hyperclique.
+        let h0 = hg(4, &[&[1, 2, 3], &[0, 2, 3], &[0, 1, 3]]);
+        assert_eq!(find_hyperclique(&h0, 4, 3), None);
+    }
+
+    #[test]
+    fn gaifman_clique() {
+        let h = hg(4, &[&[0, 1, 2], &[2, 3]]);
+        assert!(is_gaifman_clique(&h, vs(&[0, 1, 2])));
+        assert!(!is_gaifman_clique(&h, vs(&[0, 3])));
+        assert!(is_gaifman_clique(&h, vs(&[3])));
+        assert!(is_gaifman_clique(&h, VSet::EMPTY));
+    }
+
+    #[test]
+    fn non_uniform_rejected() {
+        let h = hg(3, &[&[0, 1], &[0, 1, 2]]);
+        assert_eq!(find_hyperclique(&h, 3, 2), None);
+    }
+}

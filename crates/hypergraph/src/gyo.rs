@@ -1,0 +1,228 @@
+//! The GYO (Graham / Yu–Özsoyoğlu) reduction.
+//!
+//! GYO repeatedly (1) deletes a vertex that occurs in at most one edge and
+//! (2) deletes an edge contained in another edge. A hypergraph is
+//! (α-)acyclic iff this process reduces it to at most one (empty) edge. The
+//! absorption steps of rule (2) directly yield a join tree.
+//!
+//! [`gyo_restricted`] additionally takes a set `keep` of vertices that rule
+//! (1) may never delete. Running it with `keep = S` is the constructive side
+//! of the `S`-connex test used by [`crate::connex`]: the reduction succeeds
+//! (every surviving vertex lies in `S`) iff `(V, E ∪ {S})` is acyclic,
+//! provided the hypergraph itself is acyclic.
+
+use crate::hypergraph::Hypergraph;
+use crate::vset::VSet;
+
+/// The outcome of a (possibly restricted) GYO run.
+#[derive(Clone, Debug)]
+pub struct GyoRun {
+    /// Final, possibly shrunken, vertex set of each input edge.
+    pub current: Vec<VSet>,
+    /// `absorbed_into[i] = Some(j)` iff edge `i` was deleted because its
+    /// current set was contained in edge `j`'s current set at that moment.
+    /// These links form a forest whose roots are the surviving edges.
+    pub absorbed_into: Vec<Option<usize>>,
+    /// Indexes of edges still alive at the fixpoint.
+    pub alive: Vec<usize>,
+}
+
+impl GyoRun {
+    /// The union of the current vertex sets of all surviving edges.
+    pub fn residual_vertices(&self) -> VSet {
+        self.alive
+            .iter()
+            .fold(VSet::EMPTY, |acc, &i| acc.union(self.current[i]))
+    }
+}
+
+/// Runs GYO to the fixpoint, never deleting vertices in `keep`.
+///
+/// With `keep = ∅` this is the classical acyclicity test: the input is
+/// acyclic iff at most one edge survives.
+pub fn gyo_restricted(h: &Hypergraph, keep: VSet) -> GyoRun {
+    let mut current: Vec<VSet> = h.edges().to_vec();
+    let mut absorbed_into: Vec<Option<usize>> = vec![None; current.len()];
+    let mut alive_mask: Vec<bool> = vec![true; current.len()];
+
+    loop {
+        let mut changed = false;
+
+        // Rule 1: delete vertices (outside `keep`) occurring in <= 1 edge.
+        for v in 0..h.n_vertices() {
+            if keep.contains(v) {
+                continue;
+            }
+            let mut count = 0usize;
+            let mut only = usize::MAX;
+            for (i, &cur) in current.iter().enumerate() {
+                if alive_mask[i] && cur.contains(v) {
+                    count += 1;
+                    only = i;
+                    if count > 1 {
+                        break;
+                    }
+                }
+            }
+            if count == 1 {
+                current[only] = current[only].remove(v);
+                changed = true;
+            }
+        }
+
+        // Rule 2: absorb edges contained in other edges. Deterministic order:
+        // the lowest-index absorbable edge goes first; ties on equal sets are
+        // broken by absorbing the higher index into the lower one.
+        'absorb: for i in 0..current.len() {
+            if !alive_mask[i] {
+                continue;
+            }
+            for j in 0..current.len() {
+                if i == j || !alive_mask[j] {
+                    continue;
+                }
+                let contained = current[i].is_subset(current[j]);
+                let equal = current[i] == current[j];
+                if contained && (!equal || i > j) {
+                    alive_mask[i] = false;
+                    absorbed_into[i] = Some(j);
+                    changed = true;
+                    continue 'absorb;
+                }
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    let alive = alive_mask
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &a)| a.then_some(i))
+        .collect();
+    GyoRun {
+        current,
+        absorbed_into,
+        alive,
+    }
+}
+
+/// Runs the classical (unrestricted) GYO reduction.
+pub fn gyo(h: &Hypergraph) -> GyoRun {
+    gyo_restricted(h, VSet::EMPTY)
+}
+
+/// Whether the hypergraph is α-acyclic.
+pub fn is_acyclic(h: &Hypergraph) -> bool {
+    gyo(h).alive.len() <= 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hg(n: u32, edges: &[&[u32]]) -> Hypergraph {
+        Hypergraph::new(
+            n,
+            edges
+                .iter()
+                .map(|e| e.iter().copied().collect())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn empty_hypergraph_is_acyclic() {
+        assert!(is_acyclic(&Hypergraph::new(0, vec![])));
+        assert!(is_acyclic(&Hypergraph::new(3, vec![])));
+    }
+
+    #[test]
+    fn single_edge_is_acyclic() {
+        assert!(is_acyclic(&hg(3, &[&[0, 1, 2]])));
+    }
+
+    #[test]
+    fn paths_are_acyclic() {
+        assert!(is_acyclic(&hg(4, &[&[0, 1], &[1, 2], &[2, 3]])));
+    }
+
+    #[test]
+    fn triangle_is_cyclic() {
+        assert!(!is_acyclic(&hg(3, &[&[0, 1], &[1, 2], &[2, 0]])));
+    }
+
+    #[test]
+    fn covered_triangle_is_acyclic() {
+        // Adding the covering edge {0,1,2} makes the triangle acyclic.
+        assert!(is_acyclic(&hg(
+            3,
+            &[&[0, 1], &[1, 2], &[2, 0], &[0, 1, 2]]
+        )));
+    }
+
+    #[test]
+    fn four_cycle_is_cyclic() {
+        assert!(!is_acyclic(&hg(4, &[&[0, 1], &[1, 2], &[2, 3], &[3, 0]])));
+    }
+
+    #[test]
+    fn star_is_acyclic() {
+        assert!(is_acyclic(&hg(4, &[&[0, 3], &[1, 3], &[2, 3]])));
+    }
+
+    #[test]
+    fn example13_style_pyramid_is_cyclic() {
+        // {x,y,w},{y,z,w},{x,z,w}: pairwise intersections block GYO.
+        assert!(!is_acyclic(&hg(4, &[&[0, 1, 3], &[1, 2, 3], &[0, 2, 3]])));
+    }
+
+    #[test]
+    fn absorption_forest_links_edges() {
+        // Vertex 2 is isolated and gets deleted first, so the two edges
+        // become equal and one absorbs the other; either direction yields a
+        // valid join tree.
+        let h = hg(3, &[&[0, 1], &[0, 1, 2]]);
+        let run = gyo(&h);
+        assert_eq!(run.alive.len(), 1);
+        let root = run.alive[0];
+        let other = 1 - root;
+        assert_eq!(run.absorbed_into[other], Some(root));
+        assert_eq!(run.absorbed_into[root], None);
+    }
+
+    #[test]
+    fn restricted_run_keeps_vertices() {
+        // Path 0-1-2 with keep = {1}: vertex 1 can never be deleted, but the
+        // reduction still absorbs everything into one edge.
+        let h = hg(3, &[&[0, 1], &[1, 2]]);
+        let run = gyo_restricted(&h, VSet::singleton(1));
+        assert_eq!(run.alive.len(), 1);
+        assert_eq!(run.residual_vertices(), VSet::singleton(1));
+    }
+
+    #[test]
+    fn restricted_run_blocks_on_shared_kept_path() {
+        // Path 0-1-2-3 with keep = {0,3}: vertices 1 and 2 are shared by two
+        // edges until their partners shrink; the reduction still succeeds
+        // because ends collapse inward. Residual must be within {0,3}?
+        // 0-1 edge: 0 kept, 1 shared. 2-3 edge: 3 kept, 2 shared. The middle
+        // edge {1,2} blocks: 1 and 2 are each in two edges, and neither end
+        // edge can shrink below {0,1} / {2,3}. So residual has non-kept
+        // vertices -> the hypergraph is not {0,3}-connex, matching the
+        // free-path (0,1,2,3).
+        let h = hg(4, &[&[0, 1], &[1, 2], &[2, 3]]);
+        let run = gyo_restricted(&h, [0u32, 3].into_iter().collect());
+        let resid = run.residual_vertices();
+        assert!(!resid.diff([0u32, 3].into_iter().collect()).is_empty());
+    }
+
+    #[test]
+    fn duplicate_edges_absorb() {
+        let h = hg(2, &[&[0, 1], &[0, 1]]);
+        let run = gyo(&h);
+        assert_eq!(run.alive.len(), 1);
+    }
+}

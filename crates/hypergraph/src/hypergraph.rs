@@ -1,0 +1,183 @@
+//! Hypergraphs associated with conjunctive queries.
+
+use crate::vset::VSet;
+
+/// A hypergraph `H = (V, E)` with `V = {0, .., n_vertices-1}` and hyperedges
+/// stored as bitsets.
+///
+/// For a CQ `Q`, the hypergraph `H(Q)` has the variables of `Q` as vertices
+/// and one edge per atom (the set of variables occurring in it). Duplicate
+/// edges are allowed (two atoms may use the same variable set).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Hypergraph {
+    n_vertices: u32,
+    edges: Vec<VSet>,
+}
+
+impl Hypergraph {
+    /// Creates a hypergraph. Panics if any edge mentions a vertex `>= n`.
+    pub fn new(n_vertices: u32, edges: Vec<VSet>) -> Hypergraph {
+        let all = VSet::full(n_vertices);
+        for e in &edges {
+            assert!(
+                e.is_subset(all),
+                "edge {e} mentions a vertex outside 0..{n_vertices}"
+            );
+        }
+        Hypergraph { n_vertices, edges }
+    }
+
+    /// Number of vertices.
+    pub fn n_vertices(&self) -> u32 {
+        self.n_vertices
+    }
+
+    /// The edges, in insertion order.
+    pub fn edges(&self) -> &[VSet] {
+        &self.edges
+    }
+
+    /// Number of edges.
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The union of all edges (the vertices that actually occur).
+    pub fn covered_vertices(&self) -> VSet {
+        self.edges
+            .iter()
+            .fold(VSet::EMPTY, |acc, &e| acc.union(e))
+    }
+
+    /// Returns a new hypergraph with `extra` appended to the edge list.
+    #[must_use]
+    pub fn with_edges(&self, extra: &[VSet]) -> Hypergraph {
+        let mut edges = self.edges.clone();
+        edges.extend_from_slice(extra);
+        Hypergraph::new(self.n_vertices, edges)
+    }
+
+    /// The neighbours of `v`: all vertices sharing an edge with `v`,
+    /// excluding `v` itself. This is adjacency in the Gaifman graph.
+    pub fn neighbors(&self, v: u32) -> VSet {
+        let mut s = VSet::EMPTY;
+        for &e in &self.edges {
+            if e.contains(v) {
+                s = s.union(e);
+            }
+        }
+        s.remove(v)
+    }
+
+    /// Adjacency of the Gaifman graph for every vertex.
+    pub fn gaifman(&self) -> Vec<VSet> {
+        (0..self.n_vertices).map(|v| self.neighbors(v)).collect()
+    }
+
+    /// Whether two vertices co-occur in some edge.
+    pub fn are_neighbors(&self, u: u32, v: u32) -> bool {
+        u != v
+            && self
+                .edges
+                .iter()
+                .any(|e| e.contains(u) && e.contains(v))
+    }
+
+    /// Whether the hypergraph is `k`-uniform (every edge has exactly `k`
+    /// vertices). Returns `false` for an empty edge set.
+    pub fn is_uniform(&self, k: u32) -> bool {
+        !self.edges.is_empty() && self.edges.iter().all(|e| e.len() == k)
+    }
+
+    /// Partitions the *covered* vertices into connected components of the
+    /// Gaifman graph. Vertices not on any edge are ignored.
+    pub fn connected_components(&self) -> Vec<VSet> {
+        let covered = self.covered_vertices();
+        let mut seen = VSet::EMPTY;
+        let mut comps = Vec::new();
+        for v in covered.iter() {
+            if seen.contains(v) {
+                continue;
+            }
+            // BFS over edges: grow the component until a fixpoint.
+            let mut comp = VSet::singleton(v);
+            loop {
+                let mut next = comp;
+                for &e in &self.edges {
+                    if e.intersects(comp) {
+                        next = next.union(e);
+                    }
+                }
+                if next == comp {
+                    break;
+                }
+                comp = next;
+            }
+            seen = seen.union(comp);
+            comps.push(comp);
+        }
+        comps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hg(n: u32, edges: &[&[u32]]) -> Hypergraph {
+        Hypergraph::new(
+            n,
+            edges
+                .iter()
+                .map(|e| e.iter().copied().collect())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn neighbors_of_path() {
+        // Path hypergraph x-y-z via edges {x,y},{y,z}.
+        let h = hg(3, &[&[0, 1], &[1, 2]]);
+        assert_eq!(h.neighbors(0), VSet::singleton(1));
+        assert_eq!(h.neighbors(1), [0u32, 2].into_iter().collect());
+        assert!(h.are_neighbors(0, 1));
+        assert!(!h.are_neighbors(0, 2));
+        assert!(!h.are_neighbors(1, 1));
+    }
+
+    #[test]
+    fn covered_vertices_ignores_isolated() {
+        let h = hg(5, &[&[0, 1], &[3]]);
+        assert_eq!(h.covered_vertices(), [0u32, 1, 3].into_iter().collect());
+    }
+
+    #[test]
+    fn with_edges_appends() {
+        let h = hg(3, &[&[0, 1]]);
+        let h2 = h.with_edges(&[[1u32, 2].into_iter().collect()]);
+        assert_eq!(h2.n_edges(), 2);
+        assert_eq!(h.n_edges(), 1);
+    }
+
+    #[test]
+    fn uniformity() {
+        assert!(hg(4, &[&[0, 1], &[2, 3]]).is_uniform(2));
+        assert!(!hg(4, &[&[0, 1], &[1, 2, 3]]).is_uniform(2));
+        assert!(!Hypergraph::new(2, vec![]).is_uniform(2));
+    }
+
+    #[test]
+    fn components_of_disconnected() {
+        let h = hg(6, &[&[0, 1], &[1, 2], &[4, 5]]);
+        let comps = h.connected_components();
+        assert_eq!(comps.len(), 2);
+        assert!(comps.contains(&[0u32, 1, 2].into_iter().collect()));
+        assert!(comps.contains(&[4u32, 5].into_iter().collect()));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_out_of_range_edge() {
+        hg(2, &[&[0, 5]]);
+    }
+}

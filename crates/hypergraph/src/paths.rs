@@ -1,0 +1,250 @@
+//! Chordless paths and free-paths.
+//!
+//! A *free-path* in a CQ `Q` (paper §2) is a sequence `(x, z1, …, zk, y)`
+//! with `k ≥ 1` such that `x, y` are free, all `zi` are existential, and the
+//! sequence is a chordless path in the Gaifman graph of `H(Q)`: consecutive
+//! variables are neighbours and no other pair is. An acyclic CQ has a
+//! free-path iff it is not free-connex (Bagan et al.).
+
+use crate::hypergraph::Hypergraph;
+use crate::vset::VSet;
+
+/// A free-path, stored as its vertex sequence `x, z1, …, zk, y`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct FreePath(pub Vec<u32>);
+
+impl FreePath {
+    /// All variables on the path.
+    pub fn vars(&self) -> VSet {
+        self.0.iter().copied().collect()
+    }
+
+    /// The two free endpoints.
+    pub fn endpoints(&self) -> (u32, u32) {
+        (self.0[0], *self.0.last().expect("paths are non-empty"))
+    }
+
+    /// The existential middle `z1, …, zk`.
+    pub fn internal(&self) -> &[u32] {
+        &self.0[1..self.0.len() - 1]
+    }
+}
+
+/// Enumerates every free-path of the hypergraph `h` with free variables
+/// `free`. Paths are normalized so the first endpoint is smaller than the
+/// last, i.e. each path is reported once, not once per direction.
+pub fn free_paths(h: &Hypergraph, free: VSet) -> Vec<FreePath> {
+    let adj = h.gaifman();
+    let covered = h.covered_vertices();
+    let existential = covered.diff(free);
+    let mut out = Vec::new();
+    let mut path: Vec<u32> = Vec::new();
+
+    fn extend(
+        adj: &[VSet],
+        free: VSet,
+        existential: VSet,
+        path: &mut Vec<u32>,
+        path_set: VSet,
+        out: &mut Vec<FreePath>,
+    ) {
+        let last = *path.last().expect("non-empty");
+        for next in adj[last as usize].iter() {
+            if path_set.contains(next) {
+                continue;
+            }
+            // Chordless: `next` may only touch the last path vertex.
+            if adj[next as usize].inter(path_set) != VSet::singleton(last) {
+                continue;
+            }
+            if free.contains(next) {
+                // Close the path if it has at least one internal vertex and
+                // is normalized (start < end avoids mirror duplicates).
+                if path.len() >= 2 && path[0] < next {
+                    let mut p = path.clone();
+                    p.push(next);
+                    out.push(FreePath(p));
+                }
+            } else if existential.contains(next) {
+                path.push(next);
+                extend(adj, free, existential, path, path_set.insert(next), out);
+                path.pop();
+            }
+        }
+    }
+
+    for x in free.inter(covered).iter() {
+        path.clear();
+        path.push(x);
+        extend(
+            &adj,
+            free,
+            existential,
+            &mut path,
+            VSet::singleton(x),
+            &mut out,
+        );
+    }
+    out
+}
+
+/// Whether the hypergraph has any free-path for the given free set.
+pub fn has_free_path(h: &Hypergraph, free: VSet) -> bool {
+    // Cheap early exit via the full enumeration; query hypergraphs are tiny.
+    !free_paths(h, free).is_empty()
+}
+
+/// Enumerates chordless paths between `from` and `to` whose internal
+/// vertices all lie in `via` (endpoints excluded from `via` checks). Used by
+/// the Lemma 28 machinery to reconnect provided variable sets.
+pub fn chordless_paths_between(
+    h: &Hypergraph,
+    from: u32,
+    to: u32,
+    via: VSet,
+) -> Vec<Vec<u32>> {
+    let adj = h.gaifman();
+    let mut out = Vec::new();
+    let mut path = vec![from];
+
+    fn extend(
+        adj: &[VSet],
+        to: u32,
+        via: VSet,
+        path: &mut Vec<u32>,
+        path_set: VSet,
+        out: &mut Vec<Vec<u32>>,
+    ) {
+        let last = *path.last().expect("non-empty");
+        for next in adj[last as usize].iter() {
+            if path_set.contains(next) {
+                continue;
+            }
+            if adj[next as usize].inter(path_set) != VSet::singleton(last) {
+                continue;
+            }
+            if next == to {
+                let mut p = path.clone();
+                p.push(next);
+                out.push(p);
+            } else if via.contains(next) {
+                path.push(next);
+                extend(adj, to, via, path, path_set.insert(next), out);
+                path.pop();
+            }
+        }
+    }
+
+    if from == to {
+        return vec![vec![from]];
+    }
+    if h.are_neighbors(from, to) {
+        out.push(vec![from, to]);
+        // A direct edge is the only chordless connection; any longer path
+        // would have the chord (from, to).
+        return out;
+    }
+    extend(&adj, to, via, &mut path, VSet::singleton(from), &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hg(n: u32, edges: &[&[u32]]) -> Hypergraph {
+        Hypergraph::new(
+            n,
+            edges
+                .iter()
+                .map(|e| e.iter().copied().collect())
+                .collect(),
+        )
+    }
+
+    fn vs(v: &[u32]) -> VSet {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn matmul_query_has_single_free_path() {
+        // Π(x,y) <- A(x,z), B(z,y): x=0, y=1, z=2.
+        let h = hg(3, &[&[0, 2], &[2, 1]]);
+        let fps = free_paths(&h, vs(&[0, 1]));
+        assert_eq!(fps, vec![FreePath(vec![0, 2, 1])]);
+        assert_eq!(fps[0].endpoints(), (0, 1));
+        assert_eq!(fps[0].internal(), &[2]);
+    }
+
+    #[test]
+    fn free_connex_path_query_has_none() {
+        // Q(x,z,y) <- A(x,z), B(z,y): everything free.
+        let h = hg(3, &[&[0, 2], &[2, 1]]);
+        assert!(free_paths(&h, vs(&[0, 1, 2])).is_empty());
+    }
+
+    #[test]
+    fn example2_q1_free_path() {
+        // Q1(x,y,w) <- R1(x,z),R2(z,y),R3(y,w); x=0,y=1,w=2,z=3.
+        // Free-path (x,z,y).
+        let h = hg(4, &[&[0, 3], &[3, 1], &[1, 2]]);
+        let fps = free_paths(&h, vs(&[0, 1, 2]));
+        assert_eq!(fps, vec![FreePath(vec![0, 3, 1])]);
+    }
+
+    #[test]
+    fn example13_q1_long_free_path() {
+        // Q1(x,y,v,u) <- R1(x,z1),R2(z1,z2),R3(z2,z3),R4(z3,y),R5(y,v,u)
+        // x=0,y=1,v=2,u=3,z1=4,z2=5,z3=6. Free-path (x,z1,z2,z3,y).
+        let h = hg(
+            7,
+            &[&[0, 4], &[4, 5], &[5, 6], &[6, 1], &[1, 2, 3]],
+        );
+        let fps = free_paths(&h, vs(&[0, 1, 2, 3]));
+        assert_eq!(fps, vec![FreePath(vec![0, 4, 5, 6, 1])]);
+    }
+
+    #[test]
+    fn chord_kills_path() {
+        // x-z-y path but also an edge {x,y}: (x,z,y) is not chordless.
+        let h = hg(3, &[&[0, 2], &[2, 1], &[0, 1]]);
+        assert!(free_paths(&h, vs(&[0, 1])).is_empty());
+    }
+
+    #[test]
+    fn multiple_free_paths_of_star() {
+        // Example 31 (k=4) body: R1(x1,z),R2(x2,z),R3(x3,z);
+        // z=0, x1=1, x2=2, x3=3; free = {x1,x2,x3} (head Q1).
+        let h = hg(4, &[&[1, 0], &[2, 0], &[3, 0]]);
+        let fps = free_paths(&h, vs(&[1, 2, 3]));
+        // (x1,z,x2), (x1,z,x3), (x2,z,x3).
+        assert_eq!(fps.len(), 3);
+        for fp in &fps {
+            assert_eq!(fp.internal(), &[0]);
+        }
+    }
+
+    #[test]
+    fn free_path_through_multiple_existentials_only() {
+        // 0 - 4 - 1 with 4 existential; plus 0 - 5, 5 free: no path from 5.
+        let h = hg(6, &[&[0, 4], &[4, 1], &[0, 5]]);
+        let fps = free_paths(&h, vs(&[0, 1, 5]));
+        assert_eq!(fps, vec![FreePath(vec![0, 4, 1])]);
+    }
+
+    #[test]
+    fn chordless_between_adjacent_is_direct_edge() {
+        let h = hg(3, &[&[0, 1], &[1, 2]]);
+        assert_eq!(chordless_paths_between(&h, 0, 1, VSet::EMPTY), vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn chordless_between_via_internal() {
+        let h = hg(3, &[&[0, 1], &[1, 2]]);
+        assert_eq!(
+            chordless_paths_between(&h, 0, 2, VSet::singleton(1)),
+            vec![vec![0, 1, 2]]
+        );
+        assert!(chordless_paths_between(&h, 0, 2, VSet::EMPTY).is_empty());
+    }
+}

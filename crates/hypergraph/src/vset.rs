@@ -1,0 +1,300 @@
+//! Compact vertex sets.
+//!
+//! Queries in the data-complexity setting are fixed and small, so vertex sets
+//! are represented as 64-bit bitmasks. This caps a single conjunctive query at
+//! 64 variables (validated at construction); every query in the paper has at
+//! most eight.
+
+use std::fmt;
+
+/// The maximum number of vertices a [`VSet`] can hold.
+pub const MAX_VERTICES: usize = 64;
+
+/// A set of hypergraph vertices (query variables) backed by a `u64` bitmask.
+///
+/// Vertices are identified by indices `0..64`. All operations are O(1) except
+/// iteration, which is O(|set|).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct VSet(pub u64);
+
+impl VSet {
+    /// The empty set.
+    pub const EMPTY: VSet = VSet(0);
+
+    /// Creates a set containing the single vertex `v`.
+    #[inline]
+    pub fn singleton(v: u32) -> VSet {
+        debug_assert!((v as usize) < MAX_VERTICES);
+        VSet(1u64 << v)
+    }
+
+    /// Creates the set `{0, 1, .., n-1}`.
+    #[inline]
+    pub fn full(n: u32) -> VSet {
+        debug_assert!(n as usize <= MAX_VERTICES);
+        if n == 64 {
+            VSet(u64::MAX)
+        } else {
+            VSet((1u64 << n) - 1)
+        }
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of vertices in the set.
+    #[inline]
+    pub fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether `v` is a member.
+    #[inline]
+    pub fn contains(self, v: u32) -> bool {
+        debug_assert!((v as usize) < MAX_VERTICES);
+        self.0 & (1u64 << v) != 0
+    }
+
+    /// Adds `v`, returning the new set.
+    #[inline]
+    #[must_use]
+    pub fn insert(self, v: u32) -> VSet {
+        debug_assert!((v as usize) < MAX_VERTICES);
+        VSet(self.0 | (1u64 << v))
+    }
+
+    /// Removes `v`, returning the new set.
+    #[inline]
+    #[must_use]
+    pub fn remove(self, v: u32) -> VSet {
+        debug_assert!((v as usize) < MAX_VERTICES);
+        VSet(self.0 & !(1u64 << v))
+    }
+
+    /// Set union.
+    #[inline]
+    #[must_use]
+    pub fn union(self, other: VSet) -> VSet {
+        VSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[inline]
+    #[must_use]
+    pub fn inter(self, other: VSet) -> VSet {
+        VSet(self.0 & other.0)
+    }
+
+    /// Set difference `self \ other`.
+    #[inline]
+    #[must_use]
+    pub fn diff(self, other: VSet) -> VSet {
+        VSet(self.0 & !other.0)
+    }
+
+    /// Whether `self ⊆ other`.
+    #[inline]
+    pub fn is_subset(self, other: VSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Whether `self` and `other` share at least one vertex.
+    #[inline]
+    pub fn intersects(self, other: VSet) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Iterates the members in increasing order.
+    #[inline]
+    pub fn iter(self) -> VSetIter {
+        VSetIter(self.0)
+    }
+
+    /// The smallest member, if the set is non-empty.
+    #[inline]
+    pub fn first(self) -> Option<u32> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.trailing_zeros())
+        }
+    }
+}
+
+impl FromIterator<u32> for VSet {
+    fn from_iter<T: IntoIterator<Item = u32>>(iter: T) -> Self {
+        let mut s = VSet::EMPTY;
+        for v in iter {
+            s = s.insert(v);
+        }
+        s
+    }
+}
+
+impl IntoIterator for VSet {
+    type Item = u32;
+    type IntoIter = VSetIter;
+    fn into_iter(self) -> VSetIter {
+        self.iter()
+    }
+}
+
+/// Iterator over the members of a [`VSet`].
+#[derive(Clone)]
+pub struct VSetIter(u64);
+
+impl Iterator for VSetIter {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.0 == 0 {
+            return None;
+        }
+        let v = self.0.trailing_zeros();
+        self.0 &= self.0 - 1;
+        Some(v)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for VSetIter {}
+
+impl fmt::Debug for VSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for VSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Enumerates all subsets of `mask`, including the empty set and `mask`
+/// itself. The number of subsets is `2^|mask|`; callers must keep `mask`
+/// small.
+pub fn subsets_of(mask: VSet) -> impl Iterator<Item = VSet> {
+    // Standard sub-mask enumeration: iterate `sub = (sub - 1) & mask`.
+    let m = mask.0;
+    let mut sub = m;
+    let mut done = false;
+    std::iter::from_fn(move || {
+        if done {
+            return None;
+        }
+        let cur = sub;
+        if sub == 0 {
+            done = true;
+        } else {
+            sub = (sub - 1) & m;
+        }
+        Some(VSet(cur))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_basics() {
+        let e = VSet::EMPTY;
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert_eq!(e.iter().count(), 0);
+        assert_eq!(e.first(), None);
+    }
+
+    #[test]
+    fn singleton_and_membership() {
+        let s = VSet::singleton(5);
+        assert!(s.contains(5));
+        assert!(!s.contains(4));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.first(), Some(5));
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let s = VSet::EMPTY.insert(3).insert(7).insert(3);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.remove(3), VSet::singleton(7));
+        assert_eq!(s.remove(9), s);
+    }
+
+    #[test]
+    fn union_inter_diff() {
+        let a: VSet = [0u32, 1, 2].into_iter().collect();
+        let b: VSet = [2u32, 3].into_iter().collect();
+        assert_eq!(a.union(b), [0u32, 1, 2, 3].into_iter().collect());
+        assert_eq!(a.inter(b), VSet::singleton(2));
+        assert_eq!(a.diff(b), [0u32, 1].into_iter().collect());
+    }
+
+    #[test]
+    fn subset_relation() {
+        let a: VSet = [1u32, 2].into_iter().collect();
+        let b: VSet = [0u32, 1, 2].into_iter().collect();
+        assert!(a.is_subset(b));
+        assert!(!b.is_subset(a));
+        assert!(VSet::EMPTY.is_subset(a));
+        assert!(a.is_subset(a));
+    }
+
+    #[test]
+    fn intersects_is_symmetric() {
+        let a: VSet = [1u32, 2].into_iter().collect();
+        let b: VSet = [2u32, 3].into_iter().collect();
+        let c: VSet = [4u32].into_iter().collect();
+        assert!(a.intersects(b) && b.intersects(a));
+        assert!(!a.intersects(c) && !c.intersects(a));
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let s: VSet = [9u32, 1, 40, 63].into_iter().collect();
+        let got: Vec<u32> = s.iter().collect();
+        assert_eq!(got, vec![1, 9, 40, 63]);
+    }
+
+    #[test]
+    fn full_works_at_boundaries() {
+        assert_eq!(VSet::full(0), VSet::EMPTY);
+        assert_eq!(VSet::full(64).len(), 64);
+        assert_eq!(VSet::full(3), [0u32, 1, 2].into_iter().collect());
+    }
+
+    #[test]
+    fn subsets_enumeration_counts() {
+        let m: VSet = [1u32, 4, 6].into_iter().collect();
+        let subs: Vec<VSet> = subsets_of(m).collect();
+        assert_eq!(subs.len(), 8);
+        assert!(subs.contains(&VSet::EMPTY));
+        assert!(subs.contains(&m));
+        for s in subs {
+            assert!(s.is_subset(m));
+        }
+    }
+
+    #[test]
+    fn subsets_of_empty() {
+        let subs: Vec<VSet> = subsets_of(VSet::EMPTY).collect();
+        assert_eq!(subs, vec![VSet::EMPTY]);
+    }
+}

@@ -1,0 +1,158 @@
+//! Exhaustive validation of the GYO acyclicity test on *every* hypergraph
+//! with ≤ 4 vertices and ≤ 4 edges, against the definition: a hypergraph is
+//! acyclic iff some labeled tree over its edges satisfies the running
+//! intersection property. Everything else in the workspace rests on this
+//! primitive, so it gets the strongest test we can afford.
+
+use ucq_hypergraph::{is_acyclic, Hypergraph, VSet};
+
+/// All labeled trees on `m` nodes, as edge lists, via Prüfer sequences.
+fn all_trees(m: usize) -> Vec<Vec<(usize, usize)>> {
+    assert!(m >= 1);
+    if m == 1 {
+        return vec![vec![]];
+    }
+    if m == 2 {
+        return vec![vec![(0, 1)]];
+    }
+    // Enumerate all Prüfer sequences of length m-2 over {0..m}.
+    let mut seqs = vec![vec![]];
+    for _ in 0..m - 2 {
+        let mut next = Vec::new();
+        for s in &seqs {
+            for v in 0..m {
+                let mut t = s.clone();
+                t.push(v);
+                next.push(t);
+            }
+        }
+        seqs = next;
+    }
+    seqs.into_iter().map(|seq| prufer_to_tree(&seq, m)).collect()
+}
+
+fn prufer_to_tree(seq: &[usize], m: usize) -> Vec<(usize, usize)> {
+    let mut degree = vec![1usize; m];
+    for &v in seq {
+        degree[v] += 1;
+    }
+    let mut edges = Vec::with_capacity(m - 1);
+    let mut used = vec![false; m];
+    let mut seq = seq.to_vec();
+    while !seq.is_empty() {
+        let v = seq[0];
+        let leaf = (0..m)
+            .find(|&u| degree[u] == 1 && !used[u])
+            .expect("a leaf always exists");
+        edges.push((leaf, v));
+        used[leaf] = true;
+        degree[v] -= 1;
+        degree[leaf] -= 1;
+        seq.remove(0);
+        if degree[v] == 1 {
+            // v may become a leaf; nothing else to do, the scan finds it.
+        }
+    }
+    let remaining: Vec<usize> = (0..m).filter(|&u| !used[u] && degree[u] >= 1).collect();
+    assert_eq!(remaining.len(), 2);
+    edges.push((remaining[0], remaining[1]));
+    edges
+}
+
+/// Ground truth: does any labeled tree over the edge multiset satisfy
+/// running intersection?
+fn acyclic_by_definition(edges: &[VSet]) -> bool {
+    let m = edges.len();
+    if m <= 1 {
+        return true;
+    }
+    'tree: for tree in all_trees(m) {
+        // Adjacency of the candidate join tree.
+        let mut adj = vec![Vec::new(); m];
+        for &(a, b) in &tree {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        // Running intersection: for every vertex, the nodes containing it
+        // form a connected subgraph of the tree.
+        for v in 0..4u32 {
+            let holders: Vec<usize> =
+                (0..m).filter(|&i| edges[i].contains(v)).collect();
+            if holders.len() <= 1 {
+                continue;
+            }
+            // BFS within holders.
+            let inset: std::collections::HashSet<usize> =
+                holders.iter().copied().collect();
+            let mut seen = std::collections::HashSet::from([holders[0]]);
+            let mut stack = vec![holders[0]];
+            while let Some(n) = stack.pop() {
+                for &nb in &adj[n] {
+                    if inset.contains(&nb) && seen.insert(nb) {
+                        stack.push(nb);
+                    }
+                }
+            }
+            if seen.len() != holders.len() {
+                continue 'tree;
+            }
+        }
+        return true;
+    }
+    false
+}
+
+/// Multisets of `k` edges out of the 15 nonempty subsets of 4 vertices.
+fn edge_multisets(k: usize) -> Vec<Vec<VSet>> {
+    let all: Vec<VSet> = (1u64..16).map(VSet).collect();
+    let mut out = Vec::new();
+    fn rec(all: &[VSet], from: usize, k: usize, cur: &mut Vec<VSet>, out: &mut Vec<Vec<VSet>>) {
+        if cur.len() == k {
+            out.push(cur.clone());
+            return;
+        }
+        for i in from..all.len() {
+            cur.push(all[i]);
+            rec(all, i, k, cur, out); // with repetition
+            cur.pop();
+        }
+    }
+    rec(&all, 0, k, &mut Vec::new(), &mut out);
+    out
+}
+
+#[test]
+fn gyo_matches_definition_on_all_small_hypergraphs() {
+    let mut checked = 0usize;
+    let mut acyclic_count = 0usize;
+    for k in 1..=4 {
+        for edges in edge_multisets(k) {
+            let h = Hypergraph::new(4, edges.clone());
+            let gyo = is_acyclic(&h);
+            let truth = acyclic_by_definition(&edges);
+            assert_eq!(
+                gyo, truth,
+                "GYO disagrees with the definition on edges {edges:?}"
+            );
+            checked += 1;
+            if gyo {
+                acyclic_count += 1;
+            }
+        }
+    }
+    // 15 + C(16,2) + C(17,3) + C(18,4) = 15 + 120 + 680 + 3060.
+    assert_eq!(checked, 3875, "exhaustive coverage");
+    assert!(acyclic_count > 0 && acyclic_count < checked);
+}
+
+#[test]
+fn prufer_enumeration_counts() {
+    // Cayley's formula: m^(m-2) labeled trees.
+    assert_eq!(all_trees(1).len(), 1);
+    assert_eq!(all_trees(2).len(), 1);
+    assert_eq!(all_trees(3).len(), 3);
+    assert_eq!(all_trees(4).len(), 16);
+    for t in all_trees(4) {
+        assert_eq!(t.len(), 3, "a tree on 4 nodes has 3 edges");
+    }
+}

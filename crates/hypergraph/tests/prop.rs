@@ -1,0 +1,116 @@
+//! Property tests for the hypergraph substrate.
+//!
+//! These exercise the structural theorems the library relies on:
+//! * GYO-built join trees always satisfy running intersection;
+//! * the constructive ext-S-connex algorithm agrees with the
+//!   `(V, E ∪ {S})`-acyclicity characterization (asserted inside
+//!   `ext_s_connex_tree` on every call) and its output always validates;
+//! * for acyclic hypergraphs, a free-path exists iff the hypergraph is not
+//!   free-connex (Bagan et al., restated as Theorem 3 in the paper).
+
+use proptest::prelude::*;
+use ucq_hypergraph::{
+    ext_s_connex_tree, free_paths, is_acyclic, is_s_connex, join_tree, Hypergraph, VSet,
+};
+
+/// Strategy: a random hypergraph with up to `nv` vertices and `ne` edges of
+/// size 1..=4.
+fn arb_hypergraph(nv: u32, ne: usize) -> impl Strategy<Value = Hypergraph> {
+    let edge = proptest::collection::btree_set(0..nv, 1..=4usize);
+    proptest::collection::vec(edge, 1..=ne).prop_map(move |edges| {
+        Hypergraph::new(
+            nv,
+            edges
+                .into_iter()
+                .map(|e| e.into_iter().collect::<VSet>())
+                .collect(),
+        )
+    })
+}
+
+fn arb_subset(nv: u32) -> impl Strategy<Value = VSet> {
+    proptest::collection::vec(proptest::bool::ANY, nv as usize).prop_map(|bits| {
+        bits.iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.then_some(i as u32))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn join_trees_validate((h,) in (arb_hypergraph(7, 6),)) {
+        if let Some(t) = join_tree(&h) {
+            prop_assert!(t.has_running_intersection());
+            prop_assert!(t.is_inclusive_extension_of(&h));
+            prop_assert!(is_acyclic(&h));
+        } else {
+            prop_assert!(!is_acyclic(&h) || h.n_edges() == 0);
+        }
+    }
+
+    #[test]
+    fn ext_connex_trees_validate(h in arb_hypergraph(7, 6), s in arb_subset(7)) {
+        let s = s.inter(h.covered_vertices());
+        // The call itself asserts the two S-connex characterizations agree.
+        match ext_s_connex_tree(&h, s) {
+            Some(ct) => {
+                prop_assert_eq!(ct.validate(&h), Ok(()));
+                prop_assert!(is_s_connex(&h, s));
+            }
+            None => prop_assert!(!is_s_connex(&h, s)),
+        }
+    }
+
+    #[test]
+    fn free_path_iff_not_free_connex(h in arb_hypergraph(7, 6), s in arb_subset(7)) {
+        // Theorem (Bagan et al.): an acyclic hypergraph with free set S has
+        // a free-path iff it is not S-connex.
+        prop_assume!(is_acyclic(&h));
+        let free = s.inter(h.covered_vertices());
+        let has_fp = !free_paths(&h, free).is_empty();
+        prop_assert_eq!(has_fp, !is_s_connex(&h, free),
+            "free-path presence must match non-S-connexity");
+    }
+
+    #[test]
+    fn connex_cover_is_exactly_s(h in arb_hypergraph(6, 5), s in arb_subset(6)) {
+        let s = s.inter(h.covered_vertices());
+        if let Some(ct) = ext_s_connex_tree(&h, s) {
+            let cover = ct
+                .connex_nodes()
+                .iter()
+                .fold(VSet::EMPTY, |a, &i| a.union(ct.tree.nodes()[i].vars));
+            prop_assert_eq!(cover, s);
+            // The connex-first order visits T' as a prefix.
+            let order = ct.order_connex_first();
+            let k = ct.connex_nodes().len();
+            for (pos, &n) in order.iter().enumerate() {
+                prop_assert_eq!(pos < k, ct.connex[n]);
+            }
+        }
+    }
+
+    #[test]
+    fn free_paths_are_chordless_and_well_typed(h in arb_hypergraph(7, 6), s in arb_subset(7)) {
+        let free = s.inter(h.covered_vertices());
+        for fp in free_paths(&h, free) {
+            let verts = &fp.0;
+            prop_assert!(verts.len() >= 3);
+            let (x, y) = fp.endpoints();
+            prop_assert!(free.contains(x) && free.contains(y));
+            for &z in fp.internal() {
+                prop_assert!(!free.contains(z));
+            }
+            for i in 0..verts.len() {
+                for j in i + 1..verts.len() {
+                    let adjacent = h.are_neighbors(verts[i], verts[j]);
+                    prop_assert_eq!(adjacent, j == i + 1,
+                        "chordless violated at positions {} and {}", i, j);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,392 @@
+//! Conjunctive queries.
+
+use crate::error::QueryError;
+use std::collections::HashMap;
+use ucq_hypergraph::{free_paths, is_acyclic, is_s_connex, FreePath, Hypergraph, VSet};
+
+/// A variable identifier, local to one query (index into its name table).
+pub type VarId = u32;
+
+/// An atom `R(v1, …, vk)`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// Relation symbol.
+    pub rel: String,
+    /// Argument variables (repeats allowed).
+    pub args: Vec<VarId>,
+}
+
+impl Atom {
+    /// The set of variables occurring in the atom.
+    pub fn var_set(&self) -> VSet {
+        self.args.iter().copied().collect()
+    }
+}
+
+/// A conjunctive query `Q(p̄) ← R1(v̄1), …, Rm(v̄m)`.
+///
+/// Invariants enforced at construction:
+/// * at least one atom, every atom has arity ≥ 1;
+/// * at most 64 variables;
+/// * every variable occurs in at least one atom (in particular the query is
+///   *safe*: head variables occur in the body);
+/// * head entries are valid variable ids (repeats in the head are allowed).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cq {
+    name: String,
+    head: Vec<VarId>,
+    atoms: Vec<Atom>,
+    var_names: Vec<String>,
+}
+
+impl Cq {
+    /// Creates a query from raw parts, validating the invariants above.
+    pub fn new(
+        name: impl Into<String>,
+        head: Vec<VarId>,
+        atoms: Vec<Atom>,
+        var_names: Vec<String>,
+    ) -> Result<Cq, QueryError> {
+        let name = name.into();
+        if atoms.is_empty() {
+            return Err(QueryError::new(format!("{name}: a CQ needs at least one atom")));
+        }
+        if var_names.len() > ucq_hypergraph::MAX_VERTICES {
+            return Err(QueryError::new(format!(
+                "{name}: at most {} variables are supported, got {}",
+                ucq_hypergraph::MAX_VERTICES,
+                var_names.len()
+            )));
+        }
+        let n = var_names.len() as u32;
+        let mut occurs = VSet::EMPTY;
+        for atom in &atoms {
+            if atom.args.is_empty() {
+                return Err(QueryError::new(format!(
+                    "{name}: atom {} has arity 0",
+                    atom.rel
+                )));
+            }
+            for &v in &atom.args {
+                if v >= n {
+                    return Err(QueryError::new(format!(
+                        "{name}: atom {} uses undeclared variable id {v}",
+                        atom.rel
+                    )));
+                }
+                occurs = occurs.insert(v);
+            }
+        }
+        for &v in &head {
+            if v >= n {
+                return Err(QueryError::new(format!(
+                    "{name}: head uses undeclared variable id {v}"
+                )));
+            }
+            if !occurs.contains(v) {
+                return Err(QueryError::new(format!(
+                    "{name}: head variable {} does not occur in the body (unsafe query)",
+                    var_names[v as usize]
+                )));
+            }
+        }
+        if occurs != VSet::full(n) {
+            let missing: Vec<&str> = VSet::full(n)
+                .diff(occurs)
+                .iter()
+                .map(|v| var_names[v as usize].as_str())
+                .collect();
+            return Err(QueryError::new(format!(
+                "{name}: variables {missing:?} occur in no atom"
+            )));
+        }
+        Ok(Cq {
+            name,
+            head,
+            atoms,
+            var_names,
+        })
+    }
+
+    /// Ergonomic name-based constructor used throughout tests and the paper
+    /// catalog:
+    ///
+    /// ```
+    /// use ucq_query::Cq;
+    /// let q = Cq::build("Q", &["x", "y"], &[("R", &["x", "z"]), ("S", &["z", "y"])]).unwrap();
+    /// assert_eq!(q.n_vars(), 3);
+    /// ```
+    pub fn build(
+        name: &str,
+        head: &[&str],
+        atoms: &[(&str, &[&str])],
+    ) -> Result<Cq, QueryError> {
+        let mut var_names: Vec<String> = Vec::new();
+        let mut ids: HashMap<String, VarId> = HashMap::new();
+        let mut intern = |v: &str, var_names: &mut Vec<String>| -> VarId {
+            *ids.entry(v.to_string()).or_insert_with(|| {
+                var_names.push(v.to_string());
+                (var_names.len() - 1) as VarId
+            })
+        };
+        let head_ids: Vec<VarId> = head.iter().map(|v| intern(v, &mut var_names)).collect();
+        let atom_list: Vec<Atom> = atoms
+            .iter()
+            .map(|(rel, args)| Atom {
+                rel: rel.to_string(),
+                args: args.iter().map(|v| intern(v, &mut var_names)).collect(),
+            })
+            .collect();
+        Cq::new(name, head_ids, atom_list, var_names)
+    }
+
+    /// The query's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The head tuple (ordered, possibly with repeated variables).
+    pub fn head(&self) -> &[VarId] {
+        &self.head
+    }
+
+    /// The atoms.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> u32 {
+        self.var_names.len() as u32
+    }
+
+    /// The name of variable `v`.
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.var_names[v as usize]
+    }
+
+    /// All variable names, indexed by id.
+    pub fn var_names(&self) -> &[String] {
+        &self.var_names
+    }
+
+    /// Looks up a variable id by name.
+    pub fn var_id(&self, name: &str) -> Option<VarId> {
+        self.var_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| i as VarId)
+    }
+
+    /// The set of free variables `free(Q)` (the head, as a set).
+    pub fn free(&self) -> VSet {
+        self.head.iter().copied().collect()
+    }
+
+    /// The set of all variables.
+    pub fn all_vars(&self) -> VSet {
+        VSet::full(self.n_vars())
+    }
+
+    /// The hypergraph `H(Q)`.
+    pub fn hypergraph(&self) -> Hypergraph {
+        Hypergraph::new(
+            self.n_vars(),
+            self.atoms.iter().map(Atom::var_set).collect(),
+        )
+    }
+
+    /// Whether no relation symbol appears in more than one atom.
+    pub fn is_self_join_free(&self) -> bool {
+        let mut seen = std::collections::HashSet::new();
+        self.atoms.iter().all(|a| seen.insert(a.rel.as_str()))
+    }
+
+    /// Whether `H(Q)` is acyclic.
+    pub fn is_acyclic(&self) -> bool {
+        is_acyclic(&self.hypergraph())
+    }
+
+    /// Whether the query is free-connex (`H(Q)` and `H(Q) + {free}` acyclic).
+    pub fn is_free_connex(&self) -> bool {
+        is_s_connex(&self.hypergraph(), self.free())
+    }
+
+    /// Whether the query is `S`-connex.
+    pub fn is_s_connex(&self, s: VSet) -> bool {
+        is_s_connex(&self.hypergraph(), s)
+    }
+
+    /// All free-paths of the query.
+    pub fn free_paths(&self) -> Vec<FreePath> {
+        free_paths(&self.hypergraph(), self.free())
+    }
+
+    /// The relation symbols used, in first-occurrence order, deduplicated.
+    pub fn relation_names(&self) -> Vec<&str> {
+        let mut seen = std::collections::HashSet::new();
+        self.atoms
+            .iter()
+            .filter_map(|a| seen.insert(a.rel.as_str()).then_some(a.rel.as_str()))
+            .collect()
+    }
+
+    /// Returns a copy with extra atoms appended (used to materialize union
+    /// extensions; the caller supplies fresh relation symbols).
+    #[must_use]
+    pub fn with_extra_atoms(&self, extra: &[Atom]) -> Cq {
+        let mut atoms = self.atoms.clone();
+        atoms.extend_from_slice(extra);
+        Cq::new(
+            format!("{}+", self.name),
+            self.head.clone(),
+            atoms,
+            self.var_names.clone(),
+        )
+        .expect("extension of a valid query stays valid")
+    }
+
+    /// Returns a copy with a different head over the same body. Fails if the
+    /// new head is unsafe.
+    pub fn with_head(&self, head: Vec<VarId>) -> Result<Cq, QueryError> {
+        Cq::new(
+            self.name.clone(),
+            head,
+            self.atoms.clone(),
+            self.var_names.clone(),
+        )
+    }
+}
+
+impl std::fmt::Display for Cq {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, &v) in self.head.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", self.var_name(v))?;
+        }
+        write!(f, ") <- ")?;
+        for (i, atom) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}(", atom.rel)?;
+            for (j, &v) in atom.args.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", self.var_name(v))?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_interns_variables() {
+        let q = Cq::build("Q", &["x", "y"], &[("R", &["x", "z"]), ("S", &["z", "y"])])
+            .unwrap();
+        assert_eq!(q.n_vars(), 3);
+        assert_eq!(q.var_name(0), "x");
+        assert_eq!(q.var_id("z"), Some(2));
+        assert_eq!(q.head(), &[0, 1]);
+        assert_eq!(q.free(), [0u32, 1].into_iter().collect());
+    }
+
+    #[test]
+    fn unsafe_head_rejected() {
+        let err = Cq::build("Q", &["w"], &[("R", &["x"])]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn no_atoms_rejected() {
+        assert!(Cq::build("Q", &[], &[]).is_err());
+    }
+
+    #[test]
+    fn nullary_atom_rejected() {
+        assert!(Cq::build("Q", &[], &[("R", &[])]).is_err());
+    }
+
+    #[test]
+    fn self_join_detection() {
+        let sjf = Cq::build("Q", &["x"], &[("R", &["x", "y"]), ("S", &["y", "x"])]).unwrap();
+        assert!(sjf.is_self_join_free());
+        let sj = Cq::build("Q", &["x"], &[("R", &["x", "y"]), ("R", &["y", "x"])]).unwrap();
+        assert!(!sj.is_self_join_free());
+    }
+
+    #[test]
+    fn matmul_query_classification() {
+        // Π(x,y) <- A(x,z), B(z,y): acyclic, not free-connex.
+        let q = Cq::build("Pi", &["x", "y"], &[("A", &["x", "z"]), ("B", &["z", "y"])])
+            .unwrap();
+        assert!(q.is_acyclic());
+        assert!(!q.is_free_connex());
+        assert_eq!(q.free_paths().len(), 1);
+    }
+
+    #[test]
+    fn triangle_query_is_cyclic() {
+        let q = Cq::build(
+            "T",
+            &["x"],
+            &[("R", &["x", "y"]), ("S", &["y", "z"]), ("T", &["z", "x"])],
+        )
+        .unwrap();
+        assert!(!q.is_acyclic());
+        assert!(!q.is_free_connex());
+    }
+
+    #[test]
+    fn full_projection_is_free_connex() {
+        let q = Cq::build(
+            "Q",
+            &["x", "z", "y"],
+            &[("A", &["x", "z"]), ("B", &["z", "y"])],
+        )
+        .unwrap();
+        assert!(q.is_free_connex());
+    }
+
+    #[test]
+    fn boolean_query_allowed() {
+        let q = Cq::build("B", &[], &[("R", &["x", "y"])]).unwrap();
+        assert_eq!(q.head(), &[] as &[VarId]);
+        assert!(q.is_free_connex());
+    }
+
+    #[test]
+    fn repeated_head_vars_allowed() {
+        let q = Cq::build("Q", &["x", "x"], &[("R", &["x"])]).unwrap();
+        assert_eq!(q.head(), &[0, 0]);
+        assert_eq!(q.free().len(), 1);
+    }
+
+    #[test]
+    fn with_extra_atoms_extends() {
+        let q = Cq::build("Q", &["x", "y"], &[("R", &["x", "z"]), ("S", &["z", "y"])])
+            .unwrap();
+        let ext = q.with_extra_atoms(&[Atom {
+            rel: "V".into(),
+            args: vec![0, 2, 1],
+        }]);
+        assert_eq!(ext.atoms().len(), 3);
+        assert!(ext.is_free_connex(), "Example 2 style extension");
+    }
+
+    #[test]
+    fn display_roundtrips_shape() {
+        let q = Cq::build("Q", &["x", "y"], &[("R", &["x", "z"]), ("S", &["z", "y"])])
+            .unwrap();
+        assert_eq!(q.to_string(), "Q(x, y) <- R(x, z), S(z, y)");
+    }
+}

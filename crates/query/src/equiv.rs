@@ -1,0 +1,151 @@
+//! Query equivalence and cores.
+//!
+//! Two CQs are equivalent iff they contain each other (Chandra–Merlin);
+//! the *core* of a CQ is a minimal equivalent sub-query, computed by
+//! repeatedly dropping atoms that a head-preserving self-endomorphism can
+//! fold away. Cores make redundancy elimination canonical: Example 1's
+//! `Q1 ⊆ Q2` is the union-level analogue of the atom-level folding here.
+
+use crate::cq::{Cq, VarId};
+use crate::hom::is_contained_in;
+
+/// Whether `q1 ≡ q2` (mutual containment).
+pub fn is_equivalent(q1: &Cq, q2: &Cq) -> bool {
+    is_contained_in(q1, q2) && is_contained_in(q2, q1)
+}
+
+/// Computes a core of `q`: an equivalent query using a minimal subset of
+/// its atoms. Unused variables are dropped and the remainder renumbered.
+///
+/// Self-join-free queries are their own cores; the interesting cases have
+/// self-joins, e.g. `Q(x) ← R(x,y), R(x,z), S(z)` folds to
+/// `Q(x) ← R(x,z), S(z)`.
+pub fn core_of(q: &Cq) -> Cq {
+    let mut atoms: Vec<usize> = (0..q.atoms().len()).collect();
+    // Greedy: try dropping each atom; keep the drop when the smaller query
+    // still contains the original (the other containment is trivial since
+    // dropping atoms only relaxes).
+    let mut i = 0;
+    while i < atoms.len() {
+        if atoms.len() == 1 {
+            break;
+        }
+        let candidate: Vec<usize> = atoms
+            .iter()
+            .copied()
+            .enumerate()
+            .filter_map(|(k, a)| (k != i).then_some(a))
+            .collect();
+        match subquery(q, &candidate) {
+            Some(sub) if is_contained_in(&sub, q) => {
+                // `sub ⊆ q` plus the trivial `q ⊆ sub` makes them
+                // equivalent; commit the drop.
+                atoms = candidate;
+                i = 0;
+            }
+            _ => i += 1,
+        }
+    }
+    subquery(q, &atoms).expect("kept atoms still cover the head")
+}
+
+/// Builds the sub-query of `q` keeping the atoms at `keep` (by index),
+/// renumbering variables compactly. `None` if the head loses a variable.
+fn subquery(q: &Cq, keep: &[usize]) -> Option<Cq> {
+    let mut old_to_new: Vec<Option<VarId>> = vec![None; q.n_vars() as usize];
+    let mut var_names: Vec<String> = Vec::new();
+    let map = |v: VarId, old_to_new: &mut Vec<Option<VarId>>, var_names: &mut Vec<String>| {
+        if let Some(n) = old_to_new[v as usize] {
+            n
+        } else {
+            let n = var_names.len() as VarId;
+            var_names.push(q.var_name(v).to_string());
+            old_to_new[v as usize] = Some(n);
+            n
+        }
+    };
+    let atoms: Vec<crate::cq::Atom> = keep
+        .iter()
+        .map(|&a| {
+            let atom = &q.atoms()[a];
+            crate::cq::Atom {
+                rel: atom.rel.clone(),
+                args: atom
+                    .args
+                    .iter()
+                    .map(|&v| map(v, &mut old_to_new, &mut var_names))
+                    .collect(),
+            }
+        })
+        .collect();
+    // Head variables must all survive.
+    let mut head = Vec::with_capacity(q.head().len());
+    for &v in q.head() {
+        head.push(old_to_new[v as usize]?);
+    }
+    Cq::new(q.name(), head, atoms, var_names).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_cq;
+
+    #[test]
+    fn renamed_queries_are_equivalent() {
+        let a = parse_cq("Q(x, y) <- R(x, z), S(z, y)").unwrap();
+        let b = parse_cq("Q(u, v) <- R(u, w), S(w, v)").unwrap();
+        assert!(is_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn different_projections_not_equivalent() {
+        let a = parse_cq("Q(x) <- R(x, y)").unwrap();
+        let b = parse_cq("Q(y) <- R(x, y)").unwrap();
+        assert!(!is_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn core_folds_redundant_self_join() {
+        let q = parse_cq("Q(x) <- R(x, y), R(x, z), S(z)").unwrap();
+        let core = core_of(&q);
+        assert_eq!(core.atoms().len(), 2, "R(x,y) folds into R(x,z)");
+        assert!(is_equivalent(&q, &core));
+    }
+
+    #[test]
+    fn self_join_free_queries_are_their_own_core() {
+        let q = parse_cq("Q(x, y) <- R(x, z), S(z, y), T(y)").unwrap();
+        let core = core_of(&q);
+        assert_eq!(core.atoms().len(), 3);
+        assert!(is_equivalent(&q, &core));
+    }
+
+    #[test]
+    fn core_respects_the_head() {
+        // R(x,y) cannot be dropped: y is free.
+        let q = parse_cq("Q(x, y) <- R(x, y), R(x, z)").unwrap();
+        let core = core_of(&q);
+        assert!(core.atoms().len() <= 2);
+        assert!(is_equivalent(&q, &core));
+        assert_eq!(core.head().len(), 2);
+    }
+
+    #[test]
+    fn triangle_with_duplicate_edge_atoms() {
+        let q = parse_cq("B() <- E(x, y), E(y, z), E(z, x), E(x, x1), E(x1, x2)")
+            .unwrap();
+        let core = core_of(&q);
+        // The pending path E(x,x1),E(x1,x2) folds into the triangle.
+        assert_eq!(core.atoms().len(), 3);
+        assert!(is_equivalent(&q, &core));
+    }
+
+    #[test]
+    fn core_is_idempotent() {
+        let q = parse_cq("Q(x) <- R(x, y), R(x, z), S(z)").unwrap();
+        let once = core_of(&q);
+        let twice = core_of(&once);
+        assert_eq!(once.atoms().len(), twice.atoms().len());
+    }
+}

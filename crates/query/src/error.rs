@@ -1,0 +1,41 @@
+//! Error type for query construction and parsing.
+
+use std::fmt;
+
+/// An error raised while constructing or parsing a query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryError {
+    msg: String,
+}
+
+impl QueryError {
+    /// Creates an error with the given message.
+    pub fn new(msg: impl Into<String>) -> QueryError {
+        QueryError { msg: msg.into() }
+    }
+
+    /// The error message.
+    pub fn message(&self) -> &str {
+        &self.msg
+    }
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let e = QueryError::new("boom");
+        assert_eq!(e.to_string(), "query error: boom");
+        assert_eq!(e.message(), "boom");
+    }
+}

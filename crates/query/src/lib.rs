@@ -1,0 +1,21 @@
+//! Query model for the `ucq-enum` workspace: conjunctive queries, unions of
+//! conjunctive queries, a small text parser, and the homomorphism machinery
+//! (containment, redundancy, body-isomorphism) from §2 and Definition 6 of
+//! Carmeli & Kröll (PODS 2019).
+
+pub mod cq;
+pub mod equiv;
+pub mod error;
+pub mod hom;
+pub mod parse;
+pub mod ucq;
+
+pub use cq::{Atom, Cq, VarId};
+pub use equiv::{core_of, is_equivalent};
+pub use error::QueryError;
+pub use hom::{
+    apply_map, body_homomorphisms, body_isomorphism, containment_witness,
+    exists_body_hom, is_contained_in, lemma16_representative, minimize_union, VarMap,
+};
+pub use parse::{parse_cq, parse_ucq};
+pub use ucq::Ucq;

@@ -1,0 +1,272 @@
+//! A small text syntax for CQs and UCQs.
+//!
+//! Grammar (one rule per line; `.` terminators and blank lines optional):
+//!
+//! ```text
+//! Q1(x, y, w) <- R1(x, z), R2(z, y), R3(y, w)
+//! Q2(x, y, w) <- R1(x, y), R2(y, w)
+//! ```
+//!
+//! `<-` may be written `:-` as in Datalog. Identifiers are
+//! `[A-Za-z_][A-Za-z0-9_']*`, so primed variables like `z1'` work too.
+
+use crate::cq::{Atom, Cq, VarId};
+use crate::error::QueryError;
+use crate::ucq::Ucq;
+use std::collections::HashMap;
+
+/// Parses a single CQ rule.
+pub fn parse_cq(input: &str) -> Result<Cq, QueryError> {
+    let mut p = Parser::new(input);
+    let cq = p.rule()?;
+    p.skip_ws_and_dots();
+    if !p.at_end() {
+        return Err(p.err("trailing input after rule"));
+    }
+    Ok(cq)
+}
+
+/// Parses a UCQ: one rule per line (or separated by `.`/`;`).
+pub fn parse_ucq(input: &str) -> Result<Ucq, QueryError> {
+    let mut p = Parser::new(input);
+    let mut cqs = Vec::new();
+    loop {
+        p.skip_ws_and_dots();
+        if p.at_end() {
+            break;
+        }
+        cqs.push(p.rule()?);
+    }
+    Ucq::new(cqs)
+}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Parser<'a> {
+        Parser {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> QueryError {
+        QueryError::new(format!("parse error at byte {}: {msg}", self.pos))
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.src.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(c) = self.peek() {
+            if c.is_ascii_whitespace() {
+                self.pos += 1;
+            } else if c == b'%' || c == b'#' {
+                // Comment to end of line.
+                while let Some(c) = self.peek() {
+                    self.pos += 1;
+                    if c == b'\n' {
+                        break;
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn skip_ws_and_dots(&mut self) {
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'.') | Some(b';') => self.pos += 1,
+                _ => break,
+            }
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), QueryError> {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn ident(&mut self) -> Result<&'a str, QueryError> {
+        self.skip_ws();
+        let start = self.pos;
+        match self.peek() {
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => self.pos += 1,
+            _ => return Err(self.err("expected identifier")),
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'\'' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(std::str::from_utf8(&self.src[start..self.pos]).expect("ascii input"))
+    }
+
+    fn var_list(&mut self) -> Result<Vec<&'a str>, QueryError> {
+        self.expect(b'(')?;
+        let mut vars = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b')') {
+            self.pos += 1;
+            return Ok(vars);
+        }
+        loop {
+            vars.push(self.ident()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b')') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => return Err(self.err("expected ',' or ')'")),
+            }
+        }
+        Ok(vars)
+    }
+
+    fn arrow(&mut self) -> Result<(), QueryError> {
+        self.skip_ws();
+        let rest = &self.src[self.pos..];
+        if rest.starts_with(b"<-") || rest.starts_with(b":-") {
+            self.pos += 2;
+            Ok(())
+        } else {
+            Err(self.err("expected '<-' or ':-'"))
+        }
+    }
+
+    fn rule(&mut self) -> Result<Cq, QueryError> {
+        let name = self.ident()?.to_string();
+        let head_vars = self.var_list()?;
+        self.arrow()?;
+
+        let mut var_names: Vec<String> = Vec::new();
+        let mut ids: HashMap<String, VarId> = HashMap::new();
+        let mut intern = |v: &str, var_names: &mut Vec<String>| -> VarId {
+            *ids.entry(v.to_string()).or_insert_with(|| {
+                var_names.push(v.to_string());
+                (var_names.len() - 1) as VarId
+            })
+        };
+        let head: Vec<VarId> = head_vars
+            .iter()
+            .map(|v| intern(v, &mut var_names))
+            .collect();
+
+        let mut atoms = Vec::new();
+        loop {
+            let rel = self.ident()?.to_string();
+            let args = self
+                .var_list()?
+                .iter()
+                .map(|v| intern(v, &mut var_names))
+                .collect();
+            atoms.push(Atom { rel, args });
+            self.skip_ws();
+            if self.peek() == Some(b',') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Cq::new(name, head, atoms, var_names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_cq() {
+        let q = parse_cq("Q(x, y) <- R(x, z), S(z, y)").unwrap();
+        assert_eq!(q.name(), "Q");
+        assert_eq!(q.to_string(), "Q(x, y) <- R(x, z), S(z, y)");
+    }
+
+    #[test]
+    fn parse_datalog_arrow_and_dot() {
+        let q = parse_cq("Q(x) :- R(x, y).").unwrap();
+        assert_eq!(q.atoms().len(), 1);
+    }
+
+    #[test]
+    fn parse_boolean_head() {
+        let q = parse_cq("B() <- R(x, y)").unwrap();
+        assert_eq!(q.head().len(), 0);
+    }
+
+    #[test]
+    fn parse_example2_ucq() {
+        let u = parse_ucq(
+            "Q1(x, y, w) <- R1(x, z), R2(z, y), R3(y, w)\n\
+             Q2(x, y, w) <- R1(x, y), R2(y, w)",
+        )
+        .unwrap();
+        assert_eq!(u.len(), 2);
+        assert!(!u.cqs()[0].is_free_connex());
+        assert!(u.cqs()[1].is_free_connex());
+    }
+
+    #[test]
+    fn parse_with_comments_and_blank_lines() {
+        let u = parse_ucq(
+            "% the easy one\nQ1(x) <- R(x, y).\n\n# the other\nQ2(a) <- S(a).",
+        )
+        .unwrap();
+        assert_eq!(u.len(), 2);
+    }
+
+    #[test]
+    fn parse_primed_variables() {
+        let q = parse_cq("Q(x') <- R(x', z1')").unwrap();
+        assert_eq!(q.var_name(0), "x'");
+    }
+
+    #[test]
+    fn reject_trailing_garbage() {
+        assert!(parse_cq("Q(x) <- R(x) garbage").is_err());
+    }
+
+    #[test]
+    fn reject_missing_arrow() {
+        assert!(parse_cq("Q(x) R(x)").is_err());
+    }
+
+    #[test]
+    fn reject_unsafe_rule() {
+        assert!(parse_cq("Q(w) <- R(x)").is_err());
+    }
+
+    #[test]
+    fn reject_unbalanced_parens() {
+        assert!(parse_cq("Q(x <- R(x)").is_err());
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let text = "Q1(x, y, w) <- R1(x, z), R2(z, y), R3(y, w)";
+        let q = parse_cq(text).unwrap();
+        let q2 = parse_cq(&q.to_string()).unwrap();
+        assert_eq!(q, q2);
+    }
+}

@@ -1,0 +1,200 @@
+//! Property tests for the query layer: parser robustness and round-trips,
+//! and semantic soundness of the homomorphism machinery (a containment
+//! witness really implies containment on data).
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use ucq_query::{
+    body_homomorphisms, core_of, is_contained_in, is_equivalent, parse_cq, Cq,
+};
+
+const VARS: [&str; 5] = ["x", "y", "z", "u", "w"];
+
+fn arb_cq() -> impl Strategy<Value = Cq> {
+    let atom = proptest::collection::vec(0..5u32, 1..=3);
+    (
+        proptest::collection::vec(atom, 1..=4),
+        proptest::collection::vec(proptest::bool::ANY, 5),
+        // Allow self-joins: relation index chosen from a small pool.
+        proptest::collection::vec(0..3u32, 4),
+    )
+        .prop_filter_map("valid", |(atoms, head_bits, rels)| {
+            let used: HashSet<u32> = atoms.iter().flatten().copied().collect();
+            let head: Vec<&str> = (0..5u32)
+                .filter(|v| head_bits[*v as usize] && used.contains(v))
+                .map(|v| VARS[v as usize])
+                .collect();
+            let specs: Vec<(String, Vec<&str>)> = atoms
+                .iter()
+                .enumerate()
+                .map(|(i, args)| {
+                    (
+                        format!("R{}_{}", rels[i % rels.len()], args.len()),
+                        args.iter().map(|&v| VARS[v as usize]).collect(),
+                    )
+                })
+                .collect();
+            let refs: Vec<(&str, &[&str])> = specs
+                .iter()
+                .map(|(n, a)| (n.as_str(), a.as_slice()))
+                .collect();
+            Cq::build("Q", &head, &refs).ok()
+        })
+}
+
+/// A tiny semantic evaluator over variable maps, independent of the main
+/// engines: answers = head projections of all satisfying assignments. Used
+/// as ground truth for containment checks.
+fn brute_answers(
+    q: &Cq,
+    data: &std::collections::HashMap<String, Vec<Vec<i64>>>,
+) -> HashSet<Vec<i64>> {
+    let n = q.n_vars() as usize;
+    let mut out = HashSet::new();
+    let mut binding = vec![0i64; n];
+    fn rec(
+        q: &Cq,
+        data: &std::collections::HashMap<String, Vec<Vec<i64>>>,
+        atom_idx: usize,
+        binding: &mut Vec<i64>,
+        bound: &mut Vec<bool>,
+        out: &mut HashSet<Vec<i64>>,
+    ) {
+        if atom_idx == q.atoms().len() {
+            out.insert(q.head().iter().map(|&v| binding[v as usize]).collect());
+            return;
+        }
+        let atom = &q.atoms()[atom_idx];
+        let empty = Vec::new();
+        let rows = data.get(&atom.rel).unwrap_or(&empty);
+        for row in rows {
+            if row.len() != atom.args.len() {
+                continue;
+            }
+            let mut newly: Vec<usize> = Vec::new();
+            let mut ok = true;
+            for (&v, &val) in atom.args.iter().zip(row) {
+                if bound[v as usize] {
+                    if binding[v as usize] != val {
+                        ok = false;
+                        break;
+                    }
+                } else {
+                    bound[v as usize] = true;
+                    binding[v as usize] = val;
+                    newly.push(v as usize);
+                }
+            }
+            if ok {
+                rec(q, data, atom_idx + 1, binding, bound, out);
+            }
+            for v in newly {
+                bound[v] = false;
+            }
+        }
+    }
+    let mut bound = vec![false; n];
+    rec(q, data, 0, &mut binding, &mut bound, &mut out);
+    out
+}
+
+fn arb_data(
+    queries: Vec<Cq>,
+) -> impl Strategy<Value = std::collections::HashMap<String, Vec<Vec<i64>>>> {
+    let mut specs: Vec<(String, usize)> = Vec::new();
+    for q in &queries {
+        for a in q.atoms() {
+            if !specs.iter().any(|(n, _)| *n == a.rel) {
+                specs.push((a.rel.clone(), a.args.len()));
+            }
+        }
+    }
+    let mut strategies = Vec::new();
+    for (name, arity) in specs {
+        let rows =
+            proptest::collection::vec(proptest::collection::vec(0i64..3, arity), 0..8);
+        strategies.push(rows.prop_map(move |rows| (name.clone(), rows)));
+    }
+    strategies.prop_map(|pairs| pairs.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Display → parse is the identity.
+    #[test]
+    fn display_parse_roundtrip(q in arb_cq()) {
+        let text = q.to_string();
+        let reparsed = parse_cq(&text).expect("display output parses");
+        prop_assert_eq!(q, reparsed);
+    }
+
+    /// The parser never panics on arbitrary input.
+    #[test]
+    fn parser_never_panics(s in "\\PC{0,60}") {
+        let _ = parse_cq(&s);
+        let _ = ucq_query::parse_ucq(&s);
+    }
+
+    /// A containment witness is semantically sound: q1 ⊆ q2 syntactically
+    /// implies q1's answers are q2's answers on random data.
+    #[test]
+    fn containment_witness_is_sound(
+        (qs, data) in (arb_cq(), arb_cq())
+            .prop_map(|(a, b)| vec![a, b])
+            .prop_flat_map(|qs| {
+                let data = arb_data(qs.clone());
+                (Just(qs), data)
+            })
+    ) {
+        let (q1, q2) = (&qs[0], &qs[1]);
+        prop_assume!(q1.head().len() == q2.head().len());
+        if is_contained_in(q1, q2) {
+            let a1 = brute_answers(q1, &data);
+            let a2 = brute_answers(q2, &data);
+            prop_assert!(a1.is_subset(&a2),
+                "witnessed containment violated on data for\n{q1}\n{q2}");
+        }
+    }
+
+    /// Body-homomorphisms compose with assignments: if h: q2 → q1 and μ
+    /// satisfies q1, then μ∘h satisfies q2's body.
+    #[test]
+    fn body_homs_are_sound(
+        (qs, data) in (arb_cq(), arb_cq())
+            .prop_map(|(a, b)| vec![a, b])
+            .prop_flat_map(|qs| {
+                let data = arb_data(qs.clone());
+                (Just(qs), data)
+            })
+    ) {
+        let (q1, q2) = (&qs[0], &qs[1]);
+        for h in body_homomorphisms(q2, q1, 4) {
+            // For every satisfying assignment of q1's body (take its full
+            // projections by using a full-head variant), μ∘h satisfies q2.
+            let full1 = q1.with_head((0..q1.n_vars()).collect()).expect("full head");
+            for mu in brute_answers(&full1, &data) {
+                for atom in q2.atoms() {
+                    let row: Vec<i64> = atom
+                        .args
+                        .iter()
+                        .map(|&v| mu[h[v as usize] as usize])
+                        .collect();
+                    let present = data
+                        .get(&atom.rel)
+                        .map(|rows| rows.contains(&row))
+                        .unwrap_or(false);
+                    prop_assert!(present, "hom image missing for {q2} -> {q1}");
+                }
+            }
+        }
+    }
+
+    /// Cores are equivalent to their query and never larger.
+    #[test]
+    fn cores_are_equivalent_and_minimal(q in arb_cq()) {
+        let core = core_of(&q);
+        prop_assert!(core.atoms().len() <= q.atoms().len());
+        prop_assert!(is_equivalent(&q, &core));
+    }
+}

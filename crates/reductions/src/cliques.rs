@@ -1,0 +1,231 @@
+//! 4-clique detection through UCQ enumeration: the three routes the paper
+//! takes in Example 22 (Lemma 26), Example 31 (k = 4), and Example 39.
+//!
+//! Each reduction computes a triangle- or edge-based instance of size
+//! `O(n³)` (resp. `O(n²)`), enumerates the union, and inspects the `O(n³)`
+//! answers for the pattern that closes a 4-clique — beating the naive
+//! `O(n⁴)` scan whenever enumeration is efficient.
+
+use crate::graph::Graph;
+use ucq_core::evaluate_ucq_naive;
+use ucq_query::{parse_ucq, Ucq};
+use ucq_storage::{Instance, Relation, Value};
+
+/// The Example 22 union `Q1(x,y,t), Q2(x,y,w) ← R1(x,w,t), R2(y,w,t)`.
+pub fn example22_ucq() -> Ucq {
+    parse_ucq(
+        "Q1(x, y, t) <- R1(x, w, t), R2(y, w, t)\n\
+         Q2(x, y, w) <- R1(x, w, t), R2(y, w, t)",
+    )
+    .expect("well-formed")
+}
+
+/// All orientations of all triangles of `g`, as an arity-3 relation.
+fn triangle_relation(g: &Graph) -> Relation {
+    let tris = g.triangles();
+    let mut rel = Relation::with_capacity(3, tris.len() * 6);
+    for (a, b, c) in tris {
+        let (a, b, c) = (a as i64, b as i64, c as i64);
+        for (p, q, r) in [
+            (a, b, c),
+            (a, c, b),
+            (b, a, c),
+            (b, c, a),
+            (c, a, b),
+            (c, b, a),
+        ] {
+            rel.push_row(&[Value::Int(p), Value::Int(q), Value::Int(r)]);
+        }
+    }
+    rel
+}
+
+/// The Example 22 instance: `R1 = R2 = T` (all triangles).
+pub fn encode_example22(g: &Graph) -> Instance {
+    let t = triangle_relation(g);
+    let mut inst = Instance::new();
+    inst.insert("R1", t.clone());
+    inst.insert("R2", t);
+    inst
+}
+
+/// Decides 4-clique existence through the Example 22 union: every answer
+/// `(a, b, _)` asserts two triangles sharing an edge; `{a,b}` being an edge
+/// closes the clique (Figure 3).
+pub fn has_4clique_via_example22(g: &Graph) -> bool {
+    let answers = evaluate_ucq_naive(&example22_ucq(), &encode_example22(g))
+        .expect("evaluates");
+    answers.iter().any(|t| {
+        let (Value::Int(a), Value::Int(b)) = (t[0], t[1]) else {
+            return false;
+        };
+        a != b && g.has_edge(a as usize, b as usize)
+    })
+}
+
+/// The Example 31 union for k = 4 (star body, all 3-of-4 heads).
+pub fn example31_k4_ucq() -> Ucq {
+    parse_ucq(
+        "Q1(x1, x2, x3) <- R1(x1, z), R2(x2, z), R3(x3, z)\n\
+         Q2(x1, x2, z) <- R1(x1, z), R2(x2, z), R3(x3, z)\n\
+         Q3(x1, x3, z) <- R1(x1, z), R2(x2, z), R3(x3, z)\n\
+         Q4(x2, x3, z) <- R1(x1, z), R2(x2, z), R3(x3, z)",
+    )
+    .expect("well-formed")
+}
+
+/// Variable tags for the Example 31 encoding.
+const TAG_X: [u32; 3] = [1, 2, 3];
+const TAG_Z: u32 = 0;
+
+/// The Example 31 instance: each `R_i` holds every edge, oriented both
+/// ways, with endpoints tagged `(·, x_i)` and `(·, z)`.
+pub fn encode_example31(g: &Graph) -> Instance {
+    let mut inst = Instance::new();
+    for (i, tag_x) in TAG_X.iter().enumerate() {
+        let mut rel = Relation::new(2);
+        for (u, v) in g.edges() {
+            let (u, v) = (u as i64, v as i64);
+            rel.push_row(&[Value::tagged(*tag_x, u), Value::tagged(TAG_Z, v)]);
+            rel.push_row(&[Value::tagged(*tag_x, v), Value::tagged(TAG_Z, u)]);
+        }
+        inst.insert(format!("R{}", i + 1), rel);
+    }
+    inst
+}
+
+/// Decides 4-clique existence through the Example 31 union: `Q1`'s answers
+/// (recognized by their tags) are triples with a common neighbour; checking
+/// the three closing edges takes constant time per answer.
+pub fn has_4clique_via_example31(g: &Graph) -> bool {
+    let answers = evaluate_ucq_naive(&example31_k4_ucq(), &encode_example31(g))
+        .expect("evaluates");
+    answers.iter().any(|t| {
+        // Keep only Q1-shaped answers: tags (x1, x2, x3).
+        let vals: Option<Vec<i64>> = (0..3)
+            .map(|i| match t[i] {
+                Value::Tagged { tag, val } if tag == TAG_X[i] => Some(val),
+                _ => None,
+            })
+            .collect();
+        let Some(vals) = vals else { return false };
+        let (a, b, c) = (vals[0] as usize, vals[1] as usize, vals[2] as usize);
+        a != b
+            && a != c
+            && b != c
+            && g.has_edge(a, b)
+            && g.has_edge(a, c)
+            && g.has_edge(b, c)
+    })
+}
+
+/// The Example 39 union (k = 4).
+pub fn example39_ucq() -> Ucq {
+    parse_ucq(
+        "Q1(x2, x3, x4) <- R1(x2, x3, x4), R2(x1, x3, x4), R3(x1, x2, x4)\n\
+         Q2(x2, x3, x4) <- R1(x2, x3, x1), R2(x4, x3, v)",
+    )
+    .expect("well-formed")
+}
+
+/// Variable tags for the Example 39 encoding.
+const TAG39: [u32; 4] = [10, 11, 12, 13]; // x1, x2, x3, x4
+
+/// The Example 39 instance: for every (oriented) triangle `(a, b, c)`,
+/// `R1 += ((a,x2),(b,x3),(c,x4))`, `R2 += ((a,x1),(b,x3),(c,x4))`,
+/// `R3 += ((a,x1),(b,x2),(c,x4))`.
+pub fn encode_example39(g: &Graph) -> Instance {
+    let tris = triangle_relation(g);
+    let build = |tags: [u32; 3]| {
+        let mut rel = Relation::with_capacity(3, tris.len());
+        for row in tris.iter_rows() {
+            let tagged: Vec<Value> = row
+                .iter()
+                .zip(tags)
+                .map(|(v, tag)| match v {
+                    Value::Int(x) => Value::tagged(tag, *x),
+                    _ => unreachable!("triangle relations hold ints"),
+                })
+                .collect();
+            rel.push_row(&tagged);
+        }
+        rel
+    };
+    let mut inst = Instance::new();
+    inst.insert("R1", build([TAG39[1], TAG39[2], TAG39[3]]));
+    inst.insert("R2", build([TAG39[0], TAG39[2], TAG39[3]]));
+    inst.insert("R3", build([TAG39[0], TAG39[1], TAG39[3]]));
+    inst
+}
+
+/// Decides 4-clique existence through the Example 39 union: a `Q1`-shaped
+/// answer (tags `x2, x3, x4`) certifies three triangles pairwise sharing
+/// edges with a common apex — a 4-clique.
+pub fn has_4clique_via_example39(g: &Graph) -> bool {
+    let answers = evaluate_ucq_naive(&example39_ucq(), &encode_example39(g))
+        .expect("evaluates");
+    answers.iter().any(|t| {
+        (0..3).all(|i| {
+            matches!(t[i], Value::Tagged { tag, .. } if tag == TAG39[i + 1])
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_all_routes(g: &Graph, label: &str) {
+        let direct = g.has_4clique();
+        assert_eq!(has_4clique_via_example22(g), direct, "ex22 on {label}");
+        assert_eq!(has_4clique_via_example31(g), direct, "ex31 on {label}");
+        assert_eq!(has_4clique_via_example39(g), direct, "ex39 on {label}");
+    }
+
+    #[test]
+    fn planted_clique_found() {
+        let g = Graph::gnp(20, 0.1, 3).with_clique(&[2, 7, 11, 19]);
+        assert!(g.has_4clique());
+        check_all_routes(&g, "planted");
+    }
+
+    #[test]
+    fn dense_triangles_without_4clique() {
+        // K4 minus an edge, plus noise: many triangles, no 4-clique.
+        let mut g = Graph::new(8);
+        g = g.with_clique(&[0, 1, 2]);
+        g = g.with_clique(&[1, 2, 3]);
+        g.add_edge(4, 5);
+        assert!(g.has_triangle());
+        assert!(!g.has_4clique());
+        check_all_routes(&g, "K4 minus edge");
+    }
+
+    #[test]
+    fn random_graphs_agree_with_direct() {
+        for seed in 0..5 {
+            let g = Graph::gnp(18, 0.25 + 0.05 * seed as f64, seed);
+            check_all_routes(&g, &format!("gnp seed {seed}"));
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs() {
+        check_all_routes(&Graph::new(5), "empty");
+        let g = Graph::new(4).with_clique(&[0, 1, 2, 3]);
+        check_all_routes(&g, "K4 exactly");
+    }
+
+    #[test]
+    fn answer_bound_of_example22_is_cubic() {
+        let g = Graph::gnp(16, 0.5, 1);
+        let n = g.n();
+        let answers = evaluate_ucq_naive(&example22_ucq(), &encode_example22(&g))
+            .unwrap();
+        assert!(
+            answers.len() <= 2 * n * n * n,
+            "paper bound: |Q(I)| = O(n³), got {} for n = {n}",
+            answers.len()
+        );
+    }
+}

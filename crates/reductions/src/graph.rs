@@ -1,0 +1,238 @@
+//! A small undirected-graph substrate: random graphs, triangle listing and
+//! clique detection — the combinatorial problems behind the paper's
+//! hardness hypotheses (§2: hyperclique, 4-clique).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An undirected simple graph on vertices `0..n`, adjacency stored as
+/// bitset rows.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    n: usize,
+    words: usize,
+    adj: Vec<u64>,
+}
+
+impl Graph {
+    /// An empty graph on `n` vertices.
+    pub fn new(n: usize) -> Graph {
+        let words = n.div_ceil(64);
+        Graph {
+            n,
+            words,
+            adj: vec![0; n * words],
+        }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Adds the undirected edge `{u, v}` (self-loops are ignored).
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        if u == v {
+            return;
+        }
+        assert!(u < self.n && v < self.n);
+        self.adj[u * self.words + v / 64] |= 1u64 << (v % 64);
+        self.adj[v * self.words + u / 64] |= 1u64 << (u % 64);
+    }
+
+    /// Whether `{u, v}` is an edge.
+    #[inline]
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        u != v && self.adj[u * self.words + v / 64] >> (v % 64) & 1 == 1
+    }
+
+    /// The adjacency row of `u`.
+    #[inline]
+    fn row(&self, u: usize) -> &[u64] {
+        &self.adj[u * self.words..(u + 1) * self.words]
+    }
+
+    /// All edges `{u, v}` with `u < v`.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for u in 0..self.n {
+            for v in u + 1..self.n {
+                if self.has_edge(u, v) {
+                    out.push((u, v));
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of edges.
+    pub fn n_edges(&self) -> usize {
+        self.edges().len()
+    }
+
+    /// An Erdős–Rényi `G(n, p)` graph (deterministic per seed).
+    pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+        let mut g = Graph::new(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for u in 0..n {
+            for v in u + 1..n {
+                if rng.gen::<f64>() < p {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        g
+    }
+
+    /// A graph guaranteed to contain the clique `verts` (on top of `base`).
+    pub fn with_clique(mut self, verts: &[usize]) -> Graph {
+        for (i, &u) in verts.iter().enumerate() {
+            for &v in &verts[i + 1..] {
+                self.add_edge(u, v);
+            }
+        }
+        self
+    }
+
+    /// Lists all triangles `(a, b, c)` with `a < b < c`.
+    pub fn triangles(&self) -> Vec<(usize, usize, usize)> {
+        let mut out = Vec::new();
+        for (a, b) in self.edges() {
+            // Common neighbours above b.
+            for w in b + 1..self.n {
+                if self.has_edge(a, w) && self.has_edge(b, w) {
+                    out.push((a, b, w));
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether the graph contains a triangle.
+    pub fn has_triangle(&self) -> bool {
+        for (a, b) in self.edges() {
+            let ra = self.row(a);
+            let rb = self.row(b);
+            if ra.iter().zip(rb).any(|(x, y)| x & y != 0) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether the graph contains a 4-clique (direct combinatorial check).
+    pub fn has_4clique(&self) -> bool {
+        for (a, b) in self.edges() {
+            // Common neighbourhood of a and b.
+            let ra = self.row(a);
+            let rb = self.row(b);
+            let common: Vec<usize> = (0..self.n)
+                .filter(|&w| {
+                    w != a && w != b && ra[w / 64] >> (w % 64) & 1 == 1
+                        && rb[w / 64] >> (w % 64) & 1 == 1
+                })
+                .collect();
+            for (i, &w) in common.iter().enumerate() {
+                for &x in &common[i + 1..] {
+                    if self.has_edge(w, x) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Whether the graph contains a `k`-clique (backtracking; fine for the
+    /// small graphs used in experiments).
+    pub fn has_k_clique(&self, k: usize) -> bool {
+        if k <= 1 {
+            return self.n >= k;
+        }
+        let mut chosen: Vec<usize> = Vec::with_capacity(k);
+        self.k_clique_rec(0, k, &mut chosen)
+    }
+
+    fn k_clique_rec(&self, from: usize, k: usize, chosen: &mut Vec<usize>) -> bool {
+        if chosen.len() == k {
+            return true;
+        }
+        for v in from..self.n {
+            if chosen.iter().all(|&u| self.has_edge(u, v)) {
+                chosen.push(v);
+                if self.k_clique_rec(v + 1, k, chosen) {
+                    return true;
+                }
+                chosen.pop();
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_and_adjacency() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        g.add_edge(1, 1); // ignored self-loop
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert!(!g.has_edge(1, 1));
+        assert_eq!(g.edges(), vec![(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn triangles_of_k4() {
+        let g = Graph::new(4).with_clique(&[0, 1, 2, 3]);
+        assert_eq!(g.triangles().len(), 4);
+        assert!(g.has_triangle());
+        assert!(g.has_4clique());
+        assert!(g.has_k_clique(4));
+        assert!(!g.has_k_clique(5));
+    }
+
+    #[test]
+    fn square_has_no_triangle() {
+        let mut g = Graph::new(4);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
+            g.add_edge(u, v);
+        }
+        assert!(!g.has_triangle());
+        assert!(!g.has_4clique());
+        assert!(g.triangles().is_empty());
+    }
+
+    #[test]
+    fn triangle_without_4clique() {
+        let mut g = Graph::new(5);
+        g = g.with_clique(&[0, 1, 2]);
+        g.add_edge(3, 4);
+        assert!(g.has_triangle());
+        assert!(!g.has_4clique());
+    }
+
+    #[test]
+    fn gnp_determinism_and_bounds() {
+        let a = Graph::gnp(50, 0.2, 9);
+        let b = Graph::gnp(50, 0.2, 9);
+        assert_eq!(a.edges(), b.edges());
+        let full = Graph::gnp(20, 1.0, 0);
+        assert_eq!(full.n_edges(), 20 * 19 / 2);
+        let empty = Graph::gnp(20, 0.0, 0);
+        assert_eq!(empty.n_edges(), 0);
+    }
+
+    #[test]
+    fn cross_word_boundaries() {
+        // Vertices beyond 64 exercise multi-word bitsets.
+        let g = Graph::new(130).with_clique(&[1, 70, 129]);
+        assert!(g.has_edge(1, 129));
+        assert!(g.has_triangle());
+        assert_eq!(g.triangles(), vec![(1, 70, 129)]);
+    }
+}

@@ -1,0 +1,158 @@
+//! Boolean matrix multiplication through query enumeration.
+//!
+//! The mat-mul hypothesis (§2) says the product of two Boolean `n × n`
+//! matrices cannot be computed in `O(n²)`; the paper's acyclic lower bounds
+//! embed BMM into query answers. These functions run the embeddings
+//! *forward*: build the instance, enumerate, decode the product — which
+//! both validates the reductions (the decoded product must equal the direct
+//! one) and lets experiments measure "BMM via query" against direct BMM.
+
+use crate::matrix::BoolMat;
+use ucq_core::evaluate_ucq_naive;
+use ucq_query::{parse_cq, parse_ucq, Cq, Ucq};
+use ucq_storage::{Instance, Relation, Tuple, Value};
+use ucq_yannakakis::evaluate_cq_naive;
+
+/// The canonical hard CQ `Π(x, y) ← A(x, z), B(z, y)` (§2).
+pub fn matmul_query() -> Cq {
+    parse_cq("Pi(x, y) <- A(x, z), B(z, y)").expect("well-formed")
+}
+
+/// Encodes two matrices as the instance `{A, B}` of [`matmul_query`].
+pub fn encode_matrices(a: &BoolMat, b: &BoolMat) -> Instance {
+    let mut inst = Instance::new();
+    inst.insert(
+        "A",
+        Relation::from_pairs(a.ones().into_iter().map(|(i, j)| (i as i64, j as i64))),
+    );
+    inst.insert(
+        "B",
+        Relation::from_pairs(b.ones().into_iter().map(|(i, j)| (i as i64, j as i64))),
+    );
+    inst
+}
+
+/// Computes `A·B` by enumerating `Π(x, y)` (Theorem 3(2) forward).
+pub fn bmm_via_cq(a: &BoolMat, b: &BoolMat) -> BoolMat {
+    assert_eq!(a.n(), b.n());
+    let q = matmul_query();
+    let inst = encode_matrices(a, b);
+    let answers = evaluate_cq_naive(&q, &inst).expect("evaluates");
+    decode_product(a.n(), &answers)
+}
+
+/// Example 20's rewritten form: one body, two heads.
+pub fn example20_rewritten() -> Ucq {
+    parse_ucq(
+        "Q1(w, y, z) <- R1(w, v), R2(v, y), R3(y, z), R4(z, x)\n\
+         Q2(x, y, v) <- R1(w, v), R2(v, y), R3(y, z), R4(z, x)",
+    )
+    .expect("well-formed")
+}
+
+/// The Lemma 25 / Example 20 instance: `R1 = A`, `R2 = B`,
+/// `R3 = {0..n} × {⊥}`, `R4 = {(⊥, ⊥)}`.
+pub fn encode_example20(a: &BoolMat, b: &BoolMat) -> Instance {
+    assert_eq!(a.n(), b.n());
+    let n = a.n();
+    let mut inst = Instance::new();
+    inst.insert(
+        "R1",
+        Relation::from_pairs(a.ones().into_iter().map(|(i, j)| (i as i64, j as i64))),
+    );
+    inst.insert(
+        "R2",
+        Relation::from_pairs(b.ones().into_iter().map(|(i, j)| (i as i64, j as i64))),
+    );
+    let mut r3 = Relation::new(2);
+    for y in 0..n {
+        r3.push_row(&[Value::Int(y as i64), Value::Bottom]);
+    }
+    inst.insert("R3", r3);
+    let mut r4 = Relation::new(2);
+    r4.push_row(&[Value::Bottom, Value::Bottom]);
+    inst.insert("R4", r4);
+    inst
+}
+
+/// Computes `A·B` by enumerating the Example 20 union. The union has at
+/// most `2n²` answers over this instance; `Q1`'s answers `(w, y, ⊥)` are
+/// the product entries, while `Q2`'s all start with `⊥`.
+pub fn bmm_via_example20(a: &BoolMat, b: &BoolMat) -> BoolMat {
+    let u = example20_rewritten();
+    let inst = encode_example20(a, b);
+    let answers = evaluate_ucq_naive(&u, &inst).expect("evaluates");
+    let mut out = BoolMat::zero(a.n());
+    for t in &answers {
+        if let (Value::Int(i), Value::Int(j)) = (t[0], t[1]) {
+            out.set(i as usize, j as usize);
+        }
+    }
+    out
+}
+
+fn decode_product(n: usize, answers: &[Tuple]) -> BoolMat {
+    let mut out = BoolMat::zero(n);
+    for t in answers {
+        let (Value::Int(i), Value::Int(j)) = (t[0], t[1]) else {
+            panic!("matmul answers are integer pairs");
+        };
+        out.set(i as usize, j as usize);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cq_route_matches_direct_product() {
+        for seed in 0..3 {
+            let a = BoolMat::random(24, 0.2, seed);
+            let b = BoolMat::random(24, 0.25, seed + 100);
+            assert_eq!(bmm_via_cq(&a, &b), a.multiply(&b));
+        }
+    }
+
+    #[test]
+    fn example20_route_matches_direct_product() {
+        for seed in 0..3 {
+            let a = BoolMat::random(20, 0.2, seed);
+            let b = BoolMat::random(20, 0.3, seed + 7);
+            assert_eq!(bmm_via_example20(&a, &b), a.multiply(&b));
+        }
+    }
+
+    #[test]
+    fn example20_answer_count_is_quadratic_not_cubic() {
+        // The Lemma 25 point: over this instance the union produces at most
+        // O(n²) answers even though the query is generally n³-ish.
+        let n = 24;
+        let a = BoolMat::random(n, 0.4, 1);
+        let b = BoolMat::random(n, 0.4, 2);
+        let u = example20_rewritten();
+        let inst = encode_example20(&a, &b);
+        let answers = evaluate_ucq_naive(&u, &inst).unwrap();
+        assert!(
+            answers.len() <= 2 * n * n,
+            "paper bound: |Q(I)| ≤ 2n², got {}",
+            answers.len()
+        );
+    }
+
+    #[test]
+    fn zero_matrices_give_zero() {
+        let z = BoolMat::zero(8);
+        assert_eq!(bmm_via_cq(&z, &z).count_ones(), 0);
+        assert_eq!(bmm_via_example20(&z, &z).count_ones(), 0);
+    }
+
+    #[test]
+    fn dense_matrices_saturate() {
+        let a = BoolMat::random(10, 1.0, 0);
+        let b = BoolMat::random(10, 1.0, 0);
+        assert_eq!(bmm_via_cq(&a, &b).count_ones(), 100);
+        assert_eq!(bmm_via_example20(&a, &b).count_ones(), 100);
+    }
+}

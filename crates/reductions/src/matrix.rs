@@ -1,0 +1,145 @@
+//! Boolean matrices — the objects of the mat-mul hypothesis (§2).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A dense Boolean `n × n` matrix with bitset rows.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BoolMat {
+    n: usize,
+    words: usize,
+    rows: Vec<u64>,
+}
+
+impl BoolMat {
+    /// The zero matrix.
+    pub fn zero(n: usize) -> BoolMat {
+        let words = n.div_ceil(64);
+        BoolMat {
+            n,
+            words,
+            rows: vec![0; n * words],
+        }
+    }
+
+    /// Dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Sets entry `(i, j)` to 1.
+    pub fn set(&mut self, i: usize, j: usize) {
+        assert!(i < self.n && j < self.n);
+        self.rows[i * self.words + j / 64] |= 1u64 << (j % 64);
+    }
+
+    /// Reads entry `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> bool {
+        self.rows[i * self.words + j / 64] >> (j % 64) & 1 == 1
+    }
+
+    /// A random matrix with the given density of ones.
+    pub fn random(n: usize, density: f64, seed: u64) -> BoolMat {
+        let mut m = BoolMat::zero(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in 0..n {
+            for j in 0..n {
+                if rng.gen::<f64>() < density {
+                    m.set(i, j);
+                }
+            }
+        }
+        m
+    }
+
+    /// The 1-entries as `(row, col)` pairs.
+    pub fn ones(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if self.get(i, j) {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of 1-entries.
+    pub fn count_ones(&self) -> usize {
+        self.rows.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Boolean matrix product via bitset row ORs — the "direct" baseline
+    /// the query-based computation is validated against.
+    pub fn multiply(&self, other: &BoolMat) -> BoolMat {
+        assert_eq!(self.n, other.n);
+        let mut out = BoolMat::zero(self.n);
+        for i in 0..self.n {
+            let dst_start = i * self.words;
+            for k in 0..self.n {
+                if self.get(i, k) {
+                    let src = &other.rows[k * self.words..(k + 1) * self.words];
+                    for (w, &s) in src.iter().enumerate() {
+                        out.rows[dst_start + w] |= s;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut m = BoolMat::zero(70);
+        m.set(0, 69);
+        m.set(69, 0);
+        assert!(m.get(0, 69) && m.get(69, 0));
+        assert!(!m.get(0, 0));
+        assert_eq!(m.count_ones(), 2);
+    }
+
+    #[test]
+    fn identity_multiplication() {
+        let mut id = BoolMat::zero(5);
+        for i in 0..5 {
+            id.set(i, i);
+        }
+        let r = BoolMat::random(5, 0.5, 3);
+        assert_eq!(id.multiply(&r), r);
+        assert_eq!(r.multiply(&id), r);
+    }
+
+    #[test]
+    fn small_product_by_hand() {
+        // A = [[1,1],[0,0]], B = [[0,1],[1,0]] => AB = [[1,1],[0,0]].
+        let mut a = BoolMat::zero(2);
+        a.set(0, 0);
+        a.set(0, 1);
+        let mut b = BoolMat::zero(2);
+        b.set(0, 1);
+        b.set(1, 0);
+        let c = a.multiply(&b);
+        assert!(c.get(0, 0) && c.get(0, 1));
+        assert!(!c.get(1, 0) && !c.get(1, 1));
+    }
+
+    #[test]
+    fn random_is_deterministic() {
+        assert_eq!(BoolMat::random(30, 0.3, 5), BoolMat::random(30, 0.3, 5));
+    }
+
+    #[test]
+    fn ones_listing() {
+        let mut m = BoolMat::zero(3);
+        m.set(2, 1);
+        m.set(0, 0);
+        assert_eq!(m.ones(), vec![(0, 0), (2, 1)]);
+    }
+}

@@ -1,0 +1,122 @@
+//! The Lemma 14 exact reduction: disjoint per-variable domains.
+//!
+//! `σ` tags every value of every tuple with the variable occupying that
+//! position, so distinct variables range over disjoint domains; relations
+//! not mentioned by the hard member are left absent (= empty). `τ` strips
+//! the tags from answers. When no other member has a body-homomorphism into
+//! the hard member, the union's answers over `σ(I)` are exactly the hard
+//! member's answers over `I` — i.e. `Enum⟨Q1⟩ ≤e Enum⟨Q⟩`.
+
+use ucq_query::Cq;
+use ucq_storage::{Instance, Relation, Tuple, Value};
+
+/// The `σ` map: tags instance `inst` (which must only contain `Int`
+/// values) along the atoms of `q1`.
+pub fn encode_instance(q1: &Cq, inst: &Instance) -> Instance {
+    let mut out = Instance::new();
+    for atom in q1.atoms() {
+        let Some(stored) = inst.get(&atom.rel) else {
+            continue;
+        };
+        assert_eq!(stored.arity(), atom.args.len(), "schema mismatch");
+        let mut rel = Relation::with_capacity(stored.arity(), stored.len());
+        let mut row: Vec<Value> = vec![Value::Bottom; stored.arity()];
+        for src in stored.iter_rows() {
+            for (pos, (&val, &var)) in src.iter().zip(&atom.args).enumerate() {
+                let Value::Int(v) = val else {
+                    panic!("encode_instance expects plain Int values");
+                };
+                row[pos] = Value::tagged(var, v);
+            }
+            rel.push_row(&row);
+        }
+        out.insert(atom.rel.clone(), rel);
+    }
+    out
+}
+
+/// The `τ` map: strips tags from an answer tuple.
+pub fn decode_answer(t: &Tuple) -> Tuple {
+    t.untag()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use ucq_core::evaluate_ucq_naive;
+    use ucq_query::{parse_cq, parse_ucq};
+    use ucq_yannakakis::evaluate_cq_naive;
+
+    fn inst(rels: &[(&str, Vec<(i64, i64)>)]) -> Instance {
+        rels.iter()
+            .map(|(n, pairs)| {
+                (n.to_string(), Relation::from_pairs(pairs.iter().copied()))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tagging_tags_by_variable() {
+        let q = parse_cq("Q(x, y) <- R(x, y)").unwrap();
+        let i = inst(&[("R", vec![(1, 2)])]);
+        let enc = encode_instance(&q, &i);
+        let rel = enc.get("R").unwrap();
+        assert_eq!(rel.row(0), &[Value::tagged(0, 1), Value::tagged(1, 2)]);
+    }
+
+    #[test]
+    fn lemma14_exact_reduction_example9() {
+        // Example 9: no body-homomorphism from Q2 to Q1 (R4 blocks it), so
+        // over σ(I) the union returns exactly τ⁻¹ of Q1's answers.
+        let u = parse_ucq(
+            "Q1(x, y, w) <- R1(x, z), R2(z, y), R3(y, w)\n\
+             Q2(x, y, w) <- R1(x, y), R2(y, w), R4(y)",
+        )
+        .unwrap();
+        let q1 = &u.cqs()[0];
+        let i = inst(&[
+            ("R1", vec![(1, 2), (5, 2)]),
+            ("R2", vec![(2, 3), (3, 5)]),
+            ("R3", vec![(3, 4), (5, 1)]),
+            ("R4", vec![]),
+        ]);
+        // Note R4 gets values too in the real instance; σ leaves it out.
+        let encoded = encode_instance(q1, &i);
+        assert!(!encoded.contains("R4"), "relations outside Q1 stay empty");
+
+        let union_answers = evaluate_ucq_naive(&u, &encoded).unwrap();
+        let decoded: HashSet<Tuple> =
+            union_answers.iter().map(decode_answer).collect();
+        let direct: HashSet<Tuple> =
+            evaluate_cq_naive(q1, &i).unwrap().into_iter().collect();
+        assert_eq!(decoded, direct);
+        // And σ introduced no spurious duplicates.
+        assert_eq!(union_answers.len(), decoded.len());
+    }
+
+    #[test]
+    fn self_joins_in_instance_separate_under_tagging() {
+        // The same relation R appears in two atoms of different variables —
+        // tagging makes the two copies range over "disjoint" values, which
+        // is exactly why Lemma 14 requires self-join-free queries. Here we
+        // just confirm σ is per-atom.
+        let q = parse_cq("Q(x, y) <- R(x, y)").unwrap();
+        let i = inst(&[("R", vec![(7, 7)])]);
+        let enc = encode_instance(&q, &i);
+        let rel = enc.get("R").unwrap();
+        // (7,7) becomes ((7#x),(7#y)) — different tagged values.
+        assert_ne!(rel.row(0)[0], rel.row(0)[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "plain Int")]
+    fn rejects_pre_tagged_values() {
+        let q = parse_cq("Q(x) <- R(x)").unwrap();
+        let mut rel = Relation::new(1);
+        rel.push_row(&[Value::tagged(0, 1)]);
+        let mut i = Instance::new();
+        i.insert("R", rel);
+        encode_instance(&q, &i);
+    }
+}

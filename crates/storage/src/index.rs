@@ -1,0 +1,195 @@
+//! Hash indexes over relations.
+//!
+//! The constant-delay enumeration phase relies on O(1) lookups of the rows
+//! matching a separator binding; [`HashIndex`] groups row ids by a key-column
+//! projection. [`RowSet`] supports the constant-time membership tests used
+//! by Algorithm 1 and the CDY answer tester.
+
+use crate::relation::Relation;
+use crate::value::Value;
+use std::collections::{HashMap, HashSet};
+
+/// Groups the rows of a relation by their projection onto `key_cols`.
+///
+/// Groups carry stable integer ids so that enumeration cursors can be stored
+/// as plain `(group, position)` pairs without borrowing the index.
+#[derive(Clone, Debug)]
+pub struct HashIndex {
+    key_cols: Vec<usize>,
+    map: HashMap<Box<[Value]>, u32>,
+    groups: Vec<Vec<u32>>,
+}
+
+impl HashIndex {
+    /// Builds an index over `rel` keyed on `key_cols` (positions).
+    pub fn build(rel: &Relation, key_cols: &[usize]) -> HashIndex {
+        let mut map: HashMap<Box<[Value]>, u32> = HashMap::with_capacity(rel.len());
+        let mut groups: Vec<Vec<u32>> = Vec::new();
+        let mut buf: Vec<Value> = Vec::with_capacity(key_cols.len());
+        for (i, row) in rel.iter_rows().enumerate() {
+            buf.clear();
+            buf.extend(key_cols.iter().map(|&c| row[c]));
+            let gid = *map.entry(buf.as_slice().into()).or_insert_with(|| {
+                groups.push(Vec::new());
+                (groups.len() - 1) as u32
+            });
+            groups[gid as usize].push(i as u32);
+        }
+        HashIndex {
+            key_cols: key_cols.to_vec(),
+            map,
+            groups,
+        }
+    }
+
+    /// The key columns this index was built on.
+    pub fn key_cols(&self) -> &[usize] {
+        &self.key_cols
+    }
+
+    /// The stable group id for `key`, if present.
+    #[inline]
+    pub fn gid_of(&self, key: &[Value]) -> Option<u32> {
+        self.map.get(key).copied()
+    }
+
+    /// The row ids of a group.
+    #[inline]
+    pub fn group(&self, gid: u32) -> &[u32] {
+        &self.groups[gid as usize]
+    }
+
+    /// Row ids whose key equals `key`. Empty slice when absent.
+    #[inline]
+    pub fn get(&self, key: &[Value]) -> &[u32] {
+        match self.gid_of(key) {
+            Some(g) => self.group(g),
+            None => &[],
+        }
+    }
+
+    /// Whether any row matches `key`.
+    #[inline]
+    pub fn contains_key(&self, key: &[Value]) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Number of distinct keys.
+    pub fn n_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Iterates over `(key, row ids)` groups.
+    pub fn iter(&self) -> impl Iterator<Item = (&[Value], &[u32])> {
+        self.map
+            .iter()
+            .map(|(k, &g)| (&**k, self.groups[g as usize].as_slice()))
+    }
+}
+
+/// A set of full rows for O(1) membership tests.
+#[derive(Clone, Debug, Default)]
+pub struct RowSet {
+    set: HashSet<Box<[Value]>>,
+}
+
+impl RowSet {
+    /// Builds a set of all rows of `rel`.
+    pub fn build(rel: &Relation) -> RowSet {
+        RowSet {
+            set: rel.iter_rows().map(Into::into).collect(),
+        }
+    }
+
+    /// Builds a set of the projections of all rows of `rel` onto `cols`.
+    pub fn build_projected(rel: &Relation, cols: &[usize]) -> RowSet {
+        let mut set = HashSet::with_capacity(rel.len());
+        let mut buf: Vec<Value> = Vec::with_capacity(cols.len());
+        for row in rel.iter_rows() {
+            buf.clear();
+            buf.extend(cols.iter().map(|&c| row[c]));
+            set.insert(buf.as_slice().into());
+        }
+        RowSet { set }
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, row: &[Value]) -> bool {
+        self.set.contains(row)
+    }
+
+    /// Inserts a row; returns whether it was new.
+    pub fn insert(&mut self, row: &[Value]) -> bool {
+        self.set.insert(row.into())
+    }
+
+    /// Number of rows in the set.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(xs: &[i64]) -> Vec<Value> {
+        xs.iter().map(|&x| Value::Int(x)).collect()
+    }
+
+    #[test]
+    fn index_groups_rows() {
+        let r = Relation::from_pairs([(1, 10), (1, 20), (2, 30)]);
+        let idx = HashIndex::build(&r, &[0]);
+        assert_eq!(idx.get(&iv(&[1])), &[0, 1]);
+        assert_eq!(idx.get(&iv(&[2])), &[2]);
+        assert_eq!(idx.get(&iv(&[9])), &[] as &[u32]);
+        assert_eq!(idx.n_keys(), 2);
+        assert!(idx.contains_key(&iv(&[1])));
+    }
+
+    #[test]
+    fn index_on_empty_key_groups_everything() {
+        let r = Relation::from_pairs([(1, 10), (2, 20)]);
+        let idx = HashIndex::build(&r, &[]);
+        assert_eq!(idx.get(&[]), &[0, 1]);
+    }
+
+    #[test]
+    fn index_on_second_column() {
+        let r = Relation::from_pairs([(1, 10), (2, 10)]);
+        let idx = HashIndex::build(&r, &[1]);
+        assert_eq!(idx.get(&iv(&[10])), &[0, 1]);
+    }
+
+    #[test]
+    fn rowset_membership() {
+        let r = Relation::from_pairs([(1, 2), (3, 4)]);
+        let s = RowSet::build(&r);
+        assert!(s.contains(&iv(&[1, 2])));
+        assert!(!s.contains(&iv(&[2, 1])));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn rowset_projected() {
+        let r = Relation::from_pairs([(1, 2), (1, 3)]);
+        let s = RowSet::build_projected(&r, &[0]);
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(&iv(&[1])));
+    }
+
+    #[test]
+    fn rowset_insert_reports_novelty() {
+        let mut s = RowSet::default();
+        assert!(s.insert(&iv(&[1])));
+        assert!(!s.insert(&iv(&[1])));
+        assert!(!s.is_empty());
+    }
+}

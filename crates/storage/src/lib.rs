@@ -1,0 +1,21 @@
+//! Relational storage substrate for the `ucq-enum` workspace.
+//!
+//! Values ([`Value`]), owned tuples ([`Tuple`]), flat row-major relations
+//! ([`Relation`]), hash indexes ([`HashIndex`], [`RowSet`]) and named
+//! instances ([`Instance`]). The value domain includes the tagged constants
+//! and `⊥` filler used by the paper's lower-bound encodings (Lemma 14,
+//! Examples 18/20/22/31/39).
+
+pub mod index;
+pub mod instance;
+pub mod relation;
+pub mod text;
+pub mod tuple;
+pub mod value;
+
+pub use index::{HashIndex, RowSet};
+pub use instance::Instance;
+pub use relation::Relation;
+pub use text::{parse_instance, to_text, TextError};
+pub use tuple::Tuple;
+pub use value::Value;

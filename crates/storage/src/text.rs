@@ -1,0 +1,254 @@
+//! A small text format for instances.
+//!
+//! One fact per statement, `.`-terminated (newlines also separate):
+//!
+//! ```text
+//! R(1, 2). R(2, 3).
+//! S(2, 5).
+//! # comments run to end of line
+//! ```
+//!
+//! Values are integers or `_` for `⊥`. Tagged values print as `v#t` and
+//! parse back. Useful for fixtures, examples, and the docs.
+
+use crate::instance::Instance;
+use crate::relation::Relation;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Parse errors for the instance text format.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TextError {
+    /// Byte offset of the error.
+    pub at: usize,
+    /// Explanation.
+    pub msg: String,
+}
+
+impl std::fmt::Display for TextError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "instance parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for TextError {}
+
+/// Parses an instance from the text format.
+pub fn parse_instance(input: &str) -> Result<Instance, TextError> {
+    let b = input.as_bytes();
+    let mut pos = 0usize;
+    let mut facts: HashMap<String, Vec<Vec<Value>>> = HashMap::new();
+
+    let err = |at: usize, msg: &str| TextError {
+        at,
+        msg: msg.to_string(),
+    };
+    let skip_ws = |pos: &mut usize| {
+        while *pos < b.len() {
+            match b[*pos] {
+                c if c.is_ascii_whitespace() => *pos += 1,
+                b'.' | b';' => *pos += 1,
+                b'#' | b'%' => {
+                    while *pos < b.len() && b[*pos] != b'\n' {
+                        *pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+    };
+
+    loop {
+        skip_ws(&mut pos);
+        if pos >= b.len() {
+            break;
+        }
+        // Relation name.
+        let start = pos;
+        while pos < b.len() && (b[pos].is_ascii_alphanumeric() || b[pos] == b'_') {
+            pos += 1;
+        }
+        if pos == start {
+            return Err(err(pos, "expected relation name"));
+        }
+        let name = std::str::from_utf8(&b[start..pos]).expect("ascii").to_string();
+        skip_ws(&mut pos);
+        if pos >= b.len() || b[pos] != b'(' {
+            return Err(err(pos, "expected '('"));
+        }
+        pos += 1;
+        // Values.
+        let mut row: Vec<Value> = Vec::new();
+        loop {
+            skip_ws(&mut pos);
+            if pos < b.len() && b[pos] == b')' && row.is_empty() {
+                return Err(err(pos, "facts need at least one value"));
+            }
+            let (v, next) = parse_value(b, pos).map_err(|(at, m)| err(at, &m))?;
+            row.push(v);
+            pos = next;
+            skip_ws(&mut pos);
+            match b.get(pos) {
+                Some(b',') => pos += 1,
+                Some(b')') => {
+                    pos += 1;
+                    break;
+                }
+                _ => return Err(err(pos, "expected ',' or ')'")),
+            }
+        }
+        let rows = facts.entry(name.clone()).or_default();
+        if let Some(first) = rows.first() {
+            if first.len() != row.len() {
+                return Err(err(
+                    pos,
+                    &format!(
+                        "arity mismatch for {name}: got {} then {}",
+                        first.len(),
+                        row.len()
+                    ),
+                ));
+            }
+        }
+        rows.push(row);
+    }
+
+    let mut inst = Instance::new();
+    for (name, rows) in facts {
+        let arity = rows[0].len();
+        let mut rel = Relation::with_capacity(arity, rows.len());
+        for row in &rows {
+            rel.push_row(row);
+        }
+        inst.insert(name, rel);
+    }
+    Ok(inst)
+}
+
+fn parse_value(b: &[u8], mut pos: usize) -> Result<(Value, usize), (usize, String)> {
+    if pos >= b.len() {
+        return Err((pos, "expected value".into()));
+    }
+    if b[pos] == b'_' {
+        return Ok((Value::Bottom, pos + 1));
+    }
+    let start = pos;
+    if b[pos] == b'-' {
+        pos += 1;
+    }
+    while pos < b.len() && b[pos].is_ascii_digit() {
+        pos += 1;
+    }
+    if pos == start || (pos == start + 1 && b[start] == b'-') {
+        return Err((start, "expected integer, '_' or 'v#tag'".into()));
+    }
+    let val: i64 = std::str::from_utf8(&b[start..pos])
+        .expect("ascii")
+        .parse()
+        .map_err(|e| (start, format!("bad integer: {e}")))?;
+    // Optional tag suffix.
+    if pos < b.len() && b[pos] == b'#' {
+        pos += 1;
+        let tstart = pos;
+        while pos < b.len() && b[pos].is_ascii_digit() {
+            pos += 1;
+        }
+        if pos == tstart {
+            return Err((pos, "expected tag after '#'".into()));
+        }
+        let tag: u32 = std::str::from_utf8(&b[tstart..pos])
+            .expect("ascii")
+            .parse()
+            .map_err(|e| (tstart, format!("bad tag: {e}")))?;
+        return Ok((Value::tagged(tag, val), pos));
+    }
+    Ok((Value::Int(val), pos))
+}
+
+/// Serializes an instance into the text format (relations sorted by name,
+/// rows in storage order). `parse_instance ∘ to_text` is the identity up to
+/// row order.
+pub fn to_text(inst: &Instance) -> String {
+    let mut names: Vec<&str> = inst.names().collect();
+    names.sort_unstable();
+    let mut out = String::new();
+    for name in names {
+        let rel = inst.get(name).expect("listed");
+        for row in rel.iter_rows() {
+            let _ = write!(out, "{name}(");
+            for (i, v) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                match v {
+                    Value::Bottom => out.push('_'),
+                    Value::Int(x) => {
+                        let _ = write!(out, "{x}");
+                    }
+                    Value::Tagged { tag, val } => {
+                        let _ = write!(out, "{val}#{tag}");
+                    }
+                }
+            }
+            out.push_str(").\n");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_facts() {
+        let i = parse_instance("R(1, 2). R(2, 3).\nS(5).").unwrap();
+        assert_eq!(i.get("R").unwrap().len(), 2);
+        assert_eq!(i.get("S").unwrap().arity(), 1);
+    }
+
+    #[test]
+    fn parse_bottom_negative_and_tagged() {
+        let i = parse_instance("T(_, -7, 3#2).").unwrap();
+        let row = i.get("T").unwrap().row(0).to_vec();
+        assert_eq!(row, vec![Value::Bottom, Value::Int(-7), Value::tagged(2, 3)]);
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let i = parse_instance("# header\nR(1, 2).\n% trailing\n\nR(3, 4).").unwrap();
+        assert_eq!(i.get("R").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let e = parse_instance("R(1, 2). R(3).").unwrap_err();
+        assert!(e.msg.contains("arity mismatch"));
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(parse_instance("R(1,").is_err());
+        assert!(parse_instance("(1)").is_err());
+        assert!(parse_instance("R()").is_err());
+        assert!(parse_instance("R(x)").is_err());
+        assert!(parse_instance("R(1#)").is_err());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let text = "A(1, 2).\nA(3, _).\nB(9#1).\n";
+        let i = parse_instance(text).unwrap();
+        let printed = to_text(&i);
+        let j = parse_instance(&printed).unwrap();
+        assert_eq!(to_text(&j), printed);
+        assert_eq!(i.get("A").unwrap().len(), j.get("A").unwrap().len());
+    }
+
+    #[test]
+    fn empty_input_is_empty_instance() {
+        let i = parse_instance("  \n# nothing\n").unwrap();
+        assert_eq!(i.n_relations(), 0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Owned answer tuples.
+
+use crate::value::Value;
+use std::fmt;
+
+/// An owned tuple of values — the unit of enumeration output.
+///
+/// Relations store rows in flat arrays ([`crate::relation::Relation`]);
+/// `Tuple` is used at API boundaries: enumerator items, dedup keys, index
+/// keys.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Tuple(pub Box<[Value]>);
+
+impl Tuple {
+    /// Creates a tuple from a row slice.
+    #[inline]
+    pub fn from_row(row: &[Value]) -> Tuple {
+        Tuple(row.into())
+    }
+
+    /// Creates an empty (arity-0) tuple — the single answer of a Boolean
+    /// query.
+    #[inline]
+    pub fn empty() -> Tuple {
+        Tuple(Box::new([]))
+    }
+
+    /// The tuple's arity.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The values as a slice.
+    #[inline]
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Projects onto the given column positions.
+    #[inline]
+    pub fn project(&self, cols: &[usize]) -> Tuple {
+        Tuple(cols.iter().map(|&c| self.0[c]).collect())
+    }
+
+    /// Applies [`Value::untag`] to every component (the `τ` translation of
+    /// the Lemma 14 reduction).
+    #[inline]
+    pub fn untag(&self) -> Tuple {
+        Tuple(self.0.iter().map(|v| v.untag()).collect())
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(v: Vec<Value>) -> Tuple {
+        Tuple(v.into_boxed_slice())
+    }
+}
+
+impl From<&[i64]> for Tuple {
+    fn from(v: &[i64]) -> Tuple {
+        Tuple(v.iter().map(|&x| Value::Int(x)).collect())
+    }
+}
+
+impl std::ops::Index<usize> for Tuple {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_arity() {
+        let t: Tuple = vec![Value::Int(1), Value::Bottom].into();
+        assert_eq!(t.arity(), 2);
+        assert_eq!(t[0], Value::Int(1));
+        assert_eq!(Tuple::empty().arity(), 0);
+    }
+
+    #[test]
+    fn from_ints() {
+        let t: Tuple = (&[1i64, 2, 3][..]).into();
+        assert_eq!(t.values(), &[Value::Int(1), Value::Int(2), Value::Int(3)]);
+    }
+
+    #[test]
+    fn projection() {
+        let t: Tuple = (&[10i64, 20, 30][..]).into();
+        assert_eq!(t.project(&[2, 0]), (&[30i64, 10][..]).into());
+        assert_eq!(t.project(&[]), Tuple::empty());
+    }
+
+    #[test]
+    fn untag_is_componentwise() {
+        let t: Tuple = vec![Value::tagged(1, 5), Value::Int(6), Value::Bottom].into();
+        assert_eq!(
+            t.untag(),
+            vec![Value::Int(5), Value::Int(6), Value::Bottom].into()
+        );
+    }
+
+    #[test]
+    fn display() {
+        let t: Tuple = (&[1i64, 2][..]).into();
+        assert_eq!(t.to_string(), "(1, 2)");
+        assert_eq!(Tuple::empty().to_string(), "()");
+    }
+}

@@ -1,0 +1,9 @@
+//! Workloads: the paper's query catalog and random instance generators.
+
+pub mod catalog;
+pub mod generators;
+pub mod random;
+
+pub use catalog::{by_id, catalog, example31, CatalogEntry, PaperVerdict};
+pub use generators::{example39, path_cq, star_cq};
+pub use random::{random_instance, InstanceSpec};

@@ -1,0 +1,664 @@
+//! The Constant-Delay Yannakakis (CDY) algorithm [11, 20].
+//!
+//! Given an `S`-connex acyclic CQ, [`CdyEngine::build`] runs the linear
+//! preprocessing phase: it constructs an ext-S-connex tree, loads and
+//! normalizes the atom relations, projects the extension nodes, and applies
+//! the full reducer. Afterwards:
+//!
+//! * [`CdyEngine::iter`] enumerates the projection of the query onto `S`
+//!   with constant delay and no duplicates (the paper's Theorem 3(1) upper
+//!   bound; with `S = free(Q)` this enumerates `Q(I)`);
+//! * [`CdyEngine::contains`] answers membership in constant time (used by
+//!   Algorithm 1);
+//! * [`CdyIter::next_with_full_binding`] additionally extends every answer
+//!   to a full homomorphism — the "extend once" step in the proof of
+//!   Lemma 8.
+
+use crate::noderel::NodeRel;
+use crate::reducer::full_reduce;
+use std::fmt;
+use ucq_hypergraph::{ext_s_connex_tree, ConnexTree, VSet};
+use ucq_query::{Cq, VarId};
+use ucq_storage::{HashIndex, Instance, Relation, RowSet, Tuple, Value};
+
+/// Evaluation errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvalError {
+    /// The query is not `S`-connex, so CDY does not apply.
+    NotSConnex {
+        /// Query name.
+        query: String,
+        /// The `S` that failed.
+        s: VSet,
+    },
+    /// Schema problem (arity mismatch between atom and stored relation).
+    Schema(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::NotSConnex { query, s } => {
+                write!(f, "query {query} is not {s}-connex; CDY does not apply")
+            }
+            EvalError::Schema(m) => write!(f, "schema error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// A preprocessed CDY evaluation of one CQ.
+#[derive(Debug)]
+pub struct CdyEngine {
+    ct: ConnexTree,
+    /// Connex-first traversal order; the first `n_connex` entries are `T'`.
+    order: Vec<usize>,
+    n_connex: usize,
+    /// Reduced node relations.
+    rels: Vec<NodeRel>,
+    /// Per-node lookup index keyed on the separator with the parent
+    /// (`None` only for the root).
+    indexes: Vec<Option<HashIndex>>,
+    /// Separator variable sets per node.
+    seps: Vec<VSet>,
+    /// Membership sets for connex nodes.
+    row_sets: Vec<Option<RowSet>>,
+    /// Row ids of the root (iterated in full).
+    root_rows: Vec<u32>,
+    /// Output spec: one variable per output position.
+    output: Vec<VarId>,
+    n_vars: u32,
+    nonempty: bool,
+}
+
+impl CdyEngine {
+    /// Builds the engine for `Q(I)` itself: `S = free(Q)`, output = head.
+    /// Fails with [`EvalError::NotSConnex`] unless `Q` is free-connex.
+    pub fn for_query(cq: &Cq, instance: &Instance) -> Result<CdyEngine, EvalError> {
+        CdyEngine::build(cq, cq.free(), cq.head().to_vec(), instance)
+    }
+
+    /// Builds the engine enumerating `π_S(Q)` with output columns the sorted
+    /// variables of `s`. Fails unless `Q` is `S`-connex.
+    pub fn for_projection(
+        cq: &Cq,
+        s: VSet,
+        instance: &Instance,
+    ) -> Result<CdyEngine, EvalError> {
+        CdyEngine::build(cq, s, s.iter().collect(), instance)
+    }
+
+    /// The general constructor: enumerates bindings of the connex subtree
+    /// covering `s`, outputting the variables in `output` (each must lie in
+    /// `s`).
+    pub fn build(
+        cq: &Cq,
+        s: VSet,
+        output: Vec<VarId>,
+        instance: &Instance,
+    ) -> Result<CdyEngine, EvalError> {
+        for &v in &output {
+            assert!(
+                s.contains(v),
+                "output variable {} not in the connex target {s}",
+                cq.var_name(v)
+            );
+        }
+        let h = cq.hypergraph();
+        let ct = ext_s_connex_tree(&h, s).ok_or_else(|| EvalError::NotSConnex {
+            query: cq.name().to_string(),
+            s,
+        })?;
+
+        // Load atom relations.
+        let n_nodes = ct.tree.len();
+        let mut rels: Vec<Option<NodeRel>> = vec![None; n_nodes];
+        for (i, node) in ct.tree.nodes().iter().enumerate() {
+            if let Some(ai) = node.atom {
+                let atom = &cq.atoms()[ai];
+                let nr = match instance.get(&atom.rel) {
+                    Some(stored) => {
+                        NodeRel::from_atom(atom, stored).map_err(EvalError::Schema)?
+                    }
+                    // Missing relations are empty (as in the paper's
+                    // reductions, which "leave relations empty").
+                    None => NodeRel::from_atom(atom, &Relation::new(atom.args.len()))
+                        .map_err(EvalError::Schema)?,
+                };
+                rels[i] = Some(nr);
+            }
+        }
+        // Extension nodes: project any atom node that covers them.
+        for i in 0..n_nodes {
+            if rels[i].is_some() {
+                continue;
+            }
+            let vars = ct.tree.nodes()[i].vars;
+            let carrier = (0..n_nodes)
+                .find(|&j| {
+                    rels[j].is_some() && vars.is_subset(ct.tree.nodes()[j].vars)
+                })
+                .expect("inclusive extension: every node is inside some atom");
+            let projected = rels[carrier]
+                .as_ref()
+                .expect("carrier loaded")
+                .project(vars);
+            rels[i] = Some(projected);
+        }
+        let mut rels: Vec<NodeRel> = rels.into_iter().map(|r| r.expect("all set")).collect();
+
+        // Linear preprocessing: the full reducer.
+        let nonempty = full_reduce(&ct.tree, &mut rels);
+
+        // Lookup structures.
+        let order = ct.order_connex_first();
+        let n_connex = ct.connex_nodes().len();
+        let mut seps = vec![VSet::EMPTY; n_nodes];
+        let mut indexes: Vec<Option<HashIndex>> = Vec::with_capacity(n_nodes);
+        for i in 0..n_nodes {
+            match ct.tree.parent(i) {
+                Some(_) => {
+                    let sep = ct.tree.separator(i);
+                    seps[i] = sep;
+                    let cols = rels[i].cols_of(sep);
+                    indexes.push(Some(HashIndex::build(&rels[i].rel, &cols)));
+                }
+                None => indexes.push(None),
+            }
+        }
+        let mut row_sets: Vec<Option<RowSet>> = vec![None; n_nodes];
+        for &i in order[..n_connex].iter() {
+            row_sets[i] = Some(RowSet::build(&rels[i].rel));
+        }
+        let root = ct.tree.root();
+        let root_rows: Vec<u32> = (0..rels[root].rel.len() as u32).collect();
+
+        Ok(CdyEngine {
+            ct,
+            order,
+            n_connex,
+            rels,
+            indexes,
+            seps,
+            row_sets,
+            root_rows,
+            output,
+            n_vars: cq.n_vars(),
+        nonempty,
+        })
+    }
+
+    /// Whether the query has at least one answer (`Decide⟨Q⟩`).
+    pub fn decide(&self) -> bool {
+        self.nonempty
+    }
+
+    /// The output arity.
+    pub fn output_arity(&self) -> usize {
+        self.output.len()
+    }
+
+    /// The output variable per position.
+    pub fn output_vars(&self) -> &[VarId] {
+        &self.output
+    }
+
+    /// Starts a constant-delay enumeration of the (deduplicated) output.
+    pub fn iter(&self) -> CdyIter<'_> {
+        CdyIter {
+            eng: self,
+            core: IterCore::new(self),
+        }
+    }
+
+    /// Consumes the engine into an owning enumerator.
+    pub fn into_iter_owned(self) -> OwnedCdyIter {
+        OwnedCdyIter::new(self)
+    }
+
+    /// Constant-time membership test for an output tuple. Only valid when
+    /// the output variables cover the connex target `S` (true for
+    /// [`CdyEngine::for_query`] and [`CdyEngine::for_projection`]).
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        assert_eq!(tuple.arity(), self.output.len(), "arity mismatch");
+        let covered: VSet = self.output.iter().copied().collect();
+        assert_eq!(
+            covered, self.ct.s,
+            "membership requires the output to cover S exactly"
+        );
+        if !self.nonempty {
+            return false;
+        }
+        // Bind output positions, rejecting inconsistent repeats.
+        let mut binding: Vec<Option<Value>> = vec![None; self.n_vars as usize];
+        for (pos, &v) in self.output.iter().enumerate() {
+            match binding[v as usize] {
+                Some(existing) if existing != tuple[pos] => return false,
+                _ => binding[v as usize] = Some(tuple[pos]),
+            }
+        }
+        let mut buf: Vec<Value> = Vec::new();
+        for &n in &self.order[..self.n_connex] {
+            let nr = &self.rels[n];
+            buf.clear();
+            for &v in &nr.vars {
+                match binding[v as usize] {
+                    Some(val) => buf.push(val),
+                    None => unreachable!("T' variables are all in S"),
+                }
+            }
+            if !self
+                .row_sets[n]
+                .as_ref()
+                .expect("connex nodes have row sets")
+                .contains(&buf)
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Resolves the match slot (a stable cursor handle) for `node` under the
+    /// current binding.
+    fn slot(&self, node: usize, binding: &[Value]) -> Option<Slot> {
+        match &self.indexes[node] {
+            None => Some(Slot::Root),
+            Some(idx) => {
+                // Project the binding onto the separator (sorted var order
+                // matches the index key columns).
+                let key: Vec<Value> = self.seps[node]
+                    .iter()
+                    .map(|v| binding[v as usize])
+                    .collect();
+                idx.gid_of(&key).map(Slot::Group)
+            }
+        }
+    }
+
+    fn rows(&self, node: usize, slot: Slot) -> &[u32] {
+        match slot {
+            Slot::Root => &self.root_rows,
+            Slot::Group(g) => self.indexes[node]
+                .as_ref()
+                .expect("grouped slots only exist for indexed nodes")
+                .group(g),
+        }
+    }
+
+    fn bind_row(&self, node: usize, row_id: u32, binding: &mut [Value]) {
+        let nr = &self.rels[node];
+        let row = nr.rel.row(row_id as usize);
+        for (col, &v) in nr.vars.iter().enumerate() {
+            binding[v as usize] = row[col];
+        }
+    }
+
+    fn project_output(&self, binding: &[Value]) -> Tuple {
+        Tuple(
+            self.output
+                .iter()
+                .map(|&v| binding[v as usize])
+                .collect(),
+        )
+    }
+}
+
+/// A stable cursor handle into a node's match list: either the whole root
+/// relation or one group of a separator index.
+#[derive(Clone, Copy, Debug)]
+enum Slot {
+    Root,
+    Group(u32),
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Frame {
+    slot: Slot,
+    pos: usize,
+}
+
+#[derive(Clone, Copy)]
+enum IterPhase {
+    Start,
+    Running,
+    Done,
+}
+
+/// Owned enumeration state — no borrows, so enumerators can own their
+/// engine (see [`OwnedCdyIter`]).
+struct IterCore {
+    frames: Vec<Frame>,
+    binding: Vec<Value>,
+    phase: IterPhase,
+}
+
+impl IterCore {
+    fn new(eng: &CdyEngine) -> IterCore {
+        IterCore {
+            frames: Vec::with_capacity(eng.n_connex),
+            binding: vec![Value::Bottom; eng.n_vars as usize],
+            phase: IterPhase::Start,
+        }
+    }
+
+    /// Core backtracking step: leaves `self.binding` holding the next full
+    /// assignment of the connex subtree; returns `false` when exhausted.
+    fn advance(&mut self, eng: &CdyEngine) -> bool {
+        match self.phase {
+            IterPhase::Done => return false,
+            IterPhase::Start => {
+                self.phase = IterPhase::Running;
+                if !eng.nonempty || eng.n_connex == 0 {
+                    self.phase = IterPhase::Done;
+                    return false;
+                }
+                // Descend all the way down; every lookup is non-empty after
+                // reduction.
+                for d in 0..eng.n_connex {
+                    let node = eng.order[d];
+                    let slot = self.descend(eng, node);
+                    debug_assert!(slot.is_some(), "reducer guarantees matches");
+                    if slot.is_none() {
+                        self.phase = IterPhase::Done;
+                        return false;
+                    }
+                }
+                return true;
+            }
+            IterPhase::Running => {}
+        }
+        // Find the deepest frame that can advance.
+        let mut d = eng.n_connex;
+        loop {
+            if d == 0 {
+                self.phase = IterPhase::Done;
+                return false;
+            }
+            d -= 1;
+            let node = eng.order[d];
+            let frame = self.frames[d];
+            let rows = eng.rows(node, frame.slot);
+            if frame.pos + 1 < rows.len() {
+                self.frames[d].pos += 1;
+                let row = rows[frame.pos + 1];
+                eng.bind_row(node, row, &mut self.binding);
+                break;
+            }
+            self.frames.pop();
+        }
+        // Re-descend below `d`.
+        for depth in d + 1..eng.n_connex {
+            let node = eng.order[depth];
+            let slot = self.descend(eng, node);
+            debug_assert!(slot.is_some(), "reducer guarantees matches");
+            if slot.is_none() {
+                self.phase = IterPhase::Done;
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Pushes a fresh frame for `node` positioned at its first match and
+    /// applies the binding. Returns `None` if there are no matches (which
+    /// the full reducer rules out on reachable paths).
+    fn descend(&mut self, eng: &CdyEngine, node: usize) -> Option<()> {
+        let slot = eng.slot(node, &self.binding)?;
+        let rows = eng.rows(node, slot);
+        if rows.is_empty() {
+            return None;
+        }
+        eng.bind_row(node, rows[0], &mut self.binding);
+        self.frames.push(Frame { slot, pos: 0 });
+        Some(())
+    }
+
+    /// Extends the current connex binding to a full homomorphism by taking
+    /// an arbitrary witness at every non-connex node (the Lemma 8 step).
+    fn extend_full(&mut self, eng: &CdyEngine) {
+        for d in eng.n_connex..eng.order.len() {
+            let node = eng.order[d];
+            let slot = eng
+                .slot(node, &self.binding)
+                .expect("full reducer guarantees witnesses");
+            let rows = eng.rows(node, slot);
+            debug_assert!(!rows.is_empty());
+            eng.bind_row(node, rows[0], &mut self.binding);
+        }
+    }
+}
+
+/// A constant-delay enumerator borrowing a [`CdyEngine`].
+pub struct CdyIter<'a> {
+    eng: &'a CdyEngine,
+    core: IterCore,
+}
+
+impl<'a> CdyIter<'a> {
+    /// Advances to the next answer; `None` when exhausted.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<Tuple> {
+        self.core
+            .advance(self.eng)
+            .then(|| self.eng.project_output(&self.core.binding))
+    }
+
+    /// Advances to the next answer and extends it to a *full* variable
+    /// binding (Lemma 8's "extend once" step). Returns the output tuple and
+    /// the binding indexed by variable id.
+    pub fn next_with_full_binding(&mut self) -> Option<(Tuple, Vec<Value>)> {
+        if !self.core.advance(self.eng) {
+            return None;
+        }
+        self.core.extend_full(self.eng);
+        Some((
+            self.eng.project_output(&self.core.binding),
+            self.core.binding.clone(),
+        ))
+    }
+
+    /// Drains the remaining answers into a vector.
+    pub fn collect_all(mut self) -> Vec<Tuple> {
+        let mut out = Vec::new();
+        while let Some(t) = self.next() {
+            out.push(t);
+        }
+        out
+    }
+}
+
+impl ucq_enumerate::Enumerator for CdyIter<'_> {
+    fn next(&mut self) -> Option<Tuple> {
+        CdyIter::next(self)
+    }
+}
+
+/// A constant-delay enumerator that owns its engine, suitable for pipelines
+/// that outlive the building scope.
+pub struct OwnedCdyIter {
+    eng: Box<CdyEngine>,
+    core: IterCore,
+}
+
+impl OwnedCdyIter {
+    /// Builds an owning enumerator from a preprocessed engine.
+    pub fn new(eng: CdyEngine) -> OwnedCdyIter {
+        let core = IterCore::new(&eng);
+        OwnedCdyIter {
+            eng: Box::new(eng),
+            core,
+        }
+    }
+
+    /// Access to the underlying engine (e.g. for membership tests).
+    pub fn engine(&self) -> &CdyEngine {
+        &self.eng
+    }
+
+    /// Advances to the next answer; `None` when exhausted.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<Tuple> {
+        self.core
+            .advance(&self.eng)
+            .then(|| self.eng.project_output(&self.core.binding))
+    }
+
+    /// See [`CdyIter::next_with_full_binding`].
+    pub fn next_with_full_binding(&mut self) -> Option<(Tuple, Vec<Value>)> {
+        if !self.core.advance(&self.eng) {
+            return None;
+        }
+        self.core.extend_full(&self.eng);
+        Some((
+            self.eng.project_output(&self.core.binding),
+            self.core.binding.clone(),
+        ))
+    }
+}
+
+impl ucq_enumerate::Enumerator for OwnedCdyIter {
+    fn next(&mut self) -> Option<Tuple> {
+        OwnedCdyIter::next(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucq_query::parse_cq;
+
+    fn inst(rels: &[(&str, Vec<(i64, i64)>)]) -> Instance {
+        rels.iter()
+            .map(|(n, pairs)| (n.to_string(), Relation::from_pairs(pairs.iter().copied())))
+            .collect()
+    }
+
+    #[test]
+    fn full_projection_path_join() {
+        let q = parse_cq("Q(x, z, y) <- R(x, z), S(z, y)").unwrap();
+        let i = inst(&[
+            ("R", vec![(1, 2), (5, 6)]),
+            ("S", vec![(2, 3), (2, 4)]),
+        ]);
+        let eng = CdyEngine::for_query(&q, &i).unwrap();
+        assert!(eng.decide());
+        let mut got = eng.iter().collect_all();
+        got.sort();
+        let expect: Vec<Tuple> = vec![
+            Tuple::from(&[1i64, 2, 3][..]),
+            Tuple::from(&[1i64, 2, 4][..]),
+        ];
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn projection_mode_enumerates_s() {
+        // π_{x,z} of R(x,z) ⋈ S(z,y): only z values with S-partners remain.
+        let q = parse_cq("Q(x, y) <- R(x, z), S(z, y)").unwrap();
+        let s: VSet = [0u32, 2].into_iter().collect(); // {x, z}
+        let i = inst(&[("R", vec![(1, 2), (5, 9)]), ("S", vec![(2, 3)])]);
+        let eng = CdyEngine::for_projection(&q, s, &i).unwrap();
+        let got = eng.iter().collect_all();
+        assert_eq!(got, vec![Tuple::from(&[1i64, 2][..])]);
+    }
+
+    #[test]
+    fn non_free_connex_rejected() {
+        let q = parse_cq("Q(x, y) <- R(x, z), S(z, y)").unwrap();
+        let err = CdyEngine::for_query(&q, &Instance::new()).unwrap_err();
+        assert!(matches!(err, EvalError::NotSConnex { .. }));
+    }
+
+    #[test]
+    fn boolean_query_decides() {
+        let q = parse_cq("B() <- R(x, y), S(y, z)").unwrap();
+        let yes = inst(&[("R", vec![(1, 2)]), ("S", vec![(2, 3)])]);
+        let eng = CdyEngine::for_query(&q, &yes).unwrap();
+        assert!(eng.decide());
+        assert_eq!(eng.iter().collect_all(), vec![Tuple::empty()]);
+
+        let no = inst(&[("R", vec![(1, 2)]), ("S", vec![(9, 3)])]);
+        let eng = CdyEngine::for_query(&q, &no).unwrap();
+        assert!(!eng.decide());
+        assert!(eng.iter().collect_all().is_empty());
+    }
+
+    #[test]
+    fn missing_relation_is_empty() {
+        let q = parse_cq("Q(x, y) <- R(x, y), S(y, x)").unwrap();
+        let i = inst(&[("R", vec![(1, 2)])]);
+        let eng = CdyEngine::for_query(&q, &i).unwrap();
+        assert!(!eng.decide());
+    }
+
+    #[test]
+    fn membership_testing() {
+        let q = parse_cq("Q(x, z, y) <- R(x, z), S(z, y)").unwrap();
+        let i = inst(&[("R", vec![(1, 2)]), ("S", vec![(2, 3)])]);
+        let eng = CdyEngine::for_query(&q, &i).unwrap();
+        assert!(eng.contains(&Tuple::from(&[1i64, 2, 3][..])));
+        assert!(!eng.contains(&Tuple::from(&[1i64, 2, 9][..])));
+        assert!(!eng.contains(&Tuple::from(&[9i64, 2, 3][..])));
+    }
+
+    #[test]
+    fn repeated_head_variable() {
+        let q = parse_cq("Q(x, x, y) <- R(x, y)").unwrap();
+        let i = inst(&[("R", vec![(1, 2)])]);
+        let eng = CdyEngine::for_query(&q, &i).unwrap();
+        let got = eng.iter().collect_all();
+        assert_eq!(got, vec![Tuple::from(&[1i64, 1, 2][..])]);
+        assert!(eng.contains(&Tuple::from(&[1i64, 1, 2][..])));
+        // Inconsistent repeats are rejected by membership.
+        assert!(!eng.contains(&Tuple::from(&[1i64, 7, 2][..])));
+    }
+
+    #[test]
+    fn full_binding_extension() {
+        // Enumerate π_{x} of R(x,z) ⋈ S(z,y) and extend each answer with a
+        // witness for z and y.
+        let q = parse_cq("Q(x, y) <- R(x, z), S(z, y)").unwrap();
+        let s = VSet::singleton(0); // {x}
+        let i = inst(&[("R", vec![(1, 2)]), ("S", vec![(2, 3), (2, 4)])]);
+        let eng = CdyEngine::build(&q, s, vec![0], &i).unwrap();
+        let mut it = eng.iter();
+        let (t, binding) = it.next_with_full_binding().unwrap();
+        assert_eq!(t, Tuple::from(&[1i64][..]));
+        // Witness: z = 2, y ∈ {3, 4}.
+        assert_eq!(binding[2], Value::Int(2));
+        assert!(binding[1] == Value::Int(3) || binding[1] == Value::Int(4));
+        assert!(it.next_with_full_binding().is_none());
+    }
+
+    #[test]
+    fn no_duplicates_from_witness_branches() {
+        // π_{x}: many (z,y) witnesses per x must yield one answer.
+        let q = parse_cq("Q(x, y) <- R(x, z), S(z, y)").unwrap();
+        let s = VSet::singleton(0);
+        let i = inst(&[
+            ("R", vec![(1, 2), (1, 5)]),
+            ("S", vec![(2, 3), (2, 4), (5, 6)]),
+        ]);
+        let eng = CdyEngine::build(&q, s, vec![0], &i).unwrap();
+        assert_eq!(eng.iter().collect_all(), vec![Tuple::from(&[1i64][..])]);
+    }
+
+    #[test]
+    fn star_join_free_connex() {
+        // Q(x,y,z) <- E(x,y), F(x,z): free-connex; output is the join.
+        let q = parse_cq("Q(x, y, z) <- E(x, y), F(x, z)").unwrap();
+        let i = inst(&[("E", vec![(1, 10), (1, 11)]), ("F", vec![(1, 20), (2, 9)])]);
+        let eng = CdyEngine::for_query(&q, &i).unwrap();
+        let mut got = eng.iter().collect_all();
+        got.sort();
+        assert_eq!(
+            got,
+            vec![
+                Tuple::from(&[1i64, 10, 20][..]),
+                Tuple::from(&[1i64, 11, 20][..]),
+            ]
+        );
+    }
+}

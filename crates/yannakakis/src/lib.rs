@@ -1,0 +1,18 @@
+//! The Yannakakis / Constant-Delay-Yannakakis evaluation engine.
+//!
+//! Implements the positive side of the paper's Theorem 3: after linear
+//! preprocessing (normalization + the Yannakakis full reducer over an
+//! ext-S-connex tree), the answers of an `S`-connex acyclic CQ are
+//! enumerated with constant delay and tested for membership in constant
+//! time. Also provides the naive hash-join baseline every experiment
+//! compares against.
+
+pub mod cdy;
+pub mod naive;
+pub mod noderel;
+pub mod reducer;
+
+pub use cdy::{CdyEngine, CdyIter, EvalError, OwnedCdyIter};
+pub use naive::{evaluate_cq_naive, evaluate_cq_naive_set};
+pub use noderel::NodeRel;
+pub use reducer::full_reduce;

@@ -1,0 +1,190 @@
+//! Naive CQ evaluation — the baseline the paper's upper bounds are measured
+//! against.
+//!
+//! Evaluates a CQ by a left-deep sequence of hash joins over its atoms
+//! (smallest relation first), materializing all intermediate bindings, then
+//! projecting the head and deduplicating. Works for *every* CQ, cyclic or
+//! not, at the cost of potentially super-linear intermediates.
+
+use crate::cdy::EvalError;
+use crate::noderel::NodeRel;
+use std::collections::HashSet;
+use ucq_query::{Cq, VarId};
+use ucq_storage::{HashIndex, Instance, Relation, Tuple, Value};
+
+/// Evaluates `Q(I)` naively, returning the deduplicated answers in
+/// unspecified order.
+pub fn evaluate_cq_naive(cq: &Cq, instance: &Instance) -> Result<Vec<Tuple>, EvalError> {
+    // Normalize atoms.
+    let mut nodes: Vec<NodeRel> = Vec::with_capacity(cq.atoms().len());
+    for atom in cq.atoms() {
+        let stored = instance.get(&atom.rel);
+        let nr = match stored {
+            Some(rel) => NodeRel::from_atom(atom, rel).map_err(EvalError::Schema)?,
+            None => NodeRel::from_atom(atom, &Relation::new(atom.args.len()))
+                .map_err(EvalError::Schema)?,
+        };
+        nodes.push(nr);
+    }
+    // Join order: prefer joining atoms connected to what we have; among
+    // candidates pick the smallest relation.
+    let mut remaining: Vec<usize> = (0..nodes.len()).collect();
+    remaining.sort_by_key(|&i| nodes[i].rel.len());
+
+    // Accumulated bindings over `acc_vars` (sorted var list).
+    let mut acc_vars: Vec<VarId> = Vec::new();
+    let mut acc: Vec<Vec<Value>> = vec![Vec::new()]; // one empty binding
+
+    while !remaining.is_empty() {
+        // Pick a connected atom if possible, else the smallest.
+        let acc_set: std::collections::HashSet<VarId> = acc_vars.iter().copied().collect();
+        let pick_pos = remaining
+            .iter()
+            .position(|&i| nodes[i].vars.iter().any(|v| acc_set.contains(v)))
+            .unwrap_or(0);
+        let i = remaining.remove(pick_pos);
+        let node = &nodes[i];
+
+        // Shared variables and their positions on both sides.
+        let shared: Vec<VarId> = node
+            .vars
+            .iter()
+            .copied()
+            .filter(|v| acc_set.contains(v))
+            .collect();
+        let node_key: Vec<usize> = shared
+            .iter()
+            .map(|&v| node.col_of(v).expect("shared var in node"))
+            .collect();
+        let acc_key: Vec<usize> = shared
+            .iter()
+            .map(|&v| acc_vars.iter().position(|&a| a == v).expect("shared"))
+            .collect();
+        let new_vars: Vec<VarId> = node
+            .vars
+            .iter()
+            .copied()
+            .filter(|v| !acc_set.contains(v))
+            .collect();
+        let new_cols: Vec<usize> = new_vars
+            .iter()
+            .map(|&v| node.col_of(v).expect("own var"))
+            .collect();
+
+        let idx = HashIndex::build(&node.rel, &node_key);
+        let mut next: Vec<Vec<Value>> = Vec::new();
+        let mut key_buf: Vec<Value> = Vec::with_capacity(acc_key.len());
+        for binding in &acc {
+            key_buf.clear();
+            key_buf.extend(acc_key.iter().map(|&p| binding[p]));
+            for &row_id in idx.get(&key_buf) {
+                let row = node.rel.row(row_id as usize);
+                let mut extended = binding.clone();
+                extended.extend(new_cols.iter().map(|&c| row[c]));
+                next.push(extended);
+            }
+        }
+        acc = next;
+        acc_vars.extend_from_slice(&new_vars);
+        if acc.is_empty() {
+            return Ok(Vec::new());
+        }
+    }
+
+    // Project the head and deduplicate.
+    let head_pos: Vec<usize> = cq
+        .head()
+        .iter()
+        .map(|&v| acc_vars.iter().position(|&a| a == v).expect("safe head"))
+        .collect();
+    let mut seen: HashSet<Tuple> = HashSet::with_capacity(acc.len());
+    let mut out = Vec::new();
+    for binding in &acc {
+        let t = Tuple(head_pos.iter().map(|&p| binding[p]).collect());
+        if seen.insert(t.clone()) {
+            out.push(t);
+        }
+    }
+    Ok(out)
+}
+
+/// Evaluates `Q(I)` naively into a hash set.
+pub fn evaluate_cq_naive_set(
+    cq: &Cq,
+    instance: &Instance,
+) -> Result<HashSet<Tuple>, EvalError> {
+    Ok(evaluate_cq_naive(cq, instance)?.into_iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucq_query::parse_cq;
+
+    fn inst(rels: &[(&str, Vec<(i64, i64)>)]) -> Instance {
+        rels.iter()
+            .map(|(n, pairs)| (n.to_string(), Relation::from_pairs(pairs.iter().copied())))
+            .collect()
+    }
+
+    #[test]
+    fn path_join_with_projection() {
+        let q = parse_cq("Q(x, y) <- R(x, z), S(z, y)").unwrap();
+        let i = inst(&[("R", vec![(1, 2), (1, 5)]), ("S", vec![(2, 3), (5, 3)])]);
+        let mut got = evaluate_cq_naive(&q, &i).unwrap();
+        got.sort();
+        // (1,3) must appear once despite two witnesses.
+        assert_eq!(got, vec![Tuple::from(&[1i64, 3][..])]);
+    }
+
+    #[test]
+    fn cyclic_triangle_query() {
+        let q = parse_cq("T(x, y, z) <- R(x, y), S(y, z), U(z, x)").unwrap();
+        let i = inst(&[
+            ("R", vec![(1, 2), (1, 9)]),
+            ("S", vec![(2, 3)]),
+            ("U", vec![(3, 1)]),
+        ]);
+        let got = evaluate_cq_naive(&q, &i).unwrap();
+        assert_eq!(got, vec![Tuple::from(&[1i64, 2, 3][..])]);
+    }
+
+    #[test]
+    fn cartesian_product_when_disconnected() {
+        let q = parse_cq("Q(x, a) <- R(x, y), S(a, b)").unwrap();
+        let i = inst(&[("R", vec![(1, 0), (2, 0)]), ("S", vec![(7, 0), (8, 0)])]);
+        let got = evaluate_cq_naive(&q, &i).unwrap();
+        assert_eq!(got.len(), 4);
+    }
+
+    #[test]
+    fn empty_when_relation_missing() {
+        let q = parse_cq("Q(x) <- R(x, y), Z(y)").unwrap();
+        let i = inst(&[("R", vec![(1, 2)])]);
+        assert!(evaluate_cq_naive(&q, &i).unwrap().is_empty());
+    }
+
+    #[test]
+    fn boolean_query() {
+        let q = parse_cq("B() <- R(x, y)").unwrap();
+        let yes = inst(&[("R", vec![(1, 2)])]);
+        assert_eq!(evaluate_cq_naive(&q, &yes).unwrap(), vec![Tuple::empty()]);
+        let no = inst(&[("R", vec![])]);
+        assert!(evaluate_cq_naive(&q, &no).unwrap().is_empty());
+    }
+
+    #[test]
+    fn agrees_with_cdy_on_free_connex() {
+        let q = parse_cq("Q(x, z, y) <- R(x, z), S(z, y)").unwrap();
+        let i = inst(&[
+            ("R", vec![(1, 2), (5, 6), (7, 2)]),
+            ("S", vec![(2, 3), (2, 4), (6, 0)]),
+        ]);
+        let mut naive = evaluate_cq_naive(&q, &i).unwrap();
+        naive.sort();
+        let eng = crate::cdy::CdyEngine::for_query(&q, &i).unwrap();
+        let mut cdy = eng.iter().collect_all();
+        cdy.sort();
+        assert_eq!(naive, cdy);
+    }
+}

@@ -1,0 +1,197 @@
+//! Node relations: relations whose columns are aligned with a sorted list of
+//! query variables.
+//!
+//! Join-tree nodes carry their data in this normalized form: one column per
+//! *distinct* variable, columns sorted by variable id. Atoms with repeated
+//! variables (`R(x,x)`) are normalized by filtering rows whose repeated
+//! positions disagree and then dropping the duplicate columns.
+
+use ucq_hypergraph::VSet;
+use ucq_query::{Atom, VarId};
+use ucq_storage::{Relation, RowSet, Value};
+
+/// A relation with named (variable-id) columns in sorted order.
+#[derive(Clone, Debug)]
+pub struct NodeRel {
+    /// Distinct variables, sorted ascending; `rel` has one column per entry.
+    pub vars: Vec<VarId>,
+    /// The data, column `i` holding values of `vars[i]`.
+    pub rel: Relation,
+}
+
+impl NodeRel {
+    /// The variable set.
+    pub fn var_set(&self) -> VSet {
+        self.vars.iter().copied().collect()
+    }
+
+    /// Column position of variable `v`, if present.
+    pub fn col_of(&self, v: VarId) -> Option<usize> {
+        self.vars.binary_search(&v).ok()
+    }
+
+    /// Column positions of each variable in `vs` (which must all be
+    /// present), in `vs` iteration order (ascending).
+    pub fn cols_of(&self, vs: VSet) -> Vec<usize> {
+        vs.iter()
+            .map(|v| self.col_of(v).expect("variable not in node"))
+            .collect()
+    }
+
+    /// Normalizes an atom's stored relation:
+    /// * checks the arity matches;
+    /// * keeps only rows whose repeated-variable positions agree;
+    /// * reorders/dedups columns to sorted distinct variables;
+    /// * deduplicates rows (set semantics).
+    pub fn from_atom(atom: &Atom, stored: &Relation) -> Result<NodeRel, String> {
+        if stored.arity() != atom.args.len() {
+            return Err(format!(
+                "relation {} has arity {}, atom expects {}",
+                atom.rel,
+                stored.arity(),
+                atom.args.len()
+            ));
+        }
+        let mut vars: Vec<VarId> = atom.args.clone();
+        vars.sort_unstable();
+        vars.dedup();
+        // First source position of each distinct variable.
+        let src_pos: Vec<usize> = vars
+            .iter()
+            .map(|v| atom.args.iter().position(|a| a == v).expect("present"))
+            .collect();
+        // Positions that must agree (repeated variables).
+        let mut eq_checks: Vec<(usize, usize)> = Vec::new();
+        for (i, v) in atom.args.iter().enumerate() {
+            let first = atom.args.iter().position(|a| a == v).expect("present");
+            if first != i {
+                eq_checks.push((first, i));
+            }
+        }
+        let mut out = Relation::with_capacity(vars.len(), stored.len());
+        let mut seen: std::collections::HashSet<Box<[Value]>> =
+            std::collections::HashSet::with_capacity(stored.len());
+        let mut buf: Vec<Value> = Vec::with_capacity(vars.len());
+        for row in stored.iter_rows() {
+            if eq_checks.iter().any(|&(a, b)| row[a] != row[b]) {
+                continue;
+            }
+            buf.clear();
+            buf.extend(src_pos.iter().map(|&p| row[p]));
+            if seen.insert(buf.as_slice().into()) {
+                out.push_row(&buf);
+            }
+        }
+        Ok(NodeRel { vars, rel: out })
+    }
+
+    /// Projects onto a subset of this node's variables (deduplicating).
+    pub fn project(&self, vs: VSet) -> NodeRel {
+        let cols = self.cols_of(vs);
+        NodeRel {
+            vars: vs.iter().collect(),
+            rel: self.rel.project_dedup(&cols),
+        }
+    }
+
+    /// Removes rows whose projection onto `sep` has no match in `other`'s
+    /// projection onto `sep` (the semijoin `self ⋉ other`, in place).
+    pub fn semijoin_in_place(&mut self, other: &NodeRel, sep: VSet) {
+        if sep.is_empty() {
+            // Degenerate semijoin: keep everything iff `other` is non-empty.
+            if other.rel.is_empty() {
+                self.rel = Relation::new(self.rel.arity());
+            }
+            return;
+        }
+        let right = RowSet::build_projected(&other.rel, &other.cols_of(sep));
+        let left_cols = self.cols_of(sep);
+        let mut buf: Vec<Value> = Vec::with_capacity(left_cols.len());
+        self.rel.retain_rows(|row| {
+            buf.clear();
+            buf.extend(left_cols.iter().map(|&c| row[c]));
+            right.contains(&buf)
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucq_query::parse_cq;
+
+    fn iv(xs: &[i64]) -> Vec<Value> {
+        xs.iter().map(|&x| Value::Int(x)).collect()
+    }
+
+    #[test]
+    fn normalization_sorts_columns() {
+        // Atom R(y, x) with x=1? Build via query text: vars interned in
+        // head-then-body order.
+        let q = parse_cq("Q(x, y) <- R(y, x)").unwrap();
+        // x=0, y=1; atom args = [1, 0]; sorted vars = [0, 1]; so columns must
+        // be swapped relative to storage.
+        let stored = Relation::from_pairs([(10, 20)]); // (y, x) = (10, 20)
+        let nr = NodeRel::from_atom(&q.atoms()[0], &stored).unwrap();
+        assert_eq!(nr.vars, vec![0, 1]);
+        assert_eq!(nr.rel.row(0), iv(&[20, 10]).as_slice());
+    }
+
+    #[test]
+    fn repeated_variable_filters_rows() {
+        let q = parse_cq("Q(x) <- R(x, x)").unwrap();
+        let stored = Relation::from_pairs([(1, 1), (1, 2), (3, 3)]);
+        let nr = NodeRel::from_atom(&q.atoms()[0], &stored).unwrap();
+        assert_eq!(nr.vars.len(), 1);
+        assert_eq!(nr.rel.len(), 2);
+        assert!(nr.rel.contains_row(&iv(&[1])));
+        assert!(nr.rel.contains_row(&iv(&[3])));
+    }
+
+    #[test]
+    fn arity_mismatch_is_error() {
+        let q = parse_cq("Q(x) <- R(x, y)").unwrap();
+        let stored = Relation::new(3);
+        assert!(NodeRel::from_atom(&q.atoms()[0], &stored).is_err());
+    }
+
+    #[test]
+    fn duplicate_rows_dropped() {
+        let q = parse_cq("Q(x, y) <- R(x, y)").unwrap();
+        let stored = Relation::from_pairs([(1, 2), (1, 2)]);
+        let nr = NodeRel::from_atom(&q.atoms()[0], &stored).unwrap();
+        assert_eq!(nr.rel.len(), 1);
+    }
+
+    #[test]
+    fn semijoin_filters() {
+        let q = parse_cq("Q(x, y, z) <- R(x, y), S(y, z)").unwrap();
+        let mut left = NodeRel::from_atom(&q.atoms()[0], &Relation::from_pairs([(1, 2), (3, 4)]))
+            .unwrap();
+        let right =
+            NodeRel::from_atom(&q.atoms()[1], &Relation::from_pairs([(2, 9)])).unwrap();
+        left.semijoin_in_place(&right, VSet::singleton(1)); // y = var 1
+        assert_eq!(left.rel.len(), 1);
+        assert_eq!(left.rel.row(0), iv(&[1, 2]).as_slice());
+    }
+
+    #[test]
+    fn semijoin_empty_separator_checks_nonemptiness() {
+        let q = parse_cq("Q(x, z) <- R(x), S(z)").unwrap();
+        let mut left =
+            NodeRel::from_atom(&q.atoms()[0], &Relation::from_rows(1, [iv(&[1])].iter().map(|r| r.as_slice()))).unwrap();
+        let right_empty = NodeRel::from_atom(&q.atoms()[1], &Relation::new(1)).unwrap();
+        left.semijoin_in_place(&right_empty, VSet::EMPTY);
+        assert!(left.rel.is_empty());
+    }
+
+    #[test]
+    fn projection() {
+        let q = parse_cq("Q(x, y) <- R(x, y)").unwrap();
+        let nr = NodeRel::from_atom(&q.atoms()[0], &Relation::from_pairs([(1, 2), (1, 3)]))
+            .unwrap();
+        let p = nr.project(VSet::singleton(0));
+        assert_eq!(p.vars, vec![0]);
+        assert_eq!(p.rel.len(), 1);
+    }
+}

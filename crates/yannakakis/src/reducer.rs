@@ -1,0 +1,179 @@
+//! The Yannakakis full reducer.
+//!
+//! Two sweeps of semijoins over a join tree — leaves-to-root, then
+//! root-to-leaves — remove every *dangling* tuple: afterwards each remaining
+//! tuple of each node participates in at least one result of the full join
+//! (Yannakakis 1981 [20]). This is the linear preprocessing phase of the CDY
+//! algorithm.
+
+use crate::noderel::NodeRel;
+use ucq_hypergraph::JoinTree;
+
+/// Runs the full reducer in place. `rels[i]` carries the data of tree node
+/// `i`. Returns `false` iff some node ended up empty (the query has no
+/// answers).
+pub fn full_reduce(tree: &JoinTree, rels: &mut [NodeRel]) -> bool {
+    assert_eq!(tree.len(), rels.len());
+    let order = tree.bfs_order();
+
+    // Bottom-up: parent ⋉ child.
+    for &n in order.iter().rev() {
+        if let Some(p) = tree.parent(n) {
+            let (child, parent) = index_two(rels, n, p);
+            let sep = parent.var_set().inter(child.var_set());
+            parent.semijoin_in_place(child, sep);
+        }
+    }
+    // Top-down: child ⋉ parent.
+    for &n in order.iter() {
+        if let Some(p) = tree.parent(n) {
+            let (child, parent) = index_two(rels, n, p);
+            let sep = parent.var_set().inter(child.var_set());
+            child.semijoin_in_place(parent, sep);
+        }
+    }
+    rels.iter().all(|r| !r.rel.is_empty())
+}
+
+/// Mutable access to two distinct slice positions.
+fn index_two<T>(slice: &mut [T], a: usize, b: usize) -> (&mut T, &mut T) {
+    assert_ne!(a, b);
+    if a < b {
+        let (lo, hi) = slice.split_at_mut(b);
+        (&mut lo[a], &mut hi[0])
+    } else {
+        let (lo, hi) = slice.split_at_mut(a);
+        (&mut hi[0], &mut lo[b])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucq_hypergraph::{join_tree, VSet};
+    use ucq_query::parse_cq;
+    use ucq_storage::{Relation, Value};
+
+    fn iv(xs: &[i64]) -> Vec<Value> {
+        xs.iter().map(|&x| Value::Int(x)).collect()
+    }
+
+    /// Builds node relations for a parsed path query over given data.
+    fn setup(
+        text: &str,
+        data: &[Relation],
+    ) -> (ucq_hypergraph::JoinTree, Vec<NodeRel>) {
+        let q = parse_cq(text).unwrap();
+        let tree = join_tree(&q.hypergraph()).unwrap();
+        let rels: Vec<NodeRel> = tree
+            .nodes()
+            .iter()
+            .map(|n| {
+                let atom_idx = n.atom.expect("plain join tree");
+                NodeRel::from_atom(&q.atoms()[atom_idx], &data[atom_idx]).unwrap()
+            })
+            .collect();
+        (tree, rels)
+    }
+
+    #[test]
+    fn dangling_tuples_removed() {
+        // R(x,z) ⋈ S(z,y): R's (5,99) has no partner and must go.
+        let (tree, mut rels) = setup(
+            "Q(x, y) <- R(x, z), S(z, y)",
+            &[
+                Relation::from_pairs([(1, 2), (5, 99)]),
+                Relation::from_pairs([(2, 3)]),
+            ],
+        );
+        assert!(full_reduce(&tree, &mut rels));
+        let r_node = tree
+            .nodes()
+            .iter()
+            .position(|n| n.atom == Some(0))
+            .unwrap();
+        assert_eq!(rels[r_node].rel.len(), 1);
+        assert_eq!(rels[r_node].rel.row(0), iv(&[1, 2]).as_slice());
+    }
+
+    #[test]
+    fn unsatisfiable_join_reports_false() {
+        let (tree, mut rels) = setup(
+            "Q(x, y) <- R(x, z), S(z, y)",
+            &[
+                Relation::from_pairs([(1, 2)]),
+                Relation::from_pairs([(7, 3)]),
+            ],
+        );
+        assert!(!full_reduce(&tree, &mut rels));
+    }
+
+    #[test]
+    fn three_hop_path_consistency() {
+        // R(x,a) ⋈ S(a,b) ⋈ T(b,y); only the 1-2-3-4 chain survives.
+        let (tree, mut rels) = setup(
+            "Q(x, y) <- R(x, a), S(a, b), T(b, y)",
+            &[
+                Relation::from_pairs([(1, 2), (1, 9)]),
+                Relation::from_pairs([(2, 3), (8, 8)]),
+                Relation::from_pairs([(3, 4)]),
+            ],
+        );
+        assert!(full_reduce(&tree, &mut rels));
+        for nr in &rels {
+            assert_eq!(nr.rel.len(), 1, "every node reduced to the chain");
+        }
+    }
+
+    #[test]
+    fn global_consistency_after_both_passes() {
+        // Star join: middle node must agree with both leaves, and leaves
+        // must be trimmed against the middle *after* it was trimmed.
+        let (tree, mut rels) = setup(
+            "Q(x, y, z) <- M(x, y, z), A(x), B(y)",
+            &[
+                Relation::from_rows(
+                    3,
+                    [iv(&[1, 2, 3]), iv(&[1, 5, 6]), iv(&[9, 2, 7])]
+                        .iter()
+                        .map(|r| r.as_slice()),
+                ),
+                Relation::from_rows(1, [iv(&[1])].iter().map(|r| r.as_slice())),
+                Relation::from_rows(1, [iv(&[2]), iv(&[5])].iter().map(|r| r.as_slice())),
+            ],
+        );
+        assert!(full_reduce(&tree, &mut rels));
+        // Surviving M rows: (1,2,3) and (1,5,6).
+        let m = tree
+            .nodes()
+            .iter()
+            .position(|n| n.atom == Some(0))
+            .unwrap();
+        assert_eq!(rels[m].rel.len(), 2);
+        // B keeps both 2 and 5; A keeps only 1.
+        let a = tree
+            .nodes()
+            .iter()
+            .position(|n| n.atom == Some(1))
+            .unwrap();
+        assert_eq!(rels[a].rel.len(), 1);
+    }
+
+    #[test]
+    fn separator_is_intersection() {
+        let (tree, _) = setup(
+            "Q(x, y) <- R(x, z), S(z, y)",
+            &[Relation::new(2), Relation::new(2)],
+        );
+        for n in 0..tree.len() {
+            if let Some(p) = tree.parent(n) {
+                let sep = tree.separator(n);
+                assert_eq!(
+                    sep,
+                    tree.nodes()[n].vars.inter(tree.nodes()[p].vars)
+                );
+                assert_eq!(sep, VSet::singleton(2)); // z
+            }
+        }
+    }
+}

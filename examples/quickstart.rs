@@ -1,0 +1,61 @@
+//! Quickstart: classify a UCQ, inspect the verdict, and enumerate answers
+//! with the strategy the classifier picked.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ucq::prelude::*;
+
+fn main() {
+    // Example 2 of the paper: the union of an intractable CQ and an easy
+    // one — tractable because Q2 provides {x, z, y} to Q1.
+    let union = parse_ucq(
+        "Q1(x, y, w) <- R1(x, z), R2(z, y), R3(y, w)\n\
+         Q2(x, y, w) <- R1(x, y), R2(y, w)",
+    )
+    .expect("well-formed UCQ");
+
+    println!("Query:\n{union}\n");
+
+    let engine = UcqEngine::new(union);
+    let class = engine.classification();
+    println!("Per-member status (Theorem 3): {:?}", class.statuses);
+    match &class.verdict {
+        Verdict::FreeConnex { plan } => {
+            println!("Verdict: free-connex UCQ — in DelayClin (Theorem 12).");
+            for atom in &plan.atoms {
+                println!(
+                    "  virtual atom {} for member {} (provided by member {} via S = {})",
+                    atom.rel_name, atom.target, atom.provenance.provider, atom.provenance.s
+                );
+            }
+        }
+        Verdict::Intractable { witness } => {
+            println!(
+                "Verdict: intractable ({}, assuming {}).",
+                witness.reference(),
+                witness.hypothesis()
+            );
+        }
+        Verdict::Unknown { notes } => {
+            println!("Verdict: unknown. Notes: {notes:?}");
+        }
+    }
+    println!("Evaluation strategy: {:?}\n", engine.strategy());
+
+    // A small instance.
+    let instance: Instance = [
+        ("R1", Relation::from_pairs([(1, 2), (1, 5), (8, 9)])),
+        ("R2", Relation::from_pairs([(2, 3), (5, 3), (9, 7)])),
+        ("R3", Relation::from_pairs([(3, 4), (3, 6), (7, 0)])),
+    ]
+    .into_iter()
+    .collect();
+
+    let mut answers = engine.enumerate(&instance).expect("evaluates");
+    println!("Answers:");
+    while let Some(t) = answers.next() {
+        println!("  {t}");
+    }
+}

@@ -1,0 +1,122 @@
+//! Cross-crate integration tests: parser → classifier → executor →
+//! baseline agreement, on paper queries over random instances.
+
+use std::collections::HashSet;
+use ucq::prelude::*;
+use ucq::workloads::{by_id, catalog, random_instance, InstanceSpec, PaperVerdict};
+
+/// Instance size per relation: small under `cargo test` (debug), larger in
+/// release where the engines are ~50x faster.
+fn rows() -> usize {
+    if cfg!(debug_assertions) {
+        220
+    } else {
+        800
+    }
+}
+
+/// Every tractable catalog entry evaluates identically to the naive
+/// baseline on random instances, duplicate-free, via its DelayClin
+/// strategy.
+#[test]
+fn tractable_catalog_entries_agree_with_naive() {
+    for entry in catalog() {
+        if entry.verdict != PaperVerdict::Tractable {
+            continue;
+        }
+        let engine = UcqEngine::new(entry.ucq.clone());
+        assert_ne!(
+            engine.strategy(),
+            Strategy::Naive,
+            "{} must run in DelayClin",
+            entry.id
+        );
+        for seed in [1u64, 2] {
+            let inst = random_instance(&entry.ucq, &InstanceSpec::scaled(rows(), seed));
+            let mut ans = engine.enumerate(&inst).expect("pipeline");
+            let got = ans.collect_all();
+            let set: HashSet<Tuple> = got.iter().cloned().collect();
+            assert_eq!(got.len(), set.len(), "{}: duplicates emitted", entry.id);
+            let naive: HashSet<Tuple> = engine
+                .enumerate_naive(&inst)
+                .expect("naive")
+                .into_iter()
+                .collect();
+            assert_eq!(set, naive, "{}: wrong answers (seed {seed})", entry.id);
+        }
+    }
+}
+
+/// Intractable and open entries still evaluate correctly through the
+/// fallback.
+#[test]
+fn hard_catalog_entries_evaluate_via_fallback() {
+    for entry in catalog() {
+        if entry.verdict == PaperVerdict::Tractable {
+            continue;
+        }
+        let engine = UcqEngine::new(entry.ucq.clone());
+        assert_eq!(engine.strategy(), Strategy::Naive, "{}", entry.id);
+        let inst = random_instance(&entry.ucq, &InstanceSpec::scaled(rows() / 2, 9));
+        let mut ans = engine.enumerate(&inst).expect("fallback");
+        let got: HashSet<Tuple> = ans.collect_all().into_iter().collect();
+        let naive: HashSet<Tuple> = engine
+            .enumerate_naive(&inst)
+            .expect("naive")
+            .into_iter()
+            .collect();
+        assert_eq!(got, naive, "{}", entry.id);
+    }
+}
+
+/// The paper's Example 2 narrative, end to end: Q1 alone is hard, the
+/// union is tractable, and removing Q2 flips the verdict.
+#[test]
+fn example2_narrative() {
+    let entry = by_id("example2").unwrap();
+    let c_union = classify(&entry.ucq);
+    assert!(c_union.is_tractable());
+
+    let q1_alone = Ucq::new(vec![entry.ucq.cqs()[0].clone()]).unwrap();
+    let c_q1 = classify(&q1_alone);
+    assert!(c_q1.is_intractable());
+    if let Verdict::Intractable { witness } = &c_q1.verdict {
+        assert_eq!(witness.hypothesis(), Hypothesis::MatMul);
+    }
+}
+
+/// Parsing, display, and reparsing round-trip for the whole catalog.
+#[test]
+fn catalog_display_roundtrip() {
+    for entry in catalog() {
+        let text = entry.ucq.to_string();
+        let reparsed = parse_ucq(&text).expect("display output reparses");
+        assert_eq!(reparsed, entry.ucq, "{}", entry.id);
+    }
+}
+
+/// The three evaluation strategies coexist: the engine picks Algorithm 1
+/// for pure free-connex unions, the pipeline for union extensions, naive
+/// for the rest.
+#[test]
+fn strategy_selection_matrix() {
+    let alg1 = UcqEngine::new(by_id("two_free_connex").unwrap().ucq);
+    assert_eq!(alg1.strategy(), Strategy::Algorithm1);
+    let pipe = UcqEngine::new(by_id("example2").unwrap().ucq);
+    assert_eq!(pipe.strategy(), Strategy::UnionExtension);
+    let naive = UcqEngine::new(by_id("example20").unwrap().ucq);
+    assert_eq!(naive.strategy(), Strategy::Naive);
+}
+
+/// Delay instrumentation smoke test: the pipeline's delays are measured
+/// and the answer stream is complete.
+#[test]
+fn measured_enumeration_is_complete() {
+    let entry = by_id("example2").unwrap();
+    let engine = UcqEngine::new(entry.ucq.clone());
+    let inst = random_instance(&entry.ucq, &InstanceSpec::scaled(rows() * 4, 4));
+    let (answers, prof) = measure(|| engine.enumerate(&inst).expect("pipeline"));
+    assert_eq!(prof.count(), answers.len());
+    let naive = engine.enumerate_naive(&inst).expect("naive");
+    assert_eq!(answers.len(), naive.len());
+}
