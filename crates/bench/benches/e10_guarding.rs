@@ -11,7 +11,9 @@ fn bench(c: &mut Criterion) {
     let eng21 = engine_for("example21");
     let eng20 = engine_for("example20");
     let mut group = c.benchmark_group("e10_guarding");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for rows in [2_000usize, 8_000] {
         let inst21 = instance_for("example21", rows, 11);
         group.bench_with_input(

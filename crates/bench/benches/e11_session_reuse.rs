@@ -1,0 +1,39 @@
+//! E11 — the session API: repeated evaluation of one (query, instance)
+//! pair through `UcqEngine::session` (preprocessing shared across calls)
+//! vs fresh `enumerate` calls (preprocessing redone per call).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use ucq_bench::{engine_for, instance_for};
+use ucq_enumerate::Enumerator;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_session_reuse");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    for (id, rows) in [("two_free_connex", 8_000usize), ("example2", 2_000)] {
+        let engine = engine_for(id);
+        let inst = instance_for(id, rows, 11);
+        group.bench_with_input(BenchmarkId::new("oneshot", id), &inst, |b, inst| {
+            b.iter(|| {
+                engine
+                    .enumerate(inst)
+                    .expect("DelayClin strategy")
+                    .collect_all()
+                    .len()
+            })
+        });
+        let session = engine.session(&inst);
+        // Warm the session so the measured loop is the steady "serve
+        // traffic" state.
+        session.enumerate().expect("strategy").collect_all();
+        group.bench_with_input(BenchmarkId::new("session", id), &inst, |b, _| {
+            b.iter(|| session.enumerate().expect("strategy").collect_all().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -10,19 +10,17 @@ use ucq_enumerate::Enumerator;
 fn bench(c: &mut Criterion) {
     let engine = engine_for("two_free_connex");
     let mut group = c.benchmark_group("e1_algorithm1");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for rows in [4_000usize, 16_000, 64_000] {
         let inst = instance_for("two_free_connex", rows, 7);
-        group.bench_with_input(
-            BenchmarkId::new("algorithm1", rows),
-            &inst,
-            |b, inst| {
-                b.iter(|| {
-                    let mut ans = engine.enumerate(inst).expect("algorithm 1");
-                    ans.collect_all().len()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("algorithm1", rows), &inst, |b, inst| {
+            b.iter(|| {
+                let mut ans = engine.enumerate(inst).expect("algorithm 1");
+                ans.collect_all().len()
+            })
+        });
         group.bench_with_input(BenchmarkId::new("naive", rows), &inst, |b, inst| {
             b.iter(|| engine.enumerate_naive(inst).expect("naive").len())
         });

@@ -9,19 +9,17 @@ use ucq_enumerate::Enumerator;
 fn bench(c: &mut Criterion) {
     let engine = engine_for("example13");
     let mut group = c.benchmark_group("e3_only_hard");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
-    for rows in [500,1000,2000] {
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    for rows in [500, 1000, 2000] {
         let inst = instance_for("example13", rows, 7);
-        group.bench_with_input(
-            BenchmarkId::new("pipeline", rows),
-            &inst,
-            |b, inst| {
-                b.iter(|| {
-                    let mut ans = engine.enumerate(inst).expect("pipeline");
-                    ans.collect_all().len()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("pipeline", rows), &inst, |b, inst| {
+            b.iter(|| {
+                let mut ans = engine.enumerate(inst).expect("pipeline");
+                ans.collect_all().len()
+            })
+        });
         group.bench_with_input(BenchmarkId::new("naive", rows), &inst, |b, inst| {
             b.iter(|| engine.enumerate_naive(inst).expect("naive").len())
         });

@@ -7,7 +7,9 @@ use ucq_reductions::{bmm_via_cq, bmm_via_example20, BoolMat};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e4_matmul");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for n in [32usize, 64, 128] {
         let a = BoolMat::random(n, 0.08, n as u64);
         let b = BoolMat::random(n, 0.08, n as u64 + 1);

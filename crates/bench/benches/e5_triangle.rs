@@ -7,7 +7,9 @@ use ucq_reductions::{has_triangle_via_example18, Graph};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e5_triangle");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for n in [64usize, 128, 256] {
         let g = Graph::gnp(n, 4.0 / n as f64, 13);
         group.bench_with_input(BenchmarkId::new("direct", n), &n, |b, _| {

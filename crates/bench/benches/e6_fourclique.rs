@@ -4,13 +4,14 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 use ucq_reductions::{
-    has_4clique_via_example22, has_4clique_via_example31, has_4clique_via_example39,
-    Graph,
+    has_4clique_via_example22, has_4clique_via_example31, has_4clique_via_example39, Graph,
 };
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e6_fourclique");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for n in [16usize, 24, 32] {
         let g = Graph::gnp(n, 0.3, 17);
         group.bench_with_input(BenchmarkId::new("direct", n), &n, |b, _| {

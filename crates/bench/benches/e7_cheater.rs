@@ -9,15 +9,16 @@ use ucq_storage::Tuple;
 fn stream(unique: usize, dup: usize) -> Vec<Tuple> {
     (0..unique)
         .flat_map(|i| {
-            std::iter::repeat_with(move || Tuple::from(&[i as i64, (i * 7) as i64][..]))
-                .take(dup)
+            std::iter::repeat_with(move || Tuple::from(&[i as i64, (i * 7) as i64][..])).take(dup)
         })
         .collect()
 }
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7_cheater");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let unique = 100_000usize;
     for dup in [1usize, 2, 4] {
         let tuples = stream(unique, dup);

@@ -8,7 +8,9 @@ use ucq_workloads::{by_id, catalog, example31};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e8_classifier");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     group.bench_function("whole_catalog", |b| {
         let entries = catalog();
         b.iter(|| {

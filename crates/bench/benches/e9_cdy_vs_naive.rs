@@ -12,7 +12,9 @@ fn bench(c: &mut Criterion) {
     let q = parse_cq("Q(x, a, b, y) <- R(x, a), S(a, b), T(b, y)").expect("path CQ");
     let u = Ucq::single(q.clone());
     let mut group = c.benchmark_group("e9_cdy_vs_naive");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for rows in [4_000usize, 16_000, 64_000] {
         let inst = random_instance(&u, &InstanceSpec::scaled(rows, 23));
         group.bench_with_input(BenchmarkId::new("cdy", rows), &inst, |b, inst| {
@@ -26,7 +28,9 @@ fn bench(c: &mut Criterion) {
             &inst,
             |b, inst| {
                 b.iter(|| {
-                    CdyEngine::for_query(&q, inst).expect("free-connex").decide()
+                    CdyEngine::for_query(&q, inst)
+                        .expect("free-connex")
+                        .decide()
                 })
             },
         );

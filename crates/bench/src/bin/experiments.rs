@@ -25,7 +25,10 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let scale = if quick { 1 } else { 4 };
 
-    println!("# Experiment run ({} mode)\n", if quick { "quick" } else { "full" });
+    println!(
+        "# Experiment run ({} mode)\n",
+        if quick { "quick" } else { "full" }
+    );
     e1_e2_e3(scale);
     e10_guarding(scale);
     e4_matmul(scale);
@@ -41,7 +44,11 @@ fn main() {
 /// E1/E2/E3: the DelayClin pipelines vs the naive union, growing |I|.
 fn e1_e2_e3(scale: usize) {
     for (exp, id, base_rows) in [
-        ("E1 (Theorem 4 / Algorithm 1)", "two_free_connex", 8_000usize),
+        (
+            "E1 (Theorem 4 / Algorithm 1)",
+            "two_free_connex",
+            8_000usize,
+        ),
         ("E2 (Theorem 12 / Example 2)", "example2", 8_000),
         ("E3 (Example 13, only hard members)", "example13", 1_000),
     ] {
@@ -190,8 +197,16 @@ fn e6_fourclique(quick: bool) {
         assert!(direct == r22 && direct == r31 && direct == r39);
         println!(
             "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
-            n, p, direct, r22, r31, r39,
-            fmt_dur(td), fmt_dur(t22), fmt_dur(t31), fmt_dur(t39),
+            n,
+            p,
+            direct,
+            r22,
+            r31,
+            r39,
+            fmt_dur(td),
+            fmt_dur(t22),
+            fmt_dur(t31),
+            fmt_dur(t39),
         );
     }
     println!();
@@ -329,8 +344,7 @@ fn e11_alg1_vs_pipeline(scale: usize) {
         let rows = 8_000 * scale * (1 << step) / 4;
         let inst = instance_for("two_free_connex", rows, 7);
         let (a1, p1) = measure(|| Algorithm1::build(&entry.ucq, &inst).expect("alg1"));
-        let (a2, p2) =
-            measure(|| UcqPipeline::build(&entry.ucq, &plan, &inst).expect("pipeline"));
+        let (a2, p2) = measure(|| UcqPipeline::build(&entry.ucq, &plan, &inst).expect("pipeline"));
         assert_eq!(
             a1.iter().collect::<HashSet<_>>(),
             a2.iter().collect::<HashSet<_>>()
@@ -353,12 +367,12 @@ fn e11_alg1_vs_pipeline(scale: usize) {
 /// E12: Remark 2 — the mat-mul query under a key FD becomes tractable;
 /// measure the FD pipeline against naive evaluation.
 fn e12_fd_extension(scale: usize) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
     use ucq_core::{evaluate_ucq_naive, Fd, FdSet, FdUcqEngine};
     use ucq_enumerate::measure;
     use ucq_query::parse_ucq;
     use ucq_storage::{Instance, Relation};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
 
     println!("## E12 (Remark 2: FD-extension makes mat-mul-hard query tractable)\n");
     println!("| |I| | answers | verdict | prep | median delay | p99 delay | naive total |");
@@ -372,13 +386,11 @@ fn e12_fd_extension(scale: usize) {
         // Key-respecting A: x is unique; B is a plain random relation.
         let mut rng = StdRng::seed_from_u64(31 + step as u64);
         let domain = (rows as i64 / 4).max(4);
-        let a_rel =
-            Relation::from_pairs((0..rows as i64).map(|x| (x, rng.gen_range(0..domain))));
+        let a_rel = Relation::from_pairs((0..rows as i64).map(|x| (x, rng.gen_range(0..domain))));
         let b_rel = Relation::from_pairs(
             (0..rows).map(|_| (rng.gen_range(0..domain), rng.gen_range(0..domain))),
         );
-        let inst: Instance =
-            [("A", a_rel), ("B", b_rel)].into_iter().collect();
+        let inst: Instance = [("A", a_rel), ("B", b_rel)].into_iter().collect();
         let (answers, prof) = measure(|| engine.enumerate(&inst).expect("FDs hold"));
         let t0 = Instant::now();
         let naive = evaluate_ucq_naive(&u, &inst).expect("naive");

@@ -7,7 +7,11 @@ use ucq_workloads::{by_id, random_instance, InstanceSpec};
 
 /// Fetches a catalog entry's query and builds its engine.
 pub fn engine_for(id: &str) -> UcqEngine {
-    UcqEngine::new(by_id(id).unwrap_or_else(|| panic!("catalog entry {id}")).ucq)
+    UcqEngine::new(
+        by_id(id)
+            .unwrap_or_else(|| panic!("catalog entry {id}"))
+            .ucq,
+    )
 }
 
 /// A deterministic random instance for a catalog entry.

@@ -217,8 +217,7 @@ fn cmd_explain(ucq: &Ucq) -> Result<String, CliError> {
             let _ = writeln!(out, "  free-paths: none");
         } else {
             for p in paths {
-                let names: Vec<&str> =
-                    p.0.iter().map(|&v| cq.var_name(v)).collect();
+                let names: Vec<&str> = p.0.iter().map(|&v| cq.var_name(v)).collect();
                 let _ = writeln!(out, "  free-path: ({})", names.join(", "));
             }
         }
@@ -288,7 +287,7 @@ fn cmd_decide(ucq: &Ucq, inst: &Instance) -> Result<String, CliError> {
 
 fn cmd_catalog() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{:<16} {:<28} {}", "id", "paper ref", "description");
+    let _ = writeln!(out, "{:<16} {:<28} description", "id", "paper ref");
     for e in ucq_workloads::catalog() {
         let _ = writeln!(out, "{:<16} {:<28} {}", e.id, e.paper_ref, e.description);
     }

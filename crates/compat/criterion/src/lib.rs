@@ -1,0 +1,308 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! the slice of the Criterion API its benches use: [`Criterion`],
+//! [`BenchmarkId`], benchmark groups with `sample_size` / `measurement_time`
+//! / `bench_function` / `bench_with_input`, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurements are real: each benchmark is warmed up, then timed over
+//! `sample_size` samples (auto-scaled iteration counts), and the per-sample
+//! median/mean are printed. When the `CRITERION_JSON` environment variable
+//! names a file, one JSON line per benchmark is appended to it —
+//! `{"group":…,"bench":…,"median_ns":…,"mean_ns":…,"samples":…}` — which is
+//! how the committed `BENCH_*.json` baselines are produced.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under Criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just a parameter (`BenchmarkId::from_parameter(n)`).
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { name: s }
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one("", &id.name, 20, Duration::from_secs(2), &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(
+            &self.name,
+            &id.name,
+            self.sample_size,
+            self.measurement_time,
+            &mut f,
+        );
+        self
+    }
+
+    /// Benchmarks `f` with an input handle.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            &self.name,
+            &id.name,
+            self.sample_size,
+            self.measurement_time,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (prints nothing extra; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The timing handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` executions of `f` (results are black-boxed).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    group: &str,
+    bench: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    f: &mut F,
+) {
+    // Calibrate: run single iterations until ~5ms or 10 runs to pick an
+    // iteration count per sample.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    let calib_start = Instant::now();
+    let mut one_shot = Duration::ZERO;
+    let mut calib_runs = 0u32;
+    while calib_runs < 10 && calib_start.elapsed() < Duration::from_millis(50) {
+        f(&mut b);
+        one_shot = if calib_runs == 0 {
+            b.elapsed
+        } else {
+            one_shot.min(b.elapsed)
+        };
+        calib_runs += 1;
+    }
+    let per_sample = measurement_time
+        .checked_div(sample_size as u32)
+        .unwrap_or(Duration::from_millis(10));
+    let iters = if one_shot.is_zero() {
+        1000
+    } else {
+        (per_sample.as_nanos() / one_shot.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+    };
+
+    let deadline = Instant::now() + measurement_time;
+    let mut samples_ns: Vec<u64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut bench_run = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bench_run);
+        samples_ns.push((bench_run.elapsed.as_nanos() / iters as u128) as u64);
+        if Instant::now() > deadline && samples_ns.len() >= 2 {
+            break;
+        }
+    }
+    samples_ns.sort_unstable();
+    let median = samples_ns[samples_ns.len() / 2];
+    let mean = samples_ns.iter().sum::<u64>() / samples_ns.len() as u64;
+    let label = if group.is_empty() {
+        bench.to_string()
+    } else {
+        format!("{group}/{bench}")
+    };
+    println!(
+        "{label:<48} median {:>12}  mean {:>12}  ({} samples × {iters} iters)",
+        fmt_ns(median),
+        fmt_ns(mean),
+        samples_ns.len()
+    );
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if !path.is_empty() {
+            if let Ok(mut file) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+            {
+                let _ = writeln!(
+                    file,
+                    "{{\"group\":\"{}\",\"bench\":\"{}\",\"median_ns\":{},\"mean_ns\":{},\"samples\":{}}}",
+                    escape(group),
+                    escape(bench),
+                    median,
+                    mean,
+                    samples_ns.len()
+                );
+            }
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30));
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("x", 5).name, "x/5");
+        assert_eq!(BenchmarkId::from_parameter(7).name, "7");
+    }
+}

@@ -1,0 +1,226 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! the slice of the `proptest` API its property tests use: the [`Strategy`]
+//! trait with `prop_map` / `prop_flat_map` / `prop_filter` /
+//! `prop_filter_map`, strategies for integer ranges, tuples, `Vec`s of
+//! strategies, [`collection::vec`] / [`collection::btree_set`],
+//! [`bool::ANY`], [`strategy::Just`], and the [`proptest!`] /
+//! [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`] macros.
+//!
+//! Semantics: each test case draws fresh random values from a deterministic
+//! per-test RNG. Failing inputs are reported via `Debug`-style panic
+//! messages; there is **no shrinking** — failures print the raw
+//! counterexample seed index so reruns are reproducible.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::Strategy;
+
+pub mod prelude {
+    //! The glob-import surface, mirroring `proptest::prelude::*`.
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+pub mod bool {
+    //! Boolean strategies.
+    use crate::strategy::Strategy;
+    use crate::test_runner::{Reject, TestRng};
+
+    /// Uniform `true`/`false`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// The uniform boolean strategy (`proptest::bool::ANY`).
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> Result<bool, Reject> {
+            Ok(rng.next_u64() & 1 == 1)
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`, `btree_set`).
+    use crate::strategy::Strategy;
+    use crate::test_runner::{Reject, TestRng};
+    use std::collections::BTreeSet;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A size specification for collection strategies: an exact length or an
+    /// inclusive-exclusive / inclusive-inclusive range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        /// Inclusive upper bound.
+        max: usize,
+    }
+
+    impl SizeRange {
+        fn pick(self, rng: &mut TestRng) -> usize {
+            if self.max <= self.min {
+                self.min
+            } else {
+                self.min + (rng.next_u64() as usize) % (self.max - self.min + 1)
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec`s of values from `element`, sized by `size` (a length, `a..b`,
+    /// or `a..=b`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Result<Vec<S::Value>, Reject> {
+            let n = self.size.pick(rng);
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                out.push(self.element.sample(rng)?);
+            }
+            Ok(out)
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` with a size drawn from `size`.
+    #[derive(Clone, Debug)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `BTreeSet`s of values from `element`. Rejects the sample (retried by
+    /// the runner) if the element domain cannot fill the minimum size.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Result<BTreeSet<S::Value>, Reject> {
+            let n = self.size.pick(rng);
+            let mut out = BTreeSet::new();
+            let mut attempts = 0usize;
+            while out.len() < n {
+                out.insert(self.element.sample(rng)?);
+                attempts += 1;
+                if attempts > 64 + 16 * n {
+                    if out.len() >= self.size.min {
+                        break;
+                    }
+                    return Err(Reject("btree_set: element domain too small"));
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+pub mod num {
+    //! Numeric strategies are plain ranges; see the `Strategy` impls for
+    //! `Range<T>` / `RangeInclusive<T>` in [`crate::strategy`].
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_vecs_sample() {
+        let mut rng = TestRng::from_seed(1);
+        let s = (0..5u32, crate::collection::vec(0i64..4, 2..=3));
+        for _ in 0..50 {
+            let (a, v) = s.sample(&mut rng).unwrap();
+            assert!(a < 5);
+            assert!((2..=3).contains(&v.len()));
+            assert!(v.iter().all(|&x| (0..4).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn filter_map_retries_then_rejects() {
+        let mut rng = TestRng::from_seed(2);
+        let evens = (0..10u32).prop_filter_map("even", |x| (x % 2 == 0).then_some(x));
+        for _ in 0..20 {
+            assert_eq!(evens.sample(&mut rng).unwrap() % 2, 0);
+        }
+        let never = (0..10u32).prop_filter_map("never", |_| None::<u32>);
+        assert!(never.sample(&mut rng).is_err());
+    }
+
+    #[test]
+    fn vec_of_strategies_is_a_strategy() {
+        let mut rng = TestRng::from_seed(3);
+        let strategies: Vec<_> = (0..4).map(Just).collect();
+        assert_eq!(strategies.sample(&mut rng).unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_binds_and_asserts(x in 0..100u32, (a, b) in (0..10u32, 0..10u32)) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(a + b, b + a, "commutes for {} {}", a, b);
+        }
+
+        #[test]
+        fn assume_skips_cases(x in 0..20u32) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+}

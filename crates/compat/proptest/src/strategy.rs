@@ -1,0 +1,268 @@
+//! The [`Strategy`] trait and its combinators.
+
+use crate::test_runner::{Reject, TestRng};
+use std::ops::{Range, RangeInclusive};
+
+/// How many times filtering combinators locally resample before giving up
+/// and rejecting the whole test case.
+const FILTER_RETRIES: usize = 64;
+
+/// A generator of random values of one type.
+///
+/// Unlike real proptest there is no shrinking: `sample` either produces a
+/// value or rejects (e.g. a filter that never matched), in which case the
+/// runner skips the case and draws a new one.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Result<Self::Value, Reject>;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, builds a second strategy from it with `f`, and
+    /// samples that.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `pred` (resampling a bounded number of
+    /// times; `whence` labels the rejection).
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            pred,
+        }
+    }
+
+    /// Simultaneously filters and maps: `f` returning `None` resamples (a
+    /// bounded number of times).
+    fn prop_filter_map<O, F>(self, whence: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> Result<T, Reject> {
+        Ok(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> Result<O, Reject> {
+        self.inner.sample(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone, Debug)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn sample(&self, rng: &mut TestRng) -> Result<S2::Value, Reject> {
+        let first = self.inner.sample(rng)?;
+        (self.f)(first).sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Clone, Debug)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Result<S::Value, Reject> {
+        for _ in 0..FILTER_RETRIES {
+            let v = self.inner.sample(rng)?;
+            if (self.pred)(&v) {
+                return Ok(v);
+            }
+        }
+        Err(Reject(self.whence))
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+#[derive(Clone, Debug)]
+pub struct FilterMap<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, O, F> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Option<O>,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> Result<O, Reject> {
+        for _ in 0..FILTER_RETRIES {
+            if let Some(out) = (self.f)(self.inner.sample(rng)?) {
+                return Ok(out);
+            }
+        }
+        Err(Reject(self.whence))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> Result<$t, Reject> {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                Ok((self.start as i128 + v as i128) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> Result<$t, Reject> {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                Ok((start as i128 + v as i128) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i64, u64, i32, u32, usize, u8, u16, i8, i16);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Result<Self::Value, Reject> {
+                let ($($name,)+) = self;
+                Ok(($($name.sample(rng)?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, G);
+
+/// A `Vec` of same-typed strategies samples element-wise into a `Vec` of
+/// values (mirrors proptest's impl).
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Result<Vec<S::Value>, Reject> {
+        self.iter().map(|s| s.sample(rng)).collect()
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Result<S::Value, Reject> {
+        (**self).sample(rng)
+    }
+}
+
+/// String-literal strategies. Real proptest interprets the literal as a
+/// regex; this stand-in supports the one shape the workspace uses —
+/// `\PC{m,n}` (m..=n printable characters) — and panics loudly on anything
+/// else so unsupported patterns cannot silently degrade.
+impl Strategy for str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> Result<String, Reject> {
+        let (min, max) = match parse_pc_repeat(self) {
+            Some(bounds) => bounds,
+            None => panic!(
+                "string strategy {self:?}: this offline proptest stand-in only \
+                 supports the \\PC{{m,n}} pattern"
+            ),
+        };
+        let n = min + (rng.next_u64() as usize) % (max - min + 1);
+        let mut out = String::with_capacity(n);
+        for _ in 0..n {
+            // Mostly printable ASCII, occasionally a multibyte char, to give
+            // the parser fuzz tests realistic spread.
+            let roll = rng.next_u64();
+            let ch = if roll.is_multiple_of(16) {
+                ['→', 'λ', 'é', '⊥', '∧', '𝛼'][(roll >> 8) as usize % 6]
+            } else {
+                (0x20 + ((roll >> 8) % 0x5f)) as u8 as char
+            };
+            out.push(ch);
+        }
+        Ok(out)
+    }
+}
+
+/// Parses `\PC{m,n}` into `(m, n)`.
+fn parse_pc_repeat(pattern: &str) -> Option<(usize, usize)> {
+    let rest = pattern.strip_prefix("\\PC{")?.strip_suffix('}')?;
+    let (lo, hi) = rest.split_once(',')?;
+    let (min, max) = (lo.parse().ok()?, hi.parse().ok()?);
+    (min <= max).then_some((min, max))
+}

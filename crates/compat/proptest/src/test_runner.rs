@@ -1,0 +1,226 @@
+//! The case runner behind the [`proptest!`](crate::proptest) macro.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// A strategy-level rejection (filter never matched, assume failed, …).
+/// The runner skips the case and draws a new one.
+#[derive(Clone, Copy, Debug)]
+pub struct Reject(pub &'static str);
+
+/// Why a single test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case is invalid and should be skipped (e.g. `prop_assume!`).
+    Reject(String),
+    /// A real assertion failure.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Convenience constructor used by the assertion macros.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Convenience constructor used by `prop_assume!`.
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// The per-case outcome type the macro-generated closures return.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration (only `cases` is honored).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The RNG handed to strategies: deterministic per (test name, case index).
+#[derive(Clone, Debug)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Builds the RNG from a raw seed.
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Runs `case` until `config.cases` cases are accepted, skipping rejected
+/// samples (with a global cap so a pathological filter cannot loop forever),
+/// and panics with the counterexample's case seed on the first failure.
+pub fn run_proptest(
+    config: &ProptestConfig,
+    test_name: &str,
+    mut case: impl FnMut(&mut TestRng) -> TestCaseResult,
+) {
+    let base = fnv1a(test_name);
+    let mut accepted: u32 = 0;
+    let mut attempt: u64 = 0;
+    let max_attempts = (config.cases as u64) * 32 + 1024;
+    let mut rejected: u64 = 0;
+    while accepted < config.cases {
+        if attempt >= max_attempts {
+            panic!(
+                "proptest {test_name}: gave up after {attempt} attempts \
+                 ({accepted}/{} cases accepted, {rejected} rejected)",
+                config.cases
+            );
+        }
+        let mut rng = TestRng::from_seed(base.wrapping_add(attempt));
+        attempt += 1;
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => rejected += 1,
+            Err(TestCaseError::Fail(msg)) => panic!(
+                "proptest {test_name} failed at case seed {} (attempt {attempt}): {msg}",
+                base.wrapping_add(attempt - 1)
+            ),
+        }
+    }
+}
+
+/// Declares property tests. Mirrors proptest's surface:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0..10u32, (a, b) in (0..3u32, 0..3u32)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            (<$crate::test_runner::ProptestConfig as ::core::default::Default>::default())
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $cfg;
+                $crate::test_runner::run_proptest(&__config, stringify!($name), |__rng| {
+                    $(
+                        let $pat = match $crate::strategy::Strategy::sample(&($strat), __rng) {
+                            Ok(v) => v,
+                            Err(r) => {
+                                return Err($crate::test_runner::TestCaseError::reject(r.0))
+                            }
+                        };
+                    )+
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), __l, __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+), __l, __r
+            )));
+        }
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{}` != `{}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l
+            )));
+        }
+    }};
+}
+
+/// Skips the current case (without counting it) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}

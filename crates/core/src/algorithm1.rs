@@ -15,37 +15,50 @@
 //! Cheater-based pipeline, whose dedup set grows with the output; this is
 //! the `CD∘Lin`-friendly variant the paper's conclusion highlights). Unions
 //! of `n` members nest recursively, treating the tail as one query.
+//!
+//! All member engines are built through one shared [`EvalContext`], so the
+//! members' preprocessing shares interned relations and normalizations, and
+//! the membership probes of line 4 run against interned ids with reused
+//! scratch buffers — no allocation per probe.
 
+use std::sync::Arc;
 use ucq_enumerate::Enumerator;
 use ucq_query::Ucq;
-use ucq_storage::{Instance, Tuple};
-use ucq_yannakakis::{CdyEngine, EvalError, OwnedCdyIter};
+use ucq_storage::{EvalContext, Instance, Tuple};
+use ucq_yannakakis::{CdyEngine, ContainsScratch, EvalError, OwnedCdyIter};
 
-/// Recursive union node.
+/// Recursive union node. Each node carries a [`ContainsScratch`] for its
+/// own engine's membership probes, so the line-4 checks reuse buffers
+/// instead of allocating per answer.
 enum Node {
-    Leaf(OwnedCdyIter),
+    Leaf(OwnedCdyIter, ContainsScratch),
     Pair {
         first: OwnedCdyIter,
+        first_scratch: ContainsScratch,
         rest: Box<Node>,
         first_done: bool,
     },
 }
 
 impl Node {
-    fn contains(&self, t: &Tuple) -> bool {
+    fn contains(&mut self, t: &Tuple) -> bool {
         match self {
-            Node::Leaf(it) => it.engine().contains(t),
-            Node::Pair { first, rest, .. } => {
-                first.engine().contains(t) || rest.contains(t)
-            }
+            Node::Leaf(it, scratch) => it.engine().contains_with(t, scratch),
+            Node::Pair {
+                first,
+                first_scratch,
+                rest,
+                ..
+            } => first.engine().contains_with(t, first_scratch) || rest.contains(t),
         }
     }
 
     fn next(&mut self) -> Option<Tuple> {
         match self {
-            Node::Leaf(it) => it.next(),
+            Node::Leaf(it, _) => it.next(),
             Node::Pair {
                 first,
+                first_scratch: _,
                 rest,
                 first_done,
             } => {
@@ -82,22 +95,56 @@ pub struct Algorithm1 {
 }
 
 impl Algorithm1 {
-    /// Preprocesses every member with CDY (all must be free-connex) and
-    /// wires up the recursive interleaving.
+    /// Preprocesses every member with CDY under a private context. Prefer
+    /// [`Algorithm1::build_in`] (or the engine's session API) to share the
+    /// context across members and calls.
     pub fn build(ucq: &Ucq, instance: &Instance) -> Result<Algorithm1, EvalError> {
-        let mut iters: Vec<OwnedCdyIter> = Vec::with_capacity(ucq.len());
-        for cq in ucq.cqs() {
-            iters.push(CdyEngine::for_query(cq, instance)?.into_iter_owned());
-        }
-        let mut node = Node::Leaf(iters.pop().expect("UCQs are non-empty"));
+        Algorithm1::build_in(ucq, instance, &Arc::new(EvalContext::new()))
+    }
+
+    /// Preprocesses every member with CDY (all must be free-connex) through
+    /// the shared `ctx` and wires up the recursive interleaving.
+    pub fn build_in(
+        ucq: &Ucq,
+        instance: &Instance,
+        ctx: &Arc<EvalContext>,
+    ) -> Result<Algorithm1, EvalError> {
+        Ok(Algorithm1::from_engines(Algorithm1::member_engines(
+            ucq, instance, ctx,
+        )?))
+    }
+
+    /// Builds the per-member CDY engines (the preprocessing phase), shared
+    /// so sessions can reuse them across repeated enumerations.
+    pub fn member_engines(
+        ucq: &Ucq,
+        instance: &Instance,
+        ctx: &Arc<EvalContext>,
+    ) -> Result<Vec<Arc<CdyEngine>>, EvalError> {
+        ucq.cqs()
+            .iter()
+            .map(|cq| CdyEngine::for_query_in(cq, instance, ctx).map(Arc::new))
+            .collect()
+    }
+
+    /// Wires preprocessed member engines into the interleaving enumerator.
+    /// The engines must come from [`Algorithm1::member_engines`] (every
+    /// member free-connex, outputs = heads).
+    pub fn from_engines(engines: Vec<Arc<CdyEngine>>) -> Algorithm1 {
+        let mut iters: Vec<OwnedCdyIter> = engines.into_iter().map(OwnedCdyIter::new).collect();
+        let mut node = Node::Leaf(
+            iters.pop().expect("UCQs are non-empty"),
+            ContainsScratch::default(),
+        );
         while let Some(first) = iters.pop() {
             node = Node::Pair {
                 first,
+                first_scratch: ContainsScratch::default(),
                 rest: Box::new(node),
                 first_done: false,
             };
         }
-        Ok(Algorithm1 { root: node })
+        Algorithm1 { root: node }
     }
 }
 
@@ -117,9 +164,7 @@ mod tests {
 
     fn inst(rels: &[(&str, Vec<(i64, i64)>)]) -> Instance {
         rels.iter()
-            .map(|(n, pairs)| {
-                (n.to_string(), Relation::from_pairs(pairs.iter().copied()))
-            })
+            .map(|(n, pairs)| (n.to_string(), Relation::from_pairs(pairs.iter().copied())))
             .collect()
     }
 
@@ -185,5 +230,19 @@ mod tests {
     fn non_free_connex_member_rejected() {
         let u = parse_ucq("Q1(x, y) <- A(x, z), B(z, y)").unwrap();
         assert!(Algorithm1::build(&u, &Instance::new()).is_err());
+    }
+
+    #[test]
+    fn shared_engines_restart_cleanly() {
+        // Sessions rebuild enumerators from the same engines; both runs must
+        // produce the full answer set.
+        let u = parse_ucq("Q1(x, y) <- R(x, y)\nQ2(a, b) <- S(a, b)").unwrap();
+        let i = inst(&[("R", vec![(1, 2), (3, 4)]), ("S", vec![(3, 4), (5, 6)])]);
+        let ctx = Arc::new(EvalContext::new());
+        let engines = Algorithm1::member_engines(&u, &i, &ctx).unwrap();
+        let a = Algorithm1::from_engines(engines.clone()).collect_all();
+        let b = Algorithm1::from_engines(engines).collect_all();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a, b);
     }
 }

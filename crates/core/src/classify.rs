@@ -16,9 +16,7 @@
 //! miss can only produce a pessimistic `Unknown`, never a wrong verdict.
 
 use crate::body_iso::{align_body_isomorphic, AlignedUnion};
-use crate::guards::{
-    is_bypass_guarded, is_free_path_guarded, is_isolated, is_union_guarded,
-};
+use crate::guards::{is_bypass_guarded, is_free_path_guarded, is_isolated, is_union_guarded};
 use crate::plan::{plan_free_connex, ExtensionPlan};
 use crate::search::SearchConfig;
 use ucq_hypergraph::free_paths;
@@ -215,9 +213,7 @@ fn lower_bounds(ucq: &Ucq, statuses: &[CqStatus], cfg: &SearchConfig) -> Verdict
 
     if !ucq.is_self_join_free() {
         return Verdict::Unknown {
-            notes: vec![
-                "the paper's lower bounds require self-join-free members".to_string(),
-            ],
+            notes: vec!["the paper's lower bounds require self-join-free members".to_string()],
         };
     }
 
@@ -285,8 +281,7 @@ fn lower_bounds(ucq: &Ucq, statuses: &[CqStatus], cfg: &SearchConfig) -> Verdict
             };
         }
         notes.push(
-            "all members intractable but two acyclic members are body-isomorphic"
-                .to_string(),
+            "all members intractable but two acyclic members are body-isomorphic".to_string(),
         );
     }
 
@@ -419,7 +414,10 @@ mod tests {
              Q2(x, y, w) <- R1(x, y), R2(y, w)",
         );
         assert!(c.is_tractable());
-        assert_eq!(c.statuses, vec![CqStatus::AcyclicHard, CqStatus::FreeConnex]);
+        assert_eq!(
+            c.statuses,
+            vec![CqStatus::AcyclicHard, CqStatus::FreeConnex]
+        );
     }
 
     #[test]
@@ -546,7 +544,11 @@ mod tests {
             "Q1(x, y, z, w) <- R1(y, z, w, x), R2(t, y, w), R3(t, z, w), R4(t, y, z)\n\
              Q2(x, y, z, w) <- R1(x, z, w, v), R2(y, x, w)",
         );
-        assert!(c.is_tractable(), "Example 36 is free-connex, got {:?}", c.verdict);
+        assert!(
+            c.is_tractable(),
+            "Example 36 is free-connex, got {:?}",
+            c.verdict
+        );
         assert_eq!(c.statuses[0], CqStatus::Cyclic);
     }
 

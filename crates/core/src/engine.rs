@@ -1,15 +1,28 @@
 //! The top-level engine: classify once, then evaluate instances with the
 //! best applicable strategy.
+//!
+//! Two shapes of use:
+//!
+//! * **One-shot** — [`UcqEngine::enumerate`] builds a private
+//!   [`EvalContext`] per call (unchanged public signature).
+//! * **Session** — [`UcqEngine::session`] pins an instance and returns an
+//!   [`EvalSession`] whose context (dictionary, interned relations,
+//!   normalizations, [`IndexCache`](ucq_storage::IndexCache)) and
+//!   preprocessed per-member engines persist across calls: repeated
+//!   [`EvalSession::enumerate`]s skip the linear preprocessing entirely —
+//!   the "serve traffic" shape.
 
 use crate::algorithm1::Algorithm1;
 use crate::classify::{classify_with, Classification, CqStatus, Verdict};
-use crate::naive_ucq::evaluate_ucq_naive;
-use crate::pipeline::UcqPipeline;
+use crate::naive_ucq::evaluate_ucq_naive_in;
+use crate::pipeline::{UcqPipeline, UcqPipelinePrep};
 use crate::search::SearchConfig;
+use std::cell::RefCell;
+use std::sync::Arc;
 use ucq_enumerate::{Enumerator, VecEnumerator};
 use ucq_query::Ucq;
-use ucq_storage::{Instance, Tuple};
-use ucq_yannakakis::EvalError;
+use ucq_storage::{EvalContext, Instance, Tuple};
+use ucq_yannakakis::{CdyEngine, EvalError};
 
 /// Which evaluation strategy a run used.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -75,13 +88,32 @@ impl UcqEngine {
 
     /// Evaluates over `instance`, returning an answer stream tagged with
     /// the strategy that produced it. `DelayClin` guarantees apply exactly
-    /// when the strategy is not [`Strategy::Naive`].
+    /// when the strategy is not [`Strategy::Naive`]. Builds a private
+    /// [`EvalContext`]; use [`UcqEngine::session`] to reuse preprocessing
+    /// across repeated evaluations.
     pub fn enumerate(&self, instance: &Instance) -> Result<UcqAnswers, EvalError> {
+        self.enumerate_in(&Arc::new(EvalContext::new()), instance)
+    }
+
+    /// As [`UcqEngine::enumerate`], threading the shared session context
+    /// through every member pipeline.
+    ///
+    /// This is a building block: for *repeated* evaluation of one
+    /// instance, use [`UcqEngine::session`] instead — besides skipping
+    /// preprocessing, the session prepares the Theorem 12 pipeline once,
+    /// whereas calling `enumerate_in` in a loop with one long-lived `ctx`
+    /// re-materializes the plan's virtual relations per call and pins each
+    /// copy into the context's caches (contexts never evict).
+    pub fn enumerate_in(
+        &self,
+        ctx: &Arc<EvalContext>,
+        instance: &Instance,
+    ) -> Result<UcqAnswers, EvalError> {
         let minimized = &self.classification.minimized;
         match self.strategy() {
             Strategy::Algorithm1 => Ok(UcqAnswers {
                 strategy: Strategy::Algorithm1,
-                inner: Box::new(Algorithm1::build(minimized, instance)?),
+                inner: Box::new(Algorithm1::build_in(minimized, instance, ctx)?),
             }),
             Strategy::UnionExtension => {
                 let Verdict::FreeConnex { plan } = &self.classification.verdict else {
@@ -89,21 +121,37 @@ impl UcqEngine {
                 };
                 Ok(UcqAnswers {
                     strategy: Strategy::UnionExtension,
-                    inner: Box::new(UcqPipeline::build(minimized, plan, instance)?),
+                    inner: Box::new(UcqPipeline::build_in(minimized, plan, instance, ctx)?),
                 })
             }
             Strategy::Naive => Ok(UcqAnswers {
                 strategy: Strategy::Naive,
-                inner: Box::new(VecEnumerator::new(evaluate_ucq_naive(
-                    minimized, instance,
+                inner: Box::new(VecEnumerator::new(evaluate_ucq_naive_in(
+                    minimized, instance, ctx,
                 )?)),
             }),
         }
     }
 
+    /// Opens an evaluation session over `instance`: preprocessing (value
+    /// interning, normalization, index builds, per-member CDY engines) is
+    /// performed at most once and reused by every subsequent call.
+    pub fn session(&self, instance: &Instance) -> EvalSession<'_> {
+        EvalSession {
+            engine: self,
+            instance: instance.clone(),
+            ctx: Arc::new(EvalContext::new()),
+            prepared: RefCell::new(None),
+        }
+    }
+
     /// Forces the naive strategy (baseline for experiments).
     pub fn enumerate_naive(&self, instance: &Instance) -> Result<Vec<Tuple>, EvalError> {
-        evaluate_ucq_naive(&self.classification.minimized, instance)
+        evaluate_ucq_naive_in(
+            &self.classification.minimized,
+            instance,
+            &EvalContext::new(),
+        )
     }
 
     /// `Decide⟨Q⟩`: whether the union has at least one answer. For unions
@@ -111,6 +159,7 @@ impl UcqEngine {
     /// member's CDY `decide()` after its linear pass); otherwise it asks
     /// the chosen enumeration strategy for a first answer.
     pub fn decide(&self, instance: &Instance) -> Result<bool, EvalError> {
+        let ctx = Arc::new(EvalContext::new());
         let minimized = &self.classification.minimized;
         if minimized
             .cqs()
@@ -118,14 +167,135 @@ impl UcqEngine {
             .all(|cq| matches!(crate::classify::cq_status(cq), CqStatus::FreeConnex))
         {
             for cq in minimized.cqs() {
-                if crate::pipeline_decide(cq, instance)? {
+                if CdyEngine::for_query_in(cq, instance, &ctx)?.decide() {
                     return Ok(true);
                 }
             }
             return Ok(false);
         }
-        let mut ans = self.enumerate(instance)?;
+        let mut ans = self.enumerate_in(&ctx, instance)?;
         Ok(ans.next().is_some())
+    }
+}
+
+/// The per-strategy preprocessed state an [`EvalSession`] caches.
+enum Prepared {
+    /// Per-member CDY engines (Algorithm 1 restarts enumerators off them).
+    Algorithm1(Vec<Arc<CdyEngine>>),
+    /// The Theorem 12 prep: materializations folded into member engines.
+    Union(UcqPipelinePrep),
+    /// Naive fallback has no reusable enumeration structure beyond the
+    /// context caches themselves.
+    Naive,
+}
+
+/// A pinned `(classified query, instance)` pair with persistent caches —
+/// the repeated-evaluation ("serve traffic") API.
+///
+/// ```
+/// use ucq_core::UcqEngine;
+/// use ucq_enumerate::Enumerator;
+/// use ucq_query::parse_ucq;
+/// use ucq_storage::{Instance, Relation};
+///
+/// let engine = UcqEngine::new(parse_ucq("Q(x, y) <- R(x, y)").unwrap());
+/// let instance: Instance =
+///     [("R", Relation::from_pairs([(1, 2), (3, 4)]))].into_iter().collect();
+/// let session = engine.session(&instance);
+/// for _ in 0..3 {
+///     // Preprocessing runs once; each call just restarts enumeration.
+///     assert_eq!(session.enumerate().unwrap().collect_all().len(), 2);
+/// }
+/// ```
+pub struct EvalSession<'e> {
+    engine: &'e UcqEngine,
+    instance: Instance,
+    ctx: Arc<EvalContext>,
+    prepared: RefCell<Option<Prepared>>,
+}
+
+impl EvalSession<'_> {
+    /// The engine this session evaluates.
+    pub fn engine(&self) -> &UcqEngine {
+        self.engine
+    }
+
+    /// The shared context (dictionary + caches) of this session.
+    pub fn context(&self) -> &Arc<EvalContext> {
+        &self.ctx
+    }
+
+    /// The strategy session evaluations use.
+    pub fn strategy(&self) -> Strategy {
+        self.engine.strategy()
+    }
+
+    fn ensure_prepared(&self) -> Result<(), EvalError> {
+        if self.prepared.borrow().is_some() {
+            return Ok(());
+        }
+        let minimized = &self.engine.classification.minimized;
+        let prep = match self.engine.strategy() {
+            Strategy::Algorithm1 => Prepared::Algorithm1(Algorithm1::member_engines(
+                minimized,
+                &self.instance,
+                &self.ctx,
+            )?),
+            Strategy::UnionExtension => {
+                let Verdict::FreeConnex { plan } = &self.engine.classification.verdict else {
+                    unreachable!("strategy() checked the verdict");
+                };
+                Prepared::Union(UcqPipelinePrep::prepare(
+                    minimized,
+                    plan,
+                    &self.instance,
+                    &self.ctx,
+                )?)
+            }
+            Strategy::Naive => Prepared::Naive,
+        };
+        *self.prepared.borrow_mut() = Some(prep);
+        Ok(())
+    }
+
+    /// Starts an enumeration. The first call performs the linear
+    /// preprocessing; subsequent calls only restart enumeration cursors.
+    pub fn enumerate(&self) -> Result<UcqAnswers, EvalError> {
+        self.ensure_prepared()?;
+        let prepared = self.prepared.borrow();
+        match prepared.as_ref().expect("just prepared") {
+            Prepared::Algorithm1(engines) => Ok(UcqAnswers {
+                strategy: Strategy::Algorithm1,
+                inner: Box::new(Algorithm1::from_engines(engines.clone())),
+            }),
+            Prepared::Union(prep) => Ok(UcqAnswers {
+                strategy: Strategy::UnionExtension,
+                inner: Box::new(prep.start()),
+            }),
+            Prepared::Naive => Ok(UcqAnswers {
+                strategy: Strategy::Naive,
+                inner: Box::new(VecEnumerator::new(evaluate_ucq_naive_in(
+                    &self.engine.classification.minimized,
+                    &self.instance,
+                    &self.ctx,
+                )?)),
+            }),
+        }
+    }
+
+    /// `Decide⟨Q⟩` against the pinned instance, reusing the session's
+    /// preprocessed engines when available.
+    pub fn decide(&self) -> Result<bool, EvalError> {
+        self.ensure_prepared()?;
+        let prepared = self.prepared.borrow();
+        match prepared.as_ref().expect("just prepared") {
+            Prepared::Algorithm1(engines) => Ok(engines.iter().any(|e| e.decide())),
+            _ => {
+                drop(prepared);
+                let mut ans = self.enumerate()?;
+                Ok(ans.next().is_some())
+            }
+        }
     }
 }
 
@@ -158,9 +328,7 @@ mod tests {
 
     fn inst(rels: &[(&str, Vec<(i64, i64)>)]) -> Instance {
         rels.iter()
-            .map(|(n, pairs)| {
-                (n.to_string(), Relation::from_pairs(pairs.iter().copied()))
-            })
+            .map(|(n, pairs)| (n.to_string(), Relation::from_pairs(pairs.iter().copied())))
             .collect()
     }
 
@@ -172,6 +340,14 @@ mod tests {
         let got: HashSet<Tuple> = ans.collect_all().into_iter().collect();
         let want = evaluate_ucq_naive_set(&u, i).unwrap();
         assert_eq!(got, want);
+        // The session path must agree with the one-shot path, repeatedly.
+        let session = eng.session(i);
+        for _ in 0..2 {
+            let mut ans = session.enumerate().unwrap();
+            let via_session: HashSet<Tuple> = ans.collect_all().into_iter().collect();
+            assert_eq!(via_session, want, "session answers for {text}");
+        }
+        assert_eq!(session.decide().unwrap(), !want.is_empty());
     }
 
     #[test]
@@ -221,6 +397,23 @@ mod tests {
             Strategy::Algorithm1,
         );
     }
+
+    #[test]
+    fn session_preprocesses_once() {
+        let u = parse_ucq("Q1(x, y) <- R(x, y)\nQ2(a, b) <- S(a, b)").unwrap();
+        let eng = UcqEngine::new(u);
+        let i = inst(&[("R", vec![(1, 2), (3, 4)]), ("S", vec![(3, 4)])]);
+        let session = eng.session(&i);
+        session.enumerate().unwrap();
+        let builds_after_first = session.context().stats().interned_builds;
+        session.enumerate().unwrap();
+        session.enumerate().unwrap();
+        assert_eq!(
+            session.context().stats().interned_builds,
+            builds_after_first,
+            "repeated session calls intern nothing new"
+        );
+    }
 }
 
 #[cfg(test)]
@@ -233,13 +426,16 @@ mod decide_tests {
     fn decide_free_connex_union() {
         let u = parse_ucq("Q1(x, y) <- R(x, y)\nQ2(a, b) <- S(a, b)").unwrap();
         let eng = UcqEngine::new(u);
-        let yes: Instance =
-            [("R", Relation::new(2)), ("S", Relation::from_pairs([(1, 1)]))]
-                .into_iter()
-                .collect();
+        let yes: Instance = [
+            ("R", Relation::new(2)),
+            ("S", Relation::from_pairs([(1, 1)])),
+        ]
+        .into_iter()
+        .collect();
         assert!(eng.decide(&yes).unwrap());
-        let no: Instance =
-            [("R", Relation::new(2)), ("S", Relation::new(2))].into_iter().collect();
+        let no: Instance = [("R", Relation::new(2)), ("S", Relation::new(2))]
+            .into_iter()
+            .collect();
         assert!(!eng.decide(&no).unwrap());
     }
 

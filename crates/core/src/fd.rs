@@ -97,9 +97,9 @@ impl FdSet {
 
     /// Whether all FDs hold on `inst` (absent relations count as holding).
     pub fn holds_on(&self, inst: &Instance) -> bool {
-        self.fds.iter().all(|fd| {
-            inst.get(&fd.rel).map(|r| fd.holds_on(r)).unwrap_or(true)
-        })
+        self.fds
+            .iter()
+            .all(|fd| inst.get(&fd.rel).map(|r| fd.holds_on(r)).unwrap_or(true))
     }
 }
 
@@ -152,8 +152,7 @@ pub fn fd_extend_cq(cq: &Cq, fds: &FdSet) -> Result<FdExtension, QueryError> {
                 {
                     continue;
                 }
-                let lhs_vars: Vec<VarId> =
-                    fd.lhs.iter().map(|&c| src_atom.args[c]).collect();
+                let lhs_vars: Vec<VarId> = fd.lhs.iter().map(|&c| src_atom.args[c]).collect();
                 let rhs_var = src_atom.args[fd.rhs];
                 let app = AppliedFd {
                     atom: src,
@@ -162,8 +161,7 @@ pub fn fd_extend_cq(cq: &Cq, fds: &FdSet) -> Result<FdExtension, QueryError> {
                     rhs_var,
                 };
                 // Head saturation.
-                if lhs_vars.iter().all(|v| head.contains(v)) && !head.contains(&rhs_var)
-                {
+                if lhs_vars.iter().all(|v| head.contains(v)) && !head.contains(&rhs_var) {
                     head.push(rhs_var);
                     changed = true;
                 }
@@ -213,11 +211,7 @@ pub fn fd_extend_ucq(ucq: &Ucq, fds: &FdSet) -> Result<(Ucq, Vec<FdExtension>), 
 /// relation gains the functionally determined columns, computed by joining
 /// against the FD's source relation. Panics if the instance violates an
 /// applied FD (callers should check [`FdSet::holds_on`] first).
-pub fn extend_instance(
-    original: &Cq,
-    ext: &FdExtension,
-    inst: &Instance,
-) -> Instance {
+pub fn extend_instance(original: &Cq, ext: &FdExtension, inst: &Instance) -> Instance {
     let mut out = inst.clone();
     // Process in application order: later applications may depend on
     // columns added by earlier ones. We rebuild each target relation as a
@@ -228,15 +222,28 @@ pub fn extend_instance(
             .cloned()
             .unwrap_or_else(|| Relation::new(arity))
     };
+    // One interned index per (source atom, lhs) — an FD whose source
+    // widens several targets must not re-intern the source per target.
+    // (Local interning: widening is a preprocessing step that runs before
+    // any EvalContext exists.)
+    type SrcEntry = (Relation, ucq_storage::Dictionary, HashIndex);
+    let mut src_cache: HashMap<(usize, Vec<usize>), SrcEntry> = HashMap::new();
     for (t, app) in &ext.widened {
         let target_atom = &original.atoms()[*t];
-        let target_now = current.remove(t).unwrap_or_else(|| {
-            get_rel(&target_atom.rel, target_atom.args.len(), inst)
-        });
+        let target_now = current
+            .remove(t)
+            .unwrap_or_else(|| get_rel(&target_atom.rel, target_atom.args.len(), inst));
         // The source relation provides lhs -> rhs lookups.
-        let src_atom = &original.atoms()[app.atom];
-        let src_rel = get_rel(&src_atom.rel, src_atom.args.len(), inst);
-        let idx = HashIndex::build(&src_rel, &app.fd.lhs);
+        let (src_rel, dict, idx) = src_cache
+            .entry((app.atom, app.fd.lhs.clone()))
+            .or_insert_with(|| {
+                let src_atom = &original.atoms()[app.atom];
+                let src_rel = get_rel(&src_atom.rel, src_atom.args.len(), inst);
+                let mut dict = ucq_storage::Dictionary::new();
+                let src_ids = src_rel.columnar(&mut dict);
+                let idx = HashIndex::build(&src_ids, &app.fd.lhs);
+                (src_rel, dict, idx)
+            });
 
         // Positions of the lhs variables inside the *current* target
         // columns (original args + already-appended columns). We track the
@@ -253,14 +260,19 @@ pub fn extend_instance(
             })
             .collect();
 
-        let mut widened_rel = Relation::with_capacity(
-            target_now.arity() + 1,
-            target_now.len(),
-        );
+        let mut widened_rel = Relation::with_capacity(target_now.arity() + 1, target_now.len());
         let mut buf: Vec<Value> = Vec::with_capacity(target_now.arity() + 1);
+        let mut key: Vec<ucq_storage::ValueId> = Vec::with_capacity(lhs_pos.len());
         for row in target_now.iter_rows() {
-            let key: Vec<Value> = lhs_pos.iter().map(|&p| row[p]).collect();
-            let matches = idx.get(&key);
+            key.clear();
+            let known = lhs_pos.iter().all(|&p| match dict.lookup(row[p]) {
+                Some(id) => {
+                    key.push(id);
+                    true
+                }
+                None => false,
+            });
+            let matches = if known { idx.get(&key) } else { &[] };
             if matches.is_empty() {
                 // No source tuple determines the value: the row is dangling
                 // w.r.t. the join and can be dropped without changing the
@@ -290,12 +302,7 @@ pub fn extend_instance(
 
 /// The variable of each column of atom `t`'s relation after the widenings
 /// applied so far (deduced from the current arity).
-fn target_columns(
-    original: &Cq,
-    ext: &FdExtension,
-    t: usize,
-    target_now: &Relation,
-) -> Vec<VarId> {
+fn target_columns(original: &Cq, ext: &FdExtension, t: usize, target_now: &Relation) -> Vec<VarId> {
     let mut cols: Vec<VarId> = original.atoms()[t].args.clone();
     for (tt, app) in &ext.widened {
         if *tt == t && cols.len() < target_now.arity() {
@@ -377,8 +384,7 @@ mod tests {
         // The extended query over the widened instance projects onto the
         // original head exactly like the original query over the original
         // instance.
-        let orig: HashSet<Tuple> =
-            evaluate_cq_naive(&q, &inst).unwrap().into_iter().collect();
+        let orig: HashSet<Tuple> = evaluate_cq_naive(&q, &inst).unwrap().into_iter().collect();
         let ext_answers = evaluate_cq_naive(&ext.query, &widened).unwrap();
         let orig_head_len = q.head().len();
         let projected: HashSet<Tuple> = ext_answers
@@ -391,8 +397,9 @@ mod tests {
     #[test]
     fn fd_violating_instance_detected() {
         let fds = FdSet::new(vec![Fd::new("R", vec![0], 1)]);
-        let inst: Instance =
-            [("R", Relation::from_pairs([(1, 10), (1, 11)]))].into_iter().collect();
+        let inst: Instance = [("R", Relation::from_pairs([(1, 10), (1, 11)]))]
+            .into_iter()
+            .collect();
         assert!(!fds.holds_on(&inst));
     }
 

@@ -77,8 +77,9 @@ impl FdUcqEngine {
         self.engine.strategy()
     }
 
-    /// Evaluates over `inst`, which must satisfy the FDs.
-    pub fn enumerate(&self, inst: &Instance) -> Result<FdAnswers, EvalError> {
+    /// Validates the FDs and widens `inst` once (the Remark 2 instance
+    /// translation).
+    fn widen(&self, inst: &Instance) -> Result<Instance, EvalError> {
         if !self.fds.holds_on(inst) {
             return Err(EvalError::Schema(
                 "instance violates the declared functional dependencies".into(),
@@ -88,10 +89,51 @@ impl FdUcqEngine {
         for (i, ext) in self.extensions.iter().enumerate() {
             widened = widen_for_member(&self.original, i, ext, &widened);
         }
+        Ok(widened)
+    }
+
+    /// Evaluates over `inst`, which must satisfy the FDs.
+    pub fn enumerate(&self, inst: &Instance) -> Result<FdAnswers, EvalError> {
         Ok(FdAnswers {
-            inner: self.engine.enumerate(&widened)?,
+            inner: self.engine.enumerate(&self.widen(inst)?)?,
             prefix: self.original_arity,
         })
+    }
+
+    /// Opens a session over `inst`: the FD validation and instance widening
+    /// run once, and the inner [`EvalSession`](crate::EvalSession) reuses
+    /// its preprocessing across repeated enumerations. (The session clones
+    /// the widened instance, which is cheap: relation payloads are
+    /// `Arc`-shared.)
+    pub fn session<'e>(&'e self, inst: &Instance) -> Result<FdSession<'e>, EvalError> {
+        let widened = self.widen(inst)?;
+        Ok(FdSession {
+            session: self.engine.session(&widened),
+            prefix: self.original_arity,
+        })
+    }
+}
+
+/// A pinned FD-engine session: widen once, enumerate many times, each
+/// answer projected back onto the original head positions.
+pub struct FdSession<'e> {
+    session: crate::EvalSession<'e>,
+    prefix: usize,
+}
+
+impl FdSession<'_> {
+    /// Starts an enumeration; preprocessing is reused across calls.
+    pub fn enumerate(&self) -> Result<FdAnswers, EvalError> {
+        Ok(FdAnswers {
+            inner: self.session.enumerate()?,
+            prefix: self.prefix,
+        })
+    }
+
+    /// Whether the (FD-constrained) union has any answer on the pinned
+    /// instance.
+    pub fn decide(&self) -> Result<bool, EvalError> {
+        self.session.decide()
     }
 }
 
@@ -114,12 +156,7 @@ fn rename_widened(ext: &mut FdExtension, member: usize) {
     .expect("renaming preserves validity");
 }
 
-fn widen_for_member(
-    original: &Ucq,
-    member: usize,
-    ext: &FdExtension,
-    inst: &Instance,
-) -> Instance {
+fn widen_for_member(original: &Ucq, member: usize, ext: &FdExtension, inst: &Instance) -> Instance {
     extend_instance(&original.cqs()[member], ext, inst)
 }
 
@@ -171,6 +208,31 @@ mod tests {
     }
 
     #[test]
+    fn fd_session_widens_once_and_restarts() {
+        let u = parse_ucq("Pi(x, y) <- A(x, z), B(z, y)").unwrap();
+        let fds = FdSet::new(vec![Fd::new("A", vec![0], 1)]);
+        let eng = FdUcqEngine::new(u.clone(), fds).unwrap();
+        let inst: Instance = [
+            ("A", Relation::from_pairs([(1, 10), (2, 20), (3, 10)])),
+            ("B", Relation::from_pairs([(10, 5), (10, 6), (20, 7)])),
+        ]
+        .into_iter()
+        .collect();
+        let session = eng.session(&inst).unwrap();
+        let want = evaluate_ucq_naive_set(&u, &inst).unwrap();
+        for _ in 0..3 {
+            let got: HashSet<Tuple> = session
+                .enumerate()
+                .unwrap()
+                .collect_all()
+                .into_iter()
+                .collect();
+            assert_eq!(got, want);
+        }
+        assert!(session.decide().unwrap());
+    }
+
+    #[test]
     fn fd_violation_is_rejected_at_runtime() {
         let u = parse_ucq("Pi(x, y) <- A(x, z), B(z, y)").unwrap();
         let fds = FdSet::new(vec![Fd::new("A", vec![0], 1)]);
@@ -189,8 +251,9 @@ mod tests {
         let u = parse_ucq("Q(x, y) <- R(x, y)").unwrap();
         let eng = FdUcqEngine::new(u.clone(), FdSet::default()).unwrap();
         assert!(eng.classification().is_tractable());
-        let inst: Instance =
-            [("R", Relation::from_pairs([(1, 2), (3, 4)]))].into_iter().collect();
+        let inst: Instance = [("R", Relation::from_pairs([(1, 2), (3, 4)]))]
+            .into_iter()
+            .collect();
         let mut ans = eng.enumerate(&inst).unwrap();
         assert_eq!(ans.collect_all().len(), 2);
     }

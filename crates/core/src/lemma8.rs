@@ -18,8 +18,9 @@
 //! target preserves semantics.
 
 use crate::plan::PlannedAtom;
+use std::sync::Arc;
 use ucq_query::{Atom, Ucq, VarId};
-use ucq_storage::{Relation, RowSet, Tuple, Value};
+use ucq_storage::{EvalContext, Relation, RowSet, Tuple, Value};
 use ucq_yannakakis::{CdyEngine, EvalError};
 
 /// The outcome of materializing one virtual atom.
@@ -31,13 +32,34 @@ pub struct Materialized {
     pub provider_answers: Vec<Tuple>,
 }
 
-/// Materializes `atom` against `instance`, which must already contain the
-/// relations named by the provenance's `uses` (guaranteed by plan order).
+/// Materializes `atom` against `instance` with a private context (see
+/// [`materialize_atom_in`]).
 pub fn materialize_atom(
     ucq: &Ucq,
     atom: &PlannedAtom,
     rel_name_of: &dyn Fn(usize, ucq_hypergraph::VSet) -> String,
     instance: &ucq_storage::Instance,
+) -> Result<Materialized, EvalError> {
+    materialize_atom_in(
+        ucq,
+        atom,
+        rel_name_of,
+        instance,
+        &Arc::new(EvalContext::new()),
+    )
+}
+
+/// Materializes `atom` against `instance`, which must already contain the
+/// relations named by the provenance's `uses` (guaranteed by plan order).
+/// The provider's CDY build runs through the shared `ctx`, so successive
+/// materializations over one instance reuse interned relations and
+/// normalizations.
+pub fn materialize_atom_in(
+    ucq: &Ucq,
+    atom: &PlannedAtom,
+    rel_name_of: &dyn Fn(usize, ucq_hypergraph::VSet) -> String,
+    instance: &ucq_storage::Instance,
+    ctx: &Arc<EvalContext>,
 ) -> Result<Materialized, EvalError> {
     let prov = &atom.provenance;
     let provider = &ucq.cqs()[prov.provider];
@@ -58,7 +80,7 @@ pub fn materialize_atom(
     };
 
     // CDY with connex target S, outputting the S variables.
-    let eng = CdyEngine::for_projection(&qplus, prov.s, instance)?;
+    let eng = CdyEngine::for_projection_in(&qplus, prov.s, instance, ctx)?;
 
     // Preimage positions: for each target variable of the atom (sorted),
     // the provider variables in S that h maps onto it.
@@ -86,9 +108,7 @@ pub fn materialize_atom(
     let mut it = eng.iter();
     while let Some((_s_tuple, binding)) = it.next_with_full_binding() {
         // Emit the provider answer μ|free(Q_j).
-        provider_answers.push(Tuple(
-            head.iter().map(|&v| binding[v as usize]).collect(),
-        ));
+        provider_answers.push(Tuple(head.iter().map(|&v| binding[v as usize]).collect()));
         // Translate through h⁻¹.
         row.clear();
         let mut consistent = true;
@@ -122,9 +142,7 @@ mod tests {
 
     fn inst(rels: &[(&str, Vec<(i64, i64)>)]) -> Instance {
         rels.iter()
-            .map(|(n, pairs)| {
-                (n.to_string(), Relation::from_pairs(pairs.iter().copied()))
-            })
+            .map(|(n, pairs)| (n.to_string(), Relation::from_pairs(pairs.iter().copied())))
             .collect()
     }
 
@@ -142,9 +160,7 @@ mod tests {
             ("R3", vec![(3, 4), (8, 0)]),
         ]);
         let atom = &plan.atoms[0];
-        let name_of = |t: usize, v: ucq_hypergraph::VSet| {
-            plan.atom_for(t, v).rel_name.clone()
-        };
+        let name_of = |t: usize, v: ucq_hypergraph::VSet| plan.atom_for(t, v).rel_name.clone();
         let m = materialize_atom(&u, atom, &name_of, &i).unwrap();
 
         // Invariant 1: contents ⊇ π_vars(hom(body Q1)). Compute the
@@ -166,7 +182,10 @@ mod tests {
             .into_iter()
             .collect();
         for t in &m.provider_answers {
-            assert!(q2_answers.contains(t), "emitted {t} must be a provider answer");
+            assert!(
+                q2_answers.contains(t),
+                "emitted {t} must be a provider answer"
+            );
         }
 
         // Invariant 3: |relation| bounded by provider output count.
@@ -182,9 +201,7 @@ mod tests {
         .unwrap();
         let plan = plan_free_connex(&u, &SearchConfig::default()).unwrap();
         let i = inst(&[("R1", vec![]), ("R2", vec![]), ("R3", vec![])]);
-        let name_of = |t: usize, v: ucq_hypergraph::VSet| {
-            plan.atom_for(t, v).rel_name.clone()
-        };
+        let name_of = |t: usize, v: ucq_hypergraph::VSet| plan.atom_for(t, v).rel_name.clone();
         let m = materialize_atom(&u, &plan.atoms[0], &name_of, &i).unwrap();
         assert!(m.relation.is_empty());
         assert!(m.provider_answers.is_empty());

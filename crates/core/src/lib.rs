@@ -36,14 +36,14 @@ pub mod search;
 pub use algorithm1::Algorithm1;
 pub use body_iso::{align_body_isomorphic, AlignedUnion};
 pub use classify::{
-    classify, classify_with, cq_status, Classification, CqStatus, HardnessWitness,
-    Hypothesis, Verdict,
+    classify, classify_with, cq_status, Classification, CqStatus, HardnessWitness, Hypothesis,
+    Verdict,
 };
-pub use engine::{Strategy, UcqAnswers, UcqEngine};
+pub use engine::{EvalSession, Strategy, UcqAnswers, UcqEngine};
 pub use fd::{extend_instance, fd_extend_cq, fd_extend_ucq, Fd, FdExtension, FdSet};
-pub use fd_engine::{FdAnswers, FdUcqEngine};
-pub use naive_ucq::{evaluate_ucq_naive, evaluate_ucq_naive_set};
-pub use pipeline::UcqPipeline;
+pub use fd_engine::{FdAnswers, FdSession, FdUcqEngine};
+pub use naive_ucq::{evaluate_ucq_naive, evaluate_ucq_naive_in, evaluate_ucq_naive_set};
+pub use pipeline::{UcqPipeline, UcqPipelinePrep};
 pub use plan::{plan_free_connex, ExtensionPlan, PlannedAtom};
 pub use provides::{compute_availability, Availability, Provenance};
 pub use search::{ConnexOracle, SearchConfig};

@@ -5,15 +5,27 @@
 
 use std::collections::HashSet;
 use ucq_query::Ucq;
-use ucq_storage::{Instance, Tuple};
-use ucq_yannakakis::{evaluate_cq_naive, EvalError};
+use ucq_storage::{EvalContext, Instance, Tuple};
+use ucq_yannakakis::{evaluate_cq_naive_in, EvalError};
 
-/// Evaluates `Q(I)` by materializing every member and deduplicating.
+/// Evaluates `Q(I)` by materializing every member and deduplicating. All
+/// members share one [`EvalContext`], so atoms with equal shapes over the
+/// same relation — within a member or across members — share normalized
+/// data and join indexes.
 pub fn evaluate_ucq_naive(ucq: &Ucq, instance: &Instance) -> Result<Vec<Tuple>, EvalError> {
+    evaluate_ucq_naive_in(ucq, instance, &EvalContext::new())
+}
+
+/// As [`evaluate_ucq_naive`], sharing the caches of `ctx`.
+pub fn evaluate_ucq_naive_in(
+    ucq: &Ucq,
+    instance: &Instance,
+    ctx: &EvalContext,
+) -> Result<Vec<Tuple>, EvalError> {
     let mut seen: HashSet<Tuple> = HashSet::new();
     let mut out = Vec::new();
     for cq in ucq.cqs() {
-        for t in evaluate_cq_naive(cq, instance)? {
+        for t in evaluate_cq_naive_in(cq, instance, ctx)? {
             if seen.insert(t.clone()) {
                 out.push(t);
             }
@@ -23,10 +35,7 @@ pub fn evaluate_ucq_naive(ucq: &Ucq, instance: &Instance) -> Result<Vec<Tuple>, 
 }
 
 /// Evaluates into a set.
-pub fn evaluate_ucq_naive_set(
-    ucq: &Ucq,
-    instance: &Instance,
-) -> Result<HashSet<Tuple>, EvalError> {
+pub fn evaluate_ucq_naive_set(ucq: &Ucq, instance: &Instance) -> Result<HashSet<Tuple>, EvalError> {
     Ok(evaluate_ucq_naive(ucq, instance)?.into_iter().collect())
 }
 

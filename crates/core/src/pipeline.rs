@@ -7,59 +7,130 @@
 //! through the Cheater's Lemma compiler (Lemma 5) — the constant number of
 //! linear-delay moments (one per member plus one per virtual atom) and the
 //! constant duplication factor are exactly what the lemma absorbs.
+//!
+//! The preprocessing phase is reified as [`UcqPipelinePrep`]: all member
+//! engines share one [`EvalContext`] (so the base relations are interned
+//! and normalized once for the whole union), and a prep can
+//! [`start`](UcqPipelinePrep::start) any number of enumerations — this is
+//! what [`EvalSession`](crate::engine::EvalSession) caches to serve
+//! repeated queries without redoing linear preprocessing.
 
-use crate::lemma8::materialize_atom;
+use crate::lemma8::materialize_atom_in;
 use crate::plan::ExtensionPlan;
+use std::sync::Arc;
 use ucq_enumerate::{ChainEnumerator, Cheater, CheaterStats, Enumerator, VecEnumerator};
 use ucq_query::Ucq;
-use ucq_storage::{Instance, Tuple};
-use ucq_yannakakis::{CdyEngine, EvalError};
+use ucq_storage::{EvalContext, Instance, Tuple};
+use ucq_yannakakis::{CdyEngine, EvalError, OwnedCdyIter};
 
-/// A `DelayClin` enumerator for a free-connex UCQ.
-pub struct UcqPipeline {
-    inner: Cheater<ChainEnumerator>,
+/// The preprocessed (linear-phase) state of the Theorem 12 pipeline:
+/// materialized virtual relations folded into per-member CDY engines, ready
+/// to start enumerations.
+pub struct UcqPipelinePrep {
+    /// Provider answers emitted during materialization (Lemma 8's output
+    /// charging); replayed at the head of every enumeration.
+    early: Vec<Tuple>,
+    /// One preprocessed engine per member's free-connex extension.
+    engines: Vec<Arc<CdyEngine>>,
+    /// Lemma 5 duplication budget.
+    budget: usize,
     /// Tuples materialization contributed to the instance, per planned atom
     /// (diagnostics for tests/benches).
     pub materialized_sizes: Vec<usize>,
+    ctx: Arc<EvalContext>,
 }
 
-impl UcqPipeline {
+impl UcqPipelinePrep {
     /// Runs the preprocessing phase (materializations + per-member CDY
-    /// builds) and returns the ready-to-enumerate pipeline.
-    pub fn build(
+    /// builds) through the shared `ctx`.
+    pub fn prepare(
         ucq: &Ucq,
         plan: &ExtensionPlan,
         instance: &Instance,
-    ) -> Result<UcqPipeline, EvalError> {
+        ctx: &Arc<EvalContext>,
+    ) -> Result<UcqPipelinePrep, EvalError> {
         let mut ext_instance = instance.clone();
         let mut early: Vec<Tuple> = Vec::new();
         let mut materialized_sizes = Vec::with_capacity(plan.atoms.len());
 
-        let name_of = |t: usize, v: ucq_hypergraph::VSet| -> String {
-            plan.atom_for(t, v).rel_name.clone()
-        };
+        let name_of =
+            |t: usize, v: ucq_hypergraph::VSet| -> String { plan.atom_for(t, v).rel_name.clone() };
         for atom in &plan.atoms {
-            let m = materialize_atom(ucq, atom, &name_of, &ext_instance)?;
+            let m = materialize_atom_in(ucq, atom, &name_of, &ext_instance, ctx)?;
             materialized_sizes.push(m.relation.len());
             ext_instance.insert(atom.rel_name.clone(), m.relation);
             early.extend(m.provider_answers);
         }
 
-        let mut stages: Vec<Box<dyn Enumerator>> = Vec::with_capacity(ucq.len() + 1);
-        stages.push(Box::new(VecEnumerator::new(early)));
+        let mut engines = Vec::with_capacity(ucq.len());
         for i in 0..ucq.len() {
             let extended = plan.extended_query(ucq, i);
-            let eng = CdyEngine::for_query(&extended, &ext_instance)?;
-            stages.push(Box::new(eng.into_iter_owned()));
+            engines.push(Arc::new(CdyEngine::for_query_in(
+                &extended,
+                &ext_instance,
+                ctx,
+            )?));
         }
 
         // Duplication bound: each answer can surface once per member and
         // once per materialization (Lemma 5's m).
         let budget = ucq.len() + plan.atoms.len() + 1;
-        Ok(UcqPipeline {
-            inner: Cheater::new(ChainEnumerator::new(stages), budget),
+        Ok(UcqPipelinePrep {
+            early,
+            engines,
+            budget,
             materialized_sizes,
+            ctx: Arc::clone(ctx),
         })
+    }
+
+    /// Starts one enumeration over the preprocessed state. Starting is
+    /// O(answers already emitted during materialization); no linear pass is
+    /// repeated.
+    pub fn start(&self) -> UcqPipeline {
+        let mut stages: Vec<Box<dyn Enumerator>> = Vec::with_capacity(self.engines.len() + 1);
+        stages.push(Box::new(VecEnumerator::new(self.early.clone())));
+        for eng in &self.engines {
+            stages.push(Box::new(OwnedCdyIter::new(Arc::clone(eng))));
+        }
+        UcqPipeline {
+            inner: Cheater::with_context(
+                ChainEnumerator::new(stages),
+                self.budget,
+                Arc::clone(&self.ctx),
+            ),
+            materialized_sizes: self.materialized_sizes.clone(),
+        }
+    }
+}
+
+/// A `DelayClin` enumerator for a free-connex UCQ.
+pub struct UcqPipeline {
+    inner: Cheater<ChainEnumerator>,
+    /// See [`UcqPipelinePrep::materialized_sizes`].
+    pub materialized_sizes: Vec<usize>,
+}
+
+impl UcqPipeline {
+    /// Preprocesses and starts a single enumeration with a private context.
+    /// Prefer [`UcqPipelinePrep`] (or the engine's session API) when
+    /// enumerating repeatedly.
+    pub fn build(
+        ucq: &Ucq,
+        plan: &ExtensionPlan,
+        instance: &Instance,
+    ) -> Result<UcqPipeline, EvalError> {
+        UcqPipeline::build_in(ucq, plan, instance, &Arc::new(EvalContext::new()))
+    }
+
+    /// As [`UcqPipeline::build`], sharing the caches of `ctx`.
+    pub fn build_in(
+        ucq: &Ucq,
+        plan: &ExtensionPlan,
+        instance: &Instance,
+        ctx: &Arc<EvalContext>,
+    ) -> Result<UcqPipeline, EvalError> {
+        Ok(UcqPipelinePrep::prepare(ucq, plan, instance, ctx)?.start())
     }
 
     /// Dedup/pacing statistics of the underlying Cheater compiler.
@@ -86,9 +157,7 @@ mod tests {
 
     fn inst(rels: &[(&str, Vec<(i64, i64)>)]) -> Instance {
         rels.iter()
-            .map(|(n, pairs)| {
-                (n.to_string(), Relation::from_pairs(pairs.iter().copied()))
-            })
+            .map(|(n, pairs)| (n.to_string(), Relation::from_pairs(pairs.iter().copied())))
             .collect()
     }
 
@@ -196,5 +265,27 @@ mod tests {
         );
         assert!(got.is_empty());
         assert!(want.is_empty());
+    }
+
+    #[test]
+    fn prepared_pipeline_restarts() {
+        let u = parse_ucq(
+            "Q1(x, y, w) <- R1(x, z), R2(z, y), R3(y, w)\n\
+             Q2(x, y, w) <- R1(x, y), R2(y, w)",
+        )
+        .unwrap();
+        let plan = plan_free_connex(&u, &SearchConfig::default()).unwrap();
+        let i = inst(&[
+            ("R1", vec![(1, 2), (1, 5)]),
+            ("R2", vec![(2, 3), (5, 3)]),
+            ("R3", vec![(3, 4)]),
+        ]);
+        let ctx = Arc::new(EvalContext::new());
+        let prep = UcqPipelinePrep::prepare(&u, &plan, &i, &ctx).unwrap();
+        let a: HashSet<Tuple> = prep.start().collect_all().into_iter().collect();
+        let b: HashSet<Tuple> = prep.start().collect_all().into_iter().collect();
+        assert_eq!(a, b, "restarted enumerations agree");
+        let want: HashSet<Tuple> = evaluate_ucq_naive(&u, &i).unwrap().into_iter().collect();
+        assert_eq!(a, want);
     }
 }

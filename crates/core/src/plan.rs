@@ -56,8 +56,7 @@ impl ExtensionPlan {
     /// The extended query for member `i` (the member itself when no atoms
     /// were chosen for it).
     pub fn extended_query(&self, ucq: &Ucq, i: usize) -> Cq {
-        let extra: Vec<Atom> = self
-            .chosen[i]
+        let extra: Vec<Atom> = self.chosen[i]
             .iter()
             .map(|&vars| self.atom_for(i, vars).as_atom())
             .collect();
@@ -187,7 +186,10 @@ mod tests {
             .expect("Example 13 is a free-connex UCQ");
         for i in 0..3 {
             let ext = plan.extended_query(&u, i);
-            assert!(ext.is_free_connex(), "member {i} extension must be free-connex");
+            assert!(
+                ext.is_free_connex(),
+                "member {i} extension must be free-connex"
+            );
         }
         // Dependencies precede dependents in the schedule.
         for (pos, atom) in plan.atoms.iter().enumerate() {
@@ -195,9 +197,7 @@ mod tests {
                 let dep_pos = plan
                     .atoms
                     .iter()
-                    .position(|a| {
-                        a.target == atom.provenance.provider && a.vars == u_vars
-                    })
+                    .position(|a| a.target == atom.provenance.provider && a.vars == u_vars)
                     .expect("dependency scheduled");
                 assert!(dep_pos < pos, "dependency must be materialized first");
             }
@@ -225,8 +225,8 @@ mod tests {
              Q2(x, y, w, v) <- R1(w, v), R2(v, y), R3(y, z), R4(z, x)",
         )
         .unwrap();
-        let plan = plan_free_connex(&u, &SearchConfig::default())
-            .expect("Example 21 is free-connex");
+        let plan =
+            plan_free_connex(&u, &SearchConfig::default()).expect("Example 21 is free-connex");
         assert!(plan.needs_extension());
         for i in 0..2 {
             assert!(plan.extended_query(&u, i).is_free_connex());

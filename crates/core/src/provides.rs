@@ -105,8 +105,7 @@ pub fn compute_availability(
                 if s.len() < 2 {
                     continue; // provided sets below two variables are useless
                 }
-                let Some(uses) = oracle.find_extension(&hypergraphs[j], s, &pool_j, cfg)
-                else {
+                let Some(uses) = oracle.find_extension(&hypergraphs[j], s, &pool_j, cfg) else {
                     continue;
                 };
                 for (i, homs_ji) in homs[j].iter().enumerate() {
@@ -235,9 +234,15 @@ mod tests {
         };
         let mut entries = Vec::new();
         assert!(add_maximal(&mut entries, vs(&[0, 1]), prov(0)));
-        assert!(!add_maximal(&mut entries, vs(&[0, 1]), prov(1)), "duplicate");
+        assert!(
+            !add_maximal(&mut entries, vs(&[0, 1]), prov(1)),
+            "duplicate"
+        );
         assert!(!add_maximal(&mut entries, vs(&[0]), prov(1)), "subset");
-        assert!(add_maximal(&mut entries, vs(&[0, 1, 2]), prov(1)), "superset");
+        assert!(
+            add_maximal(&mut entries, vs(&[0, 1, 2]), prov(1)),
+            "superset"
+        );
         // The covered earlier entry survives so its (earlier) stage remains
         // resolvable for dependent provenances.
         assert_eq!(entries.len(), 2);

@@ -167,10 +167,7 @@ mod tests {
     fn hg(n: u32, edges: &[&[u32]]) -> Hypergraph {
         Hypergraph::new(
             n,
-            edges
-                .iter()
-                .map(|e| e.iter().copied().collect())
-                .collect(),
+            edges.iter().map(|e| e.iter().copied().collect()).collect(),
         )
     }
 
@@ -233,10 +230,7 @@ mod tests {
     fn example36_cyclic_fixed_by_one_atom() {
         // Q1(x,y,z,w) <- R1(y,z,w,x),R2(t,y,w),R3(t,z,w),R4(t,y,z)
         // x=0,y=1,z=2,w=3,t=4; adding {t,y,z,w} = {4,1,2,3} resolves it.
-        let h = hg(
-            5,
-            &[&[1, 2, 3, 0], &[4, 1, 3], &[4, 2, 3], &[4, 1, 2]],
-        );
+        let h = hg(5, &[&[1, 2, 3, 0], &[4, 1, 3], &[4, 2, 3], &[4, 1, 2]]);
         let free = vs(&[0, 1, 2, 3]);
         assert!(!is_acyclic(&h));
         let pool = [vs(&[4, 1, 2, 3])];
@@ -265,11 +259,11 @@ mod tests {
     fn pool_pruning() {
         let h = hg(4, &[&[0, 1], &[1, 2]]);
         let pool = [
-            vs(&[0]),          // singleton: dropped
-            vs(&[0, 1]),       // inside an edge: dropped
-            vs(&[0, 1, 2]),    // kept
-            vs(&[0, 1, 2]),    // duplicate: dropped
-            vs(&[2, 3]),       // kept
+            vs(&[0]),       // singleton: dropped
+            vs(&[0, 1]),    // inside an edge: dropped
+            vs(&[0, 1, 2]), // kept
+            vs(&[0, 1, 2]), // duplicate: dropped
+            vs(&[2, 3]),    // kept
         ];
         let pruned = prune_pool(&h, &pool, 10);
         assert_eq!(pruned, vec![vs(&[0, 1, 2]), vs(&[2, 3])]);

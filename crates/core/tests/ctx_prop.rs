@@ -1,0 +1,159 @@
+//! Property tests for the context-threaded engine paths: whatever strategy
+//! `UcqEngine` picks (Algorithm 1, the Theorem 12 pipeline, or the naive
+//! fallback — all running through a shared `EvalContext`), its answers must
+//! equal the naive baseline as multisets after deduplication, and the
+//! session path must agree with the one-shot path call after call.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use ucq_core::UcqEngine;
+use ucq_enumerate::Enumerator;
+use ucq_query::{Cq, Ucq};
+use ucq_storage::{Instance, Relation, Tuple, Value};
+
+const VARS: [&str; 6] = ["a", "b", "c", "d", "e", "f"];
+
+/// A random union: 1–3 members over shared relation names, all with the
+/// same head arity (a requirement of `Ucq::new`).
+fn arb_ucq() -> impl Strategy<Value = Ucq> {
+    let atom = proptest::collection::vec(0..6u32, 1..=3);
+    let member = proptest::collection::vec(atom, 1..=3);
+    (
+        proptest::collection::vec(member, 1..=3),
+        proptest::collection::vec(proptest::bool::ANY, 6),
+        0..=2usize,
+    )
+        .prop_filter_map("valid union", |(members, head_bits, head_arity)| {
+            let cqs: Vec<Cq> = members
+                .iter()
+                .enumerate()
+                .filter_map(|(m, atoms)| {
+                    let used: HashSet<u32> = atoms.iter().flatten().copied().collect();
+                    // Pick `head_arity` head variables deterministically from
+                    // the used ones, steered by head_bits.
+                    let mut head: Vec<&str> = Vec::new();
+                    for v in 0..6u32 {
+                        if head.len() == head_arity {
+                            break;
+                        }
+                        if used.contains(&v) && head_bits[v as usize] {
+                            head.push(VARS[v as usize]);
+                        }
+                    }
+                    for v in 0..6u32 {
+                        if head.len() == head_arity {
+                            break;
+                        }
+                        let name = VARS[v as usize];
+                        if used.contains(&v) && !head.contains(&name) {
+                            head.push(name);
+                        }
+                    }
+                    if head.len() != head_arity {
+                        return None;
+                    }
+                    let specs: Vec<(String, Vec<&str>)> = atoms
+                        .iter()
+                        .enumerate()
+                        .map(|(i, args)| {
+                            (
+                                // Shared pool of relation names across
+                                // members so unions actually overlap.
+                                format!("R{}", (i + m) % 4),
+                                args.iter().map(|&v| VARS[v as usize]).collect(),
+                            )
+                        })
+                        .collect();
+                    let refs: Vec<(&str, &[&str])> = specs
+                        .iter()
+                        .map(|(n, a)| (n.as_str(), a.as_slice()))
+                        .collect();
+                    Cq::build(&format!("Q{m}"), &head, &refs).ok()
+                })
+                .collect();
+            if cqs.is_empty() {
+                return None;
+            }
+            Ucq::new(cqs).ok()
+        })
+}
+
+/// A random instance covering every relation the union mentions, with a
+/// small domain so joins hit.
+fn arb_instance(ucq: &Ucq) -> impl Strategy<Value = Instance> {
+    let mut specs: Vec<(String, usize)> = ucq
+        .cqs()
+        .iter()
+        .flat_map(|cq| cq.atoms().iter().map(|a| (a.rel.clone(), a.args.len())))
+        .collect();
+    specs.sort();
+    specs.dedup();
+    // A union can reuse one name at two arities; such instances are not
+    // well-formed — drop the later arity (the engine reports a schema error
+    // for the mismatched atom either way, on both compared paths).
+    specs.dedup_by(|a, b| a.0 == b.0);
+    let mut strategies = Vec::new();
+    for (name, arity) in specs {
+        let rows = proptest::collection::vec(proptest::collection::vec(0i64..4, arity), 0..10);
+        strategies.push(rows.prop_map(move |rows| {
+            let mut rel = Relation::new(arity);
+            for row in &rows {
+                let vals: Vec<Value> = row.iter().map(|&x| Value::Int(x)).collect();
+                rel.push_row(&vals);
+            }
+            (name.clone(), rel)
+        }));
+    }
+    strategies.prop_map(|pairs| pairs.into_iter().collect())
+}
+
+fn ucq_and_instance() -> impl Strategy<Value = (Ucq, Instance)> {
+    arb_ucq().prop_flat_map(|u| {
+        let inst = arb_instance(&u);
+        (Just(u), inst)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The strategy-selected (context-threaded) enumeration equals the
+    /// naive baseline as a multiset post-dedup: no duplicates in the
+    /// stream, same answer set.
+    #[test]
+    fn engine_matches_naive((u, inst) in ucq_and_instance()) {
+        let engine = UcqEngine::new(u);
+        let naive = match engine.enumerate_naive(&inst) {
+            Ok(answers) => answers,
+            // Schema errors (arity clashes from generation) must be
+            // reported identically by the strategy path.
+            Err(_) => {
+                prop_assert!(engine.enumerate(&inst).is_err());
+                return Ok(());
+            }
+        };
+        let want: HashSet<Tuple> = naive.into_iter().collect();
+        let got = engine.enumerate(&inst).unwrap().collect_all();
+        let got_set: HashSet<Tuple> = got.iter().cloned().collect();
+        prop_assert_eq!(
+            got.len(), got_set.len(),
+            "DelayClin streams are duplicate-free ({:?})", engine.strategy()
+        );
+        prop_assert_eq!(&got_set, &want, "strategy {:?}", engine.strategy());
+    }
+
+    /// Repeated session evaluations agree with the one-shot path.
+    #[test]
+    fn session_matches_oneshot((u, inst) in ucq_and_instance()) {
+        let engine = UcqEngine::new(u);
+        let Ok(reference) = engine.enumerate_naive(&inst) else { return Ok(()); };
+        let want: HashSet<Tuple> = reference.into_iter().collect();
+        let session = engine.session(&inst);
+        for round in 0..2 {
+            let got: HashSet<Tuple> =
+                session.enumerate().unwrap().collect_all().into_iter().collect();
+            prop_assert_eq!(&got, &want, "session round {}", round);
+        }
+        prop_assert_eq!(session.decide().unwrap(), !want.is_empty());
+    }
+}

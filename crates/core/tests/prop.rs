@@ -9,8 +9,8 @@
 use proptest::prelude::*;
 use std::collections::HashSet;
 use ucq_core::{
-    classify, evaluate_ucq_naive_set, plan_free_connex, SearchConfig,
-    Strategy as EvalStrategy, UcqEngine, Verdict,
+    classify, evaluate_ucq_naive_set, plan_free_connex, SearchConfig, Strategy as EvalStrategy,
+    UcqEngine, Verdict,
 };
 use ucq_query::{Cq, Ucq};
 use ucq_storage::{Instance, Relation, Tuple, Value};
@@ -107,16 +107,11 @@ fn arb_instance(ucq: &Ucq) -> impl Strategy<Value = Instance> {
     let specs: Vec<(String, usize)> = ucq
         .cqs()
         .iter()
-        .flat_map(|cq| {
-            cq.atoms()
-                .iter()
-                .map(|a| (a.rel.clone(), a.args.len()))
-        })
+        .flat_map(|cq| cq.atoms().iter().map(|a| (a.rel.clone(), a.args.len())))
         .collect();
     let mut strategies = Vec::new();
     for (name, arity) in specs {
-        let rows =
-            proptest::collection::vec(proptest::collection::vec(0i64..4, arity), 0..14);
+        let rows = proptest::collection::vec(proptest::collection::vec(0i64..4, arity), 0..14);
         strategies.push(rows.prop_map(move |rows| {
             let mut rel = Relation::new(arity);
             for row in &rows {

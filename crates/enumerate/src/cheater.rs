@@ -16,8 +16,9 @@
 //! inner algorithm.
 
 use crate::enumerator::Enumerator;
-use std::collections::VecDeque;
-use ucq_storage::{RowSet, Tuple};
+use std::collections::{HashSet, VecDeque};
+use std::sync::Arc;
+use ucq_storage::{EvalContext, InlineKey, RowSet, Tuple};
 
 /// Runtime counters of a [`Cheater`] run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -32,11 +33,31 @@ pub struct CheaterStats {
     pub queue_high_water: usize,
 }
 
+/// The dedup lookup table: value rows boxed per insert, or — when an
+/// [`EvalContext`] is available — interned [`InlineKey`]s, which avoid the
+/// per-insert heap allocation for tuples up to 4 columns.
+enum DedupSet {
+    Values(RowSet),
+    Interned {
+        ctx: Arc<EvalContext>,
+        set: HashSet<InlineKey>,
+    },
+}
+
+impl DedupSet {
+    fn insert(&mut self, t: &Tuple) -> bool {
+        match self {
+            DedupSet::Values(set) => set.insert(t.values()),
+            DedupSet::Interned { ctx, set } => set.insert(ctx.intern_key(t.values())),
+        }
+    }
+}
+
 /// Deduplicating, pacing wrapper around an enumerator (Lemma 5).
 pub struct Cheater<E: Enumerator> {
     inner: E,
     inner_done: bool,
-    seen: RowSet,
+    seen: DedupSet,
     queue: VecDeque<Tuple>,
     pump_budget: usize,
     stats: CheaterStats,
@@ -50,11 +71,22 @@ impl<E: Enumerator> Cheater<E> {
         Cheater {
             inner,
             inner_done: false,
-            seen: RowSet::default(),
+            seen: DedupSet::Values(RowSet::default()),
             queue: VecDeque::new(),
             pump_budget,
             stats: CheaterStats::default(),
         }
+    }
+
+    /// As [`Cheater::new`], deduplicating through the session's dictionary:
+    /// answers are interned into inline id keys instead of boxed value rows.
+    pub fn with_context(inner: E, pump_budget: usize, ctx: Arc<EvalContext>) -> Cheater<E> {
+        let mut c = Cheater::new(inner, pump_budget);
+        c.seen = DedupSet::Interned {
+            ctx,
+            set: HashSet::new(),
+        };
+        c
     }
 
     /// Wraps with the default budget of 2 (each result produced at most
@@ -74,10 +106,9 @@ impl<E: Enumerator> Cheater<E> {
         match self.inner.next() {
             Some(t) => {
                 self.stats.inner_results += 1;
-                if self.seen.insert(t.values()) {
+                if self.seen.insert(&t) {
                     self.queue.push_back(t);
-                    self.stats.queue_high_water =
-                        self.stats.queue_high_water.max(self.queue.len());
+                    self.stats.queue_high_water = self.stats.queue_high_water.max(self.queue.len());
                 } else {
                     self.stats.duplicates += 1;
                 }
@@ -174,5 +205,15 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_budget_rejected() {
         let _ = Cheater::new(VecEnumerator::new(vec![]), 0);
+    }
+
+    #[test]
+    fn context_backed_dedup_matches_value_dedup() {
+        let items = vec![t(1), t(2), t(1), t(3), t(2), t(3), t(4)];
+        let plain = Cheater::new(VecEnumerator::new(items.clone()), 2).collect_all();
+        let ctx = Arc::new(EvalContext::new());
+        let mut interned = Cheater::with_context(VecEnumerator::new(items), 2, ctx);
+        assert_eq!(interned.collect_all(), plain);
+        assert_eq!(interned.stats().duplicates, 3);
     }
 }

@@ -107,10 +107,7 @@ mod tests {
     fn hg(n: u32, edges: &[&[u32]]) -> Hypergraph {
         Hypergraph::new(
             n,
-            edges
-                .iter()
-                .map(|e| e.iter().copied().collect())
-                .collect(),
+            edges.iter().map(|e| e.iter().copied().collect()).collect(),
         )
     }
 
@@ -130,10 +127,7 @@ mod tests {
         // Tetra<3>: 4-hyperclique in a 2-uniform graph = a K4.
         let tri = hg(3, &[&[0, 1], &[1, 2], &[0, 2]]);
         assert_eq!(find_hyperclique(&tri, 4, 2), None);
-        let k4 = hg(
-            4,
-            &[&[0, 1], &[0, 2], &[0, 3], &[1, 2], &[1, 3], &[2, 3]],
-        );
+        let k4 = hg(4, &[&[0, 1], &[0, 2], &[0, 3], &[1, 2], &[1, 3], &[2, 3]]);
         assert_eq!(find_hyperclique(&k4, 4, 2), Some(vs(&[0, 1, 2, 3])));
     }
 
@@ -142,10 +136,7 @@ mod tests {
         // Example 39: adding R(x1,x2,x3) to {R1(x2,x3,x4),R2(x1,x3,x4),
         // R3(x1,x2,x4)} creates the hyperclique {x1,x2,x3,x4} in a 3-uniform
         // hypergraph. x1=0..x4=3.
-        let h = hg(
-            4,
-            &[&[1, 2, 3], &[0, 2, 3], &[0, 1, 3], &[0, 1, 2]],
-        );
+        let h = hg(4, &[&[1, 2, 3], &[0, 2, 3], &[0, 1, 3], &[0, 1, 2]]);
         assert!(h.is_uniform(3));
         assert_eq!(find_hyperclique(&h, 4, 3), Some(vs(&[0, 1, 2, 3])));
         // Without the added edge there is no hyperclique.

@@ -46,9 +46,7 @@ pub fn join_tree(h: &Hypergraph) -> Option<JoinTree> {
 /// Note that `S` vertices not covered by any edge make the query malformed
 /// (every query variable occurs in an atom); we require `S ⊆ covered(h)`.
 pub fn is_s_connex(h: &Hypergraph, s: VSet) -> bool {
-    s.is_subset(h.covered_vertices())
-        && is_acyclic(h)
-        && is_acyclic(&h.with_edges(&[s]))
+    s.is_subset(h.covered_vertices()) && is_acyclic(h) && is_acyclic(&h.with_edges(&[s]))
 }
 
 /// Constructs an ext-S-connex tree for `h`, or `None` if `h` is not
@@ -69,8 +67,7 @@ pub fn ext_s_connex_tree(h: &Hypergraph, s: VSet) -> Option<ConnexTree> {
     } else {
         None
     };
-    let constructive_ok = residual_ok
-        && p2.as_ref().map(|r| r.alive.len() == 1).unwrap_or(false);
+    let constructive_ok = residual_ok && p2.as_ref().map(|r| r.alive.len() == 1).unwrap_or(false);
 
     // Live check of the classical equivalence (Bagan et al. / Brault-Baron).
     let direct_ok = is_s_connex(h, s);
@@ -147,10 +144,7 @@ mod tests {
     fn hg(n: u32, edges: &[&[u32]]) -> Hypergraph {
         Hypergraph::new(
             n,
-            edges
-                .iter()
-                .map(|e| e.iter().copied().collect())
-                .collect(),
+            edges.iter().map(|e| e.iter().copied().collect()).collect(),
         )
     }
 

@@ -126,10 +126,7 @@ mod tests {
     fn hg(n: u32, edges: &[&[u32]]) -> Hypergraph {
         Hypergraph::new(
             n,
-            edges
-                .iter()
-                .map(|e| e.iter().copied().collect())
-                .collect(),
+            edges.iter().map(|e| e.iter().copied().collect()).collect(),
         )
     }
 
@@ -157,10 +154,7 @@ mod tests {
     #[test]
     fn covered_triangle_is_acyclic() {
         // Adding the covering edge {0,1,2} makes the triangle acyclic.
-        assert!(is_acyclic(&hg(
-            3,
-            &[&[0, 1], &[1, 2], &[2, 0], &[0, 1, 2]]
-        )));
+        assert!(is_acyclic(&hg(3, &[&[0, 1], &[1, 2], &[2, 0], &[0, 1, 2]])));
     }
 
     #[test]

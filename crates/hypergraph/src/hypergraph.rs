@@ -44,9 +44,7 @@ impl Hypergraph {
 
     /// The union of all edges (the vertices that actually occur).
     pub fn covered_vertices(&self) -> VSet {
-        self.edges
-            .iter()
-            .fold(VSet::EMPTY, |acc, &e| acc.union(e))
+        self.edges.iter().fold(VSet::EMPTY, |acc, &e| acc.union(e))
     }
 
     /// Returns a new hypergraph with `extra` appended to the edge list.
@@ -76,11 +74,7 @@ impl Hypergraph {
 
     /// Whether two vertices co-occur in some edge.
     pub fn are_neighbors(&self, u: u32, v: u32) -> bool {
-        u != v
-            && self
-                .edges
-                .iter()
-                .any(|e| e.contains(u) && e.contains(v))
+        u != v && self.edges.iter().any(|e| e.contains(u) && e.contains(v))
     }
 
     /// Whether the hypergraph is `k`-uniform (every edge has exactly `k`
@@ -127,10 +121,7 @@ mod tests {
     fn hg(n: u32, edges: &[&[u32]]) -> Hypergraph {
         Hypergraph::new(
             n,
-            edges
-                .iter()
-                .map(|e| e.iter().copied().collect())
-                .collect(),
+            edges.iter().map(|e| e.iter().copied().collect()).collect(),
         )
     }
 

@@ -133,8 +133,7 @@ impl JoinTree {
             // an already-visited holder region must itself contain v for the
             // region to be connected. Simpler: check that the subgraph
             // induced by holders is connected via parent links.
-            let holder_set: std::collections::HashSet<usize> =
-                holders.iter().copied().collect();
+            let holder_set: std::collections::HashSet<usize> = holders.iter().copied().collect();
             let mut seen = std::collections::HashSet::new();
             let mut stack = vec![holders[0]];
             seen.insert(holders[0]);
@@ -162,10 +161,7 @@ impl JoinTree {
     /// index, and every node is a subset of some edge of `h`.
     pub fn is_inclusive_extension_of(&self, h: &Hypergraph) -> bool {
         for (i, &e) in h.edges().iter().enumerate() {
-            let ok = self
-                .nodes
-                .iter()
-                .any(|n| n.atom == Some(i) && n.vars == e);
+            let ok = self.nodes.iter().any(|n| n.atom == Some(i) && n.vars == e);
             if !ok {
                 return false;
             }
@@ -324,7 +320,10 @@ mod tests {
     fn inclusive_extension_check() {
         let h = Hypergraph::new(
             3,
-            vec![[0u32, 1].into_iter().collect(), [1u32, 2].into_iter().collect()],
+            vec![
+                [0u32, 1].into_iter().collect(),
+                [1u32, 2].into_iter().collect(),
+            ],
         );
         let good = JoinTree::new(
             vec![

@@ -97,12 +97,7 @@ pub fn has_free_path(h: &Hypergraph, free: VSet) -> bool {
 /// Enumerates chordless paths between `from` and `to` whose internal
 /// vertices all lie in `via` (endpoints excluded from `via` checks). Used by
 /// the Lemma 28 machinery to reconnect provided variable sets.
-pub fn chordless_paths_between(
-    h: &Hypergraph,
-    from: u32,
-    to: u32,
-    via: VSet,
-) -> Vec<Vec<u32>> {
+pub fn chordless_paths_between(h: &Hypergraph, from: u32, to: u32, via: VSet) -> Vec<Vec<u32>> {
     let adj = h.gaifman();
     let mut out = Vec::new();
     let mut path = vec![from];
@@ -155,10 +150,7 @@ mod tests {
     fn hg(n: u32, edges: &[&[u32]]) -> Hypergraph {
         Hypergraph::new(
             n,
-            edges
-                .iter()
-                .map(|e| e.iter().copied().collect())
-                .collect(),
+            edges.iter().map(|e| e.iter().copied().collect()).collect(),
         )
     }
 
@@ -196,10 +188,7 @@ mod tests {
     fn example13_q1_long_free_path() {
         // Q1(x,y,v,u) <- R1(x,z1),R2(z1,z2),R3(z2,z3),R4(z3,y),R5(y,v,u)
         // x=0,y=1,v=2,u=3,z1=4,z2=5,z3=6. Free-path (x,z1,z2,z3,y).
-        let h = hg(
-            7,
-            &[&[0, 4], &[4, 5], &[5, 6], &[6, 1], &[1, 2, 3]],
-        );
+        let h = hg(7, &[&[0, 4], &[4, 5], &[5, 6], &[6, 1], &[1, 2, 3]]);
         let fps = free_paths(&h, vs(&[0, 1, 2, 3]));
         assert_eq!(fps, vec![FreePath(vec![0, 4, 5, 6, 1])]);
     }
@@ -235,7 +224,10 @@ mod tests {
     #[test]
     fn chordless_between_adjacent_is_direct_edge() {
         let h = hg(3, &[&[0, 1], &[1, 2]]);
-        assert_eq!(chordless_paths_between(&h, 0, 1, VSet::EMPTY), vec![vec![0, 1]]);
+        assert_eq!(
+            chordless_paths_between(&h, 0, 1, VSet::EMPTY),
+            vec![vec![0, 1]]
+        );
     }
 
     #[test]

@@ -28,7 +28,9 @@ fn all_trees(m: usize) -> Vec<Vec<(usize, usize)>> {
         }
         seqs = next;
     }
-    seqs.into_iter().map(|seq| prufer_to_tree(&seq, m)).collect()
+    seqs.into_iter()
+        .map(|seq| prufer_to_tree(&seq, m))
+        .collect()
 }
 
 fn prufer_to_tree(seq: &[usize], m: usize) -> Vec<(usize, usize)> {
@@ -76,14 +78,12 @@ fn acyclic_by_definition(edges: &[VSet]) -> bool {
         // Running intersection: for every vertex, the nodes containing it
         // form a connected subgraph of the tree.
         for v in 0..4u32 {
-            let holders: Vec<usize> =
-                (0..m).filter(|&i| edges[i].contains(v)).collect();
+            let holders: Vec<usize> = (0..m).filter(|&i| edges[i].contains(v)).collect();
             if holders.len() <= 1 {
                 continue;
             }
             // BFS within holders.
-            let inset: std::collections::HashSet<usize> =
-                holders.iter().copied().collect();
+            let inset: std::collections::HashSet<usize> = holders.iter().copied().collect();
             let mut seen = std::collections::HashSet::from([holders[0]]);
             let mut stack = vec![holders[0]];
             while let Some(n) = stack.pop() {

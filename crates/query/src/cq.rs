@@ -49,7 +49,9 @@ impl Cq {
     ) -> Result<Cq, QueryError> {
         let name = name.into();
         if atoms.is_empty() {
-            return Err(QueryError::new(format!("{name}: a CQ needs at least one atom")));
+            return Err(QueryError::new(format!(
+                "{name}: a CQ needs at least one atom"
+            )));
         }
         if var_names.len() > ucq_hypergraph::MAX_VERTICES {
             return Err(QueryError::new(format!(
@@ -116,11 +118,7 @@ impl Cq {
     /// let q = Cq::build("Q", &["x", "y"], &[("R", &["x", "z"]), ("S", &["z", "y"])]).unwrap();
     /// assert_eq!(q.n_vars(), 3);
     /// ```
-    pub fn build(
-        name: &str,
-        head: &[&str],
-        atoms: &[(&str, &[&str])],
-    ) -> Result<Cq, QueryError> {
+    pub fn build(name: &str, head: &[&str], atoms: &[(&str, &[&str])]) -> Result<Cq, QueryError> {
         let mut var_names: Vec<String> = Vec::new();
         let mut ids: HashMap<String, VarId> = HashMap::new();
         let mut intern = |v: &str, var_names: &mut Vec<String>| -> VarId {
@@ -291,8 +289,7 @@ mod tests {
 
     #[test]
     fn build_interns_variables() {
-        let q = Cq::build("Q", &["x", "y"], &[("R", &["x", "z"]), ("S", &["z", "y"])])
-            .unwrap();
+        let q = Cq::build("Q", &["x", "y"], &[("R", &["x", "z"]), ("S", &["z", "y"])]).unwrap();
         assert_eq!(q.n_vars(), 3);
         assert_eq!(q.var_name(0), "x");
         assert_eq!(q.var_id("z"), Some(2));
@@ -327,8 +324,7 @@ mod tests {
     #[test]
     fn matmul_query_classification() {
         // Π(x,y) <- A(x,z), B(z,y): acyclic, not free-connex.
-        let q = Cq::build("Pi", &["x", "y"], &[("A", &["x", "z"]), ("B", &["z", "y"])])
-            .unwrap();
+        let q = Cq::build("Pi", &["x", "y"], &[("A", &["x", "z"]), ("B", &["z", "y"])]).unwrap();
         assert!(q.is_acyclic());
         assert!(!q.is_free_connex());
         assert_eq!(q.free_paths().len(), 1);
@@ -373,8 +369,7 @@ mod tests {
 
     #[test]
     fn with_extra_atoms_extends() {
-        let q = Cq::build("Q", &["x", "y"], &[("R", &["x", "z"]), ("S", &["z", "y"])])
-            .unwrap();
+        let q = Cq::build("Q", &["x", "y"], &[("R", &["x", "z"]), ("S", &["z", "y"])]).unwrap();
         let ext = q.with_extra_atoms(&[Atom {
             rel: "V".into(),
             args: vec![0, 2, 1],
@@ -385,8 +380,7 @@ mod tests {
 
     #[test]
     fn display_roundtrips_shape() {
-        let q = Cq::build("Q", &["x", "y"], &[("R", &["x", "z"]), ("S", &["z", "y"])])
-            .unwrap();
+        let q = Cq::build("Q", &["x", "y"], &[("R", &["x", "z"]), ("S", &["z", "y"])]).unwrap();
         assert_eq!(q.to_string(), "Q(x, y) <- R(x, z), S(z, y)");
     }
 }

@@ -133,8 +133,7 @@ mod tests {
 
     #[test]
     fn triangle_with_duplicate_edge_atoms() {
-        let q = parse_cq("B() <- E(x, y), E(y, z), E(z, x), E(x, x1), E(x1, x2)")
-            .unwrap();
+        let q = parse_cq("B() <- E(x, y), E(y, z), E(z, x), E(x, x1), E(x1, x2)").unwrap();
         let core = core_of(&q);
         // The pending path E(x,x1),E(x1,x2) folds into the triangle.
         assert_eq!(core.atoms().len(), 3);

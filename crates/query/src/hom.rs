@@ -40,12 +40,7 @@ pub fn exists_body_hom(from: &Cq, to: &Cq) -> bool {
 
 /// Enumerates homomorphisms from `from` to `to` whose variable map satisfies
 /// the given seed constraints `(from_var, to_var)`.
-fn homomorphisms_with_seed(
-    from: &Cq,
-    to: &Cq,
-    seed: &[(VarId, VarId)],
-    cap: usize,
-) -> Vec<VarMap> {
+fn homomorphisms_with_seed(from: &Cq, to: &Cq, seed: &[(VarId, VarId)], cap: usize) -> Vec<VarMap> {
     let n_from = from.n_vars() as usize;
     let mut partial: Vec<Option<VarId>> = vec![None; n_from];
     for &(a, b) in seed {
@@ -129,7 +124,9 @@ pub fn containment_witness(sub: &Cq, sup: &Cq) -> Option<VarMap> {
         .copied()
         .zip(sub.head().iter().copied())
         .collect();
-    homomorphisms_with_seed(sup, sub, &seed, 1).into_iter().next()
+    homomorphisms_with_seed(sup, sub, &seed, 1)
+        .into_iter()
+        .next()
 }
 
 /// Whether `sub ⊆ sup` (Chandra–Merlin).

@@ -14,8 +14,8 @@ pub use cq::{Atom, Cq, VarId};
 pub use equiv::{core_of, is_equivalent};
 pub use error::QueryError;
 pub use hom::{
-    apply_map, body_homomorphisms, body_isomorphism, containment_witness,
-    exists_body_hom, is_contained_in, lemma16_representative, minimize_union, VarMap,
+    apply_map, body_homomorphisms, body_isomorphism, containment_witness, exists_body_hom,
+    is_contained_in, lemma16_representative, minimize_union, VarMap,
 };
 pub use parse::{parse_cq, parse_ucq};
 pub use ucq::Ucq;

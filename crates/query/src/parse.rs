@@ -229,10 +229,8 @@ mod tests {
 
     #[test]
     fn parse_with_comments_and_blank_lines() {
-        let u = parse_ucq(
-            "% the easy one\nQ1(x) <- R(x, y).\n\n# the other\nQ2(a) <- S(a).",
-        )
-        .unwrap();
+        let u =
+            parse_ucq("% the easy one\nQ1(x) <- R(x, y).\n\n# the other\nQ2(a) <- S(a).").unwrap();
         assert_eq!(u.len(), 2);
     }
 

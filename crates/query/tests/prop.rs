@@ -4,9 +4,7 @@
 
 use proptest::prelude::*;
 use std::collections::HashSet;
-use ucq_query::{
-    body_homomorphisms, core_of, is_contained_in, is_equivalent, parse_cq, Cq,
-};
+use ucq_query::{body_homomorphisms, core_of, is_contained_in, is_equivalent, parse_cq, Cq};
 
 const VARS: [&str; 5] = ["x", "y", "z", "u", "w"];
 
@@ -111,8 +109,7 @@ fn arb_data(
     }
     let mut strategies = Vec::new();
     for (name, arity) in specs {
-        let rows =
-            proptest::collection::vec(proptest::collection::vec(0i64..3, arity), 0..8);
+        let rows = proptest::collection::vec(proptest::collection::vec(0i64..3, arity), 0..8);
         strategies.push(rows.prop_map(move |rows| (name.clone(), rows)));
     }
     strategies.prop_map(|pairs| pairs.into_iter().collect())

@@ -53,8 +53,7 @@ pub fn encode_example22(g: &Graph) -> Instance {
 /// `(a, b, _)` asserts two triangles sharing an edge; `{a,b}` being an edge
 /// closes the clique (Figure 3).
 pub fn has_4clique_via_example22(g: &Graph) -> bool {
-    let answers = evaluate_ucq_naive(&example22_ucq(), &encode_example22(g))
-        .expect("evaluates");
+    let answers = evaluate_ucq_naive(&example22_ucq(), &encode_example22(g)).expect("evaluates");
     answers.iter().any(|t| {
         let (Value::Int(a), Value::Int(b)) = (t[0], t[1]) else {
             return false;
@@ -98,8 +97,7 @@ pub fn encode_example31(g: &Graph) -> Instance {
 /// (recognized by their tags) are triples with a common neighbour; checking
 /// the three closing edges takes constant time per answer.
 pub fn has_4clique_via_example31(g: &Graph) -> bool {
-    let answers = evaluate_ucq_naive(&example31_k4_ucq(), &encode_example31(g))
-        .expect("evaluates");
+    let answers = evaluate_ucq_naive(&example31_k4_ucq(), &encode_example31(g)).expect("evaluates");
     answers.iter().any(|t| {
         // Keep only Q1-shaped answers: tags (x1, x2, x3).
         let vals: Option<Vec<i64>> = (0..3)
@@ -110,12 +108,7 @@ pub fn has_4clique_via_example31(g: &Graph) -> bool {
             .collect();
         let Some(vals) = vals else { return false };
         let (a, b, c) = (vals[0] as usize, vals[1] as usize, vals[2] as usize);
-        a != b
-            && a != c
-            && b != c
-            && g.has_edge(a, b)
-            && g.has_edge(a, c)
-            && g.has_edge(b, c)
+        a != b && a != c && b != c && g.has_edge(a, b) && g.has_edge(a, c) && g.has_edge(b, c)
     })
 }
 
@@ -162,13 +155,10 @@ pub fn encode_example39(g: &Graph) -> Instance {
 /// answer (tags `x2, x3, x4`) certifies three triangles pairwise sharing
 /// edges with a common apex — a 4-clique.
 pub fn has_4clique_via_example39(g: &Graph) -> bool {
-    let answers = evaluate_ucq_naive(&example39_ucq(), &encode_example39(g))
-        .expect("evaluates");
-    answers.iter().any(|t| {
-        (0..3).all(|i| {
-            matches!(t[i], Value::Tagged { tag, .. } if tag == TAG39[i + 1])
-        })
-    })
+    let answers = evaluate_ucq_naive(&example39_ucq(), &encode_example39(g)).expect("evaluates");
+    answers
+        .iter()
+        .any(|t| (0..3).all(|i| matches!(t[i], Value::Tagged { tag, .. } if tag == TAG39[i + 1])))
 }
 
 #[cfg(test)]
@@ -220,8 +210,7 @@ mod tests {
     fn answer_bound_of_example22_is_cubic() {
         let g = Graph::gnp(16, 0.5, 1);
         let n = g.n();
-        let answers = evaluate_ucq_naive(&example22_ucq(), &encode_example22(&g))
-            .unwrap();
+        let answers = evaluate_ucq_naive(&example22_ucq(), &encode_example22(&g)).unwrap();
         assert!(
             answers.len() <= 2 * n * n * n,
             "paper bound: |Q(I)| = O(n³), got {} for n = {n}",

@@ -128,7 +128,9 @@ impl Graph {
             let rb = self.row(b);
             let common: Vec<usize> = (0..self.n)
                 .filter(|&w| {
-                    w != a && w != b && ra[w / 64] >> (w % 64) & 1 == 1
+                    w != a
+                        && w != b
+                        && ra[w / 64] >> (w % 64) & 1 == 1
                         && rb[w / 64] >> (w % 64) & 1 == 1
                 })
                 .collect();

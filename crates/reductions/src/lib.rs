@@ -19,14 +19,13 @@ pub mod tagging;
 pub mod triangles;
 
 pub use cliques::{
-    encode_example22, encode_example31, encode_example39, example22_ucq,
-    example31_k4_ucq, example39_ucq, has_4clique_via_example22,
-    has_4clique_via_example31, has_4clique_via_example39,
+    encode_example22, encode_example31, encode_example39, example22_ucq, example31_k4_ucq,
+    example39_ucq, has_4clique_via_example22, has_4clique_via_example31, has_4clique_via_example39,
 };
 pub use graph::Graph;
 pub use matmul::{
-    bmm_via_cq, bmm_via_example20, encode_example20, encode_matrices,
-    example20_rewritten, matmul_query,
+    bmm_via_cq, bmm_via_example20, encode_example20, encode_matrices, example20_rewritten,
+    matmul_query,
 };
 pub use matrix::BoolMat;
 pub use tagging::{decode_answer, encode_instance};

@@ -50,9 +50,7 @@ mod tests {
 
     fn inst(rels: &[(&str, Vec<(i64, i64)>)]) -> Instance {
         rels.iter()
-            .map(|(n, pairs)| {
-                (n.to_string(), Relation::from_pairs(pairs.iter().copied()))
-            })
+            .map(|(n, pairs)| (n.to_string(), Relation::from_pairs(pairs.iter().copied())))
             .collect()
     }
 
@@ -86,10 +84,8 @@ mod tests {
         assert!(!encoded.contains("R4"), "relations outside Q1 stay empty");
 
         let union_answers = evaluate_ucq_naive(&u, &encoded).unwrap();
-        let decoded: HashSet<Tuple> =
-            union_answers.iter().map(decode_answer).collect();
-        let direct: HashSet<Tuple> =
-            evaluate_cq_naive(q1, &i).unwrap().into_iter().collect();
+        let decoded: HashSet<Tuple> = union_answers.iter().map(decode_answer).collect();
+        let direct: HashSet<Tuple> = evaluate_cq_naive(q1, &i).unwrap().into_iter().collect();
         assert_eq!(decoded, direct);
         // And σ introduced no spurious duplicates.
         assert_eq!(union_answers.len(), decoded.len());

@@ -86,9 +86,7 @@ mod tests {
         let g = Graph::new(8).with_clique(&[2, 5, 7]);
         let answers = example18_answers(&g);
         assert!(!answers.is_empty());
-        let expected = Tuple(
-            vec![Value::tagged(TAG_X, 2), Value::tagged(TAG_Y, 5)].into(),
-        );
+        let expected = Tuple(vec![Value::tagged(TAG_X, 2), Value::tagged(TAG_Y, 5)].into());
         assert!(
             answers.contains(&expected),
             "expected {expected} among {answers:?}"
@@ -103,8 +101,12 @@ mod tests {
         // from genuine triangles.
         let g = Graph::gnp(16, 0.5, 3);
         for t in example18_answers(&g) {
-            let Value::Tagged { val: a, .. } = t[0] else { panic!() };
-            let Value::Tagged { val: b, .. } = t[1] else { panic!() };
+            let Value::Tagged { val: a, .. } = t[0] else {
+                panic!()
+            };
+            let Value::Tagged { val: b, .. } = t[1] else {
+                panic!()
+            };
             // Both endpoints of every answer lie on a common triangle edge.
             assert!(g.has_edge(a as usize, b as usize));
         }

@@ -1,0 +1,362 @@
+//! Per-instance evaluation contexts: one dictionary, one set of caches.
+//!
+//! Every evaluation pipeline in the workspace (Algorithm 1, the Theorem 12
+//! union pipeline, the CDY membership tester, the naive baseline) used to
+//! re-intern, re-normalize and re-index the same stored relations once per
+//! member CQ and once per call. [`EvalContext`] is the session object that
+//! makes that work shared:
+//!
+//! * a [`Dictionary`] interning all values seen by the session;
+//! * an interned-relation cache: the columnar [`IdRel`] mirror of each
+//!   stored [`Relation`], built once per relation;
+//! * a derived-relation cache: atom-normalized projections (sorted columns,
+//!   repeated-variable filtering) keyed by `(relation, signature)` — shared
+//!   whenever two atoms, possibly in *different* member CQs, read the same
+//!   relation with the same argument shape;
+//! * an [`IndexCache`]: [`HashIndex`]es keyed by `(relation, key_cols)`,
+//!   shared across member CQs and across repeated evaluations.
+//!
+//! Relations are identified by the address of their shared
+//! [`Arc<Relation>`] handle (instances hand out [`Arc`]s; overlay instances
+//! share them), and every cache entry holds a clone of the `Arc`, so an
+//! address can never be reused while it is a cache key.
+//!
+//! Contexts are deliberately single-threaded (`RefCell`); a sharded
+//! concurrent context is a planned follow-on (see ROADMAP "Open items").
+
+use crate::dictionary::{Dictionary, ValueId};
+use crate::idrel::IdRel;
+use crate::index::HashIndex;
+use crate::key::InlineKey;
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cache-hit/miss counters (diagnostics; also used by tests to assert
+/// sharing actually happens).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ContextStats {
+    /// Interned-relation cache hits.
+    pub interned_hits: usize,
+    /// Interned-relation cache misses (builds).
+    pub interned_builds: usize,
+    /// Derived-relation cache hits.
+    pub derived_hits: usize,
+    /// Derived-relation cache misses (builds).
+    pub derived_builds: usize,
+    /// Index cache hits.
+    pub index_hits: usize,
+    /// Index cache misses (builds).
+    pub index_builds: usize,
+}
+
+/// A cache key: relation identity (pinned `Arc` address) plus key columns.
+type IndexKey = (usize, Box<[usize]>);
+/// A cache entry: the pinning handle and the shared index.
+type IndexEntry = (Arc<IdRel>, Arc<HashIndex>);
+
+/// An index cache: `(relation identity, key columns) → Arc<HashIndex>`.
+///
+/// Requesting the same `(relation, key_cols)` twice returns the *same*
+/// index object (`Arc::ptr_eq`), so a union's member pipelines and repeated
+/// session evaluations share one physical index.
+#[derive(Debug, Default)]
+pub struct IndexCache {
+    map: HashMap<IndexKey, IndexEntry>,
+    hits: usize,
+    builds: usize,
+}
+
+impl IndexCache {
+    /// The index over `rel` keyed on `key_cols`, building it on first
+    /// request.
+    pub fn get_or_build(&mut self, rel: &Arc<IdRel>, key_cols: &[usize]) -> Arc<HashIndex> {
+        let key = (Arc::as_ptr(rel) as usize, key_cols.into());
+        if let Some((_pin, idx)) = self.map.get(&key) {
+            self.hits += 1;
+            return Arc::clone(idx);
+        }
+        self.builds += 1;
+        let idx = Arc::new(HashIndex::build(rel, key_cols));
+        self.map.insert(key, (Arc::clone(rel), Arc::clone(&idx)));
+        idx
+    }
+
+    /// Number of cached indexes.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    dict: Dictionary,
+    /// `Arc<Relation>` address → interned columnar mirror. The held `Arc`
+    /// pins the address.
+    interned: HashMap<usize, (Arc<Relation>, Arc<IdRel>)>,
+    /// `(Arc<Relation>` address, normalization signature) → derived
+    /// relation. The base relation is pinned by `interned`.
+    derived: HashMap<(usize, Box<[u32]>), Arc<IdRel>>,
+    indexes: IndexCache,
+    interned_hits: usize,
+    interned_builds: usize,
+    derived_hits: usize,
+    derived_builds: usize,
+}
+
+/// The per-instance evaluation session state. See the module docs.
+#[derive(Debug)]
+pub struct EvalContext {
+    inner: RefCell<Inner>,
+}
+
+impl EvalContext {
+    /// A fresh context with an empty dictionary and empty caches.
+    pub fn new() -> EvalContext {
+        EvalContext {
+            inner: RefCell::new(Inner {
+                dict: Dictionary::new(),
+                ..Inner::default()
+            }),
+        }
+    }
+
+    /// Interns one value.
+    #[inline]
+    pub fn intern(&self, v: Value) -> ValueId {
+        self.inner.borrow_mut().dict.intern(v)
+    }
+
+    /// The id of `v` if the session has seen it (no allocation).
+    #[inline]
+    pub fn lookup(&self, v: Value) -> Option<ValueId> {
+        self.inner.borrow().dict.lookup(v)
+    }
+
+    /// Decodes one id.
+    #[inline]
+    pub fn decode(&self, id: ValueId) -> Value {
+        self.inner.borrow().dict.value(id)
+    }
+
+    /// Decodes a sequence of ids into an answer [`Tuple`] under a single
+    /// dictionary borrow.
+    #[inline]
+    pub fn decode_tuple<I: IntoIterator<Item = ValueId>>(&self, ids: I) -> Tuple {
+        let inner = self.inner.borrow();
+        Tuple(ids.into_iter().map(|id| inner.dict.value(id)).collect())
+    }
+
+    /// Looks up every value of `row` into `out` (cleared first) without
+    /// interning; returns `false` if any value is unknown to the session —
+    /// in which case it cannot occur in any cached relation.
+    pub fn lookup_row(&self, row: &[Value], out: &mut Vec<ValueId>) -> bool {
+        let inner = self.inner.borrow();
+        out.clear();
+        for &v in row {
+            match inner.dict.lookup(v) {
+                Some(id) => out.push(id),
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// Interns a decoded row into an [`InlineKey`] (used for answer-side
+    /// dedup without boxing small tuples).
+    pub fn intern_key(&self, row: &[Value]) -> InlineKey {
+        let mut inner = self.inner.borrow_mut();
+        let mut buf = [ValueId::BOTTOM; InlineKey::INLINE];
+        if row.len() <= InlineKey::INLINE {
+            for (slot, &v) in buf.iter_mut().zip(row) {
+                *slot = inner.dict.intern(v);
+            }
+            InlineKey::Inline {
+                len: row.len() as u8,
+                ids: buf,
+            }
+        } else {
+            InlineKey::Spilled(row.iter().map(|&v| inner.dict.intern(v)).collect())
+        }
+    }
+
+    /// The interned columnar mirror of `rel`, built on first request.
+    pub fn interned_rel(&self, rel: &Arc<Relation>) -> Arc<IdRel> {
+        let key = Arc::as_ptr(rel) as usize;
+        let mut inner = self.inner.borrow_mut();
+        if let Some(id_rel) = inner.interned.get(&key).map(|(_pin, r)| Arc::clone(r)) {
+            inner.interned_hits += 1;
+            return id_rel;
+        }
+        inner.interned_builds += 1;
+        let built = {
+            let inner = &mut *inner;
+            Arc::new(IdRel::from_relation(rel, &mut inner.dict))
+        };
+        inner
+            .interned
+            .insert(key, (Arc::clone(rel), Arc::clone(&built)));
+        built
+    }
+
+    /// A relation derived from `rel` by a pure id-level transformation
+    /// described by `sig` (e.g. an atom-normalization signature): cached by
+    /// `(relation, sig)`, built by `build` from the interned mirror on
+    /// first request.
+    pub fn derived_rel(
+        &self,
+        rel: &Arc<Relation>,
+        sig: &[u32],
+        build: impl FnOnce(&IdRel) -> IdRel,
+    ) -> Arc<IdRel> {
+        let key = (Arc::as_ptr(rel) as usize, sig.into());
+        if let Some(found) = {
+            let mut inner = self.inner.borrow_mut();
+            let found = inner.derived.get(&key).cloned();
+            if found.is_some() {
+                inner.derived_hits += 1;
+            }
+            found
+        } {
+            return found;
+        }
+        // Build outside the borrow: `build` is pure id-level work on the
+        // interned base, but callers may re-enter the context (e.g. for
+        // nested lookups).
+        let base = self.interned_rel(rel);
+        let built = Arc::new(build(&base));
+        let mut inner = self.inner.borrow_mut();
+        inner.derived_builds += 1;
+        Arc::clone(inner.derived.entry(key).or_insert(built))
+    }
+
+    /// The cached index over `rel` keyed on `key_cols` (see [`IndexCache`]).
+    pub fn index(&self, rel: &Arc<IdRel>, key_cols: &[usize]) -> Arc<HashIndex> {
+        self.inner.borrow_mut().indexes.get_or_build(rel, key_cols)
+    }
+
+    /// Number of distinct values interned so far.
+    pub fn dict_len(&self) -> usize {
+        self.inner.borrow().dict.len()
+    }
+
+    /// Snapshot of the cache counters.
+    pub fn stats(&self) -> ContextStats {
+        let inner = self.inner.borrow();
+        ContextStats {
+            interned_hits: inner.interned_hits,
+            interned_builds: inner.interned_builds,
+            derived_hits: inner.derived_hits,
+            derived_builds: inner.derived_builds,
+            index_hits: inner.indexes.hits,
+            index_builds: inner.indexes.builds,
+        }
+    }
+}
+
+impl Default for EvalContext {
+    fn default() -> EvalContext {
+        EvalContext::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shared_pairs(pairs: &[(i64, i64)]) -> Arc<Relation> {
+        Arc::new(Relation::from_pairs(pairs.iter().copied()))
+    }
+
+    #[test]
+    fn interned_rel_is_cached() {
+        let ctx = EvalContext::new();
+        let rel = shared_pairs(&[(1, 2), (3, 4)]);
+        let a = ctx.interned_rel(&rel);
+        let b = ctx.interned_rel(&rel);
+        assert!(Arc::ptr_eq(&a, &b), "same physical IdRel");
+        assert_eq!(ctx.stats().interned_builds, 1);
+        assert_eq!(ctx.stats().interned_hits, 1);
+    }
+
+    #[test]
+    fn index_cache_returns_same_object() {
+        let ctx = EvalContext::new();
+        let rel = shared_pairs(&[(1, 2), (1, 3), (2, 4)]);
+        let id_rel = ctx.interned_rel(&rel);
+        let a = ctx.index(&id_rel, &[0]);
+        let b = ctx.index(&id_rel, &[0]);
+        assert!(Arc::ptr_eq(&a, &b), "repeated requests share one index");
+        let c = ctx.index(&id_rel, &[1]);
+        assert!(!Arc::ptr_eq(&a, &c), "different key_cols, different index");
+        let s = ctx.stats();
+        assert_eq!(s.index_builds, 2);
+        assert_eq!(s.index_hits, 1);
+    }
+
+    #[test]
+    fn derived_rel_cached_by_signature() {
+        let ctx = EvalContext::new();
+        let rel = shared_pairs(&[(1, 1), (1, 2)]);
+        let build_calls = std::cell::Cell::new(0);
+        for _ in 0..3 {
+            ctx.derived_rel(&rel, &[0, 0], |base| {
+                build_calls.set(build_calls.get() + 1);
+                base.project_dedup(&[0])
+            });
+        }
+        assert_eq!(build_calls.get(), 1);
+        let other = ctx.derived_rel(&rel, &[0, 1], |base| base.clone());
+        assert_eq!(other.arity(), 2);
+        assert_eq!(ctx.stats().derived_builds, 2);
+    }
+
+    #[test]
+    fn distinct_relations_do_not_collide() {
+        let ctx = EvalContext::new();
+        let a = shared_pairs(&[(1, 2)]);
+        let b = shared_pairs(&[(3, 4), (5, 6)]);
+        assert_eq!(ctx.interned_rel(&a).len(), 1);
+        assert_eq!(ctx.interned_rel(&b).len(), 2);
+    }
+
+    #[test]
+    fn lookup_row_rejects_unknown_values() {
+        let ctx = EvalContext::new();
+        let rel = shared_pairs(&[(1, 2)]);
+        ctx.interned_rel(&rel);
+        let mut buf = Vec::new();
+        assert!(ctx.lookup_row(&[Value::Int(1), Value::Int(2)], &mut buf));
+        assert_eq!(buf.len(), 2);
+        assert!(!ctx.lookup_row(&[Value::Int(99)], &mut buf));
+    }
+
+    #[test]
+    fn decode_tuple_roundtrips() {
+        let ctx = EvalContext::new();
+        let ids = [ctx.intern(Value::Int(5)), ctx.intern(Value::Bottom)];
+        let t = ctx.decode_tuple(ids.iter().copied());
+        assert_eq!(t, Tuple(vec![Value::Int(5), Value::Bottom].into()));
+    }
+
+    #[test]
+    fn intern_key_matches_lookup() {
+        let ctx = EvalContext::new();
+        let k1 = ctx.intern_key(&[Value::Int(1), Value::Int(2)]);
+        let k2 = ctx.intern_key(&[Value::Int(1), Value::Int(2)]);
+        assert_eq!(k1, k2);
+        let k3 = ctx.intern_key(&[Value::Int(2), Value::Int(1)]);
+        assert_ne!(k1, k3);
+        // Long keys spill but still compare correctly.
+        let long: Vec<Value> = (0..6).map(Value::Int).collect();
+        assert_eq!(ctx.intern_key(&long), ctx.intern_key(&long));
+    }
+}

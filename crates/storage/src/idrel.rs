@@ -1,0 +1,319 @@
+//! Columnar interned relations.
+//!
+//! [`IdRel`] is the execution-side mirror of [`Relation`]: one dense
+//! `Vec<ValueId>` per column. All join-time work (normalization, semijoins,
+//! index builds, enumeration cursors) runs on this layout — 4-byte ids,
+//! column slices directly addressable via [`IdRel::col`] — while the
+//! row-major [`Relation`] stays the ingestion/API format.
+
+use crate::dictionary::{Dictionary, ValueId};
+use crate::key::InlineKey;
+use crate::relation::Relation;
+use std::collections::HashSet;
+
+/// A relation of interned values in columnar layout.
+///
+/// Row `r` is `(col(0)[r], col(1)[r], …)`. Arity-0 relations hold zero or
+/// one (empty) rows, tracked by `n_rows` alone.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IdRel {
+    n_rows: usize,
+    cols: Vec<Vec<ValueId>>,
+}
+
+impl IdRel {
+    /// An empty relation of the given arity.
+    pub fn new(arity: usize) -> IdRel {
+        IdRel {
+            n_rows: 0,
+            cols: vec![Vec::new(); arity],
+        }
+    }
+
+    /// An empty relation with row capacity.
+    pub fn with_capacity(arity: usize, rows: usize) -> IdRel {
+        IdRel {
+            n_rows: 0,
+            // Not `vec![Vec::with_capacity(rows); arity]`: cloning an empty
+            // Vec drops its capacity, which would leave every column but
+            // one unallocated.
+            cols: (0..arity).map(|_| Vec::with_capacity(rows)).collect(),
+        }
+    }
+
+    /// Interns every value of `rel` into `dict` and lays the result out
+    /// column-wise. Row order is preserved.
+    pub fn from_relation(rel: &Relation, dict: &mut Dictionary) -> IdRel {
+        let mut out = IdRel::with_capacity(rel.arity(), rel.len());
+        for row in rel.iter_rows() {
+            for (c, &v) in row.iter().enumerate() {
+                out.cols[c].push(dict.intern(v));
+            }
+            out.n_rows += 1;
+        }
+        out
+    }
+
+    /// The arity (number of columns).
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Whether there are no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n_rows == 0
+    }
+
+    /// Column `c` as a dense id slice — the columnar access path.
+    #[inline]
+    pub fn col(&self, c: usize) -> &[ValueId] {
+        &self.cols[c]
+    }
+
+    /// The id at `(row, col)`.
+    #[inline]
+    pub fn at(&self, row: usize, col: usize) -> ValueId {
+        self.cols[col][row]
+    }
+
+    /// Appends a row. Panics on arity mismatch. Arity-0 relations saturate
+    /// at one row (the single empty tuple).
+    #[inline]
+    pub fn push_row(&mut self, row: &[ValueId]) {
+        assert_eq!(row.len(), self.arity(), "row arity mismatch");
+        if self.arity() == 0 {
+            self.n_rows = 1;
+            return;
+        }
+        for (c, &id) in row.iter().enumerate() {
+            self.cols[c].push(id);
+        }
+        self.n_rows += 1;
+    }
+
+    /// Copies row `r`'s ids into `out` (cleared first). Reusing one buffer
+    /// across calls keeps row gathering allocation-free.
+    #[inline]
+    pub fn gather_row(&self, r: usize, out: &mut Vec<ValueId>) {
+        out.clear();
+        for col in &self.cols {
+            out.push(col[r]);
+        }
+    }
+
+    /// Projects onto `cols` (by position), deduplicating rows.
+    pub fn project_dedup(&self, cols: &[usize]) -> IdRel {
+        let mut seen: HashSet<InlineKey> = HashSet::with_capacity(self.n_rows);
+        let mut out = IdRel::new(cols.len());
+        let mut buf: Vec<ValueId> = Vec::with_capacity(cols.len());
+        for r in 0..self.n_rows {
+            buf.clear();
+            buf.extend(cols.iter().map(|&c| self.cols[c][r]));
+            if seen.insert(InlineKey::from_slice(&buf)) {
+                out.push_row(&buf);
+            }
+        }
+        out
+    }
+
+    /// Keeps only rows whose ids (projected onto `key_cols`) pass `pred`.
+    /// The predicate sees the projected key in a reused buffer.
+    pub fn retain_rows_by_key<F>(&mut self, key_cols: &[usize], mut pred: F)
+    where
+        F: FnMut(&[ValueId]) -> bool,
+    {
+        if self.arity() == 0 {
+            if self.n_rows == 1 && !pred(&[]) {
+                self.n_rows = 0;
+            }
+            return;
+        }
+        let mut buf: Vec<ValueId> = Vec::with_capacity(key_cols.len());
+        let mut write = 0usize;
+        for read in 0..self.n_rows {
+            buf.clear();
+            buf.extend(key_cols.iter().map(|&c| self.cols[c][read]));
+            if pred(&buf) {
+                if write != read {
+                    for col in self.cols.iter_mut() {
+                        col[write] = col[read];
+                    }
+                }
+                write += 1;
+            }
+        }
+        for col in self.cols.iter_mut() {
+            col.truncate(write);
+        }
+        self.n_rows = write;
+    }
+
+    /// Deduplicates rows, preserving first-occurrence order.
+    pub fn dedup_rows(&mut self) {
+        if self.arity() == 0 || self.n_rows <= 1 {
+            return;
+        }
+        let mut seen: HashSet<InlineKey> = HashSet::with_capacity(self.n_rows);
+        let all: Vec<usize> = (0..self.arity()).collect();
+        self.retain_rows_by_key(&all, |row| seen.insert(InlineKey::from_slice(row)));
+    }
+
+    /// Decodes back to a row-major [`Relation`] (answer-boundary only).
+    pub fn decode(&self, dict: &Dictionary) -> Relation {
+        let mut out = Relation::with_capacity(self.arity(), self.n_rows);
+        let mut buf = Vec::with_capacity(self.arity());
+        for r in 0..self.n_rows {
+            buf.clear();
+            buf.extend(self.cols.iter().map(|col| dict.value(col[r])));
+            out.push_row(&buf);
+        }
+        out
+    }
+}
+
+/// A hash set of projected id rows: the id-side analogue of
+/// [`RowSet`](crate::RowSet), probed with borrowed `&[ValueId]` keys
+/// (allocation-free for keys up to [`InlineKey::INLINE`] ids).
+#[derive(Clone, Debug, Default)]
+pub struct IdSet {
+    set: HashSet<InlineKey>,
+}
+
+impl IdSet {
+    /// An empty set.
+    pub fn new() -> IdSet {
+        IdSet::default()
+    }
+
+    /// The projections of all rows of `rel` onto `cols`.
+    pub fn build_projected(rel: &IdRel, cols: &[usize]) -> IdSet {
+        let mut set = HashSet::with_capacity(rel.len());
+        let mut buf: Vec<ValueId> = Vec::with_capacity(cols.len());
+        for r in 0..rel.len() {
+            buf.clear();
+            buf.extend(cols.iter().map(|&c| rel.col(c)[r]));
+            set.insert(InlineKey::from_slice(&buf));
+        }
+        IdSet { set }
+    }
+
+    /// All full rows of `rel`.
+    pub fn build(rel: &IdRel) -> IdSet {
+        let all: Vec<usize> = (0..rel.arity()).collect();
+        IdSet::build_projected(rel, &all)
+    }
+
+    /// Membership test with a borrowed key — no allocation.
+    #[inline]
+    pub fn contains(&self, key: &[ValueId]) -> bool {
+        self.set.contains(key)
+    }
+
+    /// Inserts a key; returns whether it was new.
+    #[inline]
+    pub fn insert(&mut self, key: &[ValueId]) -> bool {
+        self.set.insert(InlineKey::from_slice(key))
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn rel_of_pairs(pairs: &[(i64, i64)]) -> (IdRel, Dictionary) {
+        let mut dict = Dictionary::new();
+        let rel = Relation::from_pairs(pairs.iter().copied());
+        (IdRel::from_relation(&rel, &mut dict), dict)
+    }
+
+    #[test]
+    fn columnar_layout_roundtrips() {
+        let (r, dict) = rel_of_pairs(&[(1, 10), (2, 20), (1, 30)]);
+        assert_eq!(r.arity(), 2);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.col(0).len(), 3);
+        // Column 0 has 1 appearing twice with the same id.
+        assert_eq!(r.col(0)[0], r.col(0)[2]);
+        assert_ne!(r.col(0)[0], r.col(0)[1]);
+        assert_eq!(dict.value(r.at(1, 1)), Value::Int(20));
+        let back = r.decode(&dict);
+        assert_eq!(back.row(2), &[Value::Int(1), Value::Int(30)]);
+    }
+
+    #[test]
+    fn gather_row_reuses_buffer() {
+        let (r, _) = rel_of_pairs(&[(5, 6), (7, 8)]);
+        let mut buf = Vec::new();
+        r.gather_row(1, &mut buf);
+        assert_eq!(buf, vec![r.at(1, 0), r.at(1, 1)]);
+        r.gather_row(0, &mut buf);
+        assert_eq!(buf.len(), 2);
+    }
+
+    #[test]
+    fn project_dedup_on_ids() {
+        let (r, _) = rel_of_pairs(&[(1, 10), (1, 20), (2, 30)]);
+        let p = r.project_dedup(&[0]);
+        assert_eq!(p.arity(), 1);
+        assert_eq!(p.len(), 2);
+        let swapped = r.project_dedup(&[1, 0]);
+        assert_eq!(swapped.at(0, 0), r.at(0, 1));
+    }
+
+    #[test]
+    fn retain_rows_by_key_filters_in_place() {
+        let (mut r, _) = rel_of_pairs(&[(1, 1), (2, 1), (3, 3)]);
+        r.retain_rows_by_key(&[0, 1], |k| k[0] == k[1]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.at(0, 0), r.at(0, 1));
+        assert_eq!(r.at(1, 0), r.at(1, 1));
+    }
+
+    #[test]
+    fn nullary_semantics() {
+        let mut r = IdRel::new(0);
+        assert!(r.is_empty());
+        r.push_row(&[]);
+        r.push_row(&[]);
+        assert_eq!(r.len(), 1);
+        r.retain_rows_by_key(&[], |_| false);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn dedup_rows_preserves_first_occurrence() {
+        let (mut r, _) = rel_of_pairs(&[(1, 2), (3, 4), (1, 2)]);
+        r.dedup_rows();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn idset_projected_membership() {
+        let (r, _) = rel_of_pairs(&[(1, 2), (1, 3)]);
+        let s = IdSet::build_projected(&r, &[0]);
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(&[r.at(0, 0)]));
+        assert!(!s.contains(&[r.at(0, 1)]));
+        let full = IdSet::build(&r);
+        assert_eq!(full.len(), 2);
+    }
+}

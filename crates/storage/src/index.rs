@@ -1,10 +1,19 @@
 //! Hash indexes over relations.
 //!
 //! The constant-delay enumeration phase relies on O(1) lookups of the rows
-//! matching a separator binding; [`HashIndex`] groups row ids by a key-column
-//! projection. [`RowSet`] supports the constant-time membership tests used
-//! by Algorithm 1 and the CDY answer tester.
+//! matching a separator binding; [`HashIndex`] groups the row ids of an
+//! interned columnar relation ([`IdRel`]) by a key-column projection. Keys
+//! are [`InlineKey`]s — inline `[ValueId]` arrays — built once per row via
+//! a single `entry` pass (no double hashing, no per-row boxing for keys up
+//! to 4 columns), and probed with **borrowed** `&[ValueId]` slices, so the
+//! per-answer hot path never allocates.
+//!
+//! [`RowSet`] is the value-level row set kept for answer-boundary dedup
+//! (e.g. the Cheater's Lemma compiler), where tuples are already decoded.
 
+use crate::dictionary::ValueId;
+use crate::idrel::IdRel;
+use crate::key::InlineKey;
 use crate::relation::Relation;
 use crate::value::Value;
 use std::collections::{HashMap, HashSet};
@@ -16,20 +25,24 @@ use std::collections::{HashMap, HashSet};
 #[derive(Clone, Debug)]
 pub struct HashIndex {
     key_cols: Vec<usize>,
-    map: HashMap<Box<[Value]>, u32>,
+    map: HashMap<InlineKey, u32>,
     groups: Vec<Vec<u32>>,
 }
 
 impl HashIndex {
     /// Builds an index over `rel` keyed on `key_cols` (positions).
-    pub fn build(rel: &Relation, key_cols: &[usize]) -> HashIndex {
-        let mut map: HashMap<Box<[Value]>, u32> = HashMap::with_capacity(rel.len());
+    ///
+    /// Single pass, one hash per row: the group id is resolved through
+    /// `entry`, and the key is only materialized (inline, no heap for ≤ 4
+    /// columns) when it is actually inserted.
+    pub fn build(rel: &IdRel, key_cols: &[usize]) -> HashIndex {
+        let mut map: HashMap<InlineKey, u32> = HashMap::with_capacity(rel.len());
         let mut groups: Vec<Vec<u32>> = Vec::new();
-        let mut buf: Vec<Value> = Vec::with_capacity(key_cols.len());
-        for (i, row) in rel.iter_rows().enumerate() {
+        let mut buf: Vec<ValueId> = Vec::with_capacity(key_cols.len());
+        for i in 0..rel.len() {
             buf.clear();
-            buf.extend(key_cols.iter().map(|&c| row[c]));
-            let gid = *map.entry(buf.as_slice().into()).or_insert_with(|| {
+            buf.extend(key_cols.iter().map(|&c| rel.col(c)[i]));
+            let gid = *map.entry(InlineKey::from_slice(&buf)).or_insert_with(|| {
                 groups.push(Vec::new());
                 (groups.len() - 1) as u32
             });
@@ -47,9 +60,10 @@ impl HashIndex {
         &self.key_cols
     }
 
-    /// The stable group id for `key`, if present.
+    /// The stable group id for `key`, if present. Borrowed key — no
+    /// allocation.
     #[inline]
-    pub fn gid_of(&self, key: &[Value]) -> Option<u32> {
+    pub fn gid_of(&self, key: &[ValueId]) -> Option<u32> {
         self.map.get(key).copied()
     }
 
@@ -59,18 +73,19 @@ impl HashIndex {
         &self.groups[gid as usize]
     }
 
-    /// Row ids whose key equals `key`. Empty slice when absent.
+    /// Row ids whose key equals `key`. Empty slice when absent. Borrowed
+    /// key — no allocation.
     #[inline]
-    pub fn get(&self, key: &[Value]) -> &[u32] {
+    pub fn get(&self, key: &[ValueId]) -> &[u32] {
         match self.gid_of(key) {
             Some(g) => self.group(g),
             None => &[],
         }
     }
 
-    /// Whether any row matches `key`.
+    /// Whether any row matches `key`. Borrowed key — no allocation.
     #[inline]
-    pub fn contains_key(&self, key: &[Value]) -> bool {
+    pub fn contains_key(&self, key: &[ValueId]) -> bool {
         self.map.contains_key(key)
     }
 
@@ -80,14 +95,15 @@ impl HashIndex {
     }
 
     /// Iterates over `(key, row ids)` groups.
-    pub fn iter(&self) -> impl Iterator<Item = (&[Value], &[u32])> {
+    pub fn iter(&self) -> impl Iterator<Item = (&[ValueId], &[u32])> {
         self.map
             .iter()
-            .map(|(k, &g)| (&**k, self.groups[g as usize].as_slice()))
+            .map(|(k, &g)| (k.as_slice(), self.groups[g as usize].as_slice()))
     }
 }
 
-/// A set of full rows for O(1) membership tests.
+/// A set of full (decoded) value rows for O(1) membership tests at the
+/// answer boundary.
 #[derive(Clone, Debug, Default)]
 pub struct RowSet {
     set: HashSet<Box<[Value]>>,
@@ -138,34 +154,52 @@ impl RowSet {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dictionary::Dictionary;
 
     fn iv(xs: &[i64]) -> Vec<Value> {
         xs.iter().map(|&x| Value::Int(x)).collect()
     }
 
+    fn interned_pairs(pairs: &[(i64, i64)]) -> (IdRel, Dictionary) {
+        let mut dict = Dictionary::new();
+        let rel = Relation::from_pairs(pairs.iter().copied());
+        (IdRel::from_relation(&rel, &mut dict), dict)
+    }
+
     #[test]
     fn index_groups_rows() {
-        let r = Relation::from_pairs([(1, 10), (1, 20), (2, 30)]);
+        let (r, dict) = interned_pairs(&[(1, 10), (1, 20), (2, 30)]);
         let idx = HashIndex::build(&r, &[0]);
-        assert_eq!(idx.get(&iv(&[1])), &[0, 1]);
-        assert_eq!(idx.get(&iv(&[2])), &[2]);
-        assert_eq!(idx.get(&iv(&[9])), &[] as &[u32]);
+        let one = dict.lookup(Value::Int(1)).unwrap();
+        let two = dict.lookup(Value::Int(2)).unwrap();
+        assert_eq!(idx.get(&[one]), &[0, 1]);
+        assert_eq!(idx.get(&[two]), &[2]);
+        assert_eq!(idx.get(&[ValueId(999)]), &[] as &[u32]);
         assert_eq!(idx.n_keys(), 2);
-        assert!(idx.contains_key(&iv(&[1])));
+        assert!(idx.contains_key(&[one]));
     }
 
     #[test]
     fn index_on_empty_key_groups_everything() {
-        let r = Relation::from_pairs([(1, 10), (2, 20)]);
+        let (r, _) = interned_pairs(&[(1, 10), (2, 20)]);
         let idx = HashIndex::build(&r, &[]);
         assert_eq!(idx.get(&[]), &[0, 1]);
     }
 
     #[test]
     fn index_on_second_column() {
-        let r = Relation::from_pairs([(1, 10), (2, 10)]);
+        let (r, dict) = interned_pairs(&[(1, 10), (2, 10)]);
         let idx = HashIndex::build(&r, &[1]);
-        assert_eq!(idx.get(&iv(&[10])), &[0, 1]);
+        let ten = dict.lookup(Value::Int(10)).unwrap();
+        assert_eq!(idx.get(&[ten]), &[0, 1]);
+    }
+
+    #[test]
+    fn iter_covers_all_groups() {
+        let (r, _) = interned_pairs(&[(1, 10), (1, 20), (2, 30)]);
+        let idx = HashIndex::build(&r, &[0]);
+        let total: usize = idx.iter().map(|(_, rows)| rows.len()).sum();
+        assert_eq!(total, 3);
     }
 
     #[test]

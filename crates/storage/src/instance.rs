@@ -85,7 +85,12 @@ impl fmt::Debug for Instance {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut names: Vec<&str> = self.names().collect();
         names.sort_unstable();
-        writeln!(f, "Instance({} relations, {} tuples)", names.len(), self.total_tuples())?;
+        writeln!(
+            f,
+            "Instance({} relations, {} tuples)",
+            names.len(),
+            self.total_tuples()
+        )?;
         for n in names {
             writeln!(f, "{n}: {:?}", self.get(n).expect("name listed"))?;
         }
@@ -121,7 +126,9 @@ mod tests {
 
     #[test]
     fn with_relation_is_overlay() {
-        let base: Instance = [("R", Relation::from_pairs([(1, 2)]))].into_iter().collect();
+        let base: Instance = [("R", Relation::from_pairs([(1, 2)]))]
+            .into_iter()
+            .collect();
         let ext = base.with_relation("V", Relation::from_pairs([(9, 9)]));
         assert!(!base.contains("V"));
         assert!(ext.contains("V"));
@@ -135,7 +142,9 @@ mod tests {
 
     #[test]
     fn replace_overrides() {
-        let base: Instance = [("R", Relation::from_pairs([(1, 2)]))].into_iter().collect();
+        let base: Instance = [("R", Relation::from_pairs([(1, 2)]))]
+            .into_iter()
+            .collect();
         let ext = base.with_relation("R", Relation::from_pairs([(7, 7), (8, 8)]));
         assert_eq!(base.get("R").unwrap().len(), 1);
         assert_eq!(ext.get("R").unwrap().len(), 2);

@@ -1,0 +1,167 @@
+//! Inline index keys.
+//!
+//! Hash-index and dedup keys are short sequences of [`ValueId`]s (separator
+//! projections — almost always 1–4 columns). [`InlineKey`] stores up to
+//! [`InlineKey::INLINE`] ids inline with no heap allocation, spilling to a
+//! boxed slice only beyond that, and hashes/compares exactly like the
+//! `[ValueId]` slice it represents — so a `HashMap<InlineKey, _>` can be
+//! probed with a **borrowed** `&[ValueId]` key (via `Borrow`), which is what
+//! makes enumeration-phase index lookups allocation-free.
+
+use crate::dictionary::ValueId;
+use std::borrow::Borrow;
+use std::hash::{Hash, Hasher};
+
+/// A short `[ValueId]` key with inline storage (SmallVec-style).
+#[derive(Clone, Debug)]
+pub enum InlineKey {
+    /// Up to [`InlineKey::INLINE`] ids stored in place.
+    Inline {
+        /// Number of valid ids in `ids`.
+        len: u8,
+        /// The ids; positions `len..` are padding.
+        ids: [ValueId; InlineKey::INLINE],
+    },
+    /// Keys longer than [`InlineKey::INLINE`] (rare: wide separators).
+    Spilled(Box<[ValueId]>),
+}
+
+impl InlineKey {
+    /// Maximum inline length.
+    pub const INLINE: usize = 4;
+
+    /// Builds a key from a slice. Allocation-free when
+    /// `ids.len() <= InlineKey::INLINE`.
+    #[inline]
+    pub fn from_slice(ids: &[ValueId]) -> InlineKey {
+        if ids.len() <= InlineKey::INLINE {
+            let mut buf = [ValueId::BOTTOM; InlineKey::INLINE];
+            buf[..ids.len()].copy_from_slice(ids);
+            InlineKey::Inline {
+                len: ids.len() as u8,
+                ids: buf,
+            }
+        } else {
+            InlineKey::Spilled(ids.into())
+        }
+    }
+
+    /// The key as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[ValueId] {
+        match self {
+            InlineKey::Inline { len, ids } => &ids[..*len as usize],
+            InlineKey::Spilled(ids) => ids,
+        }
+    }
+
+    /// Key length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the key is empty (nullary separators).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl PartialEq for InlineKey {
+    #[inline]
+    fn eq(&self, other: &InlineKey) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for InlineKey {}
+
+/// Hash must agree with `<[ValueId] as Hash>` so that borrowed-slice map
+/// probes (`HashMap::get::<[ValueId]>`) find inline keys.
+impl Hash for InlineKey {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state)
+    }
+}
+
+impl Borrow<[ValueId]> for InlineKey {
+    #[inline]
+    fn borrow(&self) -> &[ValueId] {
+        self.as_slice()
+    }
+}
+
+impl From<&[ValueId]> for InlineKey {
+    fn from(ids: &[ValueId]) -> InlineKey {
+        InlineKey::from_slice(ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::collections::HashMap;
+
+    fn ids(xs: &[u32]) -> Vec<ValueId> {
+        xs.iter().map(|&x| ValueId(x)).collect()
+    }
+
+    fn hash_of<T: Hash + ?Sized>(t: &T) -> u64 {
+        let mut h = DefaultHasher::new();
+        t.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn inline_and_spilled_roundtrip() {
+        for n in 0..=6usize {
+            let v = ids(&(0..n as u32).collect::<Vec<_>>());
+            let k = InlineKey::from_slice(&v);
+            assert_eq!(k.as_slice(), v.as_slice());
+            assert_eq!(k.len(), n);
+            assert_eq!(
+                matches!(k, InlineKey::Inline { .. }),
+                n <= InlineKey::INLINE
+            );
+        }
+    }
+
+    #[test]
+    fn hash_matches_slice_hash() {
+        for v in [
+            ids(&[]),
+            ids(&[3]),
+            ids(&[1, 2, 3, 4]),
+            ids(&[1, 2, 3, 4, 5]),
+        ] {
+            let k = InlineKey::from_slice(&v);
+            assert_eq!(hash_of(&k), hash_of(v.as_slice()));
+        }
+    }
+
+    #[test]
+    fn borrowed_probe_finds_inline_keys() {
+        let mut map: HashMap<InlineKey, u32> = HashMap::new();
+        map.insert(InlineKey::from_slice(&ids(&[1, 2])), 10);
+        map.insert(InlineKey::from_slice(&ids(&[1, 2, 3, 4, 5])), 20);
+        let probe: &[ValueId] = &ids(&[1, 2]);
+        assert_eq!(map.get(probe), Some(&10));
+        let probe: &[ValueId] = &ids(&[1, 2, 3, 4, 5]);
+        assert_eq!(map.get(probe), Some(&20));
+        let probe: &[ValueId] = &ids(&[9]);
+        assert_eq!(map.get(probe), None);
+    }
+
+    #[test]
+    fn equality_ignores_padding() {
+        let a = InlineKey::from_slice(&ids(&[7]));
+        let b = match InlineKey::from_slice(&ids(&[7, 8])) {
+            InlineKey::Inline { ids, .. } => InlineKey::Inline { len: 1, ids },
+            k => k,
+        };
+        assert_eq!(a, b);
+    }
+}

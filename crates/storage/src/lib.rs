@@ -1,20 +1,35 @@
 //! Relational storage substrate for the `ucq-enum` workspace.
 //!
 //! Values ([`Value`]), owned tuples ([`Tuple`]), flat row-major relations
-//! ([`Relation`]), hash indexes ([`HashIndex`], [`RowSet`]) and named
-//! instances ([`Instance`]). The value domain includes the tagged constants
-//! and `⊥` filler used by the paper's lower-bound encodings (Lemma 14,
-//! Examples 18/20/22/31/39).
+//! ([`Relation`]), and named instances ([`Instance`]) form the ingestion/API
+//! layer. The value domain includes the tagged constants and `⊥` filler used
+//! by the paper's lower-bound encodings (Lemma 14, Examples 18/20/22/31/39).
+//!
+//! Execution runs on the interned layer: a [`Dictionary`] maps values to
+//! dense [`ValueId`]s, [`IdRel`] is the columnar id mirror of a relation,
+//! [`HashIndex`]/[`IdSet`] provide O(1) lookups with allocation-free
+//! borrowed `&[ValueId]` keys ([`InlineKey`]), and [`EvalContext`] is the
+//! per-instance session object caching interned relations, normalized
+//! projections and indexes ([`IndexCache`]) across every pipeline that
+//! evaluates the same instance.
 
+pub mod context;
+pub mod dictionary;
+pub mod idrel;
 pub mod index;
 pub mod instance;
+pub mod key;
 pub mod relation;
 pub mod text;
 pub mod tuple;
 pub mod value;
 
+pub use context::{ContextStats, EvalContext, IndexCache};
+pub use dictionary::{Dictionary, ValueId};
+pub use idrel::{IdRel, IdSet};
 pub use index::{HashIndex, RowSet};
 pub use instance::Instance;
+pub use key::InlineKey;
 pub use relation::Relation;
 pub use text::{parse_instance, to_text, TextError};
 pub use tuple::Tuple;

@@ -172,8 +172,7 @@ impl Relation {
             if keep {
                 if write != read {
                     let (dst, src) = self.data.split_at_mut(read * arity);
-                    dst[write * arity..(write + 1) * arity]
-                        .copy_from_slice(&src[..arity]);
+                    dst[write * arity..(write + 1) * arity].copy_from_slice(&src[..arity]);
                 }
                 write += 1;
             }
@@ -184,6 +183,15 @@ impl Relation {
     /// Collects all rows into owned [`Tuple`]s.
     pub fn to_tuples(&self) -> Vec<Tuple> {
         self.iter_rows().map(Tuple::from_row).collect()
+    }
+
+    /// The interned columnar mirror of this relation (`col(i) ->
+    /// &[ValueId]`): every value is interned into `dict` and laid out
+    /// column-wise. Evaluation pipelines obtain this through
+    /// [`crate::EvalContext::interned_rel`], which caches the result per
+    /// relation.
+    pub fn columnar(&self, dict: &mut crate::Dictionary) -> crate::IdRel {
+        crate::IdRel::from_relation(self, dict)
     }
 
     /// Set-membership test by linear scan (use an index for hot paths).

@@ -72,7 +72,9 @@ pub fn parse_instance(input: &str) -> Result<Instance, TextError> {
         if pos == start {
             return Err(err(pos, "expected relation name"));
         }
-        let name = std::str::from_utf8(&b[start..pos]).expect("ascii").to_string();
+        let name = std::str::from_utf8(&b[start..pos])
+            .expect("ascii")
+            .to_string();
         skip_ws(&mut pos);
         if pos >= b.len() || b[pos] != b'(' {
             return Err(err(pos, "expected '('"));
@@ -212,7 +214,10 @@ mod tests {
     fn parse_bottom_negative_and_tagged() {
         let i = parse_instance("T(_, -7, 3#2).").unwrap();
         let row = i.get("T").unwrap().row(0).to_vec();
-        assert_eq!(row, vec![Value::Bottom, Value::Int(-7), Value::tagged(2, 3)]);
+        assert_eq!(
+            row,
+            vec![Value::Bottom, Value::Int(-7), Value::tagged(2, 3)]
+        );
     }
 
     #[test]

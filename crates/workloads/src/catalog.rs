@@ -238,9 +238,7 @@ pub fn by_id(id: &str) -> Option<CatalogEntry> {
 /// `i < k`, one head per (k−1)-subset of `{z, x_1, …, x_{k−1}}`.
 pub fn example31(k: usize) -> Ucq {
     assert!((3..=10).contains(&k), "supported k range");
-    let body: Vec<String> = (1..k)
-        .map(|i| format!("R{i}(x{i}, z)"))
-        .collect();
+    let body: Vec<String> = (1..k).map(|i| format!("R{i}(x{i}, z)")).collect();
     let body = body.join(", ");
     let mut vars: Vec<String> = (1..k).map(|i| format!("x{i}")).collect();
     vars.push("z".to_string());

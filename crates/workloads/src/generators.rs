@@ -30,9 +30,7 @@ pub fn path_cq(hops: usize, full_head: bool) -> Cq {
 /// variables (use `"z"` and `"xi"` names).
 pub fn star_cq(legs: usize, head: &[&str]) -> Cq {
     assert!(legs >= 1);
-    let atoms: Vec<String> = (1..=legs)
-        .map(|i| format!("R{i}(x{i}, z)"))
-        .collect();
+    let atoms: Vec<String> = (1..=legs).map(|i| format!("R{i}(x{i}, z)")).collect();
     let text = format!("S{legs}({}) <- {}", head.join(", "), atoms.join(", "));
     parse_cq(&text).expect("generated query is well-formed")
 }
@@ -82,7 +80,11 @@ mod tests {
     fn path_family_tractability_axis() {
         for hops in 1..=5 {
             let full = path_cq(hops, true);
-            assert_eq!(cq_status(&full), CqStatus::FreeConnex, "full head, {hops} hops");
+            assert_eq!(
+                cq_status(&full),
+                CqStatus::FreeConnex,
+                "full head, {hops} hops"
+            );
             let ends = path_cq(hops, false);
             if hops == 1 {
                 assert_eq!(cq_status(&ends), CqStatus::FreeConnex);
@@ -111,10 +113,8 @@ mod tests {
         assert_eq!(family.len(), fixed.len());
         assert_eq!(family.head_arity(), fixed.head_arity());
         // Same per-member statuses.
-        let fam_status: Vec<CqStatus> =
-            family.cqs().iter().map(cq_status).collect();
-        let fix_status: Vec<CqStatus> =
-            fixed.cqs().iter().map(cq_status).collect();
+        let fam_status: Vec<CqStatus> = family.cqs().iter().map(cq_status).collect();
+        let fix_status: Vec<CqStatus> = fixed.cqs().iter().map(cq_status).collect();
         assert_eq!(fam_status, fix_status);
     }
 

@@ -107,8 +107,7 @@ mod tests {
     fn joins_produce_output_at_scaled_density() {
         let u = parse_ucq("Q(x, z, y) <- R(x, z), S(z, y)").unwrap();
         let inst = random_instance(&u, &InstanceSpec::scaled(512, 42));
-        let answers =
-            ucq_core::evaluate_ucq_naive(&u, &inst).expect("evaluates");
+        let answers = ucq_core::evaluate_ucq_naive(&u, &inst).expect("evaluates");
         assert!(!answers.is_empty(), "scaled spec must produce join output");
     }
 

@@ -1,9 +1,10 @@
 //! The Constant-Delay Yannakakis (CDY) algorithm [11, 20].
 //!
-//! Given an `S`-connex acyclic CQ, [`CdyEngine::build`] runs the linear
-//! preprocessing phase: it constructs an ext-S-connex tree, loads and
-//! normalizes the atom relations, projects the extension nodes, and applies
-//! the full reducer. Afterwards:
+//! Given an `S`-connex acyclic CQ, [`CdyEngine::build_in`] runs the linear
+//! preprocessing phase: it constructs an ext-S-connex tree, loads the atom
+//! relations through the shared [`EvalContext`] (interned, normalized and
+//! cached per `(relation, atom shape)`), projects the extension nodes, and
+//! applies the full reducer. Afterwards:
 //!
 //! * [`CdyEngine::iter`] enumerates the projection of the query onto `S`
 //!   with constant delay and no duplicates (the paper's Theorem 3(1) upper
@@ -13,13 +14,20 @@
 //! * [`CdyIter::next_with_full_binding`] additionally extends every answer
 //!   to a full homomorphism — the "extend once" step in the proof of
 //!   Lemma 8.
+//!
+//! The enumeration phase runs entirely on interned [`ValueId`]s: separator
+//! probes project the current binding into a reused key buffer and look up
+//! the per-node [`HashIndex`] with a **borrowed** `&[ValueId]` key — no
+//! heap allocation per answer; values are only decoded when an answer tuple
+//! crosses the API boundary.
 
 use crate::noderel::NodeRel;
 use crate::reducer::full_reduce;
 use std::fmt;
+use std::sync::Arc;
 use ucq_hypergraph::{ext_s_connex_tree, ConnexTree, VSet};
 use ucq_query::{Cq, VarId};
-use ucq_storage::{HashIndex, Instance, Relation, RowSet, Tuple, Value};
+use ucq_storage::{EvalContext, HashIndex, IdSet, Instance, Tuple, Value, ValueId};
 
 /// Evaluation errors.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -55,7 +63,7 @@ pub struct CdyEngine {
     /// Connex-first traversal order; the first `n_connex` entries are `T'`.
     order: Vec<usize>,
     n_connex: usize,
-    /// Reduced node relations.
+    /// Reduced node relations (interned, columnar).
     rels: Vec<NodeRel>,
     /// Per-node lookup index keyed on the separator with the parent
     /// (`None` only for the root).
@@ -63,40 +71,62 @@ pub struct CdyEngine {
     /// Separator variable sets per node.
     seps: Vec<VSet>,
     /// Membership sets for connex nodes.
-    row_sets: Vec<Option<RowSet>>,
+    row_sets: Vec<Option<IdSet>>,
     /// Row ids of the root (iterated in full).
     root_rows: Vec<u32>,
     /// Output spec: one variable per output position.
     output: Vec<VarId>,
     n_vars: u32,
     nonempty: bool,
+    /// The session this engine's ids belong to.
+    ctx: Arc<EvalContext>,
 }
 
 impl CdyEngine {
-    /// Builds the engine for `Q(I)` itself: `S = free(Q)`, output = head.
-    /// Fails with [`EvalError::NotSConnex`] unless `Q` is free-connex.
+    /// Builds the engine for `Q(I)` itself with a private context:
+    /// `S = free(Q)`, output = head. Fails with [`EvalError::NotSConnex`]
+    /// unless `Q` is free-connex. Prefer [`CdyEngine::for_query_in`] when
+    /// evaluating several queries (or repeatedly) over one instance.
     pub fn for_query(cq: &Cq, instance: &Instance) -> Result<CdyEngine, EvalError> {
-        CdyEngine::build(cq, cq.free(), cq.head().to_vec(), instance)
+        CdyEngine::for_query_in(cq, instance, &Arc::new(EvalContext::new()))
+    }
+
+    /// As [`CdyEngine::for_query`], sharing the caches of `ctx`.
+    pub fn for_query_in(
+        cq: &Cq,
+        instance: &Instance,
+        ctx: &Arc<EvalContext>,
+    ) -> Result<CdyEngine, EvalError> {
+        CdyEngine::build_in(cq, cq.free(), cq.head().to_vec(), instance, ctx)
     }
 
     /// Builds the engine enumerating `π_S(Q)` with output columns the sorted
-    /// variables of `s`. Fails unless `Q` is `S`-connex.
-    pub fn for_projection(
+    /// variables of `s`, with a private context. Fails unless `Q` is
+    /// `S`-connex.
+    pub fn for_projection(cq: &Cq, s: VSet, instance: &Instance) -> Result<CdyEngine, EvalError> {
+        CdyEngine::for_projection_in(cq, s, instance, &Arc::new(EvalContext::new()))
+    }
+
+    /// As [`CdyEngine::for_projection`], sharing the caches of `ctx`.
+    pub fn for_projection_in(
         cq: &Cq,
         s: VSet,
         instance: &Instance,
+        ctx: &Arc<EvalContext>,
     ) -> Result<CdyEngine, EvalError> {
-        CdyEngine::build(cq, s, s.iter().collect(), instance)
+        CdyEngine::build_in(cq, s, s.iter().collect(), instance, ctx)
     }
 
     /// The general constructor: enumerates bindings of the connex subtree
     /// covering `s`, outputting the variables in `output` (each must lie in
-    /// `s`).
-    pub fn build(
+    /// `s`). All relation loading goes through `ctx`, so engines built over
+    /// the same instance share interned data and normalizations.
+    pub fn build_in(
         cq: &Cq,
         s: VSet,
         output: Vec<VarId>,
         instance: &Instance,
+        ctx: &Arc<EvalContext>,
     ) -> Result<CdyEngine, EvalError> {
         for &v in &output {
             assert!(
@@ -111,20 +141,19 @@ impl CdyEngine {
             s,
         })?;
 
-        // Load atom relations.
+        // Load atom relations through the shared context.
         let n_nodes = ct.tree.len();
         let mut rels: Vec<Option<NodeRel>> = vec![None; n_nodes];
         for (i, node) in ct.tree.nodes().iter().enumerate() {
             if let Some(ai) = node.atom {
                 let atom = &cq.atoms()[ai];
-                let nr = match instance.get(&atom.rel) {
+                let nr = match instance.get_shared(&atom.rel) {
                     Some(stored) => {
-                        NodeRel::from_atom(atom, stored).map_err(EvalError::Schema)?
+                        NodeRel::from_atom(atom, &stored, ctx).map_err(EvalError::Schema)?
                     }
                     // Missing relations are empty (as in the paper's
                     // reductions, which "leave relations empty").
-                    None => NodeRel::from_atom(atom, &Relation::new(atom.args.len()))
-                        .map_err(EvalError::Schema)?,
+                    None => NodeRel::empty(atom),
                 };
                 rels[i] = Some(nr);
             }
@@ -136,9 +165,7 @@ impl CdyEngine {
             }
             let vars = ct.tree.nodes()[i].vars;
             let carrier = (0..n_nodes)
-                .find(|&j| {
-                    rels[j].is_some() && vars.is_subset(ct.tree.nodes()[j].vars)
-                })
+                .find(|&j| rels[j].is_some() && vars.is_subset(ct.tree.nodes()[j].vars))
                 .expect("inclusive extension: every node is inside some atom");
             let projected = rels[carrier]
                 .as_ref()
@@ -151,7 +178,7 @@ impl CdyEngine {
         // Linear preprocessing: the full reducer.
         let nonempty = full_reduce(&ct.tree, &mut rels);
 
-        // Lookup structures.
+        // Lookup structures over the reduced relations.
         let order = ct.order_connex_first();
         let n_connex = ct.connex_nodes().len();
         let mut seps = vec![VSet::EMPTY; n_nodes];
@@ -167,9 +194,9 @@ impl CdyEngine {
                 None => indexes.push(None),
             }
         }
-        let mut row_sets: Vec<Option<RowSet>> = vec![None; n_nodes];
+        let mut row_sets: Vec<Option<IdSet>> = vec![None; n_nodes];
         for &i in order[..n_connex].iter() {
-            row_sets[i] = Some(RowSet::build(&rels[i].rel));
+            row_sets[i] = Some(IdSet::build(&rels[i].rel));
         }
         let root = ct.tree.root();
         let root_rows: Vec<u32> = (0..rels[root].rel.len() as u32).collect();
@@ -185,7 +212,8 @@ impl CdyEngine {
             root_rows,
             output,
             n_vars: cq.n_vars(),
-        nonempty,
+            nonempty,
+            ctx: Arc::clone(ctx),
         })
     }
 
@@ -204,6 +232,11 @@ impl CdyEngine {
         &self.output
     }
 
+    /// The evaluation context this engine shares.
+    pub fn context(&self) -> &Arc<EvalContext> {
+        &self.ctx
+    }
+
     /// Starts a constant-delay enumeration of the (deduplicated) output.
     pub fn iter(&self) -> CdyIter<'_> {
         CdyIter {
@@ -214,13 +247,19 @@ impl CdyEngine {
 
     /// Consumes the engine into an owning enumerator.
     pub fn into_iter_owned(self) -> OwnedCdyIter {
-        OwnedCdyIter::new(self)
+        OwnedCdyIter::new(Arc::new(self))
     }
 
     /// Constant-time membership test for an output tuple. Only valid when
     /// the output variables cover the connex target `S` (true for
     /// [`CdyEngine::for_query`] and [`CdyEngine::for_projection`]).
     pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.contains_with(tuple, &mut ContainsScratch::default())
+    }
+
+    /// As [`CdyEngine::contains`], but reusing caller-provided scratch
+    /// buffers so repeated probes (Algorithm 1's inner loop) never allocate.
+    pub fn contains_with(&self, tuple: &Tuple, scratch: &mut ContainsScratch) -> bool {
         assert_eq!(tuple.arity(), self.output.len(), "arity mismatch");
         let covered: VSet = self.output.iter().copied().collect();
         assert_eq!(
@@ -230,29 +269,33 @@ impl CdyEngine {
         if !self.nonempty {
             return false;
         }
+        // A value the session has never interned cannot be in any relation.
+        if !self.ctx.lookup_row(tuple.values(), &mut scratch.ids) {
+            return false;
+        }
         // Bind output positions, rejecting inconsistent repeats.
-        let mut binding: Vec<Option<Value>> = vec![None; self.n_vars as usize];
+        scratch.binding.clear();
+        scratch.binding.resize(self.n_vars as usize, None);
         for (pos, &v) in self.output.iter().enumerate() {
-            match binding[v as usize] {
-                Some(existing) if existing != tuple[pos] => return false,
-                _ => binding[v as usize] = Some(tuple[pos]),
+            let id = scratch.ids[pos];
+            match scratch.binding[v as usize] {
+                Some(existing) if existing != id => return false,
+                _ => scratch.binding[v as usize] = Some(id),
             }
         }
-        let mut buf: Vec<Value> = Vec::new();
         for &n in &self.order[..self.n_connex] {
             let nr = &self.rels[n];
-            buf.clear();
+            scratch.buf.clear();
             for &v in &nr.vars {
-                match binding[v as usize] {
-                    Some(val) => buf.push(val),
+                match scratch.binding[v as usize] {
+                    Some(id) => scratch.buf.push(id),
                     None => unreachable!("T' variables are all in S"),
                 }
             }
-            if !self
-                .row_sets[n]
+            if !self.row_sets[n]
                 .as_ref()
                 .expect("connex nodes have row sets")
-                .contains(&buf)
+                .contains(&scratch.buf)
             {
                 return false;
             }
@@ -261,18 +304,17 @@ impl CdyEngine {
     }
 
     /// Resolves the match slot (a stable cursor handle) for `node` under the
-    /// current binding.
-    fn slot(&self, node: usize, binding: &[Value]) -> Option<Slot> {
+    /// current binding, projecting the separator into `key_buf` (reused —
+    /// probes allocate nothing).
+    fn slot(&self, node: usize, binding: &[ValueId], key_buf: &mut Vec<ValueId>) -> Option<Slot> {
         match &self.indexes[node] {
             None => Some(Slot::Root),
             Some(idx) => {
                 // Project the binding onto the separator (sorted var order
                 // matches the index key columns).
-                let key: Vec<Value> = self.seps[node]
-                    .iter()
-                    .map(|v| binding[v as usize])
-                    .collect();
-                idx.gid_of(&key).map(Slot::Group)
+                key_buf.clear();
+                key_buf.extend(self.seps[node].iter().map(|v| binding[v as usize]));
+                idx.gid_of(key_buf).map(Slot::Group)
             }
         }
     }
@@ -287,22 +329,30 @@ impl CdyEngine {
         }
     }
 
-    fn bind_row(&self, node: usize, row_id: u32, binding: &mut [Value]) {
+    fn bind_row(&self, node: usize, row_id: u32, binding: &mut [ValueId]) {
         let nr = &self.rels[node];
-        let row = nr.rel.row(row_id as usize);
         for (col, &v) in nr.vars.iter().enumerate() {
-            binding[v as usize] = row[col];
+            binding[v as usize] = nr.rel.at(row_id as usize, col);
         }
     }
 
-    fn project_output(&self, binding: &[Value]) -> Tuple {
-        Tuple(
-            self.output
-                .iter()
-                .map(|&v| binding[v as usize])
-                .collect(),
-        )
+    fn project_output(&self, binding: &[ValueId]) -> Tuple {
+        self.ctx
+            .decode_tuple(self.output.iter().map(|&v| binding[v as usize]))
     }
+
+    /// Decodes a full binding (indexed by variable id) at the API boundary.
+    fn decode_binding(&self, binding: &[ValueId]) -> Vec<Value> {
+        binding.iter().map(|&id| self.ctx.decode(id)).collect()
+    }
+}
+
+/// Reusable buffers for [`CdyEngine::contains_with`].
+#[derive(Debug, Default)]
+pub struct ContainsScratch {
+    ids: Vec<ValueId>,
+    binding: Vec<Option<ValueId>>,
+    buf: Vec<ValueId>,
 }
 
 /// A stable cursor handle into a node's match list: either the whole root
@@ -327,10 +377,12 @@ enum IterPhase {
 }
 
 /// Owned enumeration state — no borrows, so enumerators can own their
-/// engine (see [`OwnedCdyIter`]).
+/// engine (see [`OwnedCdyIter`]). Holds every buffer the per-answer step
+/// needs; `next()` allocates nothing beyond the answer tuple itself.
 struct IterCore {
     frames: Vec<Frame>,
-    binding: Vec<Value>,
+    binding: Vec<ValueId>,
+    key_buf: Vec<ValueId>,
     phase: IterPhase,
 }
 
@@ -338,7 +390,8 @@ impl IterCore {
     fn new(eng: &CdyEngine) -> IterCore {
         IterCore {
             frames: Vec::with_capacity(eng.n_connex),
-            binding: vec![Value::Bottom; eng.n_vars as usize],
+            binding: vec![ValueId::BOTTOM; eng.n_vars as usize],
+            key_buf: Vec::with_capacity(8),
             phase: IterPhase::Start,
         }
     }
@@ -405,7 +458,7 @@ impl IterCore {
     /// applies the binding. Returns `None` if there are no matches (which
     /// the full reducer rules out on reachable paths).
     fn descend(&mut self, eng: &CdyEngine, node: usize) -> Option<()> {
-        let slot = eng.slot(node, &self.binding)?;
+        let slot = eng.slot(node, &self.binding, &mut self.key_buf)?;
         let rows = eng.rows(node, slot);
         if rows.is_empty() {
             return None;
@@ -421,7 +474,7 @@ impl IterCore {
         for d in eng.n_connex..eng.order.len() {
             let node = eng.order[d];
             let slot = eng
-                .slot(node, &self.binding)
+                .slot(node, &self.binding, &mut self.key_buf)
                 .expect("full reducer guarantees witnesses");
             let rows = eng.rows(node, slot);
             debug_assert!(!rows.is_empty());
@@ -447,7 +500,7 @@ impl<'a> CdyIter<'a> {
 
     /// Advances to the next answer and extends it to a *full* variable
     /// binding (Lemma 8's "extend once" step). Returns the output tuple and
-    /// the binding indexed by variable id.
+    /// the decoded binding indexed by variable id.
     pub fn next_with_full_binding(&mut self) -> Option<(Tuple, Vec<Value>)> {
         if !self.core.advance(self.eng) {
             return None;
@@ -455,7 +508,7 @@ impl<'a> CdyIter<'a> {
         self.core.extend_full(self.eng);
         Some((
             self.eng.project_output(&self.core.binding),
-            self.core.binding.clone(),
+            self.eng.decode_binding(&self.core.binding),
         ))
     }
 
@@ -475,21 +528,19 @@ impl ucq_enumerate::Enumerator for CdyIter<'_> {
     }
 }
 
-/// A constant-delay enumerator that owns its engine, suitable for pipelines
-/// that outlive the building scope.
+/// A constant-delay enumerator sharing its engine (`Arc`), suitable for
+/// pipelines that outlive the building scope and for sessions that start
+/// many enumerations off one preprocessed engine.
 pub struct OwnedCdyIter {
-    eng: Box<CdyEngine>,
+    eng: Arc<CdyEngine>,
     core: IterCore,
 }
 
 impl OwnedCdyIter {
-    /// Builds an owning enumerator from a preprocessed engine.
-    pub fn new(eng: CdyEngine) -> OwnedCdyIter {
+    /// Builds an enumerator over a shared preprocessed engine.
+    pub fn new(eng: Arc<CdyEngine>) -> OwnedCdyIter {
         let core = IterCore::new(&eng);
-        OwnedCdyIter {
-            eng: Box::new(eng),
-            core,
-        }
+        OwnedCdyIter { eng, core }
     }
 
     /// Access to the underlying engine (e.g. for membership tests).
@@ -513,7 +564,7 @@ impl OwnedCdyIter {
         self.core.extend_full(&self.eng);
         Some((
             self.eng.project_output(&self.core.binding),
-            self.core.binding.clone(),
+            self.eng.decode_binding(&self.core.binding),
         ))
     }
 }
@@ -528,6 +579,7 @@ impl ucq_enumerate::Enumerator for OwnedCdyIter {
 mod tests {
     use super::*;
     use ucq_query::parse_cq;
+    use ucq_storage::Relation;
 
     fn inst(rels: &[(&str, Vec<(i64, i64)>)]) -> Instance {
         rels.iter()
@@ -538,10 +590,7 @@ mod tests {
     #[test]
     fn full_projection_path_join() {
         let q = parse_cq("Q(x, z, y) <- R(x, z), S(z, y)").unwrap();
-        let i = inst(&[
-            ("R", vec![(1, 2), (5, 6)]),
-            ("S", vec![(2, 3), (2, 4)]),
-        ]);
+        let i = inst(&[("R", vec![(1, 2), (5, 6)]), ("S", vec![(2, 3), (2, 4)])]);
         let eng = CdyEngine::for_query(&q, &i).unwrap();
         assert!(eng.decide());
         let mut got = eng.iter().collect_all();
@@ -604,6 +653,17 @@ mod tests {
     }
 
     #[test]
+    fn membership_scratch_reuse() {
+        let q = parse_cq("Q(x, z, y) <- R(x, z), S(z, y)").unwrap();
+        let i = inst(&[("R", vec![(1, 2)]), ("S", vec![(2, 3)])]);
+        let eng = CdyEngine::for_query(&q, &i).unwrap();
+        let mut scratch = ContainsScratch::default();
+        assert!(eng.contains_with(&Tuple::from(&[1i64, 2, 3][..]), &mut scratch));
+        assert!(!eng.contains_with(&Tuple::from(&[1i64, 2, 9][..]), &mut scratch));
+        assert!(eng.contains_with(&Tuple::from(&[1i64, 2, 3][..]), &mut scratch));
+    }
+
+    #[test]
     fn repeated_head_variable() {
         let q = parse_cq("Q(x, x, y) <- R(x, y)").unwrap();
         let i = inst(&[("R", vec![(1, 2)])]);
@@ -622,7 +682,7 @@ mod tests {
         let q = parse_cq("Q(x, y) <- R(x, z), S(z, y)").unwrap();
         let s = VSet::singleton(0); // {x}
         let i = inst(&[("R", vec![(1, 2)]), ("S", vec![(2, 3), (2, 4)])]);
-        let eng = CdyEngine::build(&q, s, vec![0], &i).unwrap();
+        let eng = CdyEngine::build_in(&q, s, vec![0], &i, &Arc::new(EvalContext::new())).unwrap();
         let mut it = eng.iter();
         let (t, binding) = it.next_with_full_binding().unwrap();
         assert_eq!(t, Tuple::from(&[1i64][..]));
@@ -641,7 +701,7 @@ mod tests {
             ("R", vec![(1, 2), (1, 5)]),
             ("S", vec![(2, 3), (2, 4), (5, 6)]),
         ]);
-        let eng = CdyEngine::build(&q, s, vec![0], &i).unwrap();
+        let eng = CdyEngine::build_in(&q, s, vec![0], &i, &Arc::new(EvalContext::new())).unwrap();
         assert_eq!(eng.iter().collect_all(), vec![Tuple::from(&[1i64][..])]);
     }
 
@@ -660,5 +720,24 @@ mod tests {
                 Tuple::from(&[1i64, 11, 20][..]),
             ]
         );
+    }
+
+    #[test]
+    fn shared_context_reuses_normalizations() {
+        let ctx = Arc::new(EvalContext::new());
+        let i = inst(&[("R", vec![(1, 2), (2, 3)]), ("S", vec![(2, 4), (3, 5)])]);
+        let q1 = parse_cq("Q(x, y, z) <- R(x, y), S(y, z)").unwrap();
+        let q2 = parse_cq("P(a, b, c) <- R(a, b), S(b, c)").unwrap();
+        let e1 = CdyEngine::for_query_in(&q1, &i, &ctx).unwrap();
+        let e2 = CdyEngine::for_query_in(&q2, &i, &ctx).unwrap();
+        assert!(
+            ctx.stats().derived_hits >= 2,
+            "q2 reused q1's normalizations"
+        );
+        let mut a1 = e1.iter().collect_all();
+        let mut a2 = e2.iter().collect_all();
+        a1.sort();
+        a2.sort();
+        assert_eq!(a1, a2, "same bodies, same answers");
     }
 }

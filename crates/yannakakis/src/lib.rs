@@ -12,7 +12,7 @@ pub mod naive;
 pub mod noderel;
 pub mod reducer;
 
-pub use cdy::{CdyEngine, CdyIter, EvalError, OwnedCdyIter};
-pub use naive::{evaluate_cq_naive, evaluate_cq_naive_set};
-pub use noderel::NodeRel;
+pub use cdy::{CdyEngine, CdyIter, ContainsScratch, EvalError, OwnedCdyIter};
+pub use naive::{evaluate_cq_naive, evaluate_cq_naive_in, evaluate_cq_naive_set};
+pub use noderel::{atom_signature, NodeRel};
 pub use reducer::full_reduce;

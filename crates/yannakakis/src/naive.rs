@@ -5,82 +5,106 @@
 //! (smallest relation first), materializing all intermediate bindings, then
 //! projecting the head and deduplicating. Works for *every* CQ, cyclic or
 //! not, at the cost of potentially super-linear intermediates.
+//!
+//! All data flows through the shared [`EvalContext`]: atom relations come
+//! from the normalized-relation cache and the per-join hash indexes from the
+//! [`IndexCache`](ucq_storage::IndexCache) — so evaluating the members of a
+//! union (or re-evaluating in a session) reuses one set of indexes instead
+//! of rebuilding per CQ.
 
 use crate::cdy::EvalError;
 use crate::noderel::NodeRel;
 use std::collections::HashSet;
+use std::sync::Arc;
 use ucq_query::{Cq, VarId};
-use ucq_storage::{HashIndex, Instance, Relation, Tuple, Value};
+use ucq_storage::{EvalContext, IdRel, InlineKey, Instance, Tuple, ValueId};
 
-/// Evaluates `Q(I)` naively, returning the deduplicated answers in
-/// unspecified order.
+/// Evaluates `Q(I)` naively with a private context, returning the
+/// deduplicated answers in unspecified order.
 pub fn evaluate_cq_naive(cq: &Cq, instance: &Instance) -> Result<Vec<Tuple>, EvalError> {
-    // Normalize atoms.
-    let mut nodes: Vec<NodeRel> = Vec::with_capacity(cq.atoms().len());
+    evaluate_cq_naive_in(cq, instance, &EvalContext::new())
+}
+
+/// As [`evaluate_cq_naive`], sharing the caches of `ctx`.
+pub fn evaluate_cq_naive_in(
+    cq: &Cq,
+    instance: &Instance,
+    ctx: &EvalContext,
+) -> Result<Vec<Tuple>, EvalError> {
+    // Normalize atoms through the context cache (validating every atom's
+    // arity, like the CDY path does).
+    let mut nodes: Vec<(Vec<VarId>, Arc<IdRel>)> = Vec::with_capacity(cq.atoms().len());
     for atom in cq.atoms() {
-        let stored = instance.get(&atom.rel);
-        let nr = match stored {
-            Some(rel) => NodeRel::from_atom(atom, rel).map_err(EvalError::Schema)?,
-            None => NodeRel::from_atom(atom, &Relation::new(atom.args.len()))
-                .map_err(EvalError::Schema)?,
+        let node = match instance.get_shared(&atom.rel) {
+            Some(rel) => NodeRel::derived(atom, &rel, ctx).map_err(EvalError::Schema)?,
+            None => {
+                let empty = NodeRel::empty(atom);
+                (empty.vars, Arc::new(empty.rel))
+            }
         };
-        nodes.push(nr);
+        nodes.push(node);
+    }
+    // Any empty relation forces an empty join. Bail out before touching
+    // the index cache — this also keeps the per-call `Arc`s built for
+    // missing relations (fresh address each call) from being pinned into
+    // the session's caches forever.
+    if !nodes.is_empty() && nodes.iter().any(|(_, rel)| rel.is_empty()) {
+        return Ok(Vec::new());
     }
     // Join order: prefer joining atoms connected to what we have; among
     // candidates pick the smallest relation.
     let mut remaining: Vec<usize> = (0..nodes.len()).collect();
-    remaining.sort_by_key(|&i| nodes[i].rel.len());
+    remaining.sort_by_key(|&i| nodes[i].1.len());
 
     // Accumulated bindings over `acc_vars` (sorted var list).
     let mut acc_vars: Vec<VarId> = Vec::new();
-    let mut acc: Vec<Vec<Value>> = vec![Vec::new()]; // one empty binding
+    let mut acc: Vec<Vec<ValueId>> = vec![Vec::new()]; // one empty binding
 
     while !remaining.is_empty() {
         // Pick a connected atom if possible, else the smallest.
-        let acc_set: std::collections::HashSet<VarId> = acc_vars.iter().copied().collect();
+        let acc_set: HashSet<VarId> = acc_vars.iter().copied().collect();
         let pick_pos = remaining
             .iter()
-            .position(|&i| nodes[i].vars.iter().any(|v| acc_set.contains(v)))
+            .position(|&i| nodes[i].0.iter().any(|v| acc_set.contains(v)))
             .unwrap_or(0);
         let i = remaining.remove(pick_pos);
-        let node = &nodes[i];
+        let (node_vars, node_rel) = &nodes[i];
 
         // Shared variables and their positions on both sides.
-        let shared: Vec<VarId> = node
-            .vars
+        let shared: Vec<VarId> = node_vars
             .iter()
             .copied()
             .filter(|v| acc_set.contains(v))
             .collect();
         let node_key: Vec<usize> = shared
             .iter()
-            .map(|&v| node.col_of(v).expect("shared var in node"))
+            .map(|&v| node_vars.binary_search(&v).expect("shared var in node"))
             .collect();
         let acc_key: Vec<usize> = shared
             .iter()
             .map(|&v| acc_vars.iter().position(|&a| a == v).expect("shared"))
             .collect();
-        let new_vars: Vec<VarId> = node
-            .vars
+        let new_vars: Vec<VarId> = node_vars
             .iter()
             .copied()
             .filter(|v| !acc_set.contains(v))
             .collect();
         let new_cols: Vec<usize> = new_vars
             .iter()
-            .map(|&v| node.col_of(v).expect("own var"))
+            .map(|&v| node_vars.binary_search(&v).expect("own var"))
             .collect();
 
-        let idx = HashIndex::build(&node.rel, &node_key);
-        let mut next: Vec<Vec<Value>> = Vec::new();
-        let mut key_buf: Vec<Value> = Vec::with_capacity(acc_key.len());
+        // One cached index per (relation, key columns) — shared across the
+        // members of a union and across repeated evaluations.
+        let idx = ctx.index(node_rel, &node_key);
+        let mut next: Vec<Vec<ValueId>> = Vec::new();
+        let mut key_buf: Vec<ValueId> = Vec::with_capacity(acc_key.len());
         for binding in &acc {
             key_buf.clear();
             key_buf.extend(acc_key.iter().map(|&p| binding[p]));
             for &row_id in idx.get(&key_buf) {
-                let row = node.rel.row(row_id as usize);
                 let mut extended = binding.clone();
-                extended.extend(new_cols.iter().map(|&c| row[c]));
+                extended.extend(new_cols.iter().map(|&c| node_rel.col(c)[row_id as usize]));
                 next.push(extended);
             }
         }
@@ -91,28 +115,27 @@ pub fn evaluate_cq_naive(cq: &Cq, instance: &Instance) -> Result<Vec<Tuple>, Eva
         }
     }
 
-    // Project the head and deduplicate.
+    // Project the head and deduplicate on ids, decoding at the boundary.
     let head_pos: Vec<usize> = cq
         .head()
         .iter()
         .map(|&v| acc_vars.iter().position(|&a| a == v).expect("safe head"))
         .collect();
-    let mut seen: HashSet<Tuple> = HashSet::with_capacity(acc.len());
+    let mut seen: HashSet<InlineKey> = HashSet::with_capacity(acc.len());
     let mut out = Vec::new();
+    let mut key_buf: Vec<ValueId> = Vec::with_capacity(head_pos.len());
     for binding in &acc {
-        let t = Tuple(head_pos.iter().map(|&p| binding[p]).collect());
-        if seen.insert(t.clone()) {
-            out.push(t);
+        key_buf.clear();
+        key_buf.extend(head_pos.iter().map(|&p| binding[p]));
+        if seen.insert(InlineKey::from_slice(&key_buf)) {
+            out.push(ctx.decode_tuple(key_buf.iter().copied()));
         }
     }
     Ok(out)
 }
 
 /// Evaluates `Q(I)` naively into a hash set.
-pub fn evaluate_cq_naive_set(
-    cq: &Cq,
-    instance: &Instance,
-) -> Result<HashSet<Tuple>, EvalError> {
+pub fn evaluate_cq_naive_set(cq: &Cq, instance: &Instance) -> Result<HashSet<Tuple>, EvalError> {
     Ok(evaluate_cq_naive(cq, instance)?.into_iter().collect())
 }
 
@@ -120,6 +143,7 @@ pub fn evaluate_cq_naive_set(
 mod tests {
     use super::*;
     use ucq_query::parse_cq;
+    use ucq_storage::Relation;
 
     fn inst(rels: &[(&str, Vec<(i64, i64)>)]) -> Instance {
         rels.iter()
@@ -186,5 +210,22 @@ mod tests {
         let mut cdy = eng.iter().collect_all();
         cdy.sort();
         assert_eq!(naive, cdy);
+    }
+
+    #[test]
+    fn shared_context_caches_join_indexes() {
+        let ctx = EvalContext::new();
+        let q = parse_cq("Q(x, y) <- R(x, z), S(z, y)").unwrap();
+        let i = inst(&[("R", vec![(1, 2)]), ("S", vec![(2, 3)])]);
+        let a = evaluate_cq_naive_in(&q, &i, &ctx).unwrap();
+        let builds = ctx.stats().index_builds;
+        let b = evaluate_cq_naive_in(&q, &i, &ctx).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            ctx.stats().index_builds,
+            builds,
+            "second run reuses every cached index"
+        );
+        assert!(ctx.stats().index_hits > 0);
     }
 }

@@ -1,25 +1,144 @@
-//! Node relations: relations whose columns are aligned with a sorted list of
-//! query variables.
+//! Node relations: interned relations whose columns are aligned with a
+//! sorted list of query variables.
 //!
 //! Join-tree nodes carry their data in this normalized form: one column per
-//! *distinct* variable, columns sorted by variable id. Atoms with repeated
-//! variables (`R(x,x)`) are normalized by filtering rows whose repeated
-//! positions disagree and then dropping the duplicate columns.
+//! *distinct* variable, columns sorted by variable id, values interned to
+//! [`ValueId`]s. Atoms with repeated variables (`R(x,x)`) are normalized by
+//! filtering rows whose repeated positions disagree and then dropping the
+//! duplicate columns.
+//!
+//! Normalization is cached in the [`EvalContext`]: two atoms reading the
+//! same stored relation with the same *argument shape* (the
+//! [`atom_signature`]) — even in different member CQs of a union — share
+//! one normalized [`IdRel`]. [`NodeRel`] then clones that cached relation
+//! only when a pipeline needs to mutate it (the full reducer's semijoins).
 
+use std::sync::Arc;
 use ucq_hypergraph::VSet;
 use ucq_query::{Atom, VarId};
-use ucq_storage::{Relation, RowSet, Value};
+use ucq_storage::{EvalContext, IdRel, IdSet, Relation, ValueId};
 
-/// A relation with named (variable-id) columns in sorted order.
+/// The normalization signature of an atom's argument list: for each
+/// position, the rank of its variable among the atom's sorted distinct
+/// variables. Two atoms with equal signatures over the same relation
+/// normalize to the *same* node relation — `R(x, z)` and `R(a, b)` share,
+/// `R(x, x)` and `R(z, x)` do not.
+pub fn atom_signature(args: &[VarId]) -> Vec<u32> {
+    let mut sorted: Vec<VarId> = args.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    args.iter()
+        .map(|v| sorted.binary_search(v).expect("present") as u32)
+        .collect()
+}
+
+/// Normalizes an interned relation against an argument signature: keeps
+/// rows whose repeated positions agree, projects to one column per distinct
+/// variable (in rank order), and deduplicates.
+fn normalize(base: &IdRel, sig: &[u32]) -> IdRel {
+    let n_distinct = sig.iter().map(|&r| r + 1).max().unwrap_or(0) as usize;
+    // First source position of each rank.
+    let src_pos: Vec<usize> = (0..n_distinct as u32)
+        .map(|r| sig.iter().position(|&s| s == r).expect("rank present"))
+        .collect();
+    // Positions that must agree (repeated variables).
+    let eq_checks: Vec<(usize, usize)> = sig
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &r)| {
+            let first = src_pos[r as usize];
+            (first != i).then_some((first, i))
+        })
+        .collect();
+    let mut out = IdRel::with_capacity(n_distinct, base.len());
+    let mut seen = IdSet::new();
+    let mut buf: Vec<ValueId> = Vec::with_capacity(n_distinct);
+    for row in 0..base.len() {
+        if eq_checks
+            .iter()
+            .any(|&(a, b)| base.at(row, a) != base.at(row, b))
+        {
+            continue;
+        }
+        buf.clear();
+        buf.extend(src_pos.iter().map(|&p| base.at(row, p)));
+        if seen.insert(&buf) {
+            out.push_row(&buf);
+        }
+    }
+    out
+}
+
+/// A relation with named (variable-id) columns in sorted order, interned.
 #[derive(Clone, Debug)]
 pub struct NodeRel {
     /// Distinct variables, sorted ascending; `rel` has one column per entry.
     pub vars: Vec<VarId>,
-    /// The data, column `i` holding values of `vars[i]`.
-    pub rel: Relation,
+    /// The interned columnar data, column `i` holding ids of `vars[i]`.
+    pub rel: IdRel,
 }
 
 impl NodeRel {
+    /// The sorted distinct variables of an atom.
+    fn distinct_vars(atom: &Atom) -> Vec<VarId> {
+        let mut vars: Vec<VarId> = atom.args.clone();
+        vars.sort_unstable();
+        vars.dedup();
+        vars
+    }
+
+    /// Checks the stored arity against the atom.
+    fn check_arity(atom: &Atom, stored_arity: usize) -> Result<(), String> {
+        if stored_arity != atom.args.len() {
+            return Err(format!(
+                "relation {} has arity {}, atom expects {}",
+                atom.rel,
+                stored_arity,
+                atom.args.len()
+            ));
+        }
+        Ok(())
+    }
+
+    /// The cached normalized relation for `atom` over `stored` — shared
+    /// (no copy) with every other atom of equal [`atom_signature`] reading
+    /// the same relation through the same context.
+    pub fn derived(
+        atom: &Atom,
+        stored: &Arc<Relation>,
+        ctx: &EvalContext,
+    ) -> Result<(Vec<VarId>, Arc<IdRel>), String> {
+        NodeRel::check_arity(atom, stored.arity())?;
+        let sig = atom_signature(&atom.args);
+        let rel = ctx.derived_rel(stored, &sig, |base| normalize(base, &sig));
+        Ok((NodeRel::distinct_vars(atom), rel))
+    }
+
+    /// Normalizes an atom's stored relation into an owned (mutable) node
+    /// relation. The normalization itself comes from the context cache;
+    /// only the final copy (for in-place reduction) is per-call.
+    pub fn from_atom(
+        atom: &Atom,
+        stored: &Arc<Relation>,
+        ctx: &EvalContext,
+    ) -> Result<NodeRel, String> {
+        let (vars, rel) = NodeRel::derived(atom, stored, ctx)?;
+        Ok(NodeRel {
+            vars,
+            rel: (*rel).clone(),
+        })
+    }
+
+    /// An empty node relation for an atom whose stored relation is missing
+    /// (the paper's reductions "leave relations empty").
+    pub fn empty(atom: &Atom) -> NodeRel {
+        let vars = NodeRel::distinct_vars(atom);
+        NodeRel {
+            rel: IdRel::new(vars.len()),
+            vars,
+        }
+    }
+
     /// The variable set.
     pub fn var_set(&self) -> VSet {
         self.vars.iter().copied().collect()
@@ -38,53 +157,6 @@ impl NodeRel {
             .collect()
     }
 
-    /// Normalizes an atom's stored relation:
-    /// * checks the arity matches;
-    /// * keeps only rows whose repeated-variable positions agree;
-    /// * reorders/dedups columns to sorted distinct variables;
-    /// * deduplicates rows (set semantics).
-    pub fn from_atom(atom: &Atom, stored: &Relation) -> Result<NodeRel, String> {
-        if stored.arity() != atom.args.len() {
-            return Err(format!(
-                "relation {} has arity {}, atom expects {}",
-                atom.rel,
-                stored.arity(),
-                atom.args.len()
-            ));
-        }
-        let mut vars: Vec<VarId> = atom.args.clone();
-        vars.sort_unstable();
-        vars.dedup();
-        // First source position of each distinct variable.
-        let src_pos: Vec<usize> = vars
-            .iter()
-            .map(|v| atom.args.iter().position(|a| a == v).expect("present"))
-            .collect();
-        // Positions that must agree (repeated variables).
-        let mut eq_checks: Vec<(usize, usize)> = Vec::new();
-        for (i, v) in atom.args.iter().enumerate() {
-            let first = atom.args.iter().position(|a| a == v).expect("present");
-            if first != i {
-                eq_checks.push((first, i));
-            }
-        }
-        let mut out = Relation::with_capacity(vars.len(), stored.len());
-        let mut seen: std::collections::HashSet<Box<[Value]>> =
-            std::collections::HashSet::with_capacity(stored.len());
-        let mut buf: Vec<Value> = Vec::with_capacity(vars.len());
-        for row in stored.iter_rows() {
-            if eq_checks.iter().any(|&(a, b)| row[a] != row[b]) {
-                continue;
-            }
-            buf.clear();
-            buf.extend(src_pos.iter().map(|&p| row[p]));
-            if seen.insert(buf.as_slice().into()) {
-                out.push_row(&buf);
-            }
-        }
-        Ok(NodeRel { vars, rel: out })
-    }
-
     /// Projects onto a subset of this node's variables (deduplicating).
     pub fn project(&self, vs: VSet) -> NodeRel {
         let cols = self.cols_of(vs);
@@ -100,18 +172,14 @@ impl NodeRel {
         if sep.is_empty() {
             // Degenerate semijoin: keep everything iff `other` is non-empty.
             if other.rel.is_empty() {
-                self.rel = Relation::new(self.rel.arity());
+                self.rel = IdRel::new(self.rel.arity());
             }
             return;
         }
-        let right = RowSet::build_projected(&other.rel, &other.cols_of(sep));
+        let right = IdSet::build_projected(&other.rel, &other.cols_of(sep));
         let left_cols = self.cols_of(sep);
-        let mut buf: Vec<Value> = Vec::with_capacity(left_cols.len());
-        self.rel.retain_rows(|row| {
-            buf.clear();
-            buf.extend(left_cols.iter().map(|&c| row[c]));
-            right.contains(&buf)
-        });
+        self.rel
+            .retain_rows_by_key(&left_cols, |key| right.contains(key));
     }
 }
 
@@ -119,68 +187,115 @@ impl NodeRel {
 mod tests {
     use super::*;
     use ucq_query::parse_cq;
+    use ucq_storage::Value;
 
-    fn iv(xs: &[i64]) -> Vec<Value> {
-        xs.iter().map(|&x| Value::Int(x)).collect()
+    fn shared(rel: Relation) -> Arc<Relation> {
+        Arc::new(rel)
+    }
+
+    fn decoded_row(nr: &NodeRel, ctx: &EvalContext, row: usize) -> Vec<Value> {
+        (0..nr.rel.arity())
+            .map(|c| ctx.decode(nr.rel.at(row, c)))
+            .collect()
+    }
+
+    #[test]
+    fn signature_captures_shape_not_names() {
+        let q = parse_cq("Q(x, y, z) <- R(x, z), R(y, z), R(x, x)").unwrap();
+        let sigs: Vec<Vec<u32>> = q.atoms().iter().map(|a| atom_signature(&a.args)).collect();
+        assert_eq!(sigs[0], sigs[1], "R(x,z) and R(y,z) share a shape");
+        assert_ne!(sigs[0], sigs[2], "R(x,x) has a different shape");
     }
 
     #[test]
     fn normalization_sorts_columns() {
-        // Atom R(y, x) with x=1? Build via query text: vars interned in
-        // head-then-body order.
+        // Atom R(y, x): x=0, y=1; sorted vars = [0, 1]; columns must be
+        // swapped relative to storage.
         let q = parse_cq("Q(x, y) <- R(y, x)").unwrap();
-        // x=0, y=1; atom args = [1, 0]; sorted vars = [0, 1]; so columns must
-        // be swapped relative to storage.
-        let stored = Relation::from_pairs([(10, 20)]); // (y, x) = (10, 20)
-        let nr = NodeRel::from_atom(&q.atoms()[0], &stored).unwrap();
+        let ctx = EvalContext::new();
+        let stored = shared(Relation::from_pairs([(10, 20)])); // (y, x)
+        let nr = NodeRel::from_atom(&q.atoms()[0], &stored, &ctx).unwrap();
         assert_eq!(nr.vars, vec![0, 1]);
-        assert_eq!(nr.rel.row(0), iv(&[20, 10]).as_slice());
+        assert_eq!(
+            decoded_row(&nr, &ctx, 0),
+            vec![Value::Int(20), Value::Int(10)]
+        );
     }
 
     #[test]
     fn repeated_variable_filters_rows() {
         let q = parse_cq("Q(x) <- R(x, x)").unwrap();
-        let stored = Relation::from_pairs([(1, 1), (1, 2), (3, 3)]);
-        let nr = NodeRel::from_atom(&q.atoms()[0], &stored).unwrap();
+        let ctx = EvalContext::new();
+        let stored = shared(Relation::from_pairs([(1, 1), (1, 2), (3, 3)]));
+        let nr = NodeRel::from_atom(&q.atoms()[0], &stored, &ctx).unwrap();
         assert_eq!(nr.vars.len(), 1);
         assert_eq!(nr.rel.len(), 2);
-        assert!(nr.rel.contains_row(&iv(&[1])));
-        assert!(nr.rel.contains_row(&iv(&[3])));
+        let kept: Vec<Vec<Value>> = (0..2).map(|r| decoded_row(&nr, &ctx, r)).collect();
+        assert!(kept.contains(&vec![Value::Int(1)]));
+        assert!(kept.contains(&vec![Value::Int(3)]));
     }
 
     #[test]
     fn arity_mismatch_is_error() {
         let q = parse_cq("Q(x) <- R(x, y)").unwrap();
-        let stored = Relation::new(3);
-        assert!(NodeRel::from_atom(&q.atoms()[0], &stored).is_err());
+        let ctx = EvalContext::new();
+        assert!(NodeRel::from_atom(&q.atoms()[0], &shared(Relation::new(3)), &ctx).is_err());
     }
 
     #[test]
     fn duplicate_rows_dropped() {
         let q = parse_cq("Q(x, y) <- R(x, y)").unwrap();
-        let stored = Relation::from_pairs([(1, 2), (1, 2)]);
-        let nr = NodeRel::from_atom(&q.atoms()[0], &stored).unwrap();
+        let ctx = EvalContext::new();
+        let stored = shared(Relation::from_pairs([(1, 2), (1, 2)]));
+        let nr = NodeRel::from_atom(&q.atoms()[0], &stored, &ctx).unwrap();
         assert_eq!(nr.rel.len(), 1);
+    }
+
+    #[test]
+    fn same_shape_atoms_share_the_cached_relation() {
+        let q = parse_cq("Q(x, y, z) <- R(x, y), R(y, z)").unwrap();
+        let ctx = EvalContext::new();
+        let stored = shared(Relation::from_pairs([(1, 2), (2, 3)]));
+        let (_, a) = NodeRel::derived(&q.atoms()[0], &stored, &ctx).unwrap();
+        let (_, b) = NodeRel::derived(&q.atoms()[1], &stored, &ctx).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "one normalization, shared");
+        assert_eq!(ctx.stats().derived_builds, 1);
+        assert_eq!(ctx.stats().derived_hits, 1);
     }
 
     #[test]
     fn semijoin_filters() {
         let q = parse_cq("Q(x, y, z) <- R(x, y), S(y, z)").unwrap();
-        let mut left = NodeRel::from_atom(&q.atoms()[0], &Relation::from_pairs([(1, 2), (3, 4)]))
-            .unwrap();
+        let ctx = EvalContext::new();
+        let mut left = NodeRel::from_atom(
+            &q.atoms()[0],
+            &shared(Relation::from_pairs([(1, 2), (3, 4)])),
+            &ctx,
+        )
+        .unwrap();
         let right =
-            NodeRel::from_atom(&q.atoms()[1], &Relation::from_pairs([(2, 9)])).unwrap();
+            NodeRel::from_atom(&q.atoms()[1], &shared(Relation::from_pairs([(2, 9)])), &ctx)
+                .unwrap();
         left.semijoin_in_place(&right, VSet::singleton(1)); // y = var 1
         assert_eq!(left.rel.len(), 1);
-        assert_eq!(left.rel.row(0), iv(&[1, 2]).as_slice());
+        assert_eq!(
+            decoded_row(&left, &ctx, 0),
+            vec![Value::Int(1), Value::Int(2)]
+        );
     }
 
     #[test]
     fn semijoin_empty_separator_checks_nonemptiness() {
         let q = parse_cq("Q(x, z) <- R(x), S(z)").unwrap();
-        let mut left =
-            NodeRel::from_atom(&q.atoms()[0], &Relation::from_rows(1, [iv(&[1])].iter().map(|r| r.as_slice()))).unwrap();
-        let right_empty = NodeRel::from_atom(&q.atoms()[1], &Relation::new(1)).unwrap();
+        let ctx = EvalContext::new();
+        let one_row = {
+            let mut r = Relation::new(1);
+            r.push_row(&[Value::Int(1)]);
+            shared(r)
+        };
+        let mut left = NodeRel::from_atom(&q.atoms()[0], &one_row, &ctx).unwrap();
+        let right_empty =
+            NodeRel::from_atom(&q.atoms()[1], &shared(Relation::new(1)), &ctx).unwrap();
         left.semijoin_in_place(&right_empty, VSet::EMPTY);
         assert!(left.rel.is_empty());
     }
@@ -188,10 +303,23 @@ mod tests {
     #[test]
     fn projection() {
         let q = parse_cq("Q(x, y) <- R(x, y)").unwrap();
-        let nr = NodeRel::from_atom(&q.atoms()[0], &Relation::from_pairs([(1, 2), (1, 3)]))
-            .unwrap();
+        let ctx = EvalContext::new();
+        let nr = NodeRel::from_atom(
+            &q.atoms()[0],
+            &shared(Relation::from_pairs([(1, 2), (1, 3)])),
+            &ctx,
+        )
+        .unwrap();
         let p = nr.project(VSet::singleton(0));
         assert_eq!(p.vars, vec![0]);
         assert_eq!(p.rel.len(), 1);
+    }
+
+    #[test]
+    fn empty_node_for_missing_relation() {
+        let q = parse_cq("Q(x, y) <- R(x, y, x)").unwrap();
+        let nr = NodeRel::empty(&q.atoms()[0]);
+        assert_eq!(nr.vars.len(), 2);
+        assert!(nr.rel.is_empty());
     }
 }

@@ -50,27 +50,36 @@ fn index_two<T>(slice: &mut [T], a: usize, b: usize) -> (&mut T, &mut T) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
     use ucq_hypergraph::{join_tree, VSet};
     use ucq_query::parse_cq;
-    use ucq_storage::{Relation, Value};
+    use ucq_storage::{EvalContext, Relation, Value};
 
     fn iv(xs: &[i64]) -> Vec<Value> {
         xs.iter().map(|&x| Value::Int(x)).collect()
+    }
+
+    fn decoded_row(nr: &NodeRel, ctx: &EvalContext, row: usize) -> Vec<Value> {
+        (0..nr.rel.arity())
+            .map(|c| ctx.decode(nr.rel.at(row, c)))
+            .collect()
     }
 
     /// Builds node relations for a parsed path query over given data.
     fn setup(
         text: &str,
         data: &[Relation],
+        ctx: &EvalContext,
     ) -> (ucq_hypergraph::JoinTree, Vec<NodeRel>) {
         let q = parse_cq(text).unwrap();
         let tree = join_tree(&q.hypergraph()).unwrap();
+        let shared: Vec<Arc<Relation>> = data.iter().cloned().map(Arc::new).collect();
         let rels: Vec<NodeRel> = tree
             .nodes()
             .iter()
             .map(|n| {
                 let atom_idx = n.atom.expect("plain join tree");
-                NodeRel::from_atom(&q.atoms()[atom_idx], &data[atom_idx]).unwrap()
+                NodeRel::from_atom(&q.atoms()[atom_idx], &shared[atom_idx], ctx).unwrap()
             })
             .collect();
         (tree, rels)
@@ -79,31 +88,31 @@ mod tests {
     #[test]
     fn dangling_tuples_removed() {
         // R(x,z) ⋈ S(z,y): R's (5,99) has no partner and must go.
+        let ctx = EvalContext::new();
         let (tree, mut rels) = setup(
             "Q(x, y) <- R(x, z), S(z, y)",
             &[
                 Relation::from_pairs([(1, 2), (5, 99)]),
                 Relation::from_pairs([(2, 3)]),
             ],
+            &ctx,
         );
         assert!(full_reduce(&tree, &mut rels));
-        let r_node = tree
-            .nodes()
-            .iter()
-            .position(|n| n.atom == Some(0))
-            .unwrap();
+        let r_node = tree.nodes().iter().position(|n| n.atom == Some(0)).unwrap();
         assert_eq!(rels[r_node].rel.len(), 1);
-        assert_eq!(rels[r_node].rel.row(0), iv(&[1, 2]).as_slice());
+        assert_eq!(decoded_row(&rels[r_node], &ctx, 0), iv(&[1, 2]));
     }
 
     #[test]
     fn unsatisfiable_join_reports_false() {
+        let ctx = EvalContext::new();
         let (tree, mut rels) = setup(
             "Q(x, y) <- R(x, z), S(z, y)",
             &[
                 Relation::from_pairs([(1, 2)]),
                 Relation::from_pairs([(7, 3)]),
             ],
+            &ctx,
         );
         assert!(!full_reduce(&tree, &mut rels));
     }
@@ -111,6 +120,7 @@ mod tests {
     #[test]
     fn three_hop_path_consistency() {
         // R(x,a) ⋈ S(a,b) ⋈ T(b,y); only the 1-2-3-4 chain survives.
+        let ctx = EvalContext::new();
         let (tree, mut rels) = setup(
             "Q(x, y) <- R(x, a), S(a, b), T(b, y)",
             &[
@@ -118,6 +128,7 @@ mod tests {
                 Relation::from_pairs([(2, 3), (8, 8)]),
                 Relation::from_pairs([(3, 4)]),
             ],
+            &ctx,
         );
         assert!(full_reduce(&tree, &mut rels));
         for nr in &rels {
@@ -129,6 +140,7 @@ mod tests {
     fn global_consistency_after_both_passes() {
         // Star join: middle node must agree with both leaves, and leaves
         // must be trimmed against the middle *after* it was trimmed.
+        let ctx = EvalContext::new();
         let (tree, mut rels) = setup(
             "Q(x, y, z) <- M(x, y, z), A(x), B(y)",
             &[
@@ -141,37 +153,29 @@ mod tests {
                 Relation::from_rows(1, [iv(&[1])].iter().map(|r| r.as_slice())),
                 Relation::from_rows(1, [iv(&[2]), iv(&[5])].iter().map(|r| r.as_slice())),
             ],
+            &ctx,
         );
         assert!(full_reduce(&tree, &mut rels));
         // Surviving M rows: (1,2,3) and (1,5,6).
-        let m = tree
-            .nodes()
-            .iter()
-            .position(|n| n.atom == Some(0))
-            .unwrap();
+        let m = tree.nodes().iter().position(|n| n.atom == Some(0)).unwrap();
         assert_eq!(rels[m].rel.len(), 2);
         // B keeps both 2 and 5; A keeps only 1.
-        let a = tree
-            .nodes()
-            .iter()
-            .position(|n| n.atom == Some(1))
-            .unwrap();
+        let a = tree.nodes().iter().position(|n| n.atom == Some(1)).unwrap();
         assert_eq!(rels[a].rel.len(), 1);
     }
 
     #[test]
     fn separator_is_intersection() {
+        let ctx = EvalContext::new();
         let (tree, _) = setup(
             "Q(x, y) <- R(x, z), S(z, y)",
             &[Relation::new(2), Relation::new(2)],
+            &ctx,
         );
         for n in 0..tree.len() {
             if let Some(p) = tree.parent(n) {
                 let sep = tree.separator(n);
-                assert_eq!(
-                    sep,
-                    tree.nodes()[n].vars.inter(tree.nodes()[p].vars)
-                );
+                assert_eq!(sep, tree.nodes()[n].vars.inter(tree.nodes()[p].vars));
                 assert_eq!(sep, VSet::singleton(2)); // z
             }
         }

@@ -17,7 +17,10 @@ struct RandomQuery {
 fn arb_query() -> impl Strategy<Value = RandomQuery> {
     // 1..4 atoms, each over 1..3 variables out of six.
     let atom = proptest::collection::vec(0..6u32, 1..=3);
-    (proptest::collection::vec(atom, 1..=4), proptest::collection::vec(proptest::bool::ANY, 6))
+    (
+        proptest::collection::vec(atom, 1..=4),
+        proptest::collection::vec(proptest::bool::ANY, 6),
+    )
         .prop_filter_map("valid query", |(atoms, head_bits)| {
             let var_names = ["a", "b", "c", "d", "e", "f"];
             let used: HashSet<u32> = atoms.iter().flatten().copied().collect();
@@ -39,7 +42,9 @@ fn arb_query() -> impl Strategy<Value = RandomQuery> {
                 .iter()
                 .map(|(n, a)| (n.as_str(), a.as_slice()))
                 .collect();
-            Cq::build("Q", &head, &atom_refs).ok().map(|cq| RandomQuery { cq })
+            Cq::build("Q", &head, &atom_refs)
+                .ok()
+                .map(|cq| RandomQuery { cq })
         })
 }
 
@@ -53,10 +58,7 @@ fn arb_instance(cq: &Cq) -> impl Strategy<Value = Instance> {
         .collect();
     let mut strategies = Vec::new();
     for (name, arity) in specs {
-        let rows = proptest::collection::vec(
-            proptest::collection::vec(0i64..4, arity),
-            0..16,
-        );
+        let rows = proptest::collection::vec(proptest::collection::vec(0i64..4, arity), 0..16);
         strategies.push(rows.prop_map(move |rows| {
             let mut rel = Relation::new(arity);
             for row in &rows {

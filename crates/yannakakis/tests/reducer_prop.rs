@@ -4,9 +4,10 @@
 
 use proptest::prelude::*;
 use std::collections::HashSet;
+use std::sync::Arc;
 use ucq_hypergraph::join_tree;
 use ucq_query::Cq;
-use ucq_storage::{Instance, Relation, Tuple, Value};
+use ucq_storage::{EvalContext, Instance, Relation, Tuple, Value};
 use ucq_yannakakis::{evaluate_cq_naive, full_reduce, NodeRel};
 
 const VARS: [&str; 6] = ["a", "b", "c", "d", "e", "f"];
@@ -43,8 +44,7 @@ fn arb_instance(cq: &Cq) -> impl Strategy<Value = Instance> {
         .collect();
     let mut strategies = Vec::new();
     for (name, arity) in specs {
-        let rows =
-            proptest::collection::vec(proptest::collection::vec(0i64..4, arity), 0..12);
+        let rows = proptest::collection::vec(proptest::collection::vec(0i64..4, arity), 0..12);
         strategies.push(rows.prop_map(move |rows| {
             let mut rel = Relation::new(arity);
             for row in &rows {
@@ -57,7 +57,11 @@ fn arb_instance(cq: &Cq) -> impl Strategy<Value = Instance> {
     strategies.prop_map(|pairs| pairs.into_iter().collect())
 }
 
-fn node_rels(cq: &Cq, inst: &Instance) -> (ucq_hypergraph::JoinTree, Vec<NodeRel>) {
+fn node_rels(
+    cq: &Cq,
+    inst: &Instance,
+    ctx: &EvalContext,
+) -> (ucq_hypergraph::JoinTree, Vec<NodeRel>) {
     let tree = join_tree(&cq.hypergraph()).expect("acyclic");
     let rels = tree
         .nodes()
@@ -65,13 +69,19 @@ fn node_rels(cq: &Cq, inst: &Instance) -> (ucq_hypergraph::JoinTree, Vec<NodeRel
         .map(|n| {
             let atom = &cq.atoms()[n.atom.expect("plain tree")];
             let stored = inst
-                .get(&atom.rel)
-                .cloned()
-                .unwrap_or_else(|| Relation::new(atom.args.len()));
-            NodeRel::from_atom(atom, &stored).expect("schema ok")
+                .get_shared(&atom.rel)
+                .unwrap_or_else(|| Arc::new(Relation::new(atom.args.len())));
+            NodeRel::from_atom(atom, &stored, ctx).expect("schema ok")
         })
         .collect();
     (tree, rels)
+}
+
+/// Decodes one row of a node relation back to values.
+fn decoded_row(nr: &NodeRel, ctx: &EvalContext, row: usize) -> Vec<Value> {
+    (0..nr.rel.arity())
+        .map(|c| ctx.decode(nr.rel.at(row, c)))
+        .collect()
 }
 
 proptest! {
@@ -83,7 +93,8 @@ proptest! {
     fn full_reducer_is_idempotent((cq, inst) in arb_acyclic_cq()
         .prop_flat_map(|cq| { let i = arb_instance(&cq); (Just(cq), i) }))
     {
-        let (tree, mut rels) = node_rels(&cq, &inst);
+        let ctx = EvalContext::new();
+        let (tree, mut rels) = node_rels(&cq, &inst, &ctx);
         full_reduce(&tree, &mut rels);
         let snapshot: Vec<usize> = rels.iter().map(|r| r.rel.len()).collect();
         full_reduce(&tree, &mut rels);
@@ -99,7 +110,8 @@ proptest! {
         let before: HashSet<Tuple> =
             evaluate_cq_naive(&cq, &inst).unwrap().into_iter().collect();
         // Build a reduced instance and re-evaluate naively over it.
-        let (tree, mut rels) = node_rels(&cq, &inst);
+        let ctx = EvalContext::new();
+        let (tree, mut rels) = node_rels(&cq, &inst, &ctx);
         full_reduce(&tree, &mut rels);
         let mut reduced = Instance::new();
         for (node, nr) in tree.nodes().iter().zip(&rels) {
@@ -107,7 +119,8 @@ proptest! {
             // Rebuild the relation in the atom's argument order.
             let mut rel = Relation::with_capacity(atom.args.len(), nr.rel.len());
             let mut buf: Vec<Value> = Vec::with_capacity(atom.args.len());
-            for row in nr.rel.iter_rows() {
+            for r in 0..nr.rel.len() {
+                let row = decoded_row(nr, &ctx, r);
                 buf.clear();
                 for &v in &atom.args {
                     let col = nr.col_of(v).expect("atom var");
@@ -129,7 +142,8 @@ proptest! {
     fn no_dangling_tuples_after_reduction((cq, inst) in arb_acyclic_cq()
         .prop_flat_map(|cq| { let i = arb_instance(&cq); (Just(cq), i) }))
     {
-        let (tree, mut rels) = node_rels(&cq, &inst);
+        let ctx = EvalContext::new();
+        let (tree, mut rels) = node_rels(&cq, &inst, &ctx);
         let nonempty = full_reduce(&tree, &mut rels);
         // Full-head query so the join result determines all variables.
         let full = cq.with_head(
@@ -139,7 +153,8 @@ proptest! {
         prop_assert_eq!(nonempty, !results.is_empty());
         for (node, nr) in tree.nodes().iter().zip(&rels) {
             let atom = &cq.atoms()[node.atom.expect("plain tree")];
-            for row in nr.rel.iter_rows().take(16) {
+            for r in 0..nr.rel.len().min(16) {
+                let row = decoded_row(nr, &ctx, r);
                 // Does some full result agree with this tuple?
                 let participates = results.iter().any(|res| {
                     nr.vars.iter().enumerate().all(|(col, &v)| {

@@ -10,8 +10,8 @@ use ucq::workloads::{catalog, PaperVerdict};
 
 fn main() {
     println!(
-        "{:<16} {:<26} {:<14} {:<22} {}",
-        "id", "paper ref", "paper verdict", "classifier", "detail"
+        "{:<16} {:<26} {:<14} {:<22} detail",
+        "id", "paper ref", "paper verdict", "classifier"
     );
     println!("{}", "-".repeat(100));
     for entry in catalog() {

@@ -28,9 +28,8 @@ fn main() {
 
         // Naive baseline: everything is preprocessing, enumeration is a
         // vector drain.
-        let (nv, nprof) = measure(|| {
-            VecEnumerator::new(engine.enumerate_naive(&inst).expect("naive"))
-        });
+        let (nv, nprof) =
+            measure(|| VecEnumerator::new(engine.enumerate_naive(&inst).expect("naive")));
         assert_eq!(
             answers.len(),
             nv.len(),

@@ -44,8 +44,7 @@ fn main() {
     }
 
     // A violating instance is rejected up front.
-    let bad: Instance =
-        ucq::storage::parse_instance("A(1, 10). A(1, 11). B(10, 5).").unwrap();
+    let bad: Instance = ucq::storage::parse_instance("A(1, 10). A(1, 11). B(10, 5).").unwrap();
     match engine.enumerate(&bad) {
         Err(e) => println!("\nViolating instance rejected: {e}"),
         Ok(_) => unreachable!("the FD check must fire"),

@@ -30,7 +30,10 @@ fn main() {
         let t_ex20 = t0.elapsed();
 
         assert_eq!(direct, via_pi, "Π route must reproduce the product");
-        assert_eq!(direct, via_ex20, "Example 20 route must reproduce the product");
+        assert_eq!(
+            direct, via_ex20,
+            "Example 20 route must reproduce the product"
+        );
         println!(
             "{:>5} {:>9} {:>12?} {:>14?} {:>16?}",
             n,

@@ -32,7 +32,10 @@ fn main() {
         );
     }
     for (i, chosen) in plan.chosen.iter().enumerate() {
-        println!("  member {i} evaluates with {} virtual atom(s)", chosen.len());
+        println!(
+            "  member {i} evaluates with {} virtual atom(s)",
+            chosen.len()
+        );
     }
 
     let engine = UcqEngine::new(entry.ucq.clone());

@@ -30,6 +30,13 @@
 //! let mut answers = engine.enumerate(&instance).unwrap();
 //! let all = answers.collect_all();
 //! assert!(!all.is_empty());
+//!
+//! // Serving repeated queries: a session pins the instance and reuses the
+//! // linear preprocessing (interned storage, indexes, member engines).
+//! let session = engine.session(&instance);
+//! for _ in 0..3 {
+//!     assert_eq!(session.enumerate().unwrap().collect_all(), all);
+//! }
 //! ```
 //!
 //! The workspace crates are re-exported here:
@@ -57,12 +64,12 @@ pub use ucq_yannakakis as yannakakis;
 /// The names most programs need.
 pub mod prelude {
     pub use ucq_core::{
-        classify, Classification, CqStatus, Fd, FdSet, FdUcqEngine, HardnessWitness,
+        classify, Classification, CqStatus, EvalSession, Fd, FdSet, FdUcqEngine, HardnessWitness,
         Hypothesis, SearchConfig, Strategy, UcqEngine, Verdict,
     };
     pub use ucq_enumerate::{measure, DelayProfile, Enumerator};
     pub use ucq_query::{parse_cq, parse_ucq, Cq, Ucq};
-    pub use ucq_storage::{Instance, Relation, Tuple, Value};
+    pub use ucq_storage::{Dictionary, EvalContext, Instance, Relation, Tuple, Value, ValueId};
 }
 
 #[cfg(test)]

@@ -3,9 +3,8 @@
 //! across a spread of random inputs.
 
 use ucq::reductions::{
-    bmm_via_cq, bmm_via_example20, has_4clique_via_example22,
-    has_4clique_via_example31, has_4clique_via_example39,
-    has_triangle_via_example18, BoolMat, Graph,
+    bmm_via_cq, bmm_via_example20, has_4clique_via_example22, has_4clique_via_example31,
+    has_4clique_via_example39, has_triangle_via_example18, BoolMat, Graph,
 };
 
 #[test]
