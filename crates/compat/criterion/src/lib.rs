@@ -170,6 +170,18 @@ fn run_one<F: FnMut(&mut Bencher)>(
     measurement_time: Duration,
     f: &mut F,
 ) {
+    // Quick mode (CRITERION_QUICK=1): clamp the sampling plan so a full
+    // bench binary finishes in seconds — the CI bench-smoke job uses this
+    // to catch probe-path regressions on PRs without paying for full
+    // statistical precision.
+    let (sample_size, measurement_time) = if quick_mode() {
+        (
+            sample_size.min(3),
+            measurement_time.min(Duration::from_millis(300)),
+        )
+    } else {
+        (sample_size, measurement_time)
+    };
     // Calibrate: run single iterations until ~5ms or 10 runs to pick an
     // iteration count per sample.
     let mut b = Bencher {
@@ -243,6 +255,10 @@ fn run_one<F: FnMut(&mut Bencher)>(
             }
         }
     }
+}
+
+fn quick_mode() -> bool {
+    std::env::var("CRITERION_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
 }
 
 fn escape(s: &str) -> String {

@@ -20,8 +20,12 @@
 use crate::plan::PlannedAtom;
 use std::sync::Arc;
 use ucq_query::{Atom, Ucq, VarId};
-use ucq_storage::{EvalContext, Relation, RowSet, Tuple, Value};
+use ucq_storage::{EvalContext, IdRel, IdSet, Relation, Tuple, ValueId};
 use ucq_yannakakis::{CdyEngine, EvalError};
+
+/// Connex bindings extended (and translated) per block; see
+/// [`CdyEngine::extend_full_block`].
+const EXTEND_BLOCK: usize = 1024;
 
 /// The outcome of materializing one virtual atom.
 #[derive(Debug)]
@@ -99,33 +103,63 @@ pub fn materialize_atom_in(
         })
         .collect();
 
-    let mut relation = Relation::new(atom.vars.len() as usize);
-    let mut seen = RowSet::default();
-    let mut provider_answers = Vec::new();
-    let mut row: Vec<Value> = Vec::with_capacity(preimages.len());
+    // The materialization loop runs entirely on interned ids, block-wise:
+    // pull a block of connex bindings, extend them all to full
+    // homomorphisms in one bulk-probe sweep per tree node, then emit and
+    // translate. The provider answers and the virtual relation are decoded
+    // at the very end, once per distinct row.
+    let w = eng.n_vars() as usize;
+    let mut relation_ids = IdRel::new(atom.vars.len() as usize);
+    let mut seen = IdSet::new();
+    let mut provider_ids: Vec<ValueId> = Vec::new();
+    let mut row: Vec<ValueId> = Vec::with_capacity(preimages.len());
     let head = provider.head().to_vec();
 
     let mut it = eng.iter();
-    while let Some((_s_tuple, binding)) = it.next_with_full_binding() {
-        // Emit the provider answer μ|free(Q_j).
-        provider_answers.push(Tuple(head.iter().map(|&v| binding[v as usize]).collect()));
-        // Translate through h⁻¹.
-        row.clear();
-        let mut consistent = true;
-        for pre in &preimages {
-            let val = binding[pre[0] as usize];
-            if pre[1..].iter().any(|&v2| binding[v2 as usize] != val) {
-                consistent = false;
-                break;
-            }
-            row.push(val);
+    let mut block: Vec<ValueId> = Vec::with_capacity(EXTEND_BLOCK * w);
+    let mut n_answers = 0usize;
+    loop {
+        block.clear();
+        let mut pulled = 0usize;
+        while pulled < EXTEND_BLOCK && it.next_binding_into(&mut block) {
+            pulled += 1;
         }
-        if consistent && seen.insert(&row) {
-            relation.push_row(&row);
+        if pulled == 0 {
+            break;
+        }
+        n_answers += pulled;
+        eng.extend_full_block(&mut block);
+        for b in 0..pulled {
+            let binding = &block[b * w..(b + 1) * w];
+            // Emit the provider answer μ|free(Q_j).
+            provider_ids.extend(head.iter().map(|&v| binding[v as usize]));
+            // Translate through h⁻¹.
+            row.clear();
+            let mut consistent = true;
+            for pre in &preimages {
+                let val = binding[pre[0] as usize];
+                if pre[1..].iter().any(|&v2| binding[v2 as usize] != val) {
+                    consistent = false;
+                    break;
+                }
+                row.push(val);
+            }
+            if consistent && seen.insert(&row) {
+                relation_ids.push_row(&row);
+            }
+        }
+        if pulled < EXTEND_BLOCK {
+            break;
         }
     }
+    let provider_answers = if head.is_empty() {
+        // Boolean provider: one empty tuple per emitted answer.
+        vec![Tuple::empty(); n_answers]
+    } else {
+        ctx.decode_rows(head.len(), &provider_ids)
+    };
     Ok(Materialized {
-        relation,
+        relation: ctx.decode_rel(&relation_ids),
         provider_answers,
     })
 }

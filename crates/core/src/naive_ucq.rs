@@ -2,11 +2,15 @@
 //! global deduplication. Works for any UCQ (the fallback for queries the
 //! classifier marks intractable or unknown) and serves as ground truth in
 //! tests and as the baseline in benchmarks.
+//!
+//! Members are evaluated on the id layer (the batched-probe join of
+//! [`evaluate_cq_naive_ids_in`]) and the union dedups flat id rows —
+//! answers are decoded to value [`Tuple`]s exactly once, at the boundary.
 
 use std::collections::HashSet;
 use ucq_query::Ucq;
-use ucq_storage::{EvalContext, Instance, Tuple};
-use ucq_yannakakis::{evaluate_cq_naive_in, EvalError};
+use ucq_storage::{EvalContext, FastSet, InlineKey, Instance, Tuple, ValueId};
+use ucq_yannakakis::{evaluate_cq_naive_ids_in, EvalError};
 
 /// Evaluates `Q(I)` by materializing every member and deduplicating. All
 /// members share one [`EvalContext`], so atoms with equal shapes over the
@@ -22,16 +26,25 @@ pub fn evaluate_ucq_naive_in(
     instance: &Instance,
     ctx: &EvalContext,
 ) -> Result<Vec<Tuple>, EvalError> {
-    let mut seen: HashSet<Tuple> = HashSet::new();
-    let mut out = Vec::new();
+    let mut seen: FastSet<InlineKey> = FastSet::default();
+    let mut width = 0usize;
+    let mut union: Vec<ValueId> = Vec::new();
+    let mut n_rows = 0usize;
     for cq in ucq.cqs() {
-        for t in evaluate_cq_naive_in(cq, instance, ctx)? {
-            if seen.insert(t.clone()) {
-                out.push(t);
+        let member = evaluate_cq_naive_ids_in(cq, instance, ctx)?;
+        width = member.width;
+        for row in member.rows() {
+            if seen.insert(InlineKey::from_slice(row)) {
+                union.extend_from_slice(row);
+                n_rows += 1;
             }
         }
     }
-    Ok(out)
+    if width == 0 {
+        // Boolean union: at most the single empty answer survives dedup.
+        return Ok(vec![Tuple::empty(); n_rows]);
+    }
+    Ok(ctx.decode_rows(width, &union))
 }
 
 /// Evaluates into a set.

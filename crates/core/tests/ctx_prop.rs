@@ -114,6 +114,57 @@ fn ucq_and_instance() -> impl Strategy<Value = (Ucq, Instance)> {
     })
 }
 
+/// A value-level nested-loop oracle: enumerates every homomorphism by
+/// backtracking directly over the row-major [`Relation`]s — no interning,
+/// no indexes, no batched probes. This is the independent reference the
+/// CSR-index/batched-probe paths are checked against.
+fn value_level_cq(cq: &Cq, inst: &Instance, out: &mut HashSet<Tuple>) -> Result<(), ()> {
+    fn descend(
+        cq: &Cq,
+        inst: &Instance,
+        atom_idx: usize,
+        binding: &mut Vec<Option<Value>>,
+        out: &mut HashSet<Tuple>,
+    ) {
+        if atom_idx == cq.atoms().len() {
+            let row: Vec<Value> = cq
+                .head()
+                .iter()
+                .map(|&v| binding[v as usize].expect("safe heads are bound"))
+                .collect();
+            out.insert(Tuple::from_row(&row));
+            return;
+        }
+        let atom = &cq.atoms()[atom_idx];
+        let Some(rel) = inst.get(&atom.rel) else {
+            return; // missing relations are empty
+        };
+        'rows: for row in rel.iter_rows() {
+            let saved = binding.clone();
+            for (&v, &val) in atom.args.iter().zip(row) {
+                match binding[v as usize] {
+                    Some(bound) if bound != val => {
+                        *binding = saved;
+                        continue 'rows;
+                    }
+                    _ => binding[v as usize] = Some(val),
+                }
+            }
+            descend(cq, inst, atom_idx + 1, binding, out);
+            *binding = saved;
+        }
+    }
+    for atom in cq.atoms() {
+        match inst.get(&atom.rel) {
+            Some(rel) if rel.arity() != atom.args.len() => return Err(()),
+            _ => {}
+        }
+    }
+    let mut binding: Vec<Option<Value>> = vec![None; cq.n_vars() as usize];
+    descend(cq, inst, 0, &mut binding, out);
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(192))]
 
@@ -140,6 +191,34 @@ proptest! {
             "DelayClin streams are duplicate-free ({:?})", engine.strategy()
         );
         prop_assert_eq!(&got_set, &want, "strategy {:?}", engine.strategy());
+    }
+
+    /// The CSR-index/batched-probe paths equal the value-level nested-loop
+    /// oracle: `evaluate_ucq_naive` (flat-table join + `probe_batch`) and
+    /// the engine's chosen `DelayClin` strategy must both produce exactly
+    /// the oracle's answer set on random instances.
+    #[test]
+    fn csr_and_batched_probes_match_value_level_naive((u, inst) in ucq_and_instance()) {
+        let mut want: HashSet<Tuple> = HashSet::new();
+        let mut schema_ok = true;
+        for cq in u.cqs() {
+            if value_level_cq(cq, &inst, &mut want).is_err() {
+                schema_ok = false;
+                break;
+            }
+        }
+        let engine = UcqEngine::new(u.clone());
+        if !schema_ok {
+            // Arity clashes must surface as errors on the id paths too.
+            prop_assert!(ucq_core::evaluate_ucq_naive(&u, &inst).is_err());
+            return Ok(());
+        }
+        let got: HashSet<Tuple> =
+            ucq_core::evaluate_ucq_naive(&u, &inst).unwrap().into_iter().collect();
+        prop_assert_eq!(&got, &want, "batched naive vs value-level oracle");
+        let via_engine: HashSet<Tuple> =
+            engine.enumerate(&inst).unwrap().collect_all().into_iter().collect();
+        prop_assert_eq!(&via_engine, &want, "strategy {:?} vs oracle", engine.strategy());
     }
 
     /// Repeated session evaluations agree with the one-shot path.

@@ -16,9 +16,9 @@
 //! inner algorithm.
 
 use crate::enumerator::Enumerator;
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
-use ucq_storage::{EvalContext, InlineKey, RowSet, Tuple};
+use ucq_storage::{EvalContext, FastSet, InlineKey, RowSet, Tuple};
 
 /// Runtime counters of a [`Cheater`] run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -40,7 +40,7 @@ enum DedupSet {
     Values(RowSet),
     Interned {
         ctx: Arc<EvalContext>,
-        set: HashSet<InlineKey>,
+        set: FastSet<InlineKey>,
     },
 }
 
@@ -84,7 +84,7 @@ impl<E: Enumerator> Cheater<E> {
         let mut c = Cheater::new(inner, pump_budget);
         c.seen = DedupSet::Interned {
             ctx,
-            set: HashSet::new(),
+            set: FastSet::default(),
         };
         c
     }

@@ -25,6 +25,7 @@
 //! concurrent context is a planned follow-on (see ROADMAP "Open items").
 
 use crate::dictionary::{Dictionary, ValueId};
+use crate::hash::FastMap;
 use crate::idrel::IdRel;
 use crate::index::HashIndex;
 use crate::key::InlineKey;
@@ -32,7 +33,6 @@ use crate::relation::Relation;
 use crate::tuple::Tuple;
 use crate::value::Value;
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Cache-hit/miss counters (diagnostics; also used by tests to assert
@@ -65,7 +65,7 @@ type IndexEntry = (Arc<IdRel>, Arc<HashIndex>);
 /// session evaluations share one physical index.
 #[derive(Debug, Default)]
 pub struct IndexCache {
-    map: HashMap<IndexKey, IndexEntry>,
+    map: FastMap<IndexKey, IndexEntry>,
     hits: usize,
     builds: usize,
 }
@@ -101,10 +101,10 @@ struct Inner {
     dict: Dictionary,
     /// `Arc<Relation>` address → interned columnar mirror. The held `Arc`
     /// pins the address.
-    interned: HashMap<usize, (Arc<Relation>, Arc<IdRel>)>,
+    interned: FastMap<usize, (Arc<Relation>, Arc<IdRel>)>,
     /// `(Arc<Relation>` address, normalization signature) → derived
     /// relation. The base relation is pinned by `interned`.
-    derived: HashMap<(usize, Box<[u32]>), Arc<IdRel>>,
+    derived: FastMap<(usize, Box<[u32]>), Arc<IdRel>>,
     indexes: IndexCache,
     interned_hits: usize,
     interned_builds: usize,
@@ -153,6 +153,26 @@ impl EvalContext {
     pub fn decode_tuple<I: IntoIterator<Item = ValueId>>(&self, ids: I) -> Tuple {
         let inner = self.inner.borrow();
         Tuple(ids.into_iter().map(|id| inner.dict.value(id)).collect())
+    }
+
+    /// Decodes a flat run of id rows (`width` ids per row) into answer
+    /// [`Tuple`]s under a **single** dictionary borrow — the bulk analogue
+    /// of [`EvalContext::decode_tuple`] for materialized answer tables.
+    pub fn decode_rows(&self, width: usize, ids: &[ValueId]) -> Vec<Tuple> {
+        let inner = self.inner.borrow();
+        if width == 0 {
+            return vec![Tuple::empty(); ids.len()];
+        }
+        debug_assert_eq!(ids.len() % width, 0, "partial row in flat table");
+        ids.chunks_exact(width)
+            .map(|row| Tuple(row.iter().map(|&id| inner.dict.value(id)).collect()))
+            .collect()
+    }
+
+    /// Decodes an interned relation back to a row-major [`Relation`] under
+    /// a single dictionary borrow (answer-boundary only).
+    pub fn decode_rel(&self, rel: &IdRel) -> Relation {
+        rel.decode(&self.inner.borrow().dict)
     }
 
     /// Looks up every value of `row` into `out` (cleared first) without

@@ -10,8 +10,8 @@
 //! Id 0 is always `⊥` ([`Value::Bottom`]), so `ValueId::BOTTOM` doubles as
 //! the cheap "unbound" filler in enumeration bindings.
 
+use crate::hash::SeededFastMap;
 use crate::value::Value;
-use std::collections::HashMap;
 
 /// A dense interned value id. Ids are only meaningful relative to the
 /// [`Dictionary`] (equivalently, the [`EvalContext`](crate::EvalContext))
@@ -38,7 +38,7 @@ impl ValueId {
 /// relations and enumeration cursors reference values as plain `u32`s.
 #[derive(Clone, Debug)]
 pub struct Dictionary {
-    map: HashMap<Value, ValueId>,
+    map: SeededFastMap<Value, ValueId>,
     values: Vec<Value>,
 }
 
@@ -46,7 +46,7 @@ impl Dictionary {
     /// A dictionary holding only `⊥` (at [`ValueId::BOTTOM`]).
     pub fn new() -> Dictionary {
         let mut d = Dictionary {
-            map: HashMap::new(),
+            map: SeededFastMap::default(),
             values: Vec::new(),
         };
         let bottom = d.intern(Value::Bottom);

@@ -7,9 +7,12 @@
 //! row-major [`Relation`] stays the ingestion/API format.
 
 use crate::dictionary::{Dictionary, ValueId};
+use crate::hash::{fast_set_with_capacity, seeded_map_with_capacity, FastSet, SeededFastMap};
+use crate::index::HashIndex;
 use crate::key::InlineKey;
+use crate::par;
 use crate::relation::Relation;
-use std::collections::HashSet;
+use crate::value::Value;
 
 /// A relation of interned values in columnar layout.
 ///
@@ -42,8 +45,14 @@ impl IdRel {
     }
 
     /// Interns every value of `rel` into `dict` and lays the result out
-    /// column-wise. Row order is preserved.
+    /// column-wise. Row order is preserved. Relations above the parallel
+    /// row threshold intern through [`IdRel::from_relation_parallel`] when
+    /// worker threads are available.
     pub fn from_relation(rel: &Relation, dict: &mut Dictionary) -> IdRel {
+        let workers = par::workers_for(rel.len());
+        if workers > 1 && rel.arity() > 0 {
+            return IdRel::from_relation_parallel(rel, dict, workers);
+        }
         let mut out = IdRel::with_capacity(rel.arity(), rel.len());
         for row in rel.iter_rows() {
             for (c, &v) in row.iter().enumerate() {
@@ -52,6 +61,91 @@ impl IdRel {
             out.n_rows += 1;
         }
         out
+    }
+
+    /// Parallel interning over `std::thread::scope` workers.
+    ///
+    /// Each worker interns a contiguous row range against a *local*
+    /// dictionary (value → local code, first-seen order), so the expensive
+    /// per-cell hashing runs fully in parallel. The sequential merge then
+    /// interns only each worker's distinct values into `dict` (bounded by
+    /// the number of distinct values, not cells), and a final parallel pass
+    /// translates the local codes into global ids, writing disjoint row
+    /// ranges of the output columns. Row order is preserved, and ids for
+    /// values already known to `dict` are identical to the sequential path;
+    /// ids of *new* values may be assigned in a different (still
+    /// deterministic for a fixed worker count) order.
+    pub fn from_relation_parallel(rel: &Relation, dict: &mut Dictionary, workers: usize) -> IdRel {
+        let n = rel.len();
+        let arity = rel.arity();
+        let ranges = par::row_ranges(n, workers);
+
+        // Phase 1 (parallel): local dictionaries + locally-coded columns.
+        struct Local {
+            order: Vec<Value>,
+            codes: Vec<u32>, // row-major, arity ids per row
+        }
+        let locals: Vec<Local> = std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .map(|range| {
+                    let range = range.clone();
+                    scope.spawn(move || {
+                        // Seeded: these maps hash raw (untrusted) values.
+                        let mut map: SeededFastMap<Value, u32> =
+                            seeded_map_with_capacity(range.len().min(1 << 12));
+                        let mut order: Vec<Value> = Vec::new();
+                        let mut codes: Vec<u32> = Vec::with_capacity(range.len() * arity);
+                        for r in range {
+                            for &v in rel.row(r) {
+                                let code = *map.entry(v).or_insert_with(|| {
+                                    order.push(v);
+                                    (order.len() - 1) as u32
+                                });
+                                codes.push(code);
+                            }
+                        }
+                        Local { order, codes }
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        // Phase 2 (sequential): intern each worker's distinct values once.
+        let remaps: Vec<Vec<ValueId>> = locals
+            .iter()
+            .map(|l| l.order.iter().map(|&v| dict.intern(v)).collect())
+            .collect();
+
+        // Phase 3 (parallel): translate codes into the final columns,
+        // each worker writing its disjoint row range of every column.
+        let mut cols: Vec<Vec<ValueId>> = (0..arity).map(|_| vec![ValueId::BOTTOM; n]).collect();
+        {
+            let mut rest: Vec<&mut [ValueId]> = cols.iter_mut().map(|c| c.as_mut_slice()).collect();
+            let mut chunks: Vec<Vec<&mut [ValueId]>> = Vec::with_capacity(ranges.len());
+            for range in &ranges {
+                let mut mine = Vec::with_capacity(arity);
+                for slot in rest.iter_mut() {
+                    let (head, tail) = std::mem::take(slot).split_at_mut(range.len());
+                    *slot = tail;
+                    mine.push(head);
+                }
+                chunks.push(mine);
+            }
+            std::thread::scope(|scope| {
+                for ((local, remap), mut mine) in locals.iter().zip(&remaps).zip(chunks) {
+                    scope.spawn(move || {
+                        for (r, row) in local.codes.chunks_exact(arity).enumerate() {
+                            for (c, &code) in row.iter().enumerate() {
+                                mine[c][r] = remap[code as usize];
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        IdRel { n_rows: n, cols }
     }
 
     /// The arity (number of columns).
@@ -111,7 +205,7 @@ impl IdRel {
 
     /// Projects onto `cols` (by position), deduplicating rows.
     pub fn project_dedup(&self, cols: &[usize]) -> IdRel {
-        let mut seen: HashSet<InlineKey> = HashSet::with_capacity(self.n_rows);
+        let mut seen: FastSet<InlineKey> = fast_set_with_capacity(self.n_rows);
         let mut out = IdRel::new(cols.len());
         let mut buf: Vec<ValueId> = Vec::with_capacity(cols.len());
         for r in 0..self.n_rows {
@@ -156,12 +250,65 @@ impl IdRel {
         self.n_rows = write;
     }
 
+    /// Keeps only rows whose key-column projection has a match in `idx`
+    /// (the batched semijoin retain). Keys are gathered per block through
+    /// hoisted column accessors and probed in bulk via
+    /// [`HashIndex::probe_batch`]; `scratch` carries the key-run and
+    /// keep-mask buffers so repeated passes (the full reducer's sweeps)
+    /// reuse one set of allocations.
+    pub fn retain_rows_by_index(
+        &mut self,
+        key_cols: &[usize],
+        idx: &HashIndex,
+        scratch: &mut ProbeScratch,
+    ) {
+        assert!(
+            !key_cols.is_empty(),
+            "empty separators are a nonemptiness check, not a probe"
+        );
+        let n = self.n_rows;
+        let k = key_cols.len();
+        const BLOCK: usize = 1024;
+        scratch.keep.clear();
+        scratch.keep.resize(n, false);
+        {
+            // Hoisted column accessors: one slice per key column for the
+            // whole pass instead of a `cols[c][r]` double deref per cell.
+            let cols: Vec<&[ValueId]> = key_cols.iter().map(|&c| self.cols[c].as_slice()).collect();
+            for start in (0..n).step_by(BLOCK) {
+                let end = (start + BLOCK).min(n);
+                scratch.keys.clear();
+                for r in start..end {
+                    scratch.keys.extend(cols.iter().map(|c| c[r]));
+                }
+                for (i, rows) in idx.probe_batch(&scratch.keys, k) {
+                    scratch.keep[start + i] = !rows.is_empty();
+                }
+            }
+        }
+        let mut write = 0usize;
+        for read in 0..n {
+            if scratch.keep[read] {
+                if write != read {
+                    for col in self.cols.iter_mut() {
+                        col[write] = col[read];
+                    }
+                }
+                write += 1;
+            }
+        }
+        for col in self.cols.iter_mut() {
+            col.truncate(write);
+        }
+        self.n_rows = write;
+    }
+
     /// Deduplicates rows, preserving first-occurrence order.
     pub fn dedup_rows(&mut self) {
         if self.arity() == 0 || self.n_rows <= 1 {
             return;
         }
-        let mut seen: HashSet<InlineKey> = HashSet::with_capacity(self.n_rows);
+        let mut seen: FastSet<InlineKey> = fast_set_with_capacity(self.n_rows);
         let all: Vec<usize> = (0..self.arity()).collect();
         self.retain_rows_by_key(&all, |row| seen.insert(InlineKey::from_slice(row)));
     }
@@ -179,12 +326,21 @@ impl IdRel {
     }
 }
 
+/// Reusable buffers for [`IdRel::retain_rows_by_index`]: the gathered key
+/// run of the current block and the per-row keep mask. One scratch serves
+/// every semijoin pass of a reduction.
+#[derive(Clone, Debug, Default)]
+pub struct ProbeScratch {
+    keys: Vec<ValueId>,
+    keep: Vec<bool>,
+}
+
 /// A hash set of projected id rows: the id-side analogue of
 /// [`RowSet`](crate::RowSet), probed with borrowed `&[ValueId]` keys
 /// (allocation-free for keys up to [`InlineKey::INLINE`] ids).
 #[derive(Clone, Debug, Default)]
 pub struct IdSet {
-    set: HashSet<InlineKey>,
+    set: FastSet<InlineKey>,
 }
 
 impl IdSet {
@@ -193,9 +349,16 @@ impl IdSet {
         IdSet::default()
     }
 
+    /// An empty set preallocated for `cap` keys.
+    pub fn with_capacity(cap: usize) -> IdSet {
+        IdSet {
+            set: fast_set_with_capacity(cap),
+        }
+    }
+
     /// The projections of all rows of `rel` onto `cols`.
     pub fn build_projected(rel: &IdRel, cols: &[usize]) -> IdSet {
-        let mut set = HashSet::with_capacity(rel.len());
+        let mut set = fast_set_with_capacity(rel.len());
         let mut buf: Vec<ValueId> = Vec::with_capacity(cols.len());
         for r in 0..rel.len() {
             buf.clear();
@@ -304,6 +467,77 @@ mod tests {
         let (mut r, _) = rel_of_pairs(&[(1, 2), (3, 4), (1, 2)]);
         r.dedup_rows();
         assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn parallel_interning_matches_sequential_content() {
+        let mut rows: Vec<(i64, i64)> = Vec::new();
+        for i in 0..999i64 {
+            rows.push((i % 97, (i * 7) % 61));
+        }
+        let rel = Relation::from_pairs(rows.iter().copied());
+        let mut seq_dict = Dictionary::new();
+        let seq = IdRel::from_relation(&rel, &mut seq_dict);
+        for workers in [2usize, 3, 5] {
+            let mut par_dict = Dictionary::new();
+            let par = IdRel::from_relation_parallel(&rel, &mut par_dict, workers);
+            assert_eq!(par.len(), seq.len());
+            assert_eq!(par_dict.len(), seq_dict.len(), "same distinct values");
+            // Ids may differ between the two paths; decoded rows must not.
+            assert_eq!(par.decode(&par_dict), seq.decode(&seq_dict));
+        }
+    }
+
+    #[test]
+    fn parallel_interning_reuses_existing_ids() {
+        let rel = Relation::from_pairs([(1, 2), (3, 4), (1, 4)]);
+        let mut dict = Dictionary::new();
+        let known: Vec<ValueId> = [1i64, 2, 3, 4]
+            .iter()
+            .map(|&v| dict.intern(Value::Int(v)))
+            .collect();
+        let r = IdRel::from_relation_parallel(&rel, &mut dict, 2);
+        assert_eq!(r.at(0, 0), known[0]);
+        assert_eq!(r.at(2, 1), known[3]);
+        assert_eq!(dict.len(), 5, "no value re-interned under a new id");
+    }
+
+    #[test]
+    fn retain_by_index_matches_retain_by_key() {
+        let mut dict = Dictionary::new();
+        let left = Relation::from_pairs([(1, 10), (2, 20), (3, 30), (2, 40), (9, 50)]);
+        let mut a = IdRel::from_relation(&left, &mut dict);
+        let mut b = a.clone();
+        let right = IdRel::from_relation(&Relation::from_pairs([(2, 0), (3, 1)]), &mut dict);
+        let idx = HashIndex::build(&right, &[0]);
+        let mut scratch = ProbeScratch::default();
+        a.retain_rows_by_index(&[0], &idx, &mut scratch);
+        b.retain_rows_by_key(&[0], |k| !idx.get(k).is_empty());
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        // Scratch reuse across passes: a second retain on fresh data.
+        let mut c = IdRel::from_relation(&Relation::from_pairs([(3, 1), (4, 2)]), &mut dict);
+        c.retain_rows_by_index(&[0], &idx, &mut scratch);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn idset_capacity_paths_agree_on_duplicate_heavy_input() {
+        // 1000 rows, 3 distinct keys: preallocating `rel.len()` slots must
+        // not change observable behavior, only avoid growth rehashes.
+        let pairs: Vec<(i64, i64)> = (0..1000).map(|i| (i % 3, i % 3 + 10)).collect();
+        let (r, _) = rel_of_pairs(&pairs);
+        let s = IdSet::build_projected(&r, &[0]);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(&[r.at(0, 0)]));
+        assert!(!s.contains(&[r.at(0, 1)]));
+        let full = IdSet::build(&r);
+        assert_eq!(full.len(), 3, "duplicates collapse to distinct rows");
+        let mut manual = IdSet::with_capacity(r.len());
+        for i in 0..r.len() {
+            manual.insert(&[r.at(i, 0)]);
+        }
+        assert_eq!(manual.len(), s.len());
     }
 
     #[test]

@@ -1,57 +1,321 @@
-//! Hash indexes over relations.
+//! Hash indexes over relations, in CSR layout.
 //!
 //! The constant-delay enumeration phase relies on O(1) lookups of the rows
 //! matching a separator binding; [`HashIndex`] groups the row ids of an
-//! interned columnar relation ([`IdRel`]) by a key-column projection. Keys
-//! are [`InlineKey`]s — inline `[ValueId]` arrays — built once per row via
-//! a single `entry` pass (no double hashing, no per-row boxing for keys up
-//! to 4 columns), and probed with **borrowed** `&[ValueId]` slices, so the
-//! per-answer hot path never allocates.
+//! interned columnar relation ([`IdRel`]) by a key-column projection.
+//!
+//! # CSR layout
+//!
+//! Groups live in one flat arena instead of one `Vec` per key:
+//!
+//! ```text
+//!              key map (per shard): InlineKey -> gid
+//!                        |
+//!                        v
+//!   offsets:  [ 0 , 3 , 5 , 6 , ... , n_rows ]     (n_groups + 1)
+//!               |   |
+//!               v   v
+//!   row_ids:  [ 2 7 9 | 0 4 | 1 | ... ]            (n_rows)
+//!              '--g0--'
+//! ```
+//!
+//! `get(key)` resolves the group id through the key map and returns
+//! `&row_ids[offsets[g]..offsets[g+1]]` — a borrowed slice into the arena.
+//! A build does two scans of the relation in a count-then-fill scheme
+//! (scan 1 assigns group ids and counts; scan 2 scatters row ids through a
+//! running-offset cursor), touching two dense output allocations instead of
+//! one heap vector per distinct key. Row ids within a group stay in
+//! ascending row order.
+//!
+//! # Batched probes
+//!
+//! [`HashIndex::probe_batch`] probes a flat run of keys (`stride` ids per
+//! key) and yields `(probe_index, row_ids)` per key, memoizing consecutive
+//! duplicate keys so a *sorted* run hashes each distinct key once.
+//! Sortedness is an optimization, not a requirement: unsorted runs return
+//! exactly the same groups, just without the dedup savings. The join and
+//! semijoin inner loops gather key runs per block and probe in bulk, which
+//! keeps the key map and the arena hot in cache across a block instead of
+//! alternating with unrelated work per row.
+//!
+//! # Parallel builds
+//!
+//! Above [`par::PAR_ROW_THRESHOLD`](crate::par::PAR_ROW_THRESHOLD) rows
+//! (and when the machine has spare cores — see [`crate::par::workers_for`]),
+//! a build shards rows by key-hash range across `std::thread::scope`
+//! workers: rows are routed by the top bits of their key hash, each worker
+//! builds the CSR segment of its shard, and segments are merged by
+//! concatenation — group ids are shifted by a per-shard base and the shard
+//! key maps are kept (values rewritten in place), so the merge re-hashes
+//! nothing. Keys cannot straddle shards (equal keys hash equally), which is
+//! what makes the merge a concatenation; the same shard boundaries are the
+//! hand-out unit a future multi-threaded session will use.
+//!
+//! Keys are [`InlineKey`]s — inline `[ValueId]` arrays, no per-row boxing
+//! for keys up to 4 columns — and probes take **borrowed** `&[ValueId]`
+//! slices, so the per-answer hot path never allocates.
 //!
 //! [`RowSet`] is the value-level row set kept for answer-boundary dedup
 //! (e.g. the Cheater's Lemma compiler), where tuples are already decoded.
 
 use crate::dictionary::ValueId;
+use crate::hash::{fast_map_with_capacity, fx_hash_of, FastMap};
 use crate::idrel::IdRel;
 use crate::key::InlineKey;
+use crate::par;
 use crate::relation::Relation;
 use crate::value::Value;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
-/// Groups the rows of a relation by their projection onto `key_cols`.
+/// Groups the rows of a relation by their projection onto `key_cols`, in
+/// CSR layout (see the module docs).
 ///
 /// Groups carry stable integer ids so that enumeration cursors can be stored
 /// as plain `(group, position)` pairs without borrowing the index.
 #[derive(Clone, Debug)]
 pub struct HashIndex {
     key_cols: Vec<usize>,
-    map: HashMap<InlineKey, u32>,
-    groups: Vec<Vec<u32>>,
+    /// Key → group id, one map per build shard (exactly one for sequential
+    /// builds). Probes route by the top `shard_bits` of the key hash.
+    shards: Vec<FastMap<InlineKey, u32>>,
+    shard_bits: u32,
+    /// Group `g` occupies `row_ids[offsets[g]..offsets[g + 1]]`.
+    offsets: Vec<u32>,
+    /// The flat row-id arena, grouped by key, ascending within a group.
+    row_ids: Vec<u32>,
+}
+
+/// Map capacity heuristic: most indexed relations have far fewer distinct
+/// keys than rows; start at a quarter and let at most two growth steps
+/// absorb key-heavy inputs.
+#[inline]
+fn key_capacity_hint(rows: usize) -> usize {
+    rows / 4 + 16
 }
 
 impl HashIndex {
     /// Builds an index over `rel` keyed on `key_cols` (positions).
     ///
-    /// Single pass, one hash per row: the group id is resolved through
-    /// `entry`, and the key is only materialized (inline, no heap for ≤ 4
-    /// columns) when it is actually inserted.
+    /// Dispatches to the sharded parallel builder for relations above the
+    /// parallel row threshold when worker threads are available, and to the
+    /// sequential two-pass CSR builder otherwise (see the module docs).
     pub fn build(rel: &IdRel, key_cols: &[usize]) -> HashIndex {
-        let mut map: HashMap<InlineKey, u32> = HashMap::with_capacity(rel.len());
-        let mut groups: Vec<Vec<u32>> = Vec::new();
+        let workers = par::workers_for(rel.len());
+        if workers > 1 && !key_cols.is_empty() {
+            HashIndex::build_parallel(rel, key_cols, workers)
+        } else {
+            HashIndex::build_seq(rel, key_cols)
+        }
+    }
+
+    /// The sequential count-then-fill CSR build: scan 1 resolves each row's
+    /// group id (one hash per row) and counts group sizes; scan 2 scatters
+    /// row ids into the flat arena through running-offset cursors.
+    pub fn build_seq(rel: &IdRel, key_cols: &[usize]) -> HashIndex {
+        let n = rel.len();
+        let cols: Vec<&[ValueId]> = key_cols.iter().map(|&c| rel.col(c)).collect();
+        let mut map: FastMap<InlineKey, u32> = fast_map_with_capacity(key_capacity_hint(n));
+        let mut row_gids: Vec<u32> = Vec::with_capacity(n);
+        let mut counts: Vec<u32> = Vec::new();
         let mut buf: Vec<ValueId> = Vec::with_capacity(key_cols.len());
-        for i in 0..rel.len() {
+        for i in 0..n {
             buf.clear();
-            buf.extend(key_cols.iter().map(|&c| rel.col(c)[i]));
-            let gid = *map.entry(InlineKey::from_slice(&buf)).or_insert_with(|| {
-                groups.push(Vec::new());
-                (groups.len() - 1) as u32
-            });
-            groups[gid as usize].push(i as u32);
+            buf.extend(cols.iter().map(|c| c[i]));
+            // Probe borrowed first: the key is only materialized (inline, no
+            // heap for ≤ 4 columns) for the first row of each group.
+            let gid = match map.get(buf.as_slice()) {
+                Some(&g) => g,
+                None => {
+                    let g = counts.len() as u32;
+                    map.insert(InlineKey::from_slice(&buf), g);
+                    counts.push(0);
+                    g
+                }
+            };
+            counts[gid as usize] += 1;
+            row_gids.push(gid);
+        }
+        let (offsets, row_ids) = scatter_csr(&mut counts, &row_gids, 0);
+        HashIndex {
+            key_cols: key_cols.to_vec(),
+            shards: vec![map],
+            shard_bits: 0,
+            offsets,
+            row_ids,
+        }
+    }
+
+    /// The pre-CSR fallback builder, kept behind the same API: groups are
+    /// materialized as per-key vectors — with the key map preallocated via
+    /// the capacity heuristic and every group vector reserved from a first
+    /// counting pass — then flattened into the CSR arena. Equivalent output
+    /// to [`HashIndex::build_seq`] (asserted by tests); useful as a
+    /// reference when reviewing the CSR builders.
+    pub fn build_grouped(rel: &IdRel, key_cols: &[usize]) -> HashIndex {
+        let n = rel.len();
+        let cols: Vec<&[ValueId]> = key_cols.iter().map(|&c| rel.col(c)).collect();
+        let mut map: FastMap<InlineKey, u32> = fast_map_with_capacity(key_capacity_hint(n));
+        let mut counts: Vec<u32> = Vec::new();
+        let mut buf: Vec<ValueId> = Vec::with_capacity(key_cols.len());
+        // Counting pass: assign group ids and sizes.
+        for i in 0..n {
+            buf.clear();
+            buf.extend(cols.iter().map(|c| c[i]));
+            match map.get(buf.as_slice()) {
+                Some(&g) => counts[g as usize] += 1,
+                None => {
+                    map.insert(InlineKey::from_slice(&buf), counts.len() as u32);
+                    counts.push(1);
+                }
+            }
+        }
+        // Fill pass into exactly-reserved group vectors.
+        let mut groups: Vec<Vec<u32>> = counts
+            .iter()
+            .map(|&c| Vec::with_capacity(c as usize))
+            .collect();
+        for i in 0..n {
+            buf.clear();
+            buf.extend(cols.iter().map(|c| c[i]));
+            let g = map[buf.as_slice()];
+            groups[g as usize].push(i as u32);
+        }
+        // Flatten to the CSR arena.
+        let mut offsets: Vec<u32> = Vec::with_capacity(groups.len() + 1);
+        let mut row_ids: Vec<u32> = Vec::with_capacity(n);
+        offsets.push(0);
+        for g in &groups {
+            row_ids.extend_from_slice(g);
+            offsets.push(row_ids.len() as u32);
         }
         HashIndex {
             key_cols: key_cols.to_vec(),
-            map,
-            groups,
+            shards: vec![map],
+            shard_bits: 0,
+            offsets,
+            row_ids,
+        }
+    }
+
+    /// The sharded parallel build: rows are routed to `2^shard_bits` shards
+    /// by the top bits of their key hash, each shard builds its CSR segment
+    /// on a scoped worker thread, and segments merge by concatenation (group
+    /// ids shifted by a per-shard base; shard key maps kept as-is with their
+    /// values rewritten) — no key is re-hashed during the merge.
+    pub fn build_parallel(rel: &IdRel, key_cols: &[usize], workers: usize) -> HashIndex {
+        let n = rel.len();
+        // Shard count: the largest power of two *within* the worker bound,
+        // so neither build phase spawns more threads than `workers`.
+        let shard_bits = workers.max(2).ilog2();
+        let n_shards = 1usize << shard_bits;
+        let cols: Vec<&[ValueId]> = key_cols.iter().map(|&c| rel.col(c)).collect();
+
+        // Route rows to shards (parallel over contiguous row ranges; each
+        // worker returns one ascending row list per shard, so per-shard
+        // concatenation in worker order preserves ascending row order).
+        let ranges = par::row_ranges(n, workers);
+        let routed: Vec<Vec<Vec<u32>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .map(|range| {
+                    let range = range.clone();
+                    let cols = &cols;
+                    scope.spawn(move || {
+                        let mut out: Vec<Vec<u32>> = vec![Vec::new(); n_shards];
+                        let mut buf: Vec<ValueId> = Vec::with_capacity(cols.len());
+                        for i in range {
+                            buf.clear();
+                            buf.extend(cols.iter().map(|c| c[i]));
+                            let shard = (fx_hash_of(buf.as_slice()) >> (64 - shard_bits)) as usize;
+                            out[shard].push(i as u32);
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let shard_rows: Vec<Vec<u32>> = (0..n_shards)
+            .map(|s| {
+                let mut rows = Vec::with_capacity(routed.iter().map(|r| r[s].len()).sum());
+                for r in &routed {
+                    rows.extend_from_slice(&r[s]);
+                }
+                rows
+            })
+            .collect();
+
+        // Per-shard CSR builds (parallel over shards).
+        struct Segment {
+            map: FastMap<InlineKey, u32>,
+            offsets: Vec<u32>,
+            row_ids: Vec<u32>,
+        }
+        let mut segments: Vec<Segment> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shard_rows
+                .iter()
+                .map(|rows| {
+                    let cols = &cols;
+                    scope.spawn(move || {
+                        let mut map: FastMap<InlineKey, u32> =
+                            fast_map_with_capacity(key_capacity_hint(rows.len()));
+                        let mut row_gids: Vec<u32> = Vec::with_capacity(rows.len());
+                        let mut counts: Vec<u32> = Vec::new();
+                        let mut buf: Vec<ValueId> = Vec::with_capacity(cols.len());
+                        for &i in rows {
+                            buf.clear();
+                            buf.extend(cols.iter().map(|c| c[i as usize]));
+                            let gid = match map.get(buf.as_slice()) {
+                                Some(&g) => g,
+                                None => {
+                                    let g = counts.len() as u32;
+                                    map.insert(InlineKey::from_slice(&buf), g);
+                                    counts.push(0);
+                                    g
+                                }
+                            };
+                            counts[gid as usize] += 1;
+                            row_gids.push(gid);
+                        }
+                        let (offsets, local_ids) = scatter_csr(&mut counts, &row_gids, 0);
+                        // Local positions → global row ids.
+                        let row_ids = local_ids.iter().map(|&p| rows[p as usize]).collect();
+                        Segment {
+                            map,
+                            offsets,
+                            row_ids,
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        // Merge segments by concatenation: shift each shard's group ids by
+        // the running group base and its offsets by the running row base.
+        let mut offsets: Vec<u32> =
+            Vec::with_capacity(segments.iter().map(|s| s.map.len()).sum::<usize>() + 1);
+        let mut row_ids: Vec<u32> = Vec::with_capacity(n);
+        offsets.push(0);
+        let mut shards: Vec<FastMap<InlineKey, u32>> = Vec::with_capacity(n_shards);
+        for seg in &mut segments {
+            let gid_base = (offsets.len() - 1) as u32;
+            let row_base = row_ids.len() as u32;
+            offsets.extend(seg.offsets.iter().skip(1).map(|&o| o + row_base));
+            row_ids.extend_from_slice(&seg.row_ids);
+            if gid_base != 0 {
+                for g in seg.map.values_mut() {
+                    *g += gid_base;
+                }
+            }
+            shards.push(std::mem::take(&mut seg.map));
+        }
+        HashIndex {
+            key_cols: key_cols.to_vec(),
+            shards,
+            shard_bits,
+            offsets,
+            row_ids,
         }
     }
 
@@ -64,13 +328,19 @@ impl HashIndex {
     /// allocation.
     #[inline]
     pub fn gid_of(&self, key: &[ValueId]) -> Option<u32> {
-        self.map.get(key).copied()
+        let map = if self.shard_bits == 0 {
+            &self.shards[0]
+        } else {
+            &self.shards[(fx_hash_of(key) >> (64 - self.shard_bits)) as usize]
+        };
+        map.get(key).copied()
     }
 
     /// The row ids of a group.
     #[inline]
     pub fn group(&self, gid: u32) -> &[u32] {
-        &self.groups[gid as usize]
+        let g = gid as usize;
+        &self.row_ids[self.offsets[g] as usize..self.offsets[g + 1] as usize]
     }
 
     /// Row ids whose key equals `key`. Empty slice when absent. Borrowed
@@ -86,19 +356,108 @@ impl HashIndex {
     /// Whether any row matches `key`. Borrowed key — no allocation.
     #[inline]
     pub fn contains_key(&self, key: &[ValueId]) -> bool {
-        self.map.contains_key(key)
+        self.gid_of(key).is_some()
     }
 
     /// Number of distinct keys.
     pub fn n_keys(&self) -> usize {
-        self.map.len()
+        self.offsets.len() - 1
+    }
+
+    /// Probes a flat run of keys (`stride` ids per key; `keys.len()` must be
+    /// a multiple of `stride`) and yields `(probe_index, row_ids)` for every
+    /// key in run order, with an empty slice for absent keys.
+    ///
+    /// Consecutive equal keys are resolved without re-hashing (a slice
+    /// compare replaces the hash + map probe), so sorted runs pay one lookup
+    /// per distinct key. Sortedness is **not** required for correctness.
+    /// `stride` must be non-zero and equal to the key width of the index;
+    /// nullary-key indexes are probed with [`HashIndex::get`]`(&[])`.
+    pub fn probe_batch<'k>(&self, keys: &'k [ValueId], stride: usize) -> ProbeBatch<'_, 'k> {
+        assert!(stride > 0, "probe_batch requires a non-empty key stride");
+        assert_eq!(
+            stride,
+            self.key_cols.len(),
+            "stride must match the index key width"
+        );
+        assert_eq!(keys.len() % stride, 0, "partial key in probe run");
+        ProbeBatch {
+            idx: self,
+            keys,
+            stride,
+            pos: 0,
+            last: None,
+        }
     }
 
     /// Iterates over `(key, row ids)` groups.
     pub fn iter(&self) -> impl Iterator<Item = (&[ValueId], &[u32])> {
-        self.map
+        self.shards
             .iter()
-            .map(|(k, &g)| (k.as_slice(), self.groups[g as usize].as_slice()))
+            .flat_map(|m| m.iter())
+            .map(|(k, &g)| (k.as_slice(), self.group(g)))
+    }
+}
+
+/// Turns per-group `counts` and per-row group ids into `(offsets, row_ids)`
+/// by prefix-summing the counts (reused as scatter cursors) and scattering
+/// `base + i` for each row `i`. Row ids stay ascending within each group.
+fn scatter_csr(counts: &mut [u32], row_gids: &[u32], base: u32) -> (Vec<u32>, Vec<u32>) {
+    let mut offsets: Vec<u32> = Vec::with_capacity(counts.len() + 1);
+    offsets.push(0);
+    let mut acc = 0u32;
+    for c in counts.iter_mut() {
+        let start = acc;
+        acc += *c;
+        *c = start;
+        offsets.push(acc);
+    }
+    let mut row_ids = vec![0u32; row_gids.len()];
+    for (i, &g) in row_gids.iter().enumerate() {
+        let cursor = &mut counts[g as usize];
+        row_ids[*cursor as usize] = base + i as u32;
+        *cursor += 1;
+    }
+    (offsets, row_ids)
+}
+
+/// The iterator returned by [`HashIndex::probe_batch`].
+pub struct ProbeBatch<'a, 'k> {
+    idx: &'a HashIndex,
+    keys: &'k [ValueId],
+    stride: usize,
+    pos: usize,
+    /// The previous key and its resolved group — consecutive duplicates
+    /// skip the hash entirely.
+    last: Option<(&'k [ValueId], Option<u32>)>,
+}
+
+impl<'a> Iterator for ProbeBatch<'a, '_> {
+    type Item = (usize, &'a [u32]);
+
+    #[inline]
+    fn next(&mut self) -> Option<(usize, &'a [u32])> {
+        let start = self.pos * self.stride;
+        if start >= self.keys.len() {
+            return None;
+        }
+        let key = &self.keys[start..start + self.stride];
+        let gid = match self.last {
+            Some((prev, g)) if prev == key => g,
+            _ => {
+                let g = self.idx.gid_of(key);
+                self.last = Some((key, g));
+                g
+            }
+        };
+        let i = self.pos;
+        self.pos += 1;
+        Some((i, gid.map_or(&[], |g| self.idx.group(g))))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rest = self.keys.len() / self.stride - self.pos;
+        (rest, Some(rest))
     }
 }
 
@@ -112,9 +471,9 @@ pub struct RowSet {
 impl RowSet {
     /// Builds a set of all rows of `rel`.
     pub fn build(rel: &Relation) -> RowSet {
-        RowSet {
-            set: rel.iter_rows().map(Into::into).collect(),
-        }
+        let mut set = HashSet::with_capacity(rel.len());
+        set.extend(rel.iter_rows().map(Box::<[Value]>::from));
+        RowSet { set }
     }
 
     /// Builds a set of the projections of all rows of `rel` onto `cols`.
@@ -166,6 +525,26 @@ mod tests {
         (IdRel::from_relation(&rel, &mut dict), dict)
     }
 
+    /// A pseudo-random many-row relation with duplicate-heavy keys.
+    fn synthetic_rel(rows: usize, domain: u32) -> IdRel {
+        let mut rel = IdRel::new(2);
+        let mut x = 0x2545_f491u32;
+        for _ in 0..rows {
+            x ^= x << 13;
+            x ^= x >> 17;
+            x ^= x << 5;
+            rel.push_row(&[ValueId(x % domain), ValueId((x >> 8) % domain)]);
+        }
+        rel
+    }
+
+    fn assert_same_index(a: &HashIndex, b: &HashIndex) {
+        assert_eq!(a.n_keys(), b.n_keys());
+        for (key, rows) in a.iter() {
+            assert_eq!(b.get(key), rows, "group mismatch for {key:?}");
+        }
+    }
+
     #[test]
     fn index_groups_rows() {
         let (r, dict) = interned_pairs(&[(1, 10), (1, 20), (2, 30)]);
@@ -200,6 +579,79 @@ mod tests {
         let idx = HashIndex::build(&r, &[0]);
         let total: usize = idx.iter().map(|(_, rows)| rows.len()).sum();
         assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn grouped_fallback_matches_csr_build() {
+        let rel = synthetic_rel(2_000, 37);
+        for key_cols in [&[0usize][..], &[1], &[0, 1], &[1, 0]] {
+            let csr = HashIndex::build_seq(&rel, key_cols);
+            let grouped = HashIndex::build_grouped(&rel, key_cols);
+            assert_same_index(&csr, &grouped);
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        let rel = synthetic_rel(5_000, 101);
+        for workers in [2usize, 3, 4] {
+            let seq = HashIndex::build_seq(&rel, &[0]);
+            let par = HashIndex::build_parallel(&rel, &[0], workers);
+            assert_same_index(&seq, &par);
+            // Row order inside each group must stay ascending.
+            for (_, rows) in par.iter() {
+                assert!(rows.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_two_column_key() {
+        let rel = synthetic_rel(3_000, 11);
+        let seq = HashIndex::build_seq(&rel, &[0, 1]);
+        let par = HashIndex::build_parallel(&rel, &[0, 1], 4);
+        assert_same_index(&seq, &par);
+    }
+
+    #[test]
+    fn probe_batch_matches_repeated_get_on_sorted_run() {
+        let rel = synthetic_rel(1_000, 17);
+        let idx = HashIndex::build_seq(&rel, &[0]);
+        // A sorted run with duplicates and misses.
+        let mut keys: Vec<ValueId> = (0..40).map(|v| ValueId(v / 2)).collect();
+        keys.sort();
+        let batched: Vec<(usize, Vec<u32>)> = idx
+            .probe_batch(&keys, 1)
+            .map(|(i, rows)| (i, rows.to_vec()))
+            .collect();
+        assert_eq!(batched.len(), keys.len());
+        for (i, rows) in batched {
+            assert_eq!(rows.as_slice(), idx.get(&keys[i..=i]), "probe {i}");
+        }
+    }
+
+    #[test]
+    fn probe_batch_matches_repeated_get_on_unsorted_run() {
+        let rel = synthetic_rel(1_000, 17);
+        let idx = HashIndex::build_seq(&rel, &[0, 1]);
+        let mut keys: Vec<ValueId> = Vec::new();
+        let mut x = 7u32;
+        for _ in 0..64 {
+            x = x.wrapping_mul(2654435761).wrapping_add(1);
+            keys.push(ValueId(x % 17));
+            keys.push(ValueId((x >> 5) % 17));
+        }
+        for (i, rows) in idx.probe_batch(&keys, 2) {
+            assert_eq!(rows, idx.get(&keys[i * 2..i * 2 + 2]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn probe_batch_rejects_zero_stride() {
+        let (r, _) = interned_pairs(&[(1, 10)]);
+        let idx = HashIndex::build(&r, &[0]);
+        let _ = idx.probe_batch(&[], 0);
     }
 
     #[test]

@@ -15,10 +15,12 @@
 
 pub mod context;
 pub mod dictionary;
+pub mod hash;
 pub mod idrel;
 pub mod index;
 pub mod instance;
 pub mod key;
+pub mod par;
 pub mod relation;
 pub mod text;
 pub mod tuple;
@@ -26,8 +28,12 @@ pub mod value;
 
 pub use context::{ContextStats, EvalContext, IndexCache};
 pub use dictionary::{Dictionary, ValueId};
-pub use idrel::{IdRel, IdSet};
-pub use index::{HashIndex, RowSet};
+pub use hash::{
+    fast_map_with_capacity, fast_set_with_capacity, seeded_map_with_capacity, FastMap, FastSet,
+    FxBuildHasher, SeededFastMap, SeededFxBuildHasher,
+};
+pub use idrel::{IdRel, IdSet, ProbeScratch};
+pub use index::{HashIndex, ProbeBatch, RowSet};
 pub use instance::Instance;
 pub use key::InlineKey;
 pub use relation::Relation;

@@ -1,0 +1,93 @@
+//! Worker policy for parallel preprocessing.
+//!
+//! Preprocessing (interning, index builds) parallelizes by sharding rows
+//! across `std::thread::scope` workers — plain scoped threads, because the
+//! offline `crates/compat/` constraint rules out external thread pools.
+//! Spawning threads has a fixed cost (~tens of µs each), so the policy is:
+//!
+//! * relations below [`PAR_ROW_THRESHOLD`] rows always build
+//!   single-threaded — the sequential path is the common case and stays
+//!   allocation-lean;
+//! * above the threshold, up to [`max_workers`] threads are used, bounded
+//!   by `std::thread::available_parallelism` (so a single-core container
+//!   transparently falls back to the sequential path);
+//! * the `UCQ_PAR_THREADS` environment variable overrides the bound — set
+//!   it to `1` to force sequential builds, or to a larger value to exercise
+//!   the sharded code paths on machines where `available_parallelism` is 1
+//!   (this is how the test suite covers the parallel builders everywhere).
+
+use std::sync::OnceLock;
+
+/// Rows below this build single-threaded: sharding + spawn overhead only
+/// amortizes on relations where a full scan is itself significant.
+pub const PAR_ROW_THRESHOLD: usize = 1 << 14;
+
+/// Hard cap on preprocessing workers; beyond this the shard-merge phase
+/// starts to dominate on the relation sizes this workspace targets.
+const MAX_WORKERS_CAP: usize = 8;
+
+fn max_workers() -> usize {
+    static MAX: OnceLock<usize> = OnceLock::new();
+    *MAX.get_or_init(|| {
+        if let Ok(s) = std::env::var("UCQ_PAR_THREADS") {
+            if let Ok(n) = s.trim().parse::<usize>() {
+                return n.clamp(1, 64);
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(MAX_WORKERS_CAP)
+    })
+}
+
+/// The number of workers a build over `rows` rows should use. Returns `1`
+/// (sequential) below [`PAR_ROW_THRESHOLD`] or when the machine has no
+/// spare parallelism.
+#[inline]
+pub fn workers_for(rows: usize) -> usize {
+    if rows < PAR_ROW_THRESHOLD {
+        return 1;
+    }
+    let w = max_workers();
+    // Keep every worker busy with at least a threshold's worth of rows.
+    w.min(rows / (PAR_ROW_THRESHOLD / 2)).max(1)
+}
+
+/// Splits `n` items into `workers` contiguous ranges of near-equal size.
+pub fn row_ranges(n: usize, workers: usize) -> Vec<std::ops::Range<usize>> {
+    let workers = workers.max(1);
+    let chunk = n.div_ceil(workers).max(1);
+    (0..workers)
+        .map(|w| (w * chunk).min(n)..((w + 1) * chunk).min(n))
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_relations_are_sequential() {
+        assert_eq!(workers_for(0), 1);
+        assert_eq!(workers_for(PAR_ROW_THRESHOLD - 1), 1);
+    }
+
+    #[test]
+    fn ranges_cover_exactly() {
+        for n in [0usize, 1, 7, 100, 1001] {
+            for w in 1..6 {
+                let rs = row_ranges(n, w);
+                let mut covered = 0;
+                let mut next = 0;
+                for r in &rs {
+                    assert_eq!(r.start, next, "contiguous");
+                    covered += r.len();
+                    next = r.end;
+                }
+                assert_eq!(covered, n);
+            }
+        }
+    }
+}

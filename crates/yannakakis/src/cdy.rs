@@ -23,6 +23,7 @@
 
 use crate::noderel::NodeRel;
 use crate::reducer::full_reduce;
+use std::cell::OnceCell;
 use std::fmt;
 use std::sync::Arc;
 use ucq_hypergraph::{ext_s_connex_tree, ConnexTree, VSet};
@@ -68,10 +69,14 @@ pub struct CdyEngine {
     /// Per-node lookup index keyed on the separator with the parent
     /// (`None` only for the root).
     indexes: Vec<Option<HashIndex>>,
-    /// Separator variable sets per node.
-    seps: Vec<VSet>,
-    /// Membership sets for connex nodes.
-    row_sets: Vec<Option<IdSet>>,
+    /// Separators with the parent, as sorted variable-id lists (binding
+    /// positions) — precomputed so probes and block extension gather keys
+    /// without re-iterating bitsets or allocating.
+    sep_vars: Vec<Vec<u32>>,
+    /// Membership sets for connex nodes, built lazily on the first
+    /// [`CdyEngine::contains`] call — enumeration-only engines never pay
+    /// for them.
+    row_sets: Vec<OnceCell<IdSet>>,
     /// Row ids of the root (iterated in full).
     root_rows: Vec<u32>,
     /// Output spec: one variable per output position.
@@ -181,23 +186,20 @@ impl CdyEngine {
         // Lookup structures over the reduced relations.
         let order = ct.order_connex_first();
         let n_connex = ct.connex_nodes().len();
-        let mut seps = vec![VSet::EMPTY; n_nodes];
+        let mut sep_vars: Vec<Vec<u32>> = vec![Vec::new(); n_nodes];
         let mut indexes: Vec<Option<HashIndex>> = Vec::with_capacity(n_nodes);
         for i in 0..n_nodes {
             match ct.tree.parent(i) {
                 Some(_) => {
                     let sep = ct.tree.separator(i);
-                    seps[i] = sep;
+                    sep_vars[i] = sep.iter().collect();
                     let cols = rels[i].cols_of(sep);
                     indexes.push(Some(HashIndex::build(&rels[i].rel, &cols)));
                 }
                 None => indexes.push(None),
             }
         }
-        let mut row_sets: Vec<Option<IdSet>> = vec![None; n_nodes];
-        for &i in order[..n_connex].iter() {
-            row_sets[i] = Some(IdSet::build(&rels[i].rel));
-        }
+        let row_sets: Vec<OnceCell<IdSet>> = vec![OnceCell::new(); n_nodes];
         let root = ct.tree.root();
         let root_rows: Vec<u32> = (0..rels[root].rel.len() as u32).collect();
 
@@ -207,7 +209,7 @@ impl CdyEngine {
             n_connex,
             rels,
             indexes,
-            seps,
+            sep_vars,
             row_sets,
             root_rows,
             output,
@@ -292,15 +294,77 @@ impl CdyEngine {
                     None => unreachable!("T' variables are all in S"),
                 }
             }
-            if !self.row_sets[n]
-                .as_ref()
-                .expect("connex nodes have row sets")
-                .contains(&scratch.buf)
-            {
+            let rows = self.row_sets[n].get_or_init(|| IdSet::build(&self.rels[n].rel));
+            if !rows.contains(&scratch.buf) {
                 return false;
             }
         }
         true
+    }
+
+    /// Number of query variables (bindings are indexed by variable id).
+    pub fn n_vars(&self) -> u32 {
+        self.n_vars
+    }
+
+    /// Extends a block of connex bindings — `n_vars` ids per binding,
+    /// stored contiguously in `block` — to full homomorphisms in bulk: for
+    /// each non-connex node (in descend order), the whole block's separator
+    /// keys are gathered into one run and resolved through the node index
+    /// via [`HashIndex::probe_batch`], taking the first witness row per
+    /// binding. This is the batched form of the per-answer "extend once"
+    /// step (Lemma 8): per node, the index and its CSR arena stay hot for
+    /// the whole block, and consecutive bindings sharing a separator skip
+    /// the hash entirely.
+    pub fn extend_full_block(&self, block: &mut [ValueId]) {
+        let w = self.n_vars as usize;
+        if w == 0 || block.is_empty() {
+            return;
+        }
+        debug_assert_eq!(block.len() % w, 0, "partial binding in block");
+        let n = block.len() / w;
+        let mut keys: Vec<ValueId> = Vec::new();
+        let mut witnesses: Vec<u32> = Vec::new();
+        for d in self.n_connex..self.order.len() {
+            let node = self.order[d];
+            match &self.indexes[node] {
+                None => {
+                    // Root without a parent separator: one arbitrary witness.
+                    let row = self.root_rows[0];
+                    for b in 0..n {
+                        self.bind_row(node, row, &mut block[b * w..(b + 1) * w]);
+                    }
+                }
+                Some(idx) => {
+                    let sep_vars = &self.sep_vars[node];
+                    if sep_vars.is_empty() {
+                        // Disconnected witness node: same first row for all.
+                        let row = idx.get(&[])[0];
+                        for b in 0..n {
+                            self.bind_row(node, row, &mut block[b * w..(b + 1) * w]);
+                        }
+                        continue;
+                    }
+                    keys.clear();
+                    keys.reserve(n * sep_vars.len());
+                    for b in 0..n {
+                        let binding = &block[b * w..(b + 1) * w];
+                        keys.extend(sep_vars.iter().map(|&v| binding[v as usize]));
+                    }
+                    // Witness rows per binding, resolved in bulk. Collected
+                    // first: the probe borrows `keys` while `block` must be
+                    // rebound afterwards.
+                    witnesses.clear();
+                    witnesses.extend(idx.probe_batch(&keys, sep_vars.len()).map(|(_, rows)| {
+                        debug_assert!(!rows.is_empty(), "reducer guarantees witnesses");
+                        rows[0]
+                    }));
+                    for (b, &row) in witnesses.iter().enumerate() {
+                        self.bind_row(node, row, &mut block[b * w..(b + 1) * w]);
+                    }
+                }
+            }
+        }
     }
 
     /// Resolves the match slot (a stable cursor handle) for `node` under the
@@ -313,7 +377,7 @@ impl CdyEngine {
                 // Project the binding onto the separator (sorted var order
                 // matches the index key columns).
                 key_buf.clear();
-                key_buf.extend(self.seps[node].iter().map(|v| binding[v as usize]));
+                key_buf.extend(self.sep_vars[node].iter().map(|&v| binding[v as usize]));
                 idx.gid_of(key_buf).map(Slot::Group)
             }
         }
@@ -510,6 +574,20 @@ impl<'a> CdyIter<'a> {
             self.eng.project_output(&self.core.binding),
             self.eng.decode_binding(&self.core.binding),
         ))
+    }
+
+    /// Advances to the next answer and appends the raw *connex* binding
+    /// (`n_vars` ids, indexed by variable id; non-connex variables hold
+    /// stale ids) to `out`; returns `false` when exhausted. Blocks of
+    /// bindings gathered this way feed
+    /// [`CdyEngine::extend_full_block`] — the id-level bulk form of
+    /// [`CdyIter::next_with_full_binding`].
+    pub fn next_binding_into(&mut self, out: &mut Vec<ValueId>) -> bool {
+        if !self.core.advance(self.eng) {
+            return false;
+        }
+        out.extend_from_slice(&self.core.binding);
+        true
     }
 
     /// Drains the remaining answers into a vector.

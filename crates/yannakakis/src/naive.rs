@@ -6,6 +6,13 @@
 //! projecting the head and deduplicating. Works for *every* CQ, cyclic or
 //! not, at the cost of potentially super-linear intermediates.
 //!
+//! The accumulator is a flat row-major id table ([`IdTable`]): each join
+//! step gathers the key run of a block of bindings and probes the cached
+//! [`HashIndex`](ucq_storage::HashIndex) in bulk
+//! ([`probe_batch`](ucq_storage::HashIndex::probe_batch)), then copies
+//! matching bindings into the next flat table — no per-binding vector
+//! allocation, and the index stays hot in cache for a whole block.
+//!
 //! All data flows through the shared [`EvalContext`]: atom relations come
 //! from the normalized-relation cache and the per-join hash indexes from the
 //! [`IndexCache`](ucq_storage::IndexCache) — so evaluating the members of a
@@ -17,7 +24,33 @@ use crate::noderel::NodeRel;
 use std::collections::HashSet;
 use std::sync::Arc;
 use ucq_query::{Cq, VarId};
-use ucq_storage::{EvalContext, IdRel, InlineKey, Instance, Tuple, ValueId};
+use ucq_storage::{
+    fast_set_with_capacity, EvalContext, FastSet, IdRel, InlineKey, Instance, Tuple, ValueId,
+};
+
+/// Bindings gathered/probed per block in the join inner loop.
+const JOIN_BLOCK: usize = 2048;
+
+/// A flat, row-major table of interned rows: `width` ids per row,
+/// `data.len() == width * n_rows` (row count is tracked separately so
+/// nullary tables can hold the single empty row).
+#[derive(Clone, Debug, Default)]
+pub struct IdTable {
+    /// Ids per row.
+    pub width: usize,
+    /// Number of rows (authoritative; `data` is empty when `width == 0`).
+    pub n_rows: usize,
+    /// Row-major ids.
+    pub data: Vec<ValueId>,
+}
+
+impl IdTable {
+    /// Iterates over the rows as id slices (empty slices for width 0).
+    pub fn rows(&self) -> impl Iterator<Item = &[ValueId]> {
+        let width = self.width;
+        (0..self.n_rows).map(move |r| &self.data[r * width..(r + 1) * width])
+    }
+}
 
 /// Evaluates `Q(I)` naively with a private context, returning the
 /// deduplicated answers in unspecified order.
@@ -31,6 +64,22 @@ pub fn evaluate_cq_naive_in(
     instance: &Instance,
     ctx: &EvalContext,
 ) -> Result<Vec<Tuple>, EvalError> {
+    let ids = evaluate_cq_naive_ids_in(cq, instance, ctx)?;
+    if ids.width == 0 {
+        return Ok(vec![Tuple::empty(); ids.n_rows]);
+    }
+    Ok(ctx.decode_rows(ids.width, &ids.data))
+}
+
+/// Evaluates `Q(I)` naively on the id layer, returning the deduplicated
+/// head projections as a flat [`IdTable`] under `ctx`'s dictionary — the
+/// union evaluator dedups members on these ids and decodes once at the
+/// boundary.
+pub fn evaluate_cq_naive_ids_in(
+    cq: &Cq,
+    instance: &Instance,
+    ctx: &EvalContext,
+) -> Result<IdTable, EvalError> {
     // Normalize atoms through the context cache (validating every atom's
     // arity, like the CDY path does).
     let mut nodes: Vec<(Vec<VarId>, Arc<IdRel>)> = Vec::with_capacity(cq.atoms().len());
@@ -44,21 +93,29 @@ pub fn evaluate_cq_naive_in(
         };
         nodes.push(node);
     }
+    let head_width = cq.head().len();
     // Any empty relation forces an empty join. Bail out before touching
     // the index cache — this also keeps the per-call `Arc`s built for
     // missing relations (fresh address each call) from being pinned into
     // the session's caches forever.
     if !nodes.is_empty() && nodes.iter().any(|(_, rel)| rel.is_empty()) {
-        return Ok(Vec::new());
+        return Ok(IdTable {
+            width: head_width,
+            ..IdTable::default()
+        });
     }
     // Join order: prefer joining atoms connected to what we have; among
     // candidates pick the smallest relation.
     let mut remaining: Vec<usize> = (0..nodes.len()).collect();
     remaining.sort_by_key(|&i| nodes[i].1.len());
 
-    // Accumulated bindings over `acc_vars` (sorted var list).
+    // Accumulated bindings over `acc_vars` (sorted var list), flat.
     let mut acc_vars: Vec<VarId> = Vec::new();
-    let mut acc: Vec<Vec<ValueId>> = vec![Vec::new()]; // one empty binding
+    let mut acc = IdTable {
+        width: 0,
+        n_rows: 1, // one empty binding
+        data: Vec::new(),
+    };
 
     while !remaining.is_empty() {
         // Pick a connected atom if possible, else the smallest.
@@ -97,21 +154,68 @@ pub fn evaluate_cq_naive_in(
         // One cached index per (relation, key columns) — shared across the
         // members of a union and across repeated evaluations.
         let idx = ctx.index(node_rel, &node_key);
-        let mut next: Vec<Vec<ValueId>> = Vec::new();
-        let mut key_buf: Vec<ValueId> = Vec::with_capacity(acc_key.len());
-        for binding in &acc {
-            key_buf.clear();
-            key_buf.extend(acc_key.iter().map(|&p| binding[p]));
-            for &row_id in idx.get(&key_buf) {
-                let mut extended = binding.clone();
-                extended.extend(new_cols.iter().map(|&c| node_rel.col(c)[row_id as usize]));
-                next.push(extended);
+        let w = acc.width;
+        let new_w = w + new_cols.len();
+        let node_cols: Vec<&[ValueId]> = new_cols.iter().map(|&c| node_rel.col(c)).collect();
+        let mut out = Vec::new();
+        let mut out_rows = 0usize;
+
+        if node_key.is_empty() {
+            // No shared variables (first atom, cartesian step, or a
+            // nullary atom): every binding pairs with the single group.
+            let rows = idx.get(&[]);
+            out.reserve(acc.n_rows * rows.len() * new_w);
+            for r in 0..acc.n_rows {
+                let binding = &acc.data[r * w..(r + 1) * w];
+                for &rid in rows {
+                    out.extend_from_slice(binding);
+                    out.extend(node_cols.iter().map(|c| c[rid as usize]));
+                }
+            }
+            out_rows = acc.n_rows * rows.len();
+        } else {
+            // Batched probe: gather the key run of a block of bindings,
+            // resolve all groups in bulk, then copy the extensions.
+            let k = node_key.len();
+            let mut keys: Vec<ValueId> = Vec::with_capacity(JOIN_BLOCK * k);
+            let mut hits: Vec<(u32, &[u32])> = Vec::with_capacity(JOIN_BLOCK);
+            for start in (0..acc.n_rows).step_by(JOIN_BLOCK) {
+                let end = (start + JOIN_BLOCK).min(acc.n_rows);
+                keys.clear();
+                for r in start..end {
+                    keys.extend(acc_key.iter().map(|&p| acc.data[r * w + p]));
+                }
+                hits.clear();
+                let mut total = 0usize;
+                for (p, rows) in idx.probe_batch(&keys, k) {
+                    if !rows.is_empty() {
+                        total += rows.len();
+                        hits.push((p as u32, rows));
+                    }
+                }
+                out.reserve(total * new_w);
+                for &(p, rows) in &hits {
+                    let base = (start + p as usize) * w;
+                    let binding = &acc.data[base..base + w];
+                    for &rid in rows {
+                        out.extend_from_slice(binding);
+                        out.extend(node_cols.iter().map(|c| c[rid as usize]));
+                    }
+                }
+                out_rows += total;
             }
         }
-        acc = next;
+        acc = IdTable {
+            width: new_w,
+            n_rows: out_rows,
+            data: out,
+        };
         acc_vars.extend_from_slice(&new_vars);
-        if acc.is_empty() {
-            return Ok(Vec::new());
+        if acc.n_rows == 0 {
+            return Ok(IdTable {
+                width: head_width,
+                ..IdTable::default()
+            });
         }
     }
 
@@ -121,17 +225,22 @@ pub fn evaluate_cq_naive_in(
         .iter()
         .map(|&v| acc_vars.iter().position(|&a| a == v).expect("safe head"))
         .collect();
-    let mut seen: HashSet<InlineKey> = HashSet::with_capacity(acc.len());
-    let mut out = Vec::new();
+    let mut seen: FastSet<InlineKey> = fast_set_with_capacity(acc.n_rows);
+    let mut projected = IdTable {
+        width: head_width,
+        ..IdTable::default()
+    };
     let mut key_buf: Vec<ValueId> = Vec::with_capacity(head_pos.len());
-    for binding in &acc {
+    let w = acc.width;
+    for r in 0..acc.n_rows {
         key_buf.clear();
-        key_buf.extend(head_pos.iter().map(|&p| binding[p]));
+        key_buf.extend(head_pos.iter().map(|&p| acc.data[r * w + p]));
         if seen.insert(InlineKey::from_slice(&key_buf)) {
-            out.push(ctx.decode_tuple(key_buf.iter().copied()));
+            projected.data.extend_from_slice(&key_buf);
+            projected.n_rows += 1;
         }
     }
-    Ok(out)
+    Ok(projected)
 }
 
 /// Evaluates `Q(I)` naively into a hash set.
@@ -195,6 +304,20 @@ mod tests {
         assert_eq!(evaluate_cq_naive(&q, &yes).unwrap(), vec![Tuple::empty()]);
         let no = inst(&[("R", vec![])]);
         assert!(evaluate_cq_naive(&q, &no).unwrap().is_empty());
+    }
+
+    #[test]
+    fn blocked_join_crosses_block_boundaries() {
+        // More bindings than one probe block, with key runs that repeat:
+        // every x joins the shared z spine, so the block gather + bulk
+        // probe must agree with the one-at-a-time reference count.
+        let n = 3 * JOIN_BLOCK as i64 + 17;
+        let r: Vec<(i64, i64)> = (0..n).map(|i| (i, i % 5)).collect();
+        let s: Vec<(i64, i64)> = (0..5).flat_map(|z| [(z, 100 + z), (z, 200 + z)]).collect();
+        let q = parse_cq("Q(x, y) <- R(x, z), S(z, y)").unwrap();
+        let i = inst(&[("R", r), ("S", s)]);
+        let got = evaluate_cq_naive(&q, &i).unwrap();
+        assert_eq!(got.len(), 2 * n as usize);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 use std::sync::Arc;
 use ucq_hypergraph::VSet;
 use ucq_query::{Atom, VarId};
-use ucq_storage::{EvalContext, IdRel, IdSet, Relation, ValueId};
+use ucq_storage::{EvalContext, HashIndex, IdRel, IdSet, ProbeScratch, Relation, ValueId};
 
 /// The normalization signature of an atom's argument list: for each
 /// position, the rank of its variable among the atom's sorted distinct
@@ -41,27 +41,26 @@ fn normalize(base: &IdRel, sig: &[u32]) -> IdRel {
     let src_pos: Vec<usize> = (0..n_distinct as u32)
         .map(|r| sig.iter().position(|&s| s == r).expect("rank present"))
         .collect();
-    // Positions that must agree (repeated variables).
-    let eq_checks: Vec<(usize, usize)> = sig
+    // Positions that must agree (repeated variables) — resolved to column
+    // slices once, outside the row loop.
+    let eq_cols: Vec<(&[ValueId], &[ValueId])> = sig
         .iter()
         .enumerate()
         .filter_map(|(i, &r)| {
             let first = src_pos[r as usize];
-            (first != i).then_some((first, i))
+            (first != i).then(|| (base.col(first), base.col(i)))
         })
         .collect();
+    let src_cols: Vec<&[ValueId]> = src_pos.iter().map(|&p| base.col(p)).collect();
     let mut out = IdRel::with_capacity(n_distinct, base.len());
-    let mut seen = IdSet::new();
+    let mut seen = IdSet::with_capacity(base.len());
     let mut buf: Vec<ValueId> = Vec::with_capacity(n_distinct);
     for row in 0..base.len() {
-        if eq_checks
-            .iter()
-            .any(|&(a, b)| base.at(row, a) != base.at(row, b))
-        {
+        if eq_cols.iter().any(|&(a, b)| a[row] != b[row]) {
             continue;
         }
         buf.clear();
-        buf.extend(src_pos.iter().map(|&p| base.at(row, p)));
+        buf.extend(src_cols.iter().map(|c| c[row]));
         if seen.insert(&buf) {
             out.push_row(&buf);
         }
@@ -169,6 +168,20 @@ impl NodeRel {
     /// Removes rows whose projection onto `sep` has no match in `other`'s
     /// projection onto `sep` (the semijoin `self ⋉ other`, in place).
     pub fn semijoin_in_place(&mut self, other: &NodeRel, sep: VSet) {
+        self.semijoin_in_place_with(other, sep, &mut ProbeScratch::default());
+    }
+
+    /// As [`NodeRel::semijoin_in_place`], reusing caller-provided probe
+    /// buffers — the full reducer threads one scratch through all of its
+    /// semijoin passes. The right side is indexed on the separator (a CSR
+    /// [`HashIndex`], built in parallel above the row threshold) and the
+    /// left side's key runs are gathered per block and probed in bulk.
+    pub fn semijoin_in_place_with(
+        &mut self,
+        other: &NodeRel,
+        sep: VSet,
+        scratch: &mut ProbeScratch,
+    ) {
         if sep.is_empty() {
             // Degenerate semijoin: keep everything iff `other` is non-empty.
             if other.rel.is_empty() {
@@ -176,10 +189,9 @@ impl NodeRel {
             }
             return;
         }
-        let right = IdSet::build_projected(&other.rel, &other.cols_of(sep));
+        let right = HashIndex::build(&other.rel, &other.cols_of(sep));
         let left_cols = self.cols_of(sep);
-        self.rel
-            .retain_rows_by_key(&left_cols, |key| right.contains(key));
+        self.rel.retain_rows_by_index(&left_cols, &right, scratch);
     }
 }
 

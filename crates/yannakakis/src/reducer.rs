@@ -8,20 +8,28 @@
 
 use crate::noderel::NodeRel;
 use ucq_hypergraph::JoinTree;
+use ucq_storage::ProbeScratch;
 
 /// Runs the full reducer in place. `rels[i]` carries the data of tree node
 /// `i`. Returns `false` iff some node ended up empty (the query has no
 /// answers).
+///
+/// Every semijoin gathers the probing side's separator keys per block and
+/// resolves them in bulk against a CSR index of the other side (see
+/// [`NodeRel::semijoin_in_place_with`]); one [`ProbeScratch`] carries the
+/// key-run and keep-mask buffers across **all** passes, so the sweeps
+/// allocate a constant number of buffers regardless of tree size.
 pub fn full_reduce(tree: &JoinTree, rels: &mut [NodeRel]) -> bool {
     assert_eq!(tree.len(), rels.len());
     let order = tree.bfs_order();
+    let mut scratch = ProbeScratch::default();
 
     // Bottom-up: parent ⋉ child.
     for &n in order.iter().rev() {
         if let Some(p) = tree.parent(n) {
             let (child, parent) = index_two(rels, n, p);
             let sep = parent.var_set().inter(child.var_set());
-            parent.semijoin_in_place(child, sep);
+            parent.semijoin_in_place_with(child, sep, &mut scratch);
         }
     }
     // Top-down: child ⋉ parent.
@@ -29,7 +37,7 @@ pub fn full_reduce(tree: &JoinTree, rels: &mut [NodeRel]) -> bool {
         if let Some(p) = tree.parent(n) {
             let (child, parent) = index_two(rels, n, p);
             let sep = parent.var_set().inter(child.var_set());
-            child.semijoin_in_place(parent, sep);
+            child.semijoin_in_place_with(parent, sep, &mut scratch);
         }
     }
     rels.iter().all(|r| !r.rel.is_empty())
