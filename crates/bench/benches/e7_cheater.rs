@@ -1,16 +1,31 @@
 //! E7 — the Cheater's Lemma compiler (Lemma 5): dedup + pacing overhead on
-//! duplicated streams vs a raw drain.
+//! duplicated id streams vs a raw block-pumping drain.
+//!
+//! Both sides run the id spine end to end and decode every *emitted*
+//! answer through the shared dictionary, so the measured delta is exactly
+//! the Cheater machinery: per-result `InlineKey` dedup, flat-queue
+//! parking, and Lemma 5 pacing. The stats assertion pins the spine's
+//! decode discipline: answers are decoded exactly once, at emission
+//! (`decoded == emitted`), never per inner result.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
 use std::time::Duration;
-use ucq_enumerate::{Cheater, Enumerator, VecEnumerator};
-use ucq_storage::Tuple;
+use ucq_enumerate::{Cheater, Enumerator, IdDecoder, IdVecEnumerator};
+use ucq_storage::{EvalContext, Value, ValueId};
 
-fn stream(unique: usize, dup: usize) -> Vec<Tuple> {
+/// A width-2 id stream of `unique` distinct rows, each repeated `dup`
+/// times consecutively.
+fn stream(ctx: &Arc<EvalContext>, unique: usize, dup: usize) -> Vec<ValueId> {
     (0..unique)
         .flat_map(|i| {
-            std::iter::repeat_with(move || Tuple::from(&[i as i64, (i * 7) as i64][..])).take(dup)
+            let row = [
+                ctx.intern(Value::Int(i as i64)),
+                ctx.intern(Value::Int((i * 7) as i64)),
+            ];
+            std::iter::repeat_n(row, dup)
         })
+        .flatten()
         .collect()
 }
 
@@ -21,15 +36,30 @@ fn bench(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2));
     let unique = 100_000usize;
     for dup in [1usize, 2, 4] {
-        let tuples = stream(unique, dup);
+        let ctx = Arc::new(EvalContext::new());
+        let ids = stream(&ctx, unique, dup);
         group.bench_with_input(BenchmarkId::new("raw_drain", dup), &dup, |b, _| {
-            b.iter(|| VecEnumerator::new(tuples.clone()).collect_all().len())
+            b.iter(|| {
+                let inner = IdVecEnumerator::from_flat(2, ids.clone());
+                IdDecoder::new(inner, Arc::clone(&ctx)).collect_all().len()
+            })
         });
         group.bench_with_input(BenchmarkId::new("cheater", dup), &dup, |b, _| {
             b.iter(|| {
-                Cheater::new(VecEnumerator::new(tuples.clone()), dup)
-                    .collect_all()
-                    .len()
+                let inner = IdVecEnumerator::from_flat(2, ids.clone());
+                // Cardinality-hinted, as a serving caller would construct
+                // it (the pipeline passes its early-answer count).
+                let mut ch = Cheater::with_capacity_hint(inner, dup, Arc::clone(&ctx), unique);
+                let n = ch.collect_all().len();
+                let s = ch.stats();
+                assert_eq!(n, unique);
+                assert_eq!(s.emitted, unique);
+                assert_eq!(
+                    s.decoded, s.emitted,
+                    "decode once per emission, not per inner result"
+                );
+                assert_eq!(s.inner_results, unique * dup);
+                n
             })
         });
     }

@@ -8,16 +8,17 @@
 //! Output is Markdown; see DESIGN.md §3 for the experiment index.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 use std::time::Instant;
 use ucq_bench::{engine_for, fmt_dur, fmt_ns, instance_for, run_naive, run_pipeline};
 use ucq_core::{classify, Verdict};
-use ucq_enumerate::{Cheater, Enumerator, VecEnumerator};
+use ucq_enumerate::{Cheater, Enumerator, IdDecoder, IdVecEnumerator};
 use ucq_query::parse_cq;
 use ucq_reductions::{
     bmm_via_cq, bmm_via_example20, has_4clique_via_example22, has_4clique_via_example31,
     has_4clique_via_example39, has_triangle_via_example18, BoolMat, Graph,
 };
-use ucq_storage::Tuple;
+use ucq_storage::{EvalContext, Tuple, Value, ValueId};
 use ucq_workloads::{catalog, random_instance, InstanceSpec};
 use ucq_yannakakis::{evaluate_cq_naive, CdyEngine};
 
@@ -212,29 +213,42 @@ fn e6_fourclique(quick: bool) {
     println!();
 }
 
-/// E7: the Cheater compiler's overhead on duplicated streams.
+/// E7: the Cheater compiler's overhead on duplicated id streams. Both
+/// sides run the block-pumping id spine and decode every emitted answer
+/// to a value tuple, so the delta is exactly the dedup + pacing machinery.
 fn e7_cheater(scale: usize) {
     println!("## E7 (Cheater's Lemma overhead, Lemma 5)\n");
     println!("| stream len | dup factor | unique | raw drain | cheater drain | overhead |");
     println!("|---:|---:|---:|---:|---:|---:|");
     for dup in [1usize, 2, 4] {
         let unique = 250_000 * scale / 4;
-        let tuples: Vec<Tuple> = (0..unique)
+        let ctx = Arc::new(EvalContext::new());
+        let ids: Vec<ValueId> = (0..unique)
             .flat_map(|i| {
-                std::iter::repeat_with(move || Tuple::from(&[i as i64, (i * 7) as i64][..]))
-                    .take(dup)
+                let row = [
+                    ctx.intern(Value::Int(i as i64)),
+                    ctx.intern(Value::Int((i * 7) as i64)),
+                ];
+                std::iter::repeat_n(row, dup)
             })
+            .flatten()
             .collect();
         let t0 = Instant::now();
-        let mut raw = VecEnumerator::new(tuples.clone());
+        let mut raw = IdDecoder::new(IdVecEnumerator::from_flat(2, ids.clone()), Arc::clone(&ctx));
         let raw_n = raw.collect_all().len();
         let t_raw = t0.elapsed();
         let t0 = Instant::now();
-        let mut ch = Cheater::new(VecEnumerator::new(tuples), dup.max(1));
+        let mut ch = Cheater::new(
+            IdVecEnumerator::from_flat(2, ids.clone()),
+            dup.max(1),
+            Arc::clone(&ctx),
+        );
         let ch_out = ch.collect_all();
         let t_ch = t0.elapsed();
         assert_eq!(ch_out.len(), unique);
         assert_eq!(raw_n, unique * dup);
+        let s = ch.stats();
+        assert_eq!(s.decoded, s.emitted, "decode only at emission");
         println!(
             "| {} | {} | {} | {} | {} | {:.2}x |",
             unique * dup,

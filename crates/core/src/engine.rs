@@ -14,15 +14,30 @@
 
 use crate::algorithm1::Algorithm1;
 use crate::classify::{classify_with, Classification, CqStatus, Verdict};
-use crate::naive_ucq::evaluate_ucq_naive_in;
+use crate::naive_ucq::{evaluate_ucq_naive_ids_in, evaluate_ucq_naive_in};
 use crate::pipeline::{UcqPipeline, UcqPipelinePrep};
 use crate::search::SearchConfig;
 use std::cell::RefCell;
 use std::sync::Arc;
-use ucq_enumerate::{Enumerator, VecEnumerator};
+use ucq_enumerate::{Enumerator, IdDecoder, IdVecEnumerator};
 use ucq_query::Ucq;
 use ucq_storage::{EvalContext, Instance, Tuple};
 use ucq_yannakakis::{CdyEngine, EvalError};
+
+/// Materializes the naive union on the id layer and wraps it in the
+/// lazily-decoding value facade (ids stay interned under `ctx`; one decode
+/// per answer actually pulled).
+fn naive_id_answers(
+    ucq: &Ucq,
+    instance: &Instance,
+    ctx: &Arc<EvalContext>,
+) -> Result<IdDecoder<IdVecEnumerator>, EvalError> {
+    let table = evaluate_ucq_naive_ids_in(ucq, instance, ctx)?;
+    Ok(IdDecoder::new(
+        IdVecEnumerator::new(table.width, table.data, table.n_rows),
+        Arc::clone(ctx),
+    ))
+}
 
 /// Which evaluation strategy a run used.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -126,9 +141,7 @@ impl UcqEngine {
             }
             Strategy::Naive => Ok(UcqAnswers {
                 strategy: Strategy::Naive,
-                inner: Box::new(VecEnumerator::new(evaluate_ucq_naive_in(
-                    minimized, instance, ctx,
-                )?)),
+                inner: Box::new(naive_id_answers(minimized, instance, ctx)?),
             }),
         }
     }
@@ -274,11 +287,11 @@ impl EvalSession<'_> {
             }),
             Prepared::Naive => Ok(UcqAnswers {
                 strategy: Strategy::Naive,
-                inner: Box::new(VecEnumerator::new(evaluate_ucq_naive_in(
+                inner: Box::new(naive_id_answers(
                     &self.engine.classification.minimized,
                     &self.instance,
                     &self.ctx,
-                )?)),
+                )?),
             }),
         }
     }

@@ -28,29 +28,40 @@ use ucq_yannakakis::{CdyEngine, EvalError};
 const EXTEND_BLOCK: usize = 1024;
 
 /// The outcome of materializing one virtual atom.
+///
+/// Provider answers stay *interned*: they are flat id rows under the
+/// materializing context's dictionary, ready to be replayed by the
+/// pipeline's id-level early stage without ever being decoded. Callers
+/// that need values (tests, diagnostics) decode through
+/// [`Materialized::decode_provider_answers`].
 #[derive(Debug)]
 pub struct Materialized {
-    /// The virtual relation (columns = the atom's variables, sorted).
-    pub relation: Relation,
-    /// Provider answers emitted along the way (a subset `M ⊆ Q_j(I)`).
-    pub provider_answers: Vec<Tuple>,
+    /// The virtual relation (columns = the atom's variables, sorted),
+    /// shared so it can be inserted into an instance without copying; its
+    /// interned mirror is pre-registered with the materializing context
+    /// (see [`EvalContext::register_interned`]), so downstream engine
+    /// builds never re-intern it.
+    pub relation: Arc<Relation>,
+    /// Provider answers emitted along the way (a subset `M ⊆ Q_j(I)`), as
+    /// a flat run of `provider_width` ids per answer (empty for Boolean
+    /// providers, whose answers are counted by `n_provider_answers`).
+    pub provider_ids: Vec<ValueId>,
+    /// Ids per provider answer (the provider's head arity).
+    pub provider_width: usize,
+    /// Number of provider answers emitted (authoritative also for width 0).
+    pub n_provider_answers: usize,
 }
 
-/// Materializes `atom` against `instance` with a private context (see
-/// [`materialize_atom_in`]).
-pub fn materialize_atom(
-    ucq: &Ucq,
-    atom: &PlannedAtom,
-    rel_name_of: &dyn Fn(usize, ucq_hypergraph::VSet) -> String,
-    instance: &ucq_storage::Instance,
-) -> Result<Materialized, EvalError> {
-    materialize_atom_in(
-        ucq,
-        atom,
-        rel_name_of,
-        instance,
-        &Arc::new(EvalContext::new()),
-    )
+impl Materialized {
+    /// Decodes the emitted provider answers to value tuples (test/bench
+    /// boundary; the pipeline replays the ids directly).
+    pub fn decode_provider_answers(&self, ctx: &EvalContext) -> Vec<Tuple> {
+        if self.provider_width == 0 {
+            vec![Tuple::empty(); self.n_provider_answers]
+        } else {
+            ctx.decode_rows(self.provider_width, &self.provider_ids)
+        }
+    }
 }
 
 /// Materializes `atom` against `instance`, which must already contain the
@@ -152,15 +163,16 @@ pub fn materialize_atom_in(
             break;
         }
     }
-    let provider_answers = if head.is_empty() {
-        // Boolean provider: one empty tuple per emitted answer.
-        vec![Tuple::empty(); n_answers]
-    } else {
-        ctx.decode_rows(head.len(), &provider_ids)
-    };
+    // The decoded value form feeds the extended instance; the id mirror is
+    // registered with the context so member-engine builds over the
+    // extended instance skip the re-intern of every materialized cell.
+    let relation = Arc::new(ctx.decode_rel(&relation_ids));
+    ctx.register_interned(&relation, Arc::new(relation_ids));
     Ok(Materialized {
-        relation: ctx.decode_rel(&relation_ids),
-        provider_answers,
+        relation,
+        provider_ids,
+        provider_width: head.len(),
+        n_provider_answers: n_answers,
     })
 }
 
@@ -195,7 +207,9 @@ mod tests {
         ]);
         let atom = &plan.atoms[0];
         let name_of = |t: usize, v: ucq_hypergraph::VSet| plan.atom_for(t, v).rel_name.clone();
-        let m = materialize_atom(&u, atom, &name_of, &i).unwrap();
+        let ctx = Arc::new(EvalContext::new());
+        let m = materialize_atom_in(&u, atom, &name_of, &i, &ctx).unwrap();
+        let provider_answers = m.decode_provider_answers(&ctx);
 
         // Invariant 1: contents ⊇ π_vars(hom(body Q1)). Compute the
         // projection with the naive evaluator on a re-headed Q1.
@@ -215,15 +229,16 @@ mod tests {
             .unwrap()
             .into_iter()
             .collect();
-        for t in &m.provider_answers {
+        for t in &provider_answers {
             assert!(
                 q2_answers.contains(t),
                 "emitted {t} must be a provider answer"
             );
         }
+        assert_eq!(provider_answers.len(), m.n_provider_answers);
 
         // Invariant 3: |relation| bounded by provider output count.
-        assert!(m.relation.len() <= m.provider_answers.len().max(1));
+        assert!(m.relation.len() <= m.n_provider_answers.max(1));
     }
 
     #[test]
@@ -236,8 +251,10 @@ mod tests {
         let plan = plan_free_connex(&u, &SearchConfig::default()).unwrap();
         let i = inst(&[("R1", vec![]), ("R2", vec![]), ("R3", vec![])]);
         let name_of = |t: usize, v: ucq_hypergraph::VSet| plan.atom_for(t, v).rel_name.clone();
-        let m = materialize_atom(&u, &plan.atoms[0], &name_of, &i).unwrap();
+        let ctx = Arc::new(EvalContext::new());
+        let m = materialize_atom_in(&u, &plan.atoms[0], &name_of, &i, &ctx).unwrap();
         assert!(m.relation.is_empty());
-        assert!(m.provider_answers.is_empty());
+        assert_eq!(m.n_provider_answers, 0);
+        assert!(m.provider_ids.is_empty());
     }
 }

@@ -42,7 +42,9 @@ pub use classify::{
 pub use engine::{EvalSession, Strategy, UcqAnswers, UcqEngine};
 pub use fd::{extend_instance, fd_extend_cq, fd_extend_ucq, Fd, FdExtension, FdSet};
 pub use fd_engine::{FdAnswers, FdSession, FdUcqEngine};
-pub use naive_ucq::{evaluate_ucq_naive, evaluate_ucq_naive_in, evaluate_ucq_naive_set};
+pub use naive_ucq::{
+    evaluate_ucq_naive, evaluate_ucq_naive_ids_in, evaluate_ucq_naive_in, evaluate_ucq_naive_set,
+};
 pub use pipeline::{UcqPipeline, UcqPipelinePrep};
 pub use plan::{plan_free_connex, ExtensionPlan, PlannedAtom};
 pub use provides::{compute_availability, Availability, Provenance};

@@ -10,7 +10,7 @@
 use std::collections::HashSet;
 use ucq_query::Ucq;
 use ucq_storage::{EvalContext, FastSet, InlineKey, Instance, Tuple, ValueId};
-use ucq_yannakakis::{evaluate_cq_naive_ids_in, EvalError};
+use ucq_yannakakis::{evaluate_cq_naive_ids_in, EvalError, IdTable};
 
 /// Evaluates `Q(I)` by materializing every member and deduplicating. All
 /// members share one [`EvalContext`], so atoms with equal shapes over the
@@ -20,12 +20,15 @@ pub fn evaluate_ucq_naive(ucq: &Ucq, instance: &Instance) -> Result<Vec<Tuple>, 
     evaluate_ucq_naive_in(ucq, instance, &EvalContext::new())
 }
 
-/// As [`evaluate_ucq_naive`], sharing the caches of `ctx`.
-pub fn evaluate_ucq_naive_in(
+/// Evaluates the union on the id layer: per-member batched-probe joins,
+/// union dedup on flat id rows, *no decode* — the result stays interned
+/// under `ctx`'s dictionary. This is the entry point for id-aware callers
+/// (the engine's naive strategy wraps it in a lazily-decoding facade).
+pub fn evaluate_ucq_naive_ids_in(
     ucq: &Ucq,
     instance: &Instance,
     ctx: &EvalContext,
-) -> Result<Vec<Tuple>, EvalError> {
+) -> Result<IdTable, EvalError> {
     let mut seen: FastSet<InlineKey> = FastSet::default();
     let mut width = 0usize;
     let mut union: Vec<ValueId> = Vec::new();
@@ -40,11 +43,26 @@ pub fn evaluate_ucq_naive_in(
             }
         }
     }
-    if width == 0 {
+    Ok(IdTable {
+        width,
+        n_rows,
+        data: union,
+    })
+}
+
+/// As [`evaluate_ucq_naive`], sharing the caches of `ctx`; answers are
+/// decoded once, at this boundary.
+pub fn evaluate_ucq_naive_in(
+    ucq: &Ucq,
+    instance: &Instance,
+    ctx: &EvalContext,
+) -> Result<Vec<Tuple>, EvalError> {
+    let table = evaluate_ucq_naive_ids_in(ucq, instance, ctx)?;
+    if table.width == 0 {
         // Boolean union: at most the single empty answer survives dedup.
-        return Ok(vec![Tuple::empty(); n_rows]);
+        return Ok(vec![Tuple::empty(); table.n_rows]);
     }
-    Ok(ctx.decode_rows(width, &union))
+    Ok(ctx.decode_rows(table.width, &table.data))
 }
 
 /// Evaluates into a set.

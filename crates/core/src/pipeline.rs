@@ -8,6 +8,15 @@
 //! linear-delay moments (one per member plus one per virtual atom) and the
 //! constant duplication factor are exactly what the lemma absorbs.
 //!
+//! The whole spine is id-level and block-at-a-time: early answers are
+//! replayed as flat id rows ([`IdVecEnumerator`]), each member engine
+//! feeds output-projected id rows straight into the chain
+//! ([`OwnedCdyIter`]'s [`IdEnumerator`] adapter), and the Cheater dedups,
+//! parks and paces interned rows. Answers are decoded to value
+//! [`Tuple`]s exactly once — at emission through the value facade — and
+//! not at all for duplicates or for id-aware callers
+//! ([`UcqPipeline::next_ids`]).
+//!
 //! The preprocessing phase is reified as [`UcqPipelinePrep`]: all member
 //! engines share one [`EvalContext`] (so the base relations are interned
 //! and normalized once for the whole union), and a prep can
@@ -18,9 +27,11 @@
 use crate::lemma8::materialize_atom_in;
 use crate::plan::ExtensionPlan;
 use std::sync::Arc;
-use ucq_enumerate::{ChainEnumerator, Cheater, CheaterStats, Enumerator, VecEnumerator};
+use ucq_enumerate::{
+    Cheater, CheaterStats, Enumerator, IdChainEnumerator, IdEnumerator, IdVecEnumerator,
+};
 use ucq_query::Ucq;
-use ucq_storage::{EvalContext, Instance, Tuple};
+use ucq_storage::{EvalContext, IdBlock, Instance, Tuple, ValueId};
 use ucq_yannakakis::{CdyEngine, EvalError, OwnedCdyIter};
 
 /// The preprocessed (linear-phase) state of the Theorem 12 pipeline:
@@ -28,8 +39,13 @@ use ucq_yannakakis::{CdyEngine, EvalError, OwnedCdyIter};
 /// to start enumerations.
 pub struct UcqPipelinePrep {
     /// Provider answers emitted during materialization (Lemma 8's output
-    /// charging); replayed at the head of every enumeration.
-    early: Vec<Tuple>,
+    /// charging), as flat id rows; replayed at the head of every
+    /// enumeration without decoding.
+    early_ids: Vec<ValueId>,
+    /// Number of early answers (authoritative for Boolean unions).
+    n_early: usize,
+    /// Ids per answer (the union's head arity).
+    arity: usize,
     /// One preprocessed engine per member's free-connex extension.
     engines: Vec<Arc<CdyEngine>>,
     /// Lemma 5 duplication budget.
@@ -50,7 +66,9 @@ impl UcqPipelinePrep {
         ctx: &Arc<EvalContext>,
     ) -> Result<UcqPipelinePrep, EvalError> {
         let mut ext_instance = instance.clone();
-        let mut early: Vec<Tuple> = Vec::new();
+        let arity = ucq.cqs()[0].head().len();
+        let mut early_ids: Vec<ValueId> = Vec::new();
+        let mut n_early = 0usize;
         let mut materialized_sizes = Vec::with_capacity(plan.atoms.len());
 
         let name_of =
@@ -58,8 +76,10 @@ impl UcqPipelinePrep {
         for atom in &plan.atoms {
             let m = materialize_atom_in(ucq, atom, &name_of, &ext_instance, ctx)?;
             materialized_sizes.push(m.relation.len());
-            ext_instance.insert(atom.rel_name.clone(), m.relation);
-            early.extend(m.provider_answers);
+            ext_instance.insert_shared(atom.rel_name.clone(), m.relation);
+            debug_assert_eq!(m.provider_width, arity, "providers share the union arity");
+            early_ids.extend_from_slice(&m.provider_ids);
+            n_early += m.n_provider_answers;
         }
 
         let mut engines = Vec::with_capacity(ucq.len());
@@ -76,7 +96,9 @@ impl UcqPipelinePrep {
         // once per materialization (Lemma 5's m).
         let budget = ucq.len() + plan.atoms.len() + 1;
         Ok(UcqPipelinePrep {
-            early,
+            early_ids,
+            n_early,
+            arity,
             engines,
             budget,
             materialized_sizes,
@@ -85,28 +107,36 @@ impl UcqPipelinePrep {
     }
 
     /// Starts one enumeration over the preprocessed state. Starting is
-    /// O(answers already emitted during materialization); no linear pass is
-    /// repeated.
+    /// O(answers already emitted during materialization) — one flat memcpy
+    /// of the early id rows; no linear pass is repeated.
     pub fn start(&self) -> UcqPipeline {
-        let mut stages: Vec<Box<dyn Enumerator>> = Vec::with_capacity(self.engines.len() + 1);
-        stages.push(Box::new(VecEnumerator::new(self.early.clone())));
+        let mut stages: Vec<Box<dyn IdEnumerator>> = Vec::with_capacity(self.engines.len() + 1);
+        stages.push(Box::new(IdVecEnumerator::new(
+            self.arity,
+            self.early_ids.clone(),
+            self.n_early,
+        )));
         for eng in &self.engines {
             stages.push(Box::new(OwnedCdyIter::new(Arc::clone(eng))));
         }
         UcqPipeline {
-            inner: Cheater::with_context(
-                ChainEnumerator::new(stages),
+            // The early answers are genuine distinct outputs, so their
+            // count is a free lower bound for the dedup table.
+            inner: Cheater::with_capacity_hint(
+                IdChainEnumerator::new(self.arity, stages),
                 self.budget,
                 Arc::clone(&self.ctx),
+                self.n_early,
             ),
             materialized_sizes: self.materialized_sizes.clone(),
         }
     }
 }
 
-/// A `DelayClin` enumerator for a free-connex UCQ.
+/// A `DelayClin` enumerator for a free-connex UCQ: the id-level Cheater
+/// spine with a thin `Tuple`-yielding facade ([`Enumerator`]).
 pub struct UcqPipeline {
-    inner: Cheater<ChainEnumerator>,
+    inner: Cheater<IdChainEnumerator>,
     /// See [`UcqPipelinePrep::materialized_sizes`].
     pub materialized_sizes: Vec<usize>,
 }
@@ -137,11 +167,29 @@ impl UcqPipeline {
     pub fn stats(&self) -> CheaterStats {
         self.inner.stats()
     }
+
+    /// The next answer as a borrowed interned id row — the escape hatch
+    /// for id-aware callers (no decode; see [`Cheater::next_ids`]).
+    pub fn next_ids(&mut self) -> Option<&[ValueId]> {
+        self.inner.next_ids()
+    }
 }
 
 impl Enumerator for UcqPipeline {
     fn next(&mut self) -> Option<Tuple> {
         self.inner.next()
+    }
+}
+
+/// The pipeline is itself an id enumerator, so id-aware callers can drain
+/// it block-at-a-time (delay measurement, chained unions, benches).
+impl IdEnumerator for UcqPipeline {
+    fn arity(&self) -> usize {
+        IdEnumerator::arity(&self.inner)
+    }
+
+    fn next_block(&mut self, block: &mut IdBlock) -> usize {
+        self.inner.next_block(block)
     }
 }
 
@@ -166,6 +214,8 @@ mod tests {
         let plan = plan_free_connex(&u, &SearchConfig::default()).expect("free-connex");
         let mut p = UcqPipeline::build(&u, &plan, i).unwrap();
         let got = p.collect_all();
+        let s = p.stats();
+        assert_eq!(s.decoded, s.emitted, "decode exactly once per emission");
         let want = evaluate_ucq_naive(&u, i).unwrap();
         (got, want)
     }
@@ -287,5 +337,68 @@ mod tests {
         assert_eq!(a, b, "restarted enumerations agree");
         let want: HashSet<Tuple> = evaluate_ucq_naive(&u, &i).unwrap().into_iter().collect();
         assert_eq!(a, want);
+    }
+
+    #[test]
+    fn id_level_drain_matches_value_facade() {
+        let u = parse_ucq(
+            "Q1(x, y, w) <- R1(x, z), R2(z, y), R3(y, w)\n\
+             Q2(x, y, w) <- R1(x, y), R2(y, w)",
+        )
+        .unwrap();
+        let plan = plan_free_connex(&u, &SearchConfig::default()).unwrap();
+        let i = inst(&[
+            ("R1", vec![(1, 2), (1, 5), (9, 7)]),
+            ("R2", vec![(2, 3), (5, 3), (7, 0)]),
+            ("R3", vec![(3, 4), (3, 6), (0, 2)]),
+        ]);
+        let ctx = Arc::new(EvalContext::new());
+        let prep = UcqPipelinePrep::prepare(&u, &plan, &i, &ctx).unwrap();
+
+        let via_values = prep.start().collect_all();
+
+        let mut p = prep.start();
+        let mut via_ids: Vec<Tuple> = Vec::new();
+        while let Some(row) = p.next_ids() {
+            let t = ctx.decode_tuple(row.iter().copied());
+            via_ids.push(t);
+        }
+        assert_eq!(via_ids, via_values, "same answers in the same order");
+        let s = p.stats();
+        assert_eq!(s.decoded, 0, "next_ids never decodes");
+        assert_eq!(s.emitted, via_values.len());
+    }
+
+    #[test]
+    fn materialized_sizes_match_lemma8_output() {
+        // Satellite check: the prep's diagnostics must pin exactly the
+        // per-atom relation sizes an independent Lemma 8 run produces over
+        // the same progressively-extended instance.
+        let u = parse_ucq(
+            "Q1(x, y, w) <- R1(x, z), R2(z, y), R3(y, w)\n\
+             Q2(x, y, w) <- R1(x, y), R2(y, w)",
+        )
+        .unwrap();
+        let plan = plan_free_connex(&u, &SearchConfig::default()).unwrap();
+        let i = inst(&[
+            ("R1", vec![(1, 2), (1, 5), (9, 9)]),
+            ("R2", vec![(2, 3), (5, 3), (9, 8)]),
+            ("R3", vec![(3, 4), (8, 0)]),
+        ]);
+        let ctx = Arc::new(EvalContext::new());
+        let prep = UcqPipelinePrep::prepare(&u, &plan, &i, &ctx).unwrap();
+
+        let name_of = |t: usize, v: ucq_hypergraph::VSet| plan.atom_for(t, v).rel_name.clone();
+        let mut ext = i.clone();
+        let mut want_sizes = Vec::new();
+        let ctx2 = Arc::new(EvalContext::new());
+        for atom in &plan.atoms {
+            let m = materialize_atom_in(&u, atom, &name_of, &ext, &ctx2).unwrap();
+            want_sizes.push(m.relation.len());
+            ext.insert_shared(atom.rel_name.clone(), m.relation);
+        }
+        assert!(!want_sizes.is_empty(), "example 2 materializes atoms");
+        assert_eq!(prep.materialized_sizes, want_sizes);
+        assert_eq!(prep.start().materialized_sizes, want_sizes);
     }
 }

@@ -6,7 +6,7 @@
 
 use proptest::prelude::*;
 use std::collections::HashSet;
-use ucq_core::UcqEngine;
+use ucq_core::{plan_free_connex, SearchConfig, UcqEngine, UcqPipeline};
 use ucq_enumerate::Enumerator;
 use ucq_query::{Cq, Ucq};
 use ucq_storage::{Instance, Relation, Tuple, Value};
@@ -219,6 +219,38 @@ proptest! {
         let via_engine: HashSet<Tuple> =
             engine.enumerate(&inst).unwrap().collect_all().into_iter().collect();
         prop_assert_eq!(&via_engine, &want, "strategy {:?} vs oracle", engine.strategy());
+    }
+
+    /// The id-level Theorem 12 pipeline equals the value-level nested-loop
+    /// oracle on every random union that plans as free-connex: same answer
+    /// set after dedup, no duplicates in the stream, and the spine's
+    /// decode discipline holds (`decoded == emitted`).
+    #[test]
+    fn id_pipeline_matches_value_level_oracle((u, inst) in ucq_and_instance()) {
+        let Some(plan) = plan_free_connex(&u, &SearchConfig::default()) else {
+            return Ok(()); // not free-connex: the pipeline does not apply
+        };
+        let mut want: HashSet<Tuple> = HashSet::new();
+        let mut schema_ok = true;
+        for cq in u.cqs() {
+            if value_level_cq(cq, &inst, &mut want).is_err() {
+                schema_ok = false;
+                break;
+            }
+        }
+        let built = UcqPipeline::build(&u, &plan, &inst);
+        if !schema_ok {
+            prop_assert!(built.is_err(), "arity clash must error on the id spine");
+            return Ok(());
+        }
+        let mut p = built.unwrap();
+        let got = p.collect_all();
+        let got_set: HashSet<Tuple> = got.iter().cloned().collect();
+        prop_assert_eq!(got.len(), got_set.len(), "pipeline stream is duplicate-free");
+        prop_assert_eq!(&got_set, &want, "id pipeline vs value-level oracle");
+        let s = p.stats();
+        prop_assert_eq!(s.decoded, s.emitted, "decode exactly once per emission");
+        prop_assert_eq!(s.emitted, got.len());
     }
 
     /// Repeated session evaluations agree with the one-shot path.

@@ -1,0 +1,193 @@
+//! Flat answer blocks for block-at-a-time enumeration.
+//!
+//! The id-level enumeration spine moves answers between stages as
+//! [`IdBlock`]s: a reusable flat `Vec<ValueId>` holding up to a fixed
+//! number of rows of a fixed arity (the stride). Producers append rows
+//! until the block is full or they are exhausted; consumers read rows as
+//! borrowed `&[ValueId]` slices. One block buffer lives for the whole
+//! enumeration, so the per-answer path allocates nothing and a whole
+//! block's worth of virtual-dispatch/bookkeeping overhead is paid once.
+//!
+//! Arity-0 rows (Boolean answers) are represented by the row count alone,
+//! mirroring the nullary semantics of [`IdRel`](crate::IdRel).
+
+use crate::dictionary::ValueId;
+
+/// A reusable flat block of interned answer rows (fixed arity).
+#[derive(Clone, Debug)]
+pub struct IdBlock {
+    arity: usize,
+    max_rows: usize,
+    n_rows: usize,
+    ids: Vec<ValueId>,
+}
+
+impl IdBlock {
+    /// An empty block holding up to `max_rows` rows of `arity` ids each.
+    pub fn new(arity: usize, max_rows: usize) -> IdBlock {
+        assert!(max_rows >= 1, "blocks must hold at least one row");
+        IdBlock {
+            arity,
+            max_rows,
+            n_rows: 0,
+            ids: Vec::with_capacity(arity * max_rows),
+        }
+    }
+
+    /// Ids per row.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Maximum number of rows the block accepts before [`IdBlock::is_full`].
+    #[inline]
+    pub fn max_rows(&self) -> usize {
+        self.max_rows
+    }
+
+    /// Lowers or restores the fill limit (consumers that want a partial
+    /// fill — e.g. a ramping pump — set this before handing the block to a
+    /// producer). Must be at least the current row count and at least 1.
+    #[inline]
+    pub fn set_max_rows(&mut self, max_rows: usize) {
+        assert!(max_rows >= 1 && max_rows >= self.n_rows, "limit below fill");
+        self.max_rows = max_rows;
+    }
+
+    /// Number of rows currently in the block.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Whether the block holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n_rows == 0
+    }
+
+    /// Whether the block is at capacity (producers must stop).
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.n_rows >= self.max_rows
+    }
+
+    /// Rows still accepted before the block is full.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.max_rows - self.n_rows
+    }
+
+    /// Drops all rows, keeping the allocation.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.n_rows = 0;
+        self.ids.clear();
+    }
+
+    /// Row `r` as a borrowed id slice (empty for arity 0).
+    #[inline]
+    pub fn row(&self, r: usize) -> &[ValueId] {
+        debug_assert!(r < self.n_rows, "row out of bounds");
+        &self.ids[r * self.arity..(r + 1) * self.arity]
+    }
+
+    /// Iterates over the rows as id slices.
+    pub fn rows(&self) -> impl Iterator<Item = &[ValueId]> {
+        (0..self.n_rows).map(move |r| self.row(r))
+    }
+
+    /// The whole block as one flat id run (`arity` ids per row) — the shape
+    /// [`HashIndex::probe_batch`](crate::HashIndex::probe_batch) consumes.
+    #[inline]
+    pub fn ids(&self) -> &[ValueId] {
+        &self.ids
+    }
+
+    /// Appends one row. Panics on arity mismatch.
+    #[inline]
+    pub fn push_row(&mut self, row: &[ValueId]) {
+        assert_eq!(row.len(), self.arity, "row arity mismatch");
+        debug_assert!(!self.is_full(), "push into a full block");
+        self.ids.extend_from_slice(row);
+        self.n_rows += 1;
+    }
+
+    /// Appends one row from an iterator that must yield exactly `arity`
+    /// ids — the allocation-free path for producers that project rows out
+    /// of a larger binding (e.g. the CDY output projection).
+    #[inline]
+    pub fn push_row_from(&mut self, row: impl IntoIterator<Item = ValueId>) {
+        debug_assert!(!self.is_full(), "push into a full block");
+        let before = self.ids.len();
+        self.ids.extend(row);
+        debug_assert_eq!(self.ids.len() - before, self.arity, "row arity mismatch");
+        self.n_rows += 1;
+    }
+
+    /// Appends `rows` rows from a flat id run (`arity * rows` ids; empty for
+    /// arity 0) — the bulk path for replaying materialized answer tables.
+    #[inline]
+    pub fn extend_flat(&mut self, ids: &[ValueId], rows: usize) {
+        debug_assert_eq!(ids.len(), self.arity * rows, "partial row in flat run");
+        debug_assert!(rows <= self.remaining(), "flat run overflows the block");
+        self.ids.extend_from_slice(ids);
+        self.n_rows += rows;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(xs: &[u32]) -> Vec<ValueId> {
+        xs.iter().map(|&x| ValueId(x)).collect()
+    }
+
+    #[test]
+    fn push_and_read_rows() {
+        let mut b = IdBlock::new(2, 3);
+        assert!(b.is_empty());
+        assert_eq!(b.remaining(), 3);
+        b.push_row(&ids(&[1, 2]));
+        b.push_row_from(ids(&[3, 4]));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.row(0), ids(&[1, 2]).as_slice());
+        assert_eq!(b.row(1), ids(&[3, 4]).as_slice());
+        assert_eq!(b.rows().count(), 2);
+        assert!(!b.is_full());
+        b.push_row(&ids(&[5, 6]));
+        assert!(b.is_full());
+        assert_eq!(b.ids().len(), 6);
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.ids().len(), 0);
+    }
+
+    #[test]
+    fn extend_flat_bulk_append() {
+        let mut b = IdBlock::new(2, 4);
+        let run = ids(&[1, 2, 3, 4, 5, 6]);
+        b.extend_flat(&run, 3);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.row(2), ids(&[5, 6]).as_slice());
+    }
+
+    #[test]
+    fn nullary_rows_are_counted() {
+        let mut b = IdBlock::new(0, 2);
+        b.push_row(&[]);
+        b.extend_flat(&[], 1);
+        assert_eq!(b.len(), 2);
+        assert!(b.is_full());
+        assert_eq!(b.row(1), &[] as &[ValueId]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_rejected() {
+        let mut b = IdBlock::new(2, 2);
+        b.push_row(&ids(&[1]));
+    }
+}

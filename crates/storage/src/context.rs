@@ -227,6 +227,21 @@ impl EvalContext {
         built
     }
 
+    /// Registers a pre-interned mirror for `rel`, so later
+    /// [`EvalContext::interned_rel`] requests hit the cache instead of
+    /// re-interning every cell. Used by pipelines that *produce* a
+    /// relation on the id layer (Lemma 8 materialization) and hand the
+    /// decoded value form to an instance: the ids are already under this
+    /// context's dictionary, so the decode → re-intern round trip is pure
+    /// waste. `id_rel` must be the row-for-row mirror of `rel` under this
+    /// context's dictionary.
+    pub fn register_interned(&self, rel: &Arc<Relation>, id_rel: Arc<IdRel>) {
+        debug_assert_eq!(rel.len(), id_rel.len(), "mirror must match row count");
+        let key = Arc::as_ptr(rel) as usize;
+        let mut inner = self.inner.borrow_mut();
+        inner.interned.insert(key, (Arc::clone(rel), id_rel));
+    }
+
     /// A relation derived from `rel` by a pure id-level transformation
     /// described by `sig` (e.g. an atom-normalization signature): cached by
     /// `(relation, sig)`, built by `build` from the interned mirror on

@@ -203,15 +203,17 @@ impl IdRel {
         }
     }
 
-    /// Projects onto `cols` (by position), deduplicating rows.
+    /// Projects onto `cols` (by position), deduplicating rows (packed-key
+    /// dedup for projections up to 4 columns — see [`IdSet`]).
     pub fn project_dedup(&self, cols: &[usize]) -> IdRel {
-        let mut seen: FastSet<InlineKey> = fast_set_with_capacity(self.n_rows);
+        let mut seen = IdSet::with_capacity(self.n_rows);
         let mut out = IdRel::new(cols.len());
+        let col_slices: Vec<&[ValueId]> = cols.iter().map(|&c| self.cols[c].as_slice()).collect();
         let mut buf: Vec<ValueId> = Vec::with_capacity(cols.len());
         for r in 0..self.n_rows {
             buf.clear();
-            buf.extend(cols.iter().map(|&c| self.cols[c][r]));
-            if seen.insert(InlineKey::from_slice(&buf)) {
+            buf.extend(col_slices.iter().map(|c| c[r]));
+            if seen.insert(&buf) {
                 out.push_row(&buf);
             }
         }
@@ -303,6 +305,50 @@ impl IdRel {
         self.n_rows = write;
     }
 
+    /// Keeps only rows whose key-column projection is a member of `set` —
+    /// the semijoin retain against a key *set*. Where
+    /// [`IdRel::retain_rows_by_index`] probes a CSR [`HashIndex`] (which
+    /// also carries the matching row ids), this needs only existence, so
+    /// the right side costs one set build (no counting/scatter passes) and
+    /// each probe one packed-key hash.
+    pub fn retain_rows_by_set(
+        &mut self,
+        key_cols: &[usize],
+        set: &IdSet,
+        scratch: &mut ProbeScratch,
+    ) {
+        assert!(
+            !key_cols.is_empty(),
+            "empty separators are a nonemptiness check, not a probe"
+        );
+        let n = self.n_rows;
+        scratch.keep.clear();
+        {
+            let cols: Vec<&[ValueId]> = key_cols.iter().map(|&c| self.cols[c].as_slice()).collect();
+            let mut buf: Vec<ValueId> = Vec::with_capacity(key_cols.len());
+            for r in 0..n {
+                buf.clear();
+                buf.extend(cols.iter().map(|c| c[r]));
+                scratch.keep.push(set.contains(&buf));
+            }
+        }
+        let mut write = 0usize;
+        for read in 0..n {
+            if scratch.keep[read] {
+                if write != read {
+                    for col in self.cols.iter_mut() {
+                        col[write] = col[read];
+                    }
+                }
+                write += 1;
+            }
+        }
+        for col in self.cols.iter_mut() {
+            col.truncate(write);
+        }
+        self.n_rows = write;
+    }
+
     /// Deduplicates rows, preserving first-occurrence order.
     pub fn dedup_rows(&mut self) {
         if self.arity() == 0 || self.n_rows <= 1 {
@@ -335,37 +381,87 @@ pub struct ProbeScratch {
     keep: Vec<bool>,
 }
 
+/// Packs a short id row into a `u128` (32 bits per position; valid for
+/// `row.len() <= 4`). Only comparable between rows of one fixed width —
+/// exactly what a per-projection set guarantees.
+#[inline]
+fn pack_ids(row: &[ValueId]) -> u128 {
+    debug_assert!(row.len() <= 4, "packed keys hold at most 4 ids");
+    row.iter()
+        .fold(0u128, |acc, &id| (acc << 32) | id.0 as u128)
+}
+
+/// Packs an id row of up to 2 ids into a `u64` (the common separator and
+/// answer width — one hasher word instead of two).
+#[inline]
+fn pack_ids64(row: &[ValueId]) -> u64 {
+    debug_assert!(row.len() <= 2, "u64 packing holds at most 2 ids");
+    row.iter().fold(0u64, |acc, &id| (acc << 32) | id.0 as u64)
+}
+
+/// The representation behind [`IdSet`]: keys of up to 2 ids pack into one
+/// `u64` (one hasher word, 8-byte equality), up to 4 into one `u128`,
+/// wider keys spill to [`InlineKey`]s. The width is fixed at the first
+/// insert, so packing is collision-free.
+#[derive(Clone, Debug)]
+enum IdSetRepr {
+    /// No key inserted yet; `cap` is the deferred capacity hint.
+    Empty {
+        cap: usize,
+    },
+    Packed64 {
+        width: usize,
+        set: FastSet<u64>,
+    },
+    Packed {
+        width: usize,
+        set: FastSet<u128>,
+    },
+    Keys(FastSet<InlineKey>),
+}
+
 /// A hash set of projected id rows: the id-side analogue of
 /// [`RowSet`](crate::RowSet), probed with borrowed `&[ValueId]` keys
-/// (allocation-free for keys up to [`InlineKey::INLINE`] ids).
-#[derive(Clone, Debug, Default)]
+/// (allocation-free for any width; no hashing of spilled boxes for keys up
+/// to 4 ids — see [`IdSetRepr`]).
+#[derive(Clone, Debug)]
 pub struct IdSet {
-    set: FastSet<InlineKey>,
+    repr: IdSetRepr,
+    len: usize,
+}
+
+impl Default for IdSet {
+    fn default() -> IdSet {
+        IdSet::new()
+    }
 }
 
 impl IdSet {
     /// An empty set.
     pub fn new() -> IdSet {
-        IdSet::default()
+        IdSet::with_capacity(0)
     }
 
     /// An empty set preallocated for `cap` keys.
     pub fn with_capacity(cap: usize) -> IdSet {
         IdSet {
-            set: fast_set_with_capacity(cap),
+            repr: IdSetRepr::Empty { cap },
+            len: 0,
         }
     }
 
     /// The projections of all rows of `rel` onto `cols`.
     pub fn build_projected(rel: &IdRel, cols: &[usize]) -> IdSet {
-        let mut set = fast_set_with_capacity(rel.len());
+        let mut out = IdSet::with_capacity(rel.len());
+        // Hoisted column accessors for the whole build pass.
+        let col_slices: Vec<&[ValueId]> = cols.iter().map(|&c| rel.col(c)).collect();
         let mut buf: Vec<ValueId> = Vec::with_capacity(cols.len());
         for r in 0..rel.len() {
             buf.clear();
-            buf.extend(cols.iter().map(|&c| rel.col(c)[r]));
-            set.insert(InlineKey::from_slice(&buf));
+            buf.extend(col_slices.iter().map(|c| c[r]));
+            out.insert(&buf);
         }
-        IdSet { set }
+        out
     }
 
     /// All full rows of `rel`.
@@ -377,23 +473,63 @@ impl IdSet {
     /// Membership test with a borrowed key — no allocation.
     #[inline]
     pub fn contains(&self, key: &[ValueId]) -> bool {
-        self.set.contains(key)
+        match &self.repr {
+            IdSetRepr::Empty { .. } => false,
+            IdSetRepr::Packed64 { width, set } => {
+                debug_assert_eq!(key.len(), *width, "set keys have one fixed width");
+                set.contains(&pack_ids64(key))
+            }
+            IdSetRepr::Packed { width, set } => {
+                debug_assert_eq!(key.len(), *width, "set keys have one fixed width");
+                set.contains(&pack_ids(key))
+            }
+            IdSetRepr::Keys(set) => set.contains(key),
+        }
     }
 
-    /// Inserts a key; returns whether it was new.
+    /// Inserts a key; returns whether it was new. All keys of one set must
+    /// share one width (the projection width).
     #[inline]
     pub fn insert(&mut self, key: &[ValueId]) -> bool {
-        self.set.insert(InlineKey::from_slice(key))
+        if let IdSetRepr::Empty { cap } = self.repr {
+            self.repr = if key.len() <= 2 {
+                IdSetRepr::Packed64 {
+                    width: key.len(),
+                    set: fast_set_with_capacity(cap),
+                }
+            } else if key.len() <= 4 {
+                IdSetRepr::Packed {
+                    width: key.len(),
+                    set: fast_set_with_capacity(cap),
+                }
+            } else {
+                IdSetRepr::Keys(fast_set_with_capacity(cap))
+            };
+        }
+        let fresh = match &mut self.repr {
+            IdSetRepr::Empty { .. } => unreachable!("initialized above"),
+            IdSetRepr::Packed64 { width, set } => {
+                debug_assert_eq!(key.len(), *width, "set keys have one fixed width");
+                set.insert(pack_ids64(key))
+            }
+            IdSetRepr::Packed { width, set } => {
+                debug_assert_eq!(key.len(), *width, "set keys have one fixed width");
+                set.insert(pack_ids(key))
+            }
+            IdSetRepr::Keys(set) => set.insert(InlineKey::from_slice(key)),
+        };
+        self.len += usize::from(fresh);
+        fresh
     }
 
     /// Number of keys.
     pub fn len(&self) -> usize {
-        self.set.len()
+        self.len
     }
 
     /// Whether the set is empty.
     pub fn is_empty(&self) -> bool {
-        self.set.is_empty()
+        self.len == 0
     }
 }
 

@@ -31,7 +31,10 @@
 //!
 //! [`HashIndex::probe_batch`] probes a flat run of keys (`stride` ids per
 //! key) and yields `(probe_index, row_ids)` per key, memoizing consecutive
-//! duplicate keys so a *sorted* run hashes each distinct key once.
+//! duplicate keys so a *sorted* run hashes each distinct key once. For
+//! single-column keys the duplicate run is measured up front with an
+//! unrolled 8-wide compare loop (`run_len_1`), so long runs skip even the
+//! per-key compare.
 //! Sortedness is an optimization, not a requirement: unsorted runs return
 //! exactly the same groups, just without the dedup savings. The join and
 //! semijoin inner loops gather key runs per block and probe in bulk, which
@@ -386,7 +389,8 @@ impl HashIndex {
             keys,
             stride,
             pos: 0,
-            last: None,
+            run_end: 0,
+            run_gid: None,
         }
     }
 
@@ -421,15 +425,39 @@ fn scatter_csr(counts: &mut [u32], row_gids: &[u32], base: u32) -> (Vec<u32>, Ve
     (offsets, row_ids)
 }
 
+/// Length of the prefix of `keys` equal to `key`, scanned in unrolled
+/// chunks of 8 with a scalar tail — the stride-1 fast path of
+/// [`HashIndex::probe_batch`]. The 8-wide all-equal check compiles to a
+/// handful of vectorizable `u32` compares, so long duplicate runs (sorted
+/// single-column key gathers) cost a fraction of a compare per key.
+#[inline]
+fn run_len_1(keys: &[ValueId], key: ValueId) -> usize {
+    let mut n = 0;
+    for chunk in keys.chunks_exact(8) {
+        if chunk.iter().all(|&k| k == key) {
+            n += 8;
+        } else {
+            break;
+        }
+    }
+    while n < keys.len() && keys[n] == key {
+        n += 1;
+    }
+    n
+}
+
 /// The iterator returned by [`HashIndex::probe_batch`].
 pub struct ProbeBatch<'a, 'k> {
     idx: &'a HashIndex,
     keys: &'k [ValueId],
     stride: usize,
     pos: usize,
-    /// The previous key and its resolved group — consecutive duplicates
-    /// skip the hash entirely.
-    last: Option<(&'k [ValueId], Option<u32>)>,
+    /// Probes before `run_end` share the memoized `run_gid`: when a key is
+    /// resolved, the run of equal keys following it is measured up front
+    /// (chunked compares for stride 1, pairwise slice compares otherwise),
+    /// so duplicates skip both the hash and the per-call key compare.
+    run_end: usize,
+    run_gid: Option<u32>,
 }
 
 impl<'a> Iterator for ProbeBatch<'a, '_> {
@@ -441,18 +469,23 @@ impl<'a> Iterator for ProbeBatch<'a, '_> {
         if start >= self.keys.len() {
             return None;
         }
-        let key = &self.keys[start..start + self.stride];
-        let gid = match self.last {
-            Some((prev, g)) if prev == key => g,
-            _ => {
-                let g = self.idx.gid_of(key);
-                self.last = Some((key, g));
-                g
-            }
-        };
+        if self.pos >= self.run_end {
+            let key = &self.keys[start..start + self.stride];
+            self.run_gid = self.idx.gid_of(key);
+            let rest = &self.keys[start + self.stride..];
+            self.run_end = self.pos
+                + 1
+                + if self.stride == 1 {
+                    run_len_1(rest, key[0])
+                } else {
+                    rest.chunks_exact(self.stride)
+                        .take_while(|c| *c == key)
+                        .count()
+                };
+        }
         let i = self.pos;
         self.pos += 1;
-        Some((i, gid.map_or(&[], |g| self.idx.group(g))))
+        Some((i, self.run_gid.map_or(&[], |g| self.idx.group(g))))
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
@@ -644,6 +677,29 @@ mod tests {
         for (i, rows) in idx.probe_batch(&keys, 2) {
             assert_eq!(rows, idx.get(&keys[i * 2..i * 2 + 2]));
         }
+    }
+
+    #[test]
+    fn stride1_run_fast_path_matches_get() {
+        // Runs crossing the 8-wide chunk boundary: lengths 1, 7, 8, 9, 17,
+        // 64, including absent keys, exercise both the chunked loop and the
+        // scalar tail.
+        let rel = synthetic_rel(1_000, 17);
+        let idx = HashIndex::build_seq(&rel, &[0]);
+        let mut keys: Vec<ValueId> = Vec::new();
+        for (v, run) in [(0u32, 1usize), (1, 7), (2, 8), (3, 9), (99, 17), (4, 64)] {
+            keys.extend(std::iter::repeat_n(ValueId(v), run));
+        }
+        let mut seen = 0;
+        for (i, rows) in idx.probe_batch(&keys, 1) {
+            assert_eq!(rows, idx.get(&keys[i..=i]), "probe {i}");
+            seen += 1;
+        }
+        assert_eq!(seen, keys.len());
+        assert_eq!(run_len_1(&keys, ValueId(0)), 1);
+        assert_eq!(run_len_1(&keys[1..], ValueId(1)), 7);
+        assert_eq!(run_len_1(&keys[16..], ValueId(3)), 9);
+        assert_eq!(run_len_1(&[], ValueId(3)), 0);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! projections and indexes ([`IndexCache`]) across every pipeline that
 //! evaluates the same instance.
 
+pub mod block;
 pub mod context;
 pub mod dictionary;
 pub mod hash;
@@ -26,6 +27,7 @@ pub mod text;
 pub mod tuple;
 pub mod value;
 
+pub use block::IdBlock;
 pub use context::{ContextStats, EvalContext, IndexCache};
 pub use dictionary::{Dictionary, ValueId};
 pub use hash::{

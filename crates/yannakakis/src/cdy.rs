@@ -653,6 +653,30 @@ impl ucq_enumerate::Enumerator for OwnedCdyIter {
     }
 }
 
+/// The id-level spine adapter: answers are appended to the caller's block
+/// as raw output-projected id rows — no decode, no per-answer allocation.
+/// This is what the Theorem 12 pipeline chains under its Cheater compiler.
+impl ucq_enumerate::IdEnumerator for OwnedCdyIter {
+    fn arity(&self) -> usize {
+        self.eng.output_arity()
+    }
+
+    fn next_block(&mut self, block: &mut ucq_storage::IdBlock) -> usize {
+        debug_assert_eq!(block.arity(), self.eng.output_arity());
+        let mut n = 0;
+        while !block.is_full() && self.core.advance(&self.eng) {
+            block.push_row_from(
+                self.eng
+                    .output
+                    .iter()
+                    .map(|&v| self.core.binding[v as usize]),
+            );
+            n += 1;
+        }
+        n
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

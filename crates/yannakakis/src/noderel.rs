@@ -16,7 +16,7 @@
 use std::sync::Arc;
 use ucq_hypergraph::VSet;
 use ucq_query::{Atom, VarId};
-use ucq_storage::{EvalContext, HashIndex, IdRel, IdSet, ProbeScratch, Relation, ValueId};
+use ucq_storage::{par, EvalContext, HashIndex, IdRel, IdSet, ProbeScratch, Relation, ValueId};
 
 /// The normalization signature of an atom's argument list: for each
 /// position, the rank of its variable among the atom's sorted distinct
@@ -173,9 +173,13 @@ impl NodeRel {
 
     /// As [`NodeRel::semijoin_in_place`], reusing caller-provided probe
     /// buffers — the full reducer threads one scratch through all of its
-    /// semijoin passes. The right side is indexed on the separator (a CSR
-    /// [`HashIndex`], built in parallel above the row threshold) and the
-    /// left side's key runs are gathered per block and probed in bulk.
+    /// semijoin passes. A semijoin only needs key *existence* on the right
+    /// side: when the right side builds on one core, an [`IdSet`] of its
+    /// separator projection (packed `u128` keys for separators up to 4
+    /// columns; one pass, no CSR counting/scatter) beats a throwaway
+    /// index. Above the parallel row threshold the sharded CSR
+    /// [`HashIndex`] build wins back multi-core speedup, so the right side
+    /// is indexed and the left retained through batched probes instead.
     pub fn semijoin_in_place_with(
         &mut self,
         other: &NodeRel,
@@ -189,9 +193,15 @@ impl NodeRel {
             }
             return;
         }
-        let right = HashIndex::build(&other.rel, &other.cols_of(sep));
+        let right_cols = other.cols_of(sep);
         let left_cols = self.cols_of(sep);
-        self.rel.retain_rows_by_index(&left_cols, &right, scratch);
+        if par::workers_for(other.rel.len()) > 1 {
+            let right = HashIndex::build(&other.rel, &right_cols);
+            self.rel.retain_rows_by_index(&left_cols, &right, scratch);
+        } else {
+            let right = IdSet::build_projected(&other.rel, &right_cols);
+            self.rel.retain_rows_by_set(&left_cols, &right, scratch);
+        }
     }
 }
 

@@ -47,7 +47,7 @@
 //! | [`storage`] | values, relations, indexes, instances |
 //! | [`query`] | CQ/UCQ model, parser, homomorphisms |
 //! | [`yannakakis`] | full reducer, CDY enumeration, naive baseline |
-//! | [`enumerate`] | enumerator trait, Cheater's Lemma, delay stats |
+//! | [`enumerate`] | id-level block enumerator spine, Cheater's Lemma, delay stats |
 //! | [`core`] | classification, union extensions, pipelines |
 //! | [`reductions`] | executable lower bounds (BMM, triangles, cliques) |
 //! | [`workloads`] | the paper catalog and instance generators |
