@@ -9,14 +9,13 @@
 //! (`decoded == emitted`), never per inner result.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::sync::Arc;
 use std::time::Duration;
 use ucq_enumerate::{Cheater, Enumerator, IdDecoder, IdVecEnumerator};
-use ucq_storage::{EvalContext, Value, ValueId};
+use ucq_storage::{CtxView, Value, ValueId};
 
 /// A width-2 id stream of `unique` distinct rows, each repeated `dup`
 /// times consecutively.
-fn stream(ctx: &Arc<EvalContext>, unique: usize, dup: usize) -> Vec<ValueId> {
+fn stream(ctx: &CtxView, unique: usize, dup: usize) -> Vec<ValueId> {
     (0..unique)
         .flat_map(|i| {
             let row = [
@@ -36,12 +35,12 @@ fn bench(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2));
     let unique = 100_000usize;
     for dup in [1usize, 2, 4] {
-        let ctx = Arc::new(EvalContext::new());
+        let ctx = CtxView::new();
         let ids = stream(&ctx, unique, dup);
         group.bench_with_input(BenchmarkId::new("raw_drain", dup), &dup, |b, _| {
             b.iter(|| {
                 let inner = IdVecEnumerator::from_flat(2, ids.clone());
-                IdDecoder::new(inner, Arc::clone(&ctx)).collect_all().len()
+                IdDecoder::new(inner, ctx.clone()).collect_all().len()
             })
         });
         group.bench_with_input(BenchmarkId::new("cheater", dup), &dup, |b, _| {
@@ -49,7 +48,7 @@ fn bench(c: &mut Criterion) {
                 let inner = IdVecEnumerator::from_flat(2, ids.clone());
                 // Cardinality-hinted, as a serving caller would construct
                 // it (the pipeline passes its early-answer count).
-                let mut ch = Cheater::with_capacity_hint(inner, dup, Arc::clone(&ctx), unique);
+                let mut ch = Cheater::with_capacity_hint(inner, dup, ctx.clone(), unique);
                 let n = ch.collect_all().len();
                 let s = ch.stats();
                 assert_eq!(n, unique);

@@ -8,7 +8,6 @@
 //! Output is Markdown; see DESIGN.md §3 for the experiment index.
 
 use std::collections::HashSet;
-use std::sync::Arc;
 use std::time::Instant;
 use ucq_bench::{engine_for, fmt_dur, fmt_ns, instance_for, run_naive, run_pipeline};
 use ucq_core::{classify, Verdict};
@@ -18,7 +17,7 @@ use ucq_reductions::{
     bmm_via_cq, bmm_via_example20, has_4clique_via_example22, has_4clique_via_example31,
     has_4clique_via_example39, has_triangle_via_example18, BoolMat, Graph,
 };
-use ucq_storage::{EvalContext, Tuple, Value, ValueId};
+use ucq_storage::{CtxView, Tuple, Value, ValueId};
 use ucq_workloads::{catalog, random_instance, InstanceSpec};
 use ucq_yannakakis::{evaluate_cq_naive, CdyEngine};
 
@@ -39,7 +38,8 @@ fn main() {
     e8_classifier();
     e9_cdy_vs_naive(scale);
     e11_alg1_vs_pipeline(scale);
-    e12_fd_extension(scale);
+    e12_concurrent_serving(scale);
+    e13_fd_extension(scale);
 }
 
 /// E1/E2/E3: the DelayClin pipelines vs the naive union, growing |I|.
@@ -222,7 +222,7 @@ fn e7_cheater(scale: usize) {
     println!("|---:|---:|---:|---:|---:|---:|");
     for dup in [1usize, 2, 4] {
         let unique = 250_000 * scale / 4;
-        let ctx = Arc::new(EvalContext::new());
+        let ctx = CtxView::new();
         let ids: Vec<ValueId> = (0..unique)
             .flat_map(|i| {
                 let row = [
@@ -234,14 +234,14 @@ fn e7_cheater(scale: usize) {
             .flatten()
             .collect();
         let t0 = Instant::now();
-        let mut raw = IdDecoder::new(IdVecEnumerator::from_flat(2, ids.clone()), Arc::clone(&ctx));
+        let mut raw = IdDecoder::new(IdVecEnumerator::from_flat(2, ids.clone()), ctx.clone());
         let raw_n = raw.collect_all().len();
         let t_raw = t0.elapsed();
         let t0 = Instant::now();
         let mut ch = Cheater::new(
             IdVecEnumerator::from_flat(2, ids.clone()),
             dup.max(1),
-            Arc::clone(&ctx),
+            ctx.clone(),
         );
         let ch_out = ch.collect_all();
         let t_ch = t0.elapsed();
@@ -378,9 +378,51 @@ fn e11_alg1_vs_pipeline(scale: usize) {
     println!();
 }
 
-/// E12: Remark 2 — the mat-mul query under a key FD becomes tractable;
+/// E12: freeze-and-share serving — one frozen session drained by N OS
+/// threads with the total work held fixed; reports aggregate answers/sec
+/// and the p99 first-answer delay per thread count.
+fn e12_concurrent_serving(scale: usize) {
+    use ucq_workloads::drive_frozen_fixed_work;
+
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("## E12 (freeze-and-share: N threads over one frozen session)\n");
+    println!(
+        "Host parallelism: {hw} core(s). Fixed total work per row; speedup \
+         is capped by the core count.\n"
+    );
+    println!("| query | threads | drains | answers | total | answers/sec | p99 first-answer |");
+    println!("|---|---:|---:|---:|---:|---:|---:|");
+    for (id, base_rows) in [("two_free_connex", 8_000usize), ("example2", 2_000)] {
+        let rows = base_rows * scale / 4;
+        let engine = engine_for(id);
+        let inst = instance_for(id, rows.max(500), 11);
+        let frozen = engine
+            .session(&inst)
+            .freeze()
+            .expect("DelayClin strategy freezes");
+        let single = frozen.enumerate().expect("strategy").collect_all().len();
+        for threads in [1usize, 2, 4, 8] {
+            let total_drains = 16;
+            let report = drive_frozen_fixed_work(&frozen, threads, total_drains);
+            assert_eq!(report.total_answers, single * total_drains);
+            println!(
+                "| {id} | {threads} | {} | {} | {} | {:.0} | {} |",
+                report.drains,
+                report.total_answers,
+                fmt_dur(report.elapsed),
+                report.answers_per_sec(),
+                fmt_ns(report.p99_first_answer_ns()),
+            );
+        }
+    }
+    println!();
+}
+
+/// E13: Remark 2 — the mat-mul query under a key FD becomes tractable;
 /// measure the FD pipeline against naive evaluation.
-fn e12_fd_extension(scale: usize) {
+fn e13_fd_extension(scale: usize) {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     use ucq_core::{evaluate_ucq_naive, Fd, FdSet, FdUcqEngine};
@@ -388,7 +430,7 @@ fn e12_fd_extension(scale: usize) {
     use ucq_query::parse_ucq;
     use ucq_storage::{Instance, Relation};
 
-    println!("## E12 (Remark 2: FD-extension makes mat-mul-hard query tractable)\n");
+    println!("## E13 (Remark 2: FD-extension makes mat-mul-hard query tractable)\n");
     println!("| |I| | answers | verdict | prep | median delay | p99 delay | naive total |");
     println!("|---:|---:|---|---:|---:|---:|---:|");
     let u = parse_ucq("Pi(x, y) <- A(x, z), B(z, y)").expect("query");

@@ -16,7 +16,7 @@
 //! the `CD∘Lin`-friendly variant the paper's conclusion highlights). Unions
 //! of `n` members nest recursively, treating the tail as one query.
 //!
-//! All member engines are built through one shared [`EvalContext`], so the
+//! All member engines are built through one shared context view, so the
 //! members' preprocessing shares interned relations and normalizations, and
 //! the membership probes of line 4 run against interned ids with reused
 //! scratch buffers — no allocation per probe.
@@ -24,7 +24,7 @@
 use std::sync::Arc;
 use ucq_enumerate::Enumerator;
 use ucq_query::Ucq;
-use ucq_storage::{EvalContext, Instance, Tuple};
+use ucq_storage::{CtxView, Instance, Tuple};
 use ucq_yannakakis::{CdyEngine, ContainsScratch, EvalError, OwnedCdyIter};
 
 /// Recursive union node. Each node carries a [`ContainsScratch`] for its
@@ -99,7 +99,7 @@ impl Algorithm1 {
     /// [`Algorithm1::build_in`] (or the engine's session API) to share the
     /// context across members and calls.
     pub fn build(ucq: &Ucq, instance: &Instance) -> Result<Algorithm1, EvalError> {
-        Algorithm1::build_in(ucq, instance, &Arc::new(EvalContext::new()))
+        Algorithm1::build_in(ucq, instance, &CtxView::new())
     }
 
     /// Preprocesses every member with CDY (all must be free-connex) through
@@ -107,7 +107,7 @@ impl Algorithm1 {
     pub fn build_in(
         ucq: &Ucq,
         instance: &Instance,
-        ctx: &Arc<EvalContext>,
+        ctx: &CtxView,
     ) -> Result<Algorithm1, EvalError> {
         Ok(Algorithm1::from_engines(Algorithm1::member_engines(
             ucq, instance, ctx,
@@ -119,7 +119,7 @@ impl Algorithm1 {
     pub fn member_engines(
         ucq: &Ucq,
         instance: &Instance,
-        ctx: &Arc<EvalContext>,
+        ctx: &CtxView,
     ) -> Result<Vec<Arc<CdyEngine>>, EvalError> {
         ucq.cqs()
             .iter()
@@ -238,7 +238,7 @@ mod tests {
         // produce the full answer set.
         let u = parse_ucq("Q1(x, y) <- R(x, y)\nQ2(a, b) <- S(a, b)").unwrap();
         let i = inst(&[("R", vec![(1, 2), (3, 4)]), ("S", vec![(3, 4), (5, 6)])]);
-        let ctx = Arc::new(EvalContext::new());
+        let ctx = CtxView::new();
         let engines = Algorithm1::member_engines(&u, &i, &ctx).unwrap();
         let a = Algorithm1::from_engines(engines.clone()).collect_all();
         let b = Algorithm1::from_engines(engines).collect_all();

@@ -3,14 +3,19 @@
 //!
 //! Two shapes of use:
 //!
-//! * **One-shot** — [`UcqEngine::enumerate`] builds a private
-//!   [`EvalContext`] per call (unchanged public signature).
+//! * **One-shot** — [`UcqEngine::enumerate`] builds a private context per
+//!   call (unchanged public signature).
 //! * **Session** — [`UcqEngine::session`] pins an instance and returns an
 //!   [`EvalSession`] whose context (dictionary, interned relations,
 //!   normalizations, [`IndexCache`](ucq_storage::IndexCache)) and
 //!   preprocessed per-member engines persist across calls: repeated
 //!   [`EvalSession::enumerate`]s skip the linear preprocessing entirely —
 //!   the "serve traffic" shape.
+//! * **Frozen session** — [`EvalSession::freeze`] snapshots the prepared
+//!   session into a [`FrozenSession`]: `Send + Sync`, drivable from any
+//!   number of threads at once, with no lock on the per-answer hot path
+//!   (see [`ucq_storage::FrozenContext`]). Each [`FrozenSession::enumerate`]
+//!   call hands the calling thread its own cursors and scratch.
 
 use crate::algorithm1::Algorithm1;
 use crate::classify::{classify_with, Classification, CqStatus, Verdict};
@@ -21,8 +26,8 @@ use std::cell::RefCell;
 use std::sync::Arc;
 use ucq_enumerate::{Enumerator, IdDecoder, IdVecEnumerator};
 use ucq_query::Ucq;
-use ucq_storage::{EvalContext, Instance, Tuple};
-use ucq_yannakakis::{CdyEngine, EvalError};
+use ucq_storage::{CtxView, Instance, Tuple};
+use ucq_yannakakis::{CdyEngine, EvalError, IdTable};
 
 /// Materializes the naive union on the id layer and wraps it in the
 /// lazily-decoding value facade (ids stay interned under `ctx`; one decode
@@ -30,13 +35,22 @@ use ucq_yannakakis::{CdyEngine, EvalError};
 fn naive_id_answers(
     ucq: &Ucq,
     instance: &Instance,
-    ctx: &Arc<EvalContext>,
+    ctx: &CtxView,
 ) -> Result<IdDecoder<IdVecEnumerator>, EvalError> {
     let table = evaluate_ucq_naive_ids_in(ucq, instance, ctx)?;
     Ok(IdDecoder::new(
         IdVecEnumerator::new(table.width, table.data, table.n_rows),
-        Arc::clone(ctx),
+        ctx.clone(),
     ))
+}
+
+/// Replays a pre-materialized naive answer table through the lazily
+/// decoding value facade (the frozen-session serve path).
+fn replay_id_table(table: &IdTable, ctx: &CtxView) -> IdDecoder<IdVecEnumerator> {
+    IdDecoder::new(
+        IdVecEnumerator::new(table.width, table.data.clone(), table.n_rows),
+        ctx.clone(),
+    )
 }
 
 /// Which evaluation strategy a run used.
@@ -104,10 +118,10 @@ impl UcqEngine {
     /// Evaluates over `instance`, returning an answer stream tagged with
     /// the strategy that produced it. `DelayClin` guarantees apply exactly
     /// when the strategy is not [`Strategy::Naive`]. Builds a private
-    /// [`EvalContext`]; use [`UcqEngine::session`] to reuse preprocessing
-    /// across repeated evaluations.
+    /// context; use [`UcqEngine::session`] to reuse preprocessing across
+    /// repeated evaluations.
     pub fn enumerate(&self, instance: &Instance) -> Result<UcqAnswers, EvalError> {
-        self.enumerate_in(&Arc::new(EvalContext::new()), instance)
+        self.enumerate_in(&CtxView::new(), instance)
     }
 
     /// As [`UcqEngine::enumerate`], threading the shared session context
@@ -121,7 +135,7 @@ impl UcqEngine {
     /// copy into the context's caches (contexts never evict).
     pub fn enumerate_in(
         &self,
-        ctx: &Arc<EvalContext>,
+        ctx: &CtxView,
         instance: &Instance,
     ) -> Result<UcqAnswers, EvalError> {
         let minimized = &self.classification.minimized;
@@ -153,18 +167,14 @@ impl UcqEngine {
         EvalSession {
             engine: self,
             instance: instance.clone(),
-            ctx: Arc::new(EvalContext::new()),
+            ctx: CtxView::new(),
             prepared: RefCell::new(None),
         }
     }
 
     /// Forces the naive strategy (baseline for experiments).
     pub fn enumerate_naive(&self, instance: &Instance) -> Result<Vec<Tuple>, EvalError> {
-        evaluate_ucq_naive_in(
-            &self.classification.minimized,
-            instance,
-            &EvalContext::new(),
-        )
+        evaluate_ucq_naive_in(&self.classification.minimized, instance, &CtxView::new())
     }
 
     /// `Decide⟨Q⟩`: whether the union has at least one answer. For unions
@@ -172,7 +182,7 @@ impl UcqEngine {
     /// member's CDY `decide()` after its linear pass); otherwise it asks
     /// the chosen enumeration strategy for a first answer.
     pub fn decide(&self, instance: &Instance) -> Result<bool, EvalError> {
-        let ctx = Arc::new(EvalContext::new());
+        let ctx = CtxView::new();
         let minimized = &self.classification.minimized;
         if minimized
             .cqs()
@@ -223,7 +233,7 @@ enum Prepared {
 pub struct EvalSession<'e> {
     engine: &'e UcqEngine,
     instance: Instance,
-    ctx: Arc<EvalContext>,
+    ctx: CtxView,
     prepared: RefCell<Option<Prepared>>,
 }
 
@@ -234,7 +244,7 @@ impl EvalSession<'_> {
     }
 
     /// The shared context (dictionary + caches) of this session.
-    pub fn context(&self) -> &Arc<EvalContext> {
+    pub fn context(&self) -> &CtxView {
         &self.ctx
     }
 
@@ -312,10 +322,169 @@ impl EvalSession<'_> {
     }
 }
 
-/// A strategy-tagged answer stream.
+impl<'e> EvalSession<'e> {
+    /// Ends the build phase: runs the linear preprocessing if it has not
+    /// run yet, snapshots the context into an immutable
+    /// [`ucq_storage::FrozenContext`], and retargets the prepared engines
+    /// onto the snapshot — no preprocessing is repeated. The result is
+    /// `Send + Sync`: N threads can call [`FrozenSession::enumerate`]
+    /// concurrently, each getting its own cursors, with zero locking on
+    /// the per-answer path.
+    ///
+    /// For the naive strategy the answer table is materialized here, once,
+    /// so post-freeze calls replay it instead of re-joining (and the ids
+    /// land below the frozen watermark).
+    pub fn freeze(self) -> Result<FrozenSession<'e>, EvalError> {
+        self.ensure_prepared()?;
+        let minimized = &self.engine.classification.minimized;
+        let naive_table = match self.prepared.borrow().as_ref().expect("just prepared") {
+            Prepared::Naive => Some(evaluate_ucq_naive_ids_in(
+                minimized,
+                &self.instance,
+                &self.ctx,
+            )?),
+            _ => None,
+        };
+        let view = self.ctx.freeze();
+        let prepared = match self.prepared.into_inner().expect("just prepared") {
+            Prepared::Algorithm1(mut engines) => {
+                for eng in &mut engines {
+                    // A leftover live enumerator (pre-freeze `enumerate()`
+                    // stream) pins the Arc; such an engine keeps the
+                    // build-phase view — same ids, just mutex-guarded.
+                    if let Some(e) = Arc::get_mut(eng) {
+                        e.set_view(view.clone());
+                    }
+                }
+                FrozenPrepared::Algorithm1(engines)
+            }
+            Prepared::Union(mut prep) => {
+                prep.retarget(&view);
+                FrozenPrepared::Union(prep)
+            }
+            Prepared::Naive => FrozenPrepared::Naive(naive_table.expect("materialized above")),
+        };
+        Ok(FrozenSession {
+            engine: self.engine,
+            instance: self.instance,
+            ctx: view,
+            prepared,
+        })
+    }
+}
+
+/// The per-strategy state a [`FrozenSession`] serves from. Unlike
+/// [`Prepared`], every variant is immutable and shareable.
+enum FrozenPrepared {
+    /// Per-member CDY engines retargeted onto the frozen snapshot.
+    Algorithm1(Vec<Arc<CdyEngine>>),
+    /// The Theorem 12 prep retargeted onto the frozen snapshot.
+    Union(UcqPipelinePrep),
+    /// The naive answer table, materialized at freeze time; enumerations
+    /// replay it.
+    Naive(IdTable),
+}
+
+/// A frozen `(classified query, instance)` session: `Send + Sync`, served
+/// concurrently by any number of threads. Produced by
+/// [`EvalSession::freeze`]; see the module docs for the lifecycle.
+///
+/// ```
+/// use std::collections::HashSet;
+/// use ucq_core::UcqEngine;
+/// use ucq_enumerate::Enumerator;
+/// use ucq_query::parse_ucq;
+/// use ucq_storage::{Instance, Relation, Tuple};
+///
+/// let engine = UcqEngine::new(parse_ucq("Q(x, y) <- R(x, y)").unwrap());
+/// let instance: Instance =
+///     [("R", Relation::from_pairs([(1, 2), (3, 4)]))].into_iter().collect();
+/// let frozen = engine.session(&instance).freeze().unwrap();
+/// let answers: Vec<HashSet<Tuple>> = std::thread::scope(|s| {
+///     let handles: Vec<_> = (0..2)
+///         .map(|_| s.spawn(|| frozen.enumerate().unwrap().collect_all().into_iter().collect()))
+///         .collect();
+///     handles.into_iter().map(|h| h.join().unwrap()).collect()
+/// });
+/// assert_eq!(answers[0], answers[1]);
+/// assert_eq!(answers[0].len(), 2);
+/// ```
+pub struct FrozenSession<'e> {
+    engine: &'e UcqEngine,
+    instance: Instance,
+    ctx: CtxView,
+    prepared: FrozenPrepared,
+}
+
+impl FrozenSession<'_> {
+    /// The engine this session evaluates.
+    pub fn engine(&self) -> &UcqEngine {
+        self.engine
+    }
+
+    /// The pinned instance.
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// The frozen context view (always [`CtxView::is_frozen`]).
+    pub fn context(&self) -> &CtxView {
+        &self.ctx
+    }
+
+    /// The strategy frozen evaluations use.
+    pub fn strategy(&self) -> Strategy {
+        self.engine.strategy()
+    }
+
+    /// Starts an enumeration over the frozen state. Callable from many
+    /// threads at once (`&self`); each call returns an independent stream
+    /// owning its cursors, dedup table and scratch, while all streams read
+    /// the same frozen dictionary, relations and indexes lock-free.
+    pub fn enumerate(&self) -> Result<UcqAnswers, EvalError> {
+        match &self.prepared {
+            FrozenPrepared::Algorithm1(engines) => Ok(UcqAnswers {
+                strategy: Strategy::Algorithm1,
+                inner: Box::new(Algorithm1::from_engines(engines.clone())),
+            }),
+            FrozenPrepared::Union(prep) => Ok(UcqAnswers {
+                strategy: Strategy::UnionExtension,
+                inner: Box::new(prep.start()),
+            }),
+            FrozenPrepared::Naive(table) => Ok(UcqAnswers {
+                strategy: Strategy::Naive,
+                inner: Box::new(replay_id_table(table, &self.ctx)),
+            }),
+        }
+    }
+
+    /// `Decide⟨Q⟩` against the frozen state (no preprocessing, no joins).
+    pub fn decide(&self) -> Result<bool, EvalError> {
+        match &self.prepared {
+            FrozenPrepared::Algorithm1(engines) => Ok(engines.iter().any(|e| e.decide())),
+            FrozenPrepared::Naive(table) => Ok(table.n_rows > 0),
+            FrozenPrepared::Union(_) => {
+                let mut ans = self.enumerate()?;
+                Ok(ans.next().is_some())
+            }
+        }
+    }
+}
+
+// The whole point of freezing: the serve-phase session is shareable across
+// threads, and every answer stream can move to the thread that drains it.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    const fn assert_send<T: Send>() {}
+    assert_send_sync::<FrozenSession<'static>>();
+    assert_send::<UcqAnswers>();
+};
+
+/// A strategy-tagged answer stream. `Send`, so a serving thread can take
+/// an enumeration with it (each stream owns its cursors and scratch).
 pub struct UcqAnswers {
     strategy: Strategy,
-    inner: Box<dyn Enumerator>,
+    inner: Box<dyn Enumerator + Send>,
 }
 
 impl UcqAnswers {

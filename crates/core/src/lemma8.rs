@@ -20,7 +20,7 @@
 use crate::plan::PlannedAtom;
 use std::sync::Arc;
 use ucq_query::{Atom, Ucq, VarId};
-use ucq_storage::{EvalContext, IdRel, IdSet, Relation, Tuple, ValueId};
+use ucq_storage::{CtxView, IdRel, IdSet, Relation, Tuple, ValueId};
 use ucq_yannakakis::{CdyEngine, EvalError};
 
 /// Connex bindings extended (and translated) per block; see
@@ -39,7 +39,7 @@ pub struct Materialized {
     /// The virtual relation (columns = the atom's variables, sorted),
     /// shared so it can be inserted into an instance without copying; its
     /// interned mirror is pre-registered with the materializing context
-    /// (see [`EvalContext::register_interned`]), so downstream engine
+    /// (see `EvalContext::register_interned`), so downstream engine
     /// builds never re-intern it.
     pub relation: Arc<Relation>,
     /// Provider answers emitted along the way (a subset `M ⊆ Q_j(I)`), as
@@ -55,7 +55,7 @@ pub struct Materialized {
 impl Materialized {
     /// Decodes the emitted provider answers to value tuples (test/bench
     /// boundary; the pipeline replays the ids directly).
-    pub fn decode_provider_answers(&self, ctx: &EvalContext) -> Vec<Tuple> {
+    pub fn decode_provider_answers(&self, ctx: &CtxView) -> Vec<Tuple> {
         if self.provider_width == 0 {
             vec![Tuple::empty(); self.n_provider_answers]
         } else {
@@ -74,7 +74,7 @@ pub fn materialize_atom_in(
     atom: &PlannedAtom,
     rel_name_of: &dyn Fn(usize, ucq_hypergraph::VSet) -> String,
     instance: &ucq_storage::Instance,
-    ctx: &Arc<EvalContext>,
+    ctx: &CtxView,
 ) -> Result<Materialized, EvalError> {
     let prov = &atom.provenance;
     let provider = &ucq.cqs()[prov.provider];
@@ -207,7 +207,7 @@ mod tests {
         ]);
         let atom = &plan.atoms[0];
         let name_of = |t: usize, v: ucq_hypergraph::VSet| plan.atom_for(t, v).rel_name.clone();
-        let ctx = Arc::new(EvalContext::new());
+        let ctx = CtxView::new();
         let m = materialize_atom_in(&u, atom, &name_of, &i, &ctx).unwrap();
         let provider_answers = m.decode_provider_answers(&ctx);
 
@@ -251,7 +251,7 @@ mod tests {
         let plan = plan_free_connex(&u, &SearchConfig::default()).unwrap();
         let i = inst(&[("R1", vec![]), ("R2", vec![]), ("R3", vec![])]);
         let name_of = |t: usize, v: ucq_hypergraph::VSet| plan.atom_for(t, v).rel_name.clone();
-        let ctx = Arc::new(EvalContext::new());
+        let ctx = CtxView::new();
         let m = materialize_atom_in(&u, &plan.atoms[0], &name_of, &i, &ctx).unwrap();
         assert!(m.relation.is_empty());
         assert_eq!(m.n_provider_answers, 0);

@@ -39,7 +39,7 @@ pub use classify::{
     classify, classify_with, cq_status, Classification, CqStatus, HardnessWitness, Hypothesis,
     Verdict,
 };
-pub use engine::{EvalSession, Strategy, UcqAnswers, UcqEngine};
+pub use engine::{EvalSession, FrozenSession, Strategy, UcqAnswers, UcqEngine};
 pub use fd::{extend_instance, fd_extend_cq, fd_extend_ucq, Fd, FdExtension, FdSet};
 pub use fd_engine::{FdAnswers, FdSession, FdUcqEngine};
 pub use naive_ucq::{

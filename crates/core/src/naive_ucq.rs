@@ -9,15 +9,15 @@
 
 use std::collections::HashSet;
 use ucq_query::Ucq;
-use ucq_storage::{EvalContext, FastSet, InlineKey, Instance, Tuple, ValueId};
+use ucq_storage::{CtxView, FastSet, InlineKey, Instance, Tuple, ValueId};
 use ucq_yannakakis::{evaluate_cq_naive_ids_in, EvalError, IdTable};
 
 /// Evaluates `Q(I)` by materializing every member and deduplicating. All
-/// members share one [`EvalContext`], so atoms with equal shapes over the
+/// members share one context view, so atoms with equal shapes over the
 /// same relation — within a member or across members — share normalized
 /// data and join indexes.
 pub fn evaluate_ucq_naive(ucq: &Ucq, instance: &Instance) -> Result<Vec<Tuple>, EvalError> {
-    evaluate_ucq_naive_in(ucq, instance, &EvalContext::new())
+    evaluate_ucq_naive_in(ucq, instance, &CtxView::new())
 }
 
 /// Evaluates the union on the id layer: per-member batched-probe joins,
@@ -27,7 +27,7 @@ pub fn evaluate_ucq_naive(ucq: &Ucq, instance: &Instance) -> Result<Vec<Tuple>, 
 pub fn evaluate_ucq_naive_ids_in(
     ucq: &Ucq,
     instance: &Instance,
-    ctx: &EvalContext,
+    ctx: &CtxView,
 ) -> Result<IdTable, EvalError> {
     let mut seen: FastSet<InlineKey> = FastSet::default();
     let mut width = 0usize;
@@ -55,7 +55,7 @@ pub fn evaluate_ucq_naive_ids_in(
 pub fn evaluate_ucq_naive_in(
     ucq: &Ucq,
     instance: &Instance,
-    ctx: &EvalContext,
+    ctx: &CtxView,
 ) -> Result<Vec<Tuple>, EvalError> {
     let table = evaluate_ucq_naive_ids_in(ucq, instance, ctx)?;
     if table.width == 0 {

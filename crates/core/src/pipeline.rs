@@ -18,7 +18,7 @@
 //! ([`UcqPipeline::next_ids`]).
 //!
 //! The preprocessing phase is reified as [`UcqPipelinePrep`]: all member
-//! engines share one [`EvalContext`] (so the base relations are interned
+//! engines share one context view (so the base relations are interned
 //! and normalized once for the whole union), and a prep can
 //! [`start`](UcqPipelinePrep::start) any number of enumerations — this is
 //! what [`EvalSession`](crate::engine::EvalSession) caches to serve
@@ -31,7 +31,7 @@ use ucq_enumerate::{
     Cheater, CheaterStats, Enumerator, IdChainEnumerator, IdEnumerator, IdVecEnumerator,
 };
 use ucq_query::Ucq;
-use ucq_storage::{EvalContext, IdBlock, Instance, Tuple, ValueId};
+use ucq_storage::{CtxView, IdBlock, Instance, Tuple, ValueId};
 use ucq_yannakakis::{CdyEngine, EvalError, OwnedCdyIter};
 
 /// The preprocessed (linear-phase) state of the Theorem 12 pipeline:
@@ -53,7 +53,7 @@ pub struct UcqPipelinePrep {
     /// Tuples materialization contributed to the instance, per planned atom
     /// (diagnostics for tests/benches).
     pub materialized_sizes: Vec<usize>,
-    ctx: Arc<EvalContext>,
+    ctx: CtxView,
 }
 
 impl UcqPipelinePrep {
@@ -63,7 +63,7 @@ impl UcqPipelinePrep {
         ucq: &Ucq,
         plan: &ExtensionPlan,
         instance: &Instance,
-        ctx: &Arc<EvalContext>,
+        ctx: &CtxView,
     ) -> Result<UcqPipelinePrep, EvalError> {
         let mut ext_instance = instance.clone();
         let arity = ucq.cqs()[0].head().len();
@@ -102,15 +102,30 @@ impl UcqPipelinePrep {
             engines,
             budget,
             materialized_sizes,
-            ctx: Arc::clone(ctx),
+            ctx: ctx.clone(),
         })
+    }
+
+    /// Retargets this prep (and its member engines) onto another view of
+    /// the same session — the freeze step of `EvalSession::freeze`. An
+    /// engine still pinned by a live enumerator (`Arc` shared) keeps its
+    /// build-phase view; that is still correct (the frozen snapshot shares
+    /// the same ids), it just keeps paying the build-phase lock.
+    pub(crate) fn retarget(&mut self, view: &CtxView) {
+        self.ctx = view.clone();
+        for eng in &mut self.engines {
+            if let Some(e) = Arc::get_mut(eng) {
+                e.set_view(view.clone());
+            }
+        }
     }
 
     /// Starts one enumeration over the preprocessed state. Starting is
     /// O(answers already emitted during materialization) — one flat memcpy
     /// of the early id rows; no linear pass is repeated.
     pub fn start(&self) -> UcqPipeline {
-        let mut stages: Vec<Box<dyn IdEnumerator>> = Vec::with_capacity(self.engines.len() + 1);
+        let mut stages: Vec<Box<dyn IdEnumerator + Send>> =
+            Vec::with_capacity(self.engines.len() + 1);
         stages.push(Box::new(IdVecEnumerator::new(
             self.arity,
             self.early_ids.clone(),
@@ -125,7 +140,7 @@ impl UcqPipelinePrep {
             inner: Cheater::with_capacity_hint(
                 IdChainEnumerator::new(self.arity, stages),
                 self.budget,
-                Arc::clone(&self.ctx),
+                self.ctx.clone(),
                 self.n_early,
             ),
             materialized_sizes: self.materialized_sizes.clone(),
@@ -150,7 +165,7 @@ impl UcqPipeline {
         plan: &ExtensionPlan,
         instance: &Instance,
     ) -> Result<UcqPipeline, EvalError> {
-        UcqPipeline::build_in(ucq, plan, instance, &Arc::new(EvalContext::new()))
+        UcqPipeline::build_in(ucq, plan, instance, &CtxView::new())
     }
 
     /// As [`UcqPipeline::build`], sharing the caches of `ctx`.
@@ -158,7 +173,7 @@ impl UcqPipeline {
         ucq: &Ucq,
         plan: &ExtensionPlan,
         instance: &Instance,
-        ctx: &Arc<EvalContext>,
+        ctx: &CtxView,
     ) -> Result<UcqPipeline, EvalError> {
         Ok(UcqPipelinePrep::prepare(ucq, plan, instance, ctx)?.start())
     }
@@ -330,7 +345,7 @@ mod tests {
             ("R2", vec![(2, 3), (5, 3)]),
             ("R3", vec![(3, 4)]),
         ]);
-        let ctx = Arc::new(EvalContext::new());
+        let ctx = CtxView::new();
         let prep = UcqPipelinePrep::prepare(&u, &plan, &i, &ctx).unwrap();
         let a: HashSet<Tuple> = prep.start().collect_all().into_iter().collect();
         let b: HashSet<Tuple> = prep.start().collect_all().into_iter().collect();
@@ -352,7 +367,7 @@ mod tests {
             ("R2", vec![(2, 3), (5, 3), (7, 0)]),
             ("R3", vec![(3, 4), (3, 6), (0, 2)]),
         ]);
-        let ctx = Arc::new(EvalContext::new());
+        let ctx = CtxView::new();
         let prep = UcqPipelinePrep::prepare(&u, &plan, &i, &ctx).unwrap();
 
         let via_values = prep.start().collect_all();
@@ -385,13 +400,13 @@ mod tests {
             ("R2", vec![(2, 3), (5, 3), (9, 8)]),
             ("R3", vec![(3, 4), (8, 0)]),
         ]);
-        let ctx = Arc::new(EvalContext::new());
+        let ctx = CtxView::new();
         let prep = UcqPipelinePrep::prepare(&u, &plan, &i, &ctx).unwrap();
 
         let name_of = |t: usize, v: ucq_hypergraph::VSet| plan.atom_for(t, v).rel_name.clone();
         let mut ext = i.clone();
         let mut want_sizes = Vec::new();
-        let ctx2 = Arc::new(EvalContext::new());
+        let ctx2 = CtxView::new();
         for atom in &plan.atoms {
             let m = materialize_atom_in(&u, atom, &name_of, &ext, &ctx2).unwrap();
             want_sizes.push(m.relation.len());

@@ -253,6 +253,51 @@ proptest! {
         prop_assert_eq!(s.emitted, got.len());
     }
 
+    /// A frozen session equals the value-level nested-loop oracle: the
+    /// freeze must preserve the answer set exactly (for every strategy,
+    /// including the pre-materialized naive fallback), repeated frozen
+    /// drains stay stable, and `decide` agrees with non-emptiness.
+    #[test]
+    fn frozen_session_matches_value_level_oracle((u, inst) in ucq_and_instance()) {
+        let mut want: HashSet<Tuple> = HashSet::new();
+        let mut schema_ok = true;
+        for cq in u.cqs() {
+            if value_level_cq(cq, &inst, &mut want).is_err() {
+                schema_ok = false;
+                break;
+            }
+        }
+        let engine = UcqEngine::new(u);
+        let session = engine.session(&inst);
+        let frozen = match session.freeze() {
+            // Arity clashes surface during freeze (it prepares) …
+            Err(_) => {
+                prop_assert!(!schema_ok, "freeze failed on a clean schema");
+                return Ok(());
+            }
+            Ok(f) => f,
+        };
+        if !schema_ok {
+            // … unless minimization dropped the clashing member entirely;
+            // then the frozen stream must still equal the build-phase one.
+            let build: HashSet<Tuple> =
+                engine.enumerate(&inst).unwrap().collect_all().into_iter().collect();
+            let got: HashSet<Tuple> =
+                frozen.enumerate().unwrap().collect_all().into_iter().collect();
+            prop_assert_eq!(&got, &build, "frozen vs build on minimized union");
+            return Ok(());
+        }
+        for round in 0..2 {
+            let got: HashSet<Tuple> =
+                frozen.enumerate().unwrap().collect_all().into_iter().collect();
+            prop_assert_eq!(
+                &got, &want,
+                "frozen round {} vs oracle ({:?})", round, frozen.strategy()
+            );
+        }
+        prop_assert_eq!(frozen.decide().unwrap(), !want.is_empty());
+    }
+
     /// Repeated session evaluations agree with the one-shot path.
     #[test]
     fn session_matches_oneshot((u, inst) in ucq_and_instance()) {

@@ -33,8 +33,7 @@
 
 use crate::enumerator::Enumerator;
 use crate::idenum::{IdEnumerator, DEFAULT_BLOCK_ROWS};
-use std::sync::Arc;
-use ucq_storage::{EvalContext, IdBlock, IdSet, Tuple, ValueId};
+use ucq_storage::{CtxView, IdBlock, IdSet, Tuple, ValueId};
 
 /// Runtime counters of a [`Cheater`] run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -58,7 +57,7 @@ pub struct CheaterStats {
 pub struct Cheater<E: IdEnumerator> {
     inner: E,
     inner_done: bool,
-    ctx: Arc<EvalContext>,
+    ctx: CtxView,
     arity: usize,
     /// Dedup table over id rows — packed `u128` keys up to 4 columns,
     /// inline-key spill beyond (see [`IdSet`]).
@@ -87,7 +86,7 @@ impl<E: IdEnumerator> Cheater<E> {
     /// Wraps `inner`, pumping up to `pump_budget ≥ 1` inner results per
     /// emitted answer (the duplication bound `m` of Lemma 5). Emitted
     /// answers decode through `ctx`'s dictionary.
-    pub fn new(inner: E, pump_budget: usize, ctx: Arc<EvalContext>) -> Cheater<E> {
+    pub fn new(inner: E, pump_budget: usize, ctx: CtxView) -> Cheater<E> {
         assert!(pump_budget >= 1, "pump budget must be positive");
         let arity = inner.arity();
         Cheater {
@@ -111,7 +110,7 @@ impl<E: IdEnumerator> Cheater<E> {
     /// twice, as in the Theorem 12 pipeline where an answer can surface once
     /// during provider materialization and once during its own query's
     /// enumeration).
-    pub fn with_default_budget(inner: E, ctx: Arc<EvalContext>) -> Cheater<E> {
+    pub fn with_default_budget(inner: E, ctx: CtxView) -> Cheater<E> {
         Cheater::new(inner, 2, ctx)
     }
 
@@ -124,7 +123,7 @@ impl<E: IdEnumerator> Cheater<E> {
     pub fn with_capacity_hint(
         inner: E,
         pump_budget: usize,
-        ctx: Arc<EvalContext>,
+        ctx: CtxView,
         expected_answers: usize,
     ) -> Cheater<E> {
         let mut c = Cheater::new(inner, pump_budget, ctx);
@@ -274,7 +273,7 @@ mod tests {
     use ucq_storage::Value;
 
     /// Interns value rows and wraps them in an id replay enumerator.
-    fn id_stream(ctx: &Arc<EvalContext>, rows: &[[i64; 1]]) -> IdVecEnumerator {
+    fn id_stream(ctx: &CtxView, rows: &[[i64; 1]]) -> IdVecEnumerator {
         let ids: Vec<ValueId> = rows
             .iter()
             .flat_map(|r| r.iter().map(|&x| ctx.intern(Value::Int(x))))
@@ -288,7 +287,7 @@ mod tests {
 
     #[test]
     fn deduplicates_preserving_first_occurrence_order() {
-        let ctx = Arc::new(EvalContext::new());
+        let ctx = CtxView::new();
         let inner = id_stream(&ctx, &[[1], [2], [1], [3], [2]]);
         let mut c = Cheater::new(inner, 2, ctx);
         assert_eq!(c.collect_all(), vec![t(1), t(2), t(3)]);
@@ -302,7 +301,7 @@ mod tests {
 
     #[test]
     fn all_duplicates_yield_single_answer() {
-        let ctx = Arc::new(EvalContext::new());
+        let ctx = CtxView::new();
         let inner = id_stream(&ctx, &[[7]; 100]);
         let mut c = Cheater::new(inner, 3, ctx);
         assert_eq!(c.collect_all(), vec![t(7)]);
@@ -313,7 +312,7 @@ mod tests {
 
     #[test]
     fn empty_inner_is_empty() {
-        let ctx = Arc::new(EvalContext::new());
+        let ctx = CtxView::new();
         let mut c = Cheater::new(IdVecEnumerator::new(1, Vec::new(), 0), 2, ctx);
         assert_eq!(c.next(), None);
         assert_eq!(c.next(), None);
@@ -324,7 +323,7 @@ mod tests {
     fn queue_banks_results_with_large_budget() {
         // Budget larger than the stream: everything is pumped on the first
         // call, then drained from the queue.
-        let ctx = Arc::new(EvalContext::new());
+        let ctx = CtxView::new();
         let rows: Vec<[i64; 1]> = (0..10).map(|i| [i]).collect();
         let mut c = Cheater::new(id_stream(&ctx, &rows), 100, ctx);
         let got = c.collect_all();
@@ -337,7 +336,7 @@ mod tests {
         // Lemma 5 pacing on an all-unique stream with budget m = 3: each
         // `next` processes exactly m inner results (never a whole block),
         // so after k emissions exactly 3k results have been consumed.
-        let ctx = Arc::new(EvalContext::new());
+        let ctx = CtxView::new();
         let rows: Vec<[i64; 1]> = (0..30).map(|i| [i]).collect();
         let mut c = Cheater::new(id_stream(&ctx, &rows), 3, ctx);
         for k in 1..=5usize {
@@ -351,7 +350,7 @@ mod tests {
     fn first_next_does_no_eager_block_work() {
         // Early-exit consumers (Decide) must not pay for a full block: the
         // refill ramp starts at the pump budget.
-        let ctx = Arc::new(EvalContext::new());
+        let ctx = CtxView::new();
         let rows: Vec<[i64; 1]> = (0..2000).map(|i| [i]).collect();
         let mut c = Cheater::new(id_stream(&ctx, &rows), 2, ctx);
         assert!(c.next().is_some());
@@ -362,7 +361,7 @@ mod tests {
 
     #[test]
     fn no_duplicates_over_id_enumerator() {
-        let ctx = Arc::new(EvalContext::new());
+        let ctx = CtxView::new();
         let rows: Vec<[i64; 1]> = (0..200).map(|i| [i % 17]).collect();
         let mut c = Cheater::new(id_stream(&ctx, &rows), 2, ctx);
         let got = c.collect_all();
@@ -375,7 +374,7 @@ mod tests {
 
     #[test]
     fn output_set_equals_input_set() {
-        let ctx = Arc::new(EvalContext::new());
+        let ctx = CtxView::new();
         let inner = id_stream(&ctx, &[[3], [3], [1], [2], [1]]);
         let mut c = Cheater::new(inner, 1, ctx);
         let mut got = c.collect_all();
@@ -386,19 +385,19 @@ mod tests {
     #[test]
     #[should_panic(expected = "positive")]
     fn zero_budget_rejected() {
-        let ctx = Arc::new(EvalContext::new());
+        let ctx = CtxView::new();
         let _ = Cheater::new(IdVecEnumerator::new(1, Vec::new(), 0), 0, ctx);
     }
 
     #[test]
     fn next_ids_skips_decode() {
-        let ctx = Arc::new(EvalContext::new());
+        let ctx = CtxView::new();
         let want: Vec<ValueId> = [5i64, 6, 5]
             .iter()
             .map(|&x| ctx.intern(Value::Int(x)))
             .collect();
         let inner = IdVecEnumerator::from_flat(1, want.clone());
-        let mut c = Cheater::new(inner, 2, Arc::clone(&ctx));
+        let mut c = Cheater::new(inner, 2, ctx.clone());
         let mut got: Vec<ValueId> = Vec::new();
         while let Some(row) = c.next_ids() {
             got.extend_from_slice(row);
@@ -411,9 +410,9 @@ mod tests {
 
     #[test]
     fn cheater_as_id_enumerator_composes() {
-        let ctx = Arc::new(EvalContext::new());
+        let ctx = CtxView::new();
         let inner = id_stream(&ctx, &[[1], [2], [1], [3]]);
-        let mut c = Cheater::new(inner, 2, Arc::clone(&ctx));
+        let mut c = Cheater::new(inner, 2, ctx.clone());
         let (ids, rows) = c.collect_ids();
         assert_eq!(rows, 3);
         assert_eq!(ids.len(), 3);
@@ -422,14 +421,13 @@ mod tests {
 
     #[test]
     fn capacity_hint_changes_nothing_observable() {
-        let ctx = Arc::new(EvalContext::new());
+        let ctx = CtxView::new();
         let rows: Vec<[i64; 1]> = (0..100).map(|i| [i % 7]).collect();
-        let plain = Cheater::new(id_stream(&ctx, &rows), 2, Arc::clone(&ctx)).collect_all();
-        let mut hinted =
-            Cheater::with_capacity_hint(id_stream(&ctx, &rows), 2, Arc::clone(&ctx), 7);
+        let plain = Cheater::new(id_stream(&ctx, &rows), 2, ctx.clone()).collect_all();
+        let mut hinted = Cheater::with_capacity_hint(id_stream(&ctx, &rows), 2, ctx.clone(), 7);
         assert_eq!(hinted.collect_all(), plain);
         // Undershooting the hint is safe too.
-        let mut low = Cheater::with_capacity_hint(id_stream(&ctx, &rows), 2, Arc::clone(&ctx), 1);
+        let mut low = Cheater::with_capacity_hint(id_stream(&ctx, &rows), 2, ctx.clone(), 1);
         assert_eq!(low.collect_all(), plain);
     }
 
@@ -437,7 +435,7 @@ mod tests {
     fn wide_rows_spill_to_inline_keys() {
         // Arity 5 exceeds the packed-u128 dedup; the spilled path must
         // dedup identically.
-        let ctx = Arc::new(EvalContext::new());
+        let ctx = CtxView::new();
         let mut ids: Vec<ValueId> = Vec::new();
         for r in [[1i64, 2, 3, 4, 5], [6, 7, 8, 9, 10], [1, 2, 3, 4, 5]] {
             ids.extend(r.iter().map(|&x| ctx.intern(Value::Int(x))));
@@ -450,7 +448,7 @@ mod tests {
 
     #[test]
     fn nullary_stream_dedups_to_one() {
-        let ctx = Arc::new(EvalContext::new());
+        let ctx = CtxView::new();
         let inner = IdVecEnumerator::new(0, Vec::new(), 5);
         let mut c = Cheater::new(inner, 2, ctx);
         assert_eq!(c.collect_all(), vec![Tuple::empty()]);
@@ -461,7 +459,7 @@ mod tests {
     fn queue_memory_compacts_under_steady_state() {
         // Budget 1 on an all-unique stream: one in, one out. The flat queue
         // must compact instead of retaining every emitted row.
-        let ctx = Arc::new(EvalContext::new());
+        let ctx = CtxView::new();
         let rows: Vec<[i64; 1]> = (0..10_000).map(|i| [i]).collect();
         let mut c = Cheater::new(id_stream(&ctx, &rows), 1, ctx);
         let mut n = 0;

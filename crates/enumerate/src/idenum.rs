@@ -18,8 +18,7 @@
 //! virtual calls and zero per-answer allocations.
 
 use crate::enumerator::Enumerator;
-use std::sync::Arc;
-use ucq_storage::{EvalContext, IdBlock, Tuple, ValueId};
+use ucq_storage::{CtxView, IdBlock, Tuple, ValueId};
 
 /// Default rows per block for drains that pick their own block size.
 pub const DEFAULT_BLOCK_ROWS: usize = 512;
@@ -56,6 +55,16 @@ pub trait IdEnumerator {
 }
 
 impl IdEnumerator for Box<dyn IdEnumerator> {
+    fn arity(&self) -> usize {
+        (**self).arity()
+    }
+
+    fn next_block(&mut self, block: &mut IdBlock) -> usize {
+        (**self).next_block(block)
+    }
+}
+
+impl IdEnumerator for Box<dyn IdEnumerator + Send> {
     fn arity(&self) -> usize {
         (**self).arity()
     }
@@ -120,13 +129,14 @@ impl IdEnumerator for IdVecEnumerator {
 /// the next, so block fills stay large across stage boundaries.
 pub struct IdChainEnumerator {
     arity: usize,
-    stages: Vec<Box<dyn IdEnumerator>>,
+    stages: Vec<Box<dyn IdEnumerator + Send>>,
     current: usize,
 }
 
 impl IdChainEnumerator {
-    /// Chains the given stages in order.
-    pub fn new(arity: usize, stages: Vec<Box<dyn IdEnumerator>>) -> IdChainEnumerator {
+    /// Chains the given stages in order. Stages are `Send` so a chain
+    /// (and the pipeline above it) can be handed to a serving thread.
+    pub fn new(arity: usize, stages: Vec<Box<dyn IdEnumerator + Send>>) -> IdChainEnumerator {
         for s in &stages {
             assert_eq!(s.arity(), arity, "chained stages must share one arity");
         }
@@ -157,25 +167,29 @@ impl IdEnumerator for IdChainEnumerator {
     }
 }
 
-/// The value-level facade over an id enumerator: pulls blocks, decodes one
-/// row per [`Enumerator::next`] through the session dictionary. This is
-/// what keeps `Tuple`-yielding public APIs unchanged above the id spine.
+/// The value-level facade over an id enumerator: pulls blocks and decodes
+/// each block through the session dictionary in one `decode_rows` call —
+/// a build-phase context is locked once per *block*, not once per row
+/// (a frozen context reads lock-free either way). This is what keeps
+/// `Tuple`-yielding public APIs unchanged above the id spine.
 pub struct IdDecoder<E: IdEnumerator> {
     inner: E,
-    ctx: Arc<EvalContext>,
+    ctx: CtxView,
     block: IdBlock,
+    decoded: Vec<Tuple>,
     cursor: usize,
     done: bool,
 }
 
 impl<E: IdEnumerator> IdDecoder<E> {
     /// Wraps `inner`, decoding through `ctx`'s dictionary.
-    pub fn new(inner: E, ctx: Arc<EvalContext>) -> IdDecoder<E> {
+    pub fn new(inner: E, ctx: CtxView) -> IdDecoder<E> {
         let block = IdBlock::new(inner.arity(), DEFAULT_BLOCK_ROWS);
         IdDecoder {
             inner,
             ctx,
             block,
+            decoded: Vec::new(),
             cursor: 0,
             done: false,
         }
@@ -189,20 +203,27 @@ impl<E: IdEnumerator> IdDecoder<E> {
 
 impl<E: IdEnumerator> Enumerator for IdDecoder<E> {
     fn next(&mut self) -> Option<Tuple> {
-        if self.cursor == self.block.len() {
+        if self.cursor == self.decoded.len() {
             if self.done {
                 return None;
             }
             self.block.clear();
+            self.decoded.clear();
             self.cursor = 0;
             if self.inner.next_block(&mut self.block) == 0 {
                 self.done = true;
                 return None;
             }
+            self.decoded = if self.block.arity() == 0 {
+                // Nullary rows are a count, not ids (Boolean answers).
+                vec![Tuple::empty(); self.block.len()]
+            } else {
+                self.ctx.decode_rows(self.block.arity(), self.block.ids())
+            };
         }
-        let row = self.block.row(self.cursor);
+        let t = std::mem::replace(&mut self.decoded[self.cursor], Tuple::empty());
         self.cursor += 1;
-        Some(self.ctx.decode_tuple(row.iter().copied()))
+        Some(t)
     }
 }
 
@@ -263,7 +284,7 @@ mod tests {
 
     #[test]
     fn decoder_yields_tuples() {
-        let ctx = Arc::new(EvalContext::new());
+        let ctx = CtxView::new();
         let a = ctx.intern(Value::Int(10));
         let b = ctx.intern(Value::Int(20));
         let inner = IdVecEnumerator::from_flat(2, vec![a, b, b, a]);

@@ -21,10 +21,17 @@
 //! share them), and every cache entry holds a clone of the `Arc`, so an
 //! address can never be reused while it is a cache key.
 //!
-//! Contexts are deliberately single-threaded (`RefCell`); a sharded
-//! concurrent context is a planned follow-on (see ROADMAP "Open items").
+//! Contexts have a two-phase lifecycle. During the **build phase** an
+//! `EvalContext` guards its state with an (uncontended) mutex, so it is
+//! `Send + Sync` and the parallel preprocessing helpers can feed it.
+//! [`EvalContext::freeze`] then snapshots the dictionary and caches into an
+//! immutable [`crate::FrozenContext`] for the **serve phase**: reads on the
+//! frozen snapshot take no lock at all, so any number of enumeration
+//! threads can decode, probe and dedup against it concurrently (see
+//! [`crate::CtxView`]).
 
 use crate::dictionary::{Dictionary, ValueId};
+use crate::frozen::FrozenContext;
 use crate::hash::FastMap;
 use crate::idrel::IdRel;
 use crate::index::HashIndex;
@@ -32,8 +39,7 @@ use crate::key::InlineKey;
 use crate::relation::Relation;
 use crate::tuple::Tuple;
 use crate::value::Value;
-use std::cell::RefCell;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Cache-hit/miss counters (diagnostics; also used by tests to assert
 /// sharing actually happens).
@@ -54,9 +60,9 @@ pub struct ContextStats {
 }
 
 /// A cache key: relation identity (pinned `Arc` address) plus key columns.
-type IndexKey = (usize, Box<[usize]>);
+pub(crate) type IndexKey = (usize, Box<[usize]>);
 /// A cache entry: the pinning handle and the shared index.
-type IndexEntry = (Arc<IdRel>, Arc<HashIndex>);
+pub(crate) type IndexEntry = (Arc<IdRel>, Arc<HashIndex>);
 
 /// An index cache: `(relation identity, key columns) → Arc<HashIndex>`.
 ///
@@ -94,6 +100,11 @@ impl IndexCache {
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
     }
+
+    /// A copy of the cache map, for [`EvalContext::freeze`].
+    pub(crate) fn snapshot(&self) -> FastMap<IndexKey, IndexEntry> {
+        self.map.clone()
+    }
 }
 
 #[derive(Debug, Default)]
@@ -113,53 +124,88 @@ struct Inner {
 }
 
 /// The per-instance evaluation session state. See the module docs.
+///
+/// Build-phase contexts are `Send + Sync` (state behind an uncontended
+/// mutex); the lock-free serve-phase view is [`crate::FrozenContext`],
+/// produced by [`EvalContext::freeze`].
 #[derive(Debug)]
 pub struct EvalContext {
-    inner: RefCell<Inner>,
+    inner: Mutex<Inner>,
 }
 
 impl EvalContext {
     /// A fresh context with an empty dictionary and empty caches.
     pub fn new() -> EvalContext {
         EvalContext {
-            inner: RefCell::new(Inner {
+            inner: Mutex::new(Inner {
                 dict: Dictionary::new(),
                 ..Inner::default()
             }),
         }
     }
 
+    /// The state lock. Recovers from poisoning: every mutation below is an
+    /// append-only cache insert, so a panicked peer cannot leave the maps
+    /// in a torn state worth abandoning the session over.
+    #[inline]
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// An immutable snapshot of the dictionary and all three caches — the
+    /// serve-phase handle. Cheap relative to preprocessing: the cache maps
+    /// hold `Arc`s (shallow clones) and the dictionary is one table copy.
+    /// The snapshot and this context do not alias: values interned here
+    /// *after* the freeze are unknown to the snapshot and vice versa.
+    pub fn freeze(&self) -> Arc<FrozenContext> {
+        let inner = self.lock();
+        Arc::new(FrozenContext::from_parts(
+            inner.dict.clone(),
+            inner.interned.clone(),
+            inner.derived.clone(),
+            inner.indexes.snapshot(),
+            ContextStats {
+                interned_hits: inner.interned_hits,
+                interned_builds: inner.interned_builds,
+                derived_hits: inner.derived_hits,
+                derived_builds: inner.derived_builds,
+                index_hits: inner.indexes.hits,
+                index_builds: inner.indexes.builds,
+            },
+        ))
+    }
+
     /// Interns one value.
     #[inline]
     pub fn intern(&self, v: Value) -> ValueId {
-        self.inner.borrow_mut().dict.intern(v)
+        self.lock().dict.intern(v)
     }
 
     /// The id of `v` if the session has seen it (no allocation).
     #[inline]
     pub fn lookup(&self, v: Value) -> Option<ValueId> {
-        self.inner.borrow().dict.lookup(v)
+        self.lock().dict.lookup(v)
     }
 
     /// Decodes one id.
     #[inline]
     pub fn decode(&self, id: ValueId) -> Value {
-        self.inner.borrow().dict.value(id)
+        self.lock().dict.value(id)
     }
 
     /// Decodes a sequence of ids into an answer [`Tuple`] under a single
-    /// dictionary borrow.
+    /// dictionary lock.
     #[inline]
     pub fn decode_tuple<I: IntoIterator<Item = ValueId>>(&self, ids: I) -> Tuple {
-        let inner = self.inner.borrow();
+        let inner = self.lock();
         Tuple(ids.into_iter().map(|id| inner.dict.value(id)).collect())
     }
 
     /// Decodes a flat run of id rows (`width` ids per row) into answer
-    /// [`Tuple`]s under a **single** dictionary borrow — the bulk analogue
+    /// [`Tuple`]s under a **single** dictionary lock — the bulk analogue
     /// of [`EvalContext::decode_tuple`] for materialized answer tables.
     pub fn decode_rows(&self, width: usize, ids: &[ValueId]) -> Vec<Tuple> {
-        let inner = self.inner.borrow();
+        let inner = self.lock();
         if width == 0 {
             return vec![Tuple::empty(); ids.len()];
         }
@@ -170,16 +216,16 @@ impl EvalContext {
     }
 
     /// Decodes an interned relation back to a row-major [`Relation`] under
-    /// a single dictionary borrow (answer-boundary only).
+    /// a single dictionary lock (answer-boundary only).
     pub fn decode_rel(&self, rel: &IdRel) -> Relation {
-        rel.decode(&self.inner.borrow().dict)
+        rel.decode(&self.lock().dict)
     }
 
     /// Looks up every value of `row` into `out` (cleared first) without
     /// interning; returns `false` if any value is unknown to the session —
     /// in which case it cannot occur in any cached relation.
     pub fn lookup_row(&self, row: &[Value], out: &mut Vec<ValueId>) -> bool {
-        let inner = self.inner.borrow();
+        let inner = self.lock();
         out.clear();
         for &v in row {
             match inner.dict.lookup(v) {
@@ -193,7 +239,7 @@ impl EvalContext {
     /// Interns a decoded row into an [`InlineKey`] (used for answer-side
     /// dedup without boxing small tuples).
     pub fn intern_key(&self, row: &[Value]) -> InlineKey {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         let mut buf = [ValueId::BOTTOM; InlineKey::INLINE];
         if row.len() <= InlineKey::INLINE {
             for (slot, &v) in buf.iter_mut().zip(row) {
@@ -211,7 +257,7 @@ impl EvalContext {
     /// The interned columnar mirror of `rel`, built on first request.
     pub fn interned_rel(&self, rel: &Arc<Relation>) -> Arc<IdRel> {
         let key = Arc::as_ptr(rel) as usize;
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         if let Some(id_rel) = inner.interned.get(&key).map(|(_pin, r)| Arc::clone(r)) {
             inner.interned_hits += 1;
             return id_rel;
@@ -238,7 +284,7 @@ impl EvalContext {
     pub fn register_interned(&self, rel: &Arc<Relation>, id_rel: Arc<IdRel>) {
         debug_assert_eq!(rel.len(), id_rel.len(), "mirror must match row count");
         let key = Arc::as_ptr(rel) as usize;
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         inner.interned.insert(key, (Arc::clone(rel), id_rel));
     }
 
@@ -254,7 +300,7 @@ impl EvalContext {
     ) -> Arc<IdRel> {
         let key = (Arc::as_ptr(rel) as usize, sig.into());
         if let Some(found) = {
-            let mut inner = self.inner.borrow_mut();
+            let mut inner = self.lock();
             let found = inner.derived.get(&key).cloned();
             if found.is_some() {
                 inner.derived_hits += 1;
@@ -263,29 +309,29 @@ impl EvalContext {
         } {
             return found;
         }
-        // Build outside the borrow: `build` is pure id-level work on the
+        // Build outside the lock: `build` is pure id-level work on the
         // interned base, but callers may re-enter the context (e.g. for
         // nested lookups).
         let base = self.interned_rel(rel);
         let built = Arc::new(build(&base));
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         inner.derived_builds += 1;
         Arc::clone(inner.derived.entry(key).or_insert(built))
     }
 
     /// The cached index over `rel` keyed on `key_cols` (see [`IndexCache`]).
     pub fn index(&self, rel: &Arc<IdRel>, key_cols: &[usize]) -> Arc<HashIndex> {
-        self.inner.borrow_mut().indexes.get_or_build(rel, key_cols)
+        self.lock().indexes.get_or_build(rel, key_cols)
     }
 
     /// Number of distinct values interned so far.
     pub fn dict_len(&self) -> usize {
-        self.inner.borrow().dict.len()
+        self.lock().dict.len()
     }
 
     /// Snapshot of the cache counters.
     pub fn stats(&self) -> ContextStats {
-        let inner = self.inner.borrow();
+        let inner = self.lock();
         ContextStats {
             interned_hits: inner.interned_hits,
             interned_builds: inner.interned_builds,

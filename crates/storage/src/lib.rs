@@ -16,6 +16,7 @@
 pub mod block;
 pub mod context;
 pub mod dictionary;
+pub mod frozen;
 pub mod hash;
 pub mod idrel;
 pub mod index;
@@ -30,6 +31,7 @@ pub mod value;
 pub use block::IdBlock;
 pub use context::{ContextStats, EvalContext, IndexCache};
 pub use dictionary::{Dictionary, ValueId};
+pub use frozen::{CtxView, FrozenContext};
 pub use hash::{
     fast_map_with_capacity, fast_set_with_capacity, seeded_map_with_capacity, FastMap, FastSet,
     FxBuildHasher, SeededFastMap, SeededFxBuildHasher,

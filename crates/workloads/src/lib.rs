@@ -1,9 +1,12 @@
-//! Workloads: the paper's query catalog and random instance generators.
+//! Workloads: the paper's query catalog, random instance generators, and
+//! the concurrent-serving load generator.
 
 pub mod catalog;
 pub mod generators;
 pub mod random;
+pub mod serving;
 
 pub use catalog::{by_id, catalog, example31, CatalogEntry, PaperVerdict};
 pub use generators::{example39, path_cq, star_cq};
 pub use random::{random_instance, InstanceSpec};
+pub use serving::{drive_frozen, drive_frozen_fixed_work, ServingReport};

@@ -1,0 +1,179 @@
+//! A concurrent-serving load generator: N OS threads draining one
+//! [`FrozenSession`].
+//!
+//! This is the measurement harness behind the `e12_concurrent_serving`
+//! experiment/bench: freeze a prepared session once, then spawn 1/2/4/8
+//! enumeration threads against it and report aggregate answers/sec plus
+//! the p99 first-answer delay. Every thread gets its own answer stream
+//! (cursors, dedup table, scratch) from [`FrozenSession::enumerate`]; all
+//! threads read the same frozen dictionary, relations and indexes with no
+//! locking, so on a multi-core host throughput scales with the thread
+//! count. On a single-core host the threads time-share one CPU and the
+//! aggregate rate stays flat — the harness reports whatever the hardware
+//! actually delivers.
+
+use std::time::{Duration, Instant};
+use ucq_core::FrozenSession;
+use ucq_enumerate::Enumerator;
+
+/// What one [`drive_frozen`] run measured.
+#[derive(Clone, Debug)]
+pub struct ServingReport {
+    /// Number of serving threads.
+    pub threads: usize,
+    /// Full enumerations (drains) completed across all threads.
+    pub drains: usize,
+    /// Answers emitted across all drains.
+    pub total_answers: usize,
+    /// Wall-clock time from launch to the last thread finishing.
+    pub elapsed: Duration,
+    /// First-answer delay per drain, sorted ascending (empty drains — no
+    /// first answer — are excluded).
+    pub first_answer_ns: Vec<u64>,
+}
+
+impl ServingReport {
+    /// Aggregate throughput over the whole run.
+    pub fn answers_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.total_answers as f64 / secs
+    }
+
+    /// The p99 first-answer delay (nearest-rank), in nanoseconds; `0` if
+    /// no drain produced an answer.
+    pub fn p99_first_answer_ns(&self) -> u64 {
+        percentile(&self.first_answer_ns, 99)
+    }
+
+    /// The median first-answer delay, in nanoseconds.
+    pub fn median_first_answer_ns(&self) -> u64 {
+        percentile(&self.first_answer_ns, 50)
+    }
+}
+
+/// Nearest-rank percentile over a sorted ascending slice.
+fn percentile(sorted: &[u64], pct: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (sorted.len() * pct).div_ceil(100).max(1);
+    sorted[rank - 1]
+}
+
+/// Drives `threads` OS threads against one frozen session, each performing
+/// `drains_per_thread` full enumerations, and collects the aggregate
+/// throughput and per-drain first-answer delays.
+///
+/// The total work (`threads * drains_per_thread` drains) is what scaling
+/// comparisons should hold fixed — see [`drive_frozen_fixed_work`].
+pub fn drive_frozen(
+    session: &FrozenSession<'_>,
+    threads: usize,
+    drains_per_thread: usize,
+) -> ServingReport {
+    assert!(threads > 0, "at least one serving thread");
+    let t0 = Instant::now();
+    let per_thread: Vec<(usize, Vec<u64>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut answers = 0usize;
+                    let mut delays = Vec::with_capacity(drains_per_thread);
+                    for _ in 0..drains_per_thread {
+                        let start = Instant::now();
+                        let mut ans = session.enumerate().expect("frozen enumeration starts");
+                        if ans.next().is_some() {
+                            delays.push(start.elapsed().as_nanos() as u64);
+                            answers += 1;
+                            while ans.next().is_some() {
+                                answers += 1;
+                            }
+                        }
+                    }
+                    (answers, delays)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("serving thread panicked"))
+            .collect()
+    });
+    let elapsed = t0.elapsed();
+    let total_answers = per_thread.iter().map(|(a, _)| a).sum();
+    let mut first_answer_ns: Vec<u64> = per_thread.into_iter().flat_map(|(_, d)| d).collect();
+    first_answer_ns.sort_unstable();
+    ServingReport {
+        threads,
+        drains: threads * drains_per_thread,
+        total_answers,
+        elapsed,
+        first_answer_ns,
+    }
+}
+
+/// As [`drive_frozen`], but holding the *total* number of drains fixed and
+/// splitting them across the threads (`total_drains` must be divisible by
+/// `threads`) — the fair scaling comparison: same work, more workers.
+pub fn drive_frozen_fixed_work(
+    session: &FrozenSession<'_>,
+    threads: usize,
+    total_drains: usize,
+) -> ServingReport {
+    assert_eq!(
+        total_drains % threads,
+        0,
+        "total_drains must split evenly across threads"
+    );
+    drive_frozen(session, threads, total_drains / threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucq_core::UcqEngine;
+    use ucq_query::parse_ucq;
+    use ucq_storage::{Instance, Relation};
+
+    #[test]
+    fn drive_reports_totals() {
+        let u = parse_ucq("Q(x, y) <- R(x, y)").unwrap();
+        let engine = UcqEngine::new(u);
+        let instance: Instance = [("R", Relation::from_pairs([(1, 2), (3, 4), (5, 6)]))]
+            .into_iter()
+            .collect();
+        let frozen = engine.session(&instance).freeze().unwrap();
+        let report = drive_frozen(&frozen, 2, 3);
+        assert_eq!(report.threads, 2);
+        assert_eq!(report.drains, 6);
+        assert_eq!(report.total_answers, 6 * 3);
+        assert_eq!(report.first_answer_ns.len(), 6);
+        assert!(report.answers_per_sec() > 0.0);
+        assert!(report.p99_first_answer_ns() >= report.median_first_answer_ns());
+    }
+
+    #[test]
+    fn fixed_work_splits_evenly() {
+        let u = parse_ucq("Q(x, y) <- R(x, y)").unwrap();
+        let engine = UcqEngine::new(u);
+        let instance: Instance = [("R", Relation::from_pairs([(7, 8)]))]
+            .into_iter()
+            .collect();
+        let frozen = engine.session(&instance).freeze().unwrap();
+        let report = drive_frozen_fixed_work(&frozen, 4, 8);
+        assert_eq!(report.drains, 8);
+        assert_eq!(report.total_answers, 8);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile(&[], 99), 0);
+        assert_eq!(percentile(&[5], 99), 5);
+        let xs: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&xs, 99), 99);
+        assert_eq!(percentile(&xs, 50), 50);
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! Given an `S`-connex acyclic CQ, [`CdyEngine::build_in`] runs the linear
 //! preprocessing phase: it constructs an ext-S-connex tree, loads the atom
-//! relations through the shared [`EvalContext`] (interned, normalized and
+//! relations through the shared context view (interned, normalized and
 //! cached per `(relation, atom shape)`), projects the extension nodes, and
 //! applies the full reducer. Afterwards:
 //!
@@ -23,12 +23,11 @@
 
 use crate::noderel::NodeRel;
 use crate::reducer::full_reduce;
-use std::cell::OnceCell;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use ucq_hypergraph::{ext_s_connex_tree, ConnexTree, VSet};
 use ucq_query::{Cq, VarId};
-use ucq_storage::{EvalContext, HashIndex, IdSet, Instance, Tuple, Value, ValueId};
+use ucq_storage::{CtxView, HashIndex, IdSet, Instance, Tuple, Value, ValueId};
 
 /// Evaluation errors.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -76,15 +75,15 @@ pub struct CdyEngine {
     /// Membership sets for connex nodes, built lazily on the first
     /// [`CdyEngine::contains`] call — enumeration-only engines never pay
     /// for them.
-    row_sets: Vec<OnceCell<IdSet>>,
+    row_sets: Vec<OnceLock<IdSet>>,
     /// Row ids of the root (iterated in full).
     root_rows: Vec<u32>,
     /// Output spec: one variable per output position.
     output: Vec<VarId>,
     n_vars: u32,
     nonempty: bool,
-    /// The session this engine's ids belong to.
-    ctx: Arc<EvalContext>,
+    /// The session this engine's ids belong to (build or frozen phase).
+    ctx: CtxView,
 }
 
 impl CdyEngine {
@@ -93,14 +92,14 @@ impl CdyEngine {
     /// unless `Q` is free-connex. Prefer [`CdyEngine::for_query_in`] when
     /// evaluating several queries (or repeatedly) over one instance.
     pub fn for_query(cq: &Cq, instance: &Instance) -> Result<CdyEngine, EvalError> {
-        CdyEngine::for_query_in(cq, instance, &Arc::new(EvalContext::new()))
+        CdyEngine::for_query_in(cq, instance, &CtxView::new())
     }
 
     /// As [`CdyEngine::for_query`], sharing the caches of `ctx`.
     pub fn for_query_in(
         cq: &Cq,
         instance: &Instance,
-        ctx: &Arc<EvalContext>,
+        ctx: &CtxView,
     ) -> Result<CdyEngine, EvalError> {
         CdyEngine::build_in(cq, cq.free(), cq.head().to_vec(), instance, ctx)
     }
@@ -109,7 +108,7 @@ impl CdyEngine {
     /// variables of `s`, with a private context. Fails unless `Q` is
     /// `S`-connex.
     pub fn for_projection(cq: &Cq, s: VSet, instance: &Instance) -> Result<CdyEngine, EvalError> {
-        CdyEngine::for_projection_in(cq, s, instance, &Arc::new(EvalContext::new()))
+        CdyEngine::for_projection_in(cq, s, instance, &CtxView::new())
     }
 
     /// As [`CdyEngine::for_projection`], sharing the caches of `ctx`.
@@ -117,7 +116,7 @@ impl CdyEngine {
         cq: &Cq,
         s: VSet,
         instance: &Instance,
-        ctx: &Arc<EvalContext>,
+        ctx: &CtxView,
     ) -> Result<CdyEngine, EvalError> {
         CdyEngine::build_in(cq, s, s.iter().collect(), instance, ctx)
     }
@@ -131,7 +130,7 @@ impl CdyEngine {
         s: VSet,
         output: Vec<VarId>,
         instance: &Instance,
-        ctx: &Arc<EvalContext>,
+        ctx: &CtxView,
     ) -> Result<CdyEngine, EvalError> {
         for &v in &output {
             assert!(
@@ -199,7 +198,7 @@ impl CdyEngine {
                 None => indexes.push(None),
             }
         }
-        let row_sets: Vec<OnceCell<IdSet>> = vec![OnceCell::new(); n_nodes];
+        let row_sets: Vec<OnceLock<IdSet>> = vec![OnceLock::new(); n_nodes];
         let root = ct.tree.root();
         let root_rows: Vec<u32> = (0..rels[root].rel.len() as u32).collect();
 
@@ -215,7 +214,7 @@ impl CdyEngine {
             output,
             n_vars: cq.n_vars(),
             nonempty,
-            ctx: Arc::clone(ctx),
+            ctx: ctx.clone(),
         })
     }
 
@@ -235,8 +234,16 @@ impl CdyEngine {
     }
 
     /// The evaluation context this engine shares.
-    pub fn context(&self) -> &Arc<EvalContext> {
+    pub fn context(&self) -> &CtxView {
         &self.ctx
+    }
+
+    /// Retargets this engine onto another view of the *same* session —
+    /// used by `EvalSession::freeze` to swap prepared engines from the
+    /// build-phase context to its frozen snapshot without rebuilding. The
+    /// ids baked into the node relations must be valid under `view`.
+    pub fn set_view(&mut self, view: CtxView) {
+        self.ctx = view;
     }
 
     /// Starts a constant-delay enumeration of the (deduplicated) output.
@@ -784,7 +791,7 @@ mod tests {
         let q = parse_cq("Q(x, y) <- R(x, z), S(z, y)").unwrap();
         let s = VSet::singleton(0); // {x}
         let i = inst(&[("R", vec![(1, 2)]), ("S", vec![(2, 3), (2, 4)])]);
-        let eng = CdyEngine::build_in(&q, s, vec![0], &i, &Arc::new(EvalContext::new())).unwrap();
+        let eng = CdyEngine::build_in(&q, s, vec![0], &i, &CtxView::new()).unwrap();
         let mut it = eng.iter();
         let (t, binding) = it.next_with_full_binding().unwrap();
         assert_eq!(t, Tuple::from(&[1i64][..]));
@@ -803,7 +810,7 @@ mod tests {
             ("R", vec![(1, 2), (1, 5)]),
             ("S", vec![(2, 3), (2, 4), (5, 6)]),
         ]);
-        let eng = CdyEngine::build_in(&q, s, vec![0], &i, &Arc::new(EvalContext::new())).unwrap();
+        let eng = CdyEngine::build_in(&q, s, vec![0], &i, &CtxView::new()).unwrap();
         assert_eq!(eng.iter().collect_all(), vec![Tuple::from(&[1i64][..])]);
     }
 
@@ -826,7 +833,7 @@ mod tests {
 
     #[test]
     fn shared_context_reuses_normalizations() {
-        let ctx = Arc::new(EvalContext::new());
+        let ctx = CtxView::new();
         let i = inst(&[("R", vec![(1, 2), (2, 3)]), ("S", vec![(2, 4), (3, 5)])]);
         let q1 = parse_cq("Q(x, y, z) <- R(x, y), S(y, z)").unwrap();
         let q2 = parse_cq("P(a, b, c) <- R(a, b), S(b, c)").unwrap();

@@ -13,7 +13,7 @@
 //! matching bindings into the next flat table — no per-binding vector
 //! allocation, and the index stays hot in cache for a whole block.
 //!
-//! All data flows through the shared [`EvalContext`]: atom relations come
+//! All data flows through the shared context view: atom relations come
 //! from the normalized-relation cache and the per-join hash indexes from the
 //! [`IndexCache`](ucq_storage::IndexCache) — so evaluating the members of a
 //! union (or re-evaluating in a session) reuses one set of indexes instead
@@ -25,7 +25,7 @@ use std::collections::HashSet;
 use std::sync::Arc;
 use ucq_query::{Cq, VarId};
 use ucq_storage::{
-    fast_set_with_capacity, EvalContext, FastSet, IdRel, InlineKey, Instance, Tuple, ValueId,
+    fast_set_with_capacity, CtxView, FastSet, IdRel, InlineKey, Instance, Tuple, ValueId,
 };
 
 /// Bindings gathered/probed per block in the join inner loop.
@@ -55,14 +55,14 @@ impl IdTable {
 /// Evaluates `Q(I)` naively with a private context, returning the
 /// deduplicated answers in unspecified order.
 pub fn evaluate_cq_naive(cq: &Cq, instance: &Instance) -> Result<Vec<Tuple>, EvalError> {
-    evaluate_cq_naive_in(cq, instance, &EvalContext::new())
+    evaluate_cq_naive_in(cq, instance, &CtxView::new())
 }
 
 /// As [`evaluate_cq_naive`], sharing the caches of `ctx`.
 pub fn evaluate_cq_naive_in(
     cq: &Cq,
     instance: &Instance,
-    ctx: &EvalContext,
+    ctx: &CtxView,
 ) -> Result<Vec<Tuple>, EvalError> {
     let ids = evaluate_cq_naive_ids_in(cq, instance, ctx)?;
     if ids.width == 0 {
@@ -78,7 +78,7 @@ pub fn evaluate_cq_naive_in(
 pub fn evaluate_cq_naive_ids_in(
     cq: &Cq,
     instance: &Instance,
-    ctx: &EvalContext,
+    ctx: &CtxView,
 ) -> Result<IdTable, EvalError> {
     // Normalize atoms through the context cache (validating every atom's
     // arity, like the CDY path does).
@@ -337,7 +337,7 @@ mod tests {
 
     #[test]
     fn shared_context_caches_join_indexes() {
-        let ctx = EvalContext::new();
+        let ctx = CtxView::new();
         let q = parse_cq("Q(x, y) <- R(x, z), S(z, y)").unwrap();
         let i = inst(&[("R", vec![(1, 2)]), ("S", vec![(2, 3)])]);
         let a = evaluate_cq_naive_in(&q, &i, &ctx).unwrap();

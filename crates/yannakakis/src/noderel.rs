@@ -7,7 +7,7 @@
 //! filtering rows whose repeated positions disagree and then dropping the
 //! duplicate columns.
 //!
-//! Normalization is cached in the [`EvalContext`]: two atoms reading the
+//! Normalization is cached in the context view: two atoms reading the
 //! same stored relation with the same *argument shape* (the
 //! [`atom_signature`]) — even in different member CQs of a union — share
 //! one normalized [`IdRel`]. [`NodeRel`] then clones that cached relation
@@ -16,7 +16,7 @@
 use std::sync::Arc;
 use ucq_hypergraph::VSet;
 use ucq_query::{Atom, VarId};
-use ucq_storage::{par, EvalContext, HashIndex, IdRel, IdSet, ProbeScratch, Relation, ValueId};
+use ucq_storage::{par, CtxView, HashIndex, IdRel, IdSet, ProbeScratch, Relation, ValueId};
 
 /// The normalization signature of an atom's argument list: for each
 /// position, the rank of its variable among the atom's sorted distinct
@@ -105,7 +105,7 @@ impl NodeRel {
     pub fn derived(
         atom: &Atom,
         stored: &Arc<Relation>,
-        ctx: &EvalContext,
+        ctx: &CtxView,
     ) -> Result<(Vec<VarId>, Arc<IdRel>), String> {
         NodeRel::check_arity(atom, stored.arity())?;
         let sig = atom_signature(&atom.args);
@@ -119,7 +119,7 @@ impl NodeRel {
     pub fn from_atom(
         atom: &Atom,
         stored: &Arc<Relation>,
-        ctx: &EvalContext,
+        ctx: &CtxView,
     ) -> Result<NodeRel, String> {
         let (vars, rel) = NodeRel::derived(atom, stored, ctx)?;
         Ok(NodeRel {
@@ -215,7 +215,7 @@ mod tests {
         Arc::new(rel)
     }
 
-    fn decoded_row(nr: &NodeRel, ctx: &EvalContext, row: usize) -> Vec<Value> {
+    fn decoded_row(nr: &NodeRel, ctx: &CtxView, row: usize) -> Vec<Value> {
         (0..nr.rel.arity())
             .map(|c| ctx.decode(nr.rel.at(row, c)))
             .collect()
@@ -234,7 +234,7 @@ mod tests {
         // Atom R(y, x): x=0, y=1; sorted vars = [0, 1]; columns must be
         // swapped relative to storage.
         let q = parse_cq("Q(x, y) <- R(y, x)").unwrap();
-        let ctx = EvalContext::new();
+        let ctx = CtxView::new();
         let stored = shared(Relation::from_pairs([(10, 20)])); // (y, x)
         let nr = NodeRel::from_atom(&q.atoms()[0], &stored, &ctx).unwrap();
         assert_eq!(nr.vars, vec![0, 1]);
@@ -247,7 +247,7 @@ mod tests {
     #[test]
     fn repeated_variable_filters_rows() {
         let q = parse_cq("Q(x) <- R(x, x)").unwrap();
-        let ctx = EvalContext::new();
+        let ctx = CtxView::new();
         let stored = shared(Relation::from_pairs([(1, 1), (1, 2), (3, 3)]));
         let nr = NodeRel::from_atom(&q.atoms()[0], &stored, &ctx).unwrap();
         assert_eq!(nr.vars.len(), 1);
@@ -260,14 +260,14 @@ mod tests {
     #[test]
     fn arity_mismatch_is_error() {
         let q = parse_cq("Q(x) <- R(x, y)").unwrap();
-        let ctx = EvalContext::new();
+        let ctx = CtxView::new();
         assert!(NodeRel::from_atom(&q.atoms()[0], &shared(Relation::new(3)), &ctx).is_err());
     }
 
     #[test]
     fn duplicate_rows_dropped() {
         let q = parse_cq("Q(x, y) <- R(x, y)").unwrap();
-        let ctx = EvalContext::new();
+        let ctx = CtxView::new();
         let stored = shared(Relation::from_pairs([(1, 2), (1, 2)]));
         let nr = NodeRel::from_atom(&q.atoms()[0], &stored, &ctx).unwrap();
         assert_eq!(nr.rel.len(), 1);
@@ -276,7 +276,7 @@ mod tests {
     #[test]
     fn same_shape_atoms_share_the_cached_relation() {
         let q = parse_cq("Q(x, y, z) <- R(x, y), R(y, z)").unwrap();
-        let ctx = EvalContext::new();
+        let ctx = CtxView::new();
         let stored = shared(Relation::from_pairs([(1, 2), (2, 3)]));
         let (_, a) = NodeRel::derived(&q.atoms()[0], &stored, &ctx).unwrap();
         let (_, b) = NodeRel::derived(&q.atoms()[1], &stored, &ctx).unwrap();
@@ -288,7 +288,7 @@ mod tests {
     #[test]
     fn semijoin_filters() {
         let q = parse_cq("Q(x, y, z) <- R(x, y), S(y, z)").unwrap();
-        let ctx = EvalContext::new();
+        let ctx = CtxView::new();
         let mut left = NodeRel::from_atom(
             &q.atoms()[0],
             &shared(Relation::from_pairs([(1, 2), (3, 4)])),
@@ -309,7 +309,7 @@ mod tests {
     #[test]
     fn semijoin_empty_separator_checks_nonemptiness() {
         let q = parse_cq("Q(x, z) <- R(x), S(z)").unwrap();
-        let ctx = EvalContext::new();
+        let ctx = CtxView::new();
         let one_row = {
             let mut r = Relation::new(1);
             r.push_row(&[Value::Int(1)]);
@@ -325,7 +325,7 @@ mod tests {
     #[test]
     fn projection() {
         let q = parse_cq("Q(x, y) <- R(x, y)").unwrap();
-        let ctx = EvalContext::new();
+        let ctx = CtxView::new();
         let nr = NodeRel::from_atom(
             &q.atoms()[0],
             &shared(Relation::from_pairs([(1, 2), (1, 3)])),

@@ -61,13 +61,13 @@ mod tests {
     use std::sync::Arc;
     use ucq_hypergraph::{join_tree, VSet};
     use ucq_query::parse_cq;
-    use ucq_storage::{EvalContext, Relation, Value};
+    use ucq_storage::{CtxView, Relation, Value};
 
     fn iv(xs: &[i64]) -> Vec<Value> {
         xs.iter().map(|&x| Value::Int(x)).collect()
     }
 
-    fn decoded_row(nr: &NodeRel, ctx: &EvalContext, row: usize) -> Vec<Value> {
+    fn decoded_row(nr: &NodeRel, ctx: &CtxView, row: usize) -> Vec<Value> {
         (0..nr.rel.arity())
             .map(|c| ctx.decode(nr.rel.at(row, c)))
             .collect()
@@ -77,7 +77,7 @@ mod tests {
     fn setup(
         text: &str,
         data: &[Relation],
-        ctx: &EvalContext,
+        ctx: &CtxView,
     ) -> (ucq_hypergraph::JoinTree, Vec<NodeRel>) {
         let q = parse_cq(text).unwrap();
         let tree = join_tree(&q.hypergraph()).unwrap();
@@ -96,7 +96,7 @@ mod tests {
     #[test]
     fn dangling_tuples_removed() {
         // R(x,z) ⋈ S(z,y): R's (5,99) has no partner and must go.
-        let ctx = EvalContext::new();
+        let ctx = CtxView::new();
         let (tree, mut rels) = setup(
             "Q(x, y) <- R(x, z), S(z, y)",
             &[
@@ -113,7 +113,7 @@ mod tests {
 
     #[test]
     fn unsatisfiable_join_reports_false() {
-        let ctx = EvalContext::new();
+        let ctx = CtxView::new();
         let (tree, mut rels) = setup(
             "Q(x, y) <- R(x, z), S(z, y)",
             &[
@@ -128,7 +128,7 @@ mod tests {
     #[test]
     fn three_hop_path_consistency() {
         // R(x,a) ⋈ S(a,b) ⋈ T(b,y); only the 1-2-3-4 chain survives.
-        let ctx = EvalContext::new();
+        let ctx = CtxView::new();
         let (tree, mut rels) = setup(
             "Q(x, y) <- R(x, a), S(a, b), T(b, y)",
             &[
@@ -148,7 +148,7 @@ mod tests {
     fn global_consistency_after_both_passes() {
         // Star join: middle node must agree with both leaves, and leaves
         // must be trimmed against the middle *after* it was trimmed.
-        let ctx = EvalContext::new();
+        let ctx = CtxView::new();
         let (tree, mut rels) = setup(
             "Q(x, y, z) <- M(x, y, z), A(x), B(y)",
             &[
@@ -174,7 +174,7 @@ mod tests {
 
     #[test]
     fn separator_is_intersection() {
-        let ctx = EvalContext::new();
+        let ctx = CtxView::new();
         let (tree, _) = setup(
             "Q(x, y) <- R(x, z), S(z, y)",
             &[Relation::new(2), Relation::new(2)],

@@ -7,7 +7,7 @@ use std::collections::HashSet;
 use std::sync::Arc;
 use ucq_hypergraph::join_tree;
 use ucq_query::Cq;
-use ucq_storage::{EvalContext, Instance, Relation, Tuple, Value};
+use ucq_storage::{CtxView, Instance, Relation, Tuple, Value};
 use ucq_yannakakis::{evaluate_cq_naive, full_reduce, NodeRel};
 
 const VARS: [&str; 6] = ["a", "b", "c", "d", "e", "f"];
@@ -57,11 +57,7 @@ fn arb_instance(cq: &Cq) -> impl Strategy<Value = Instance> {
     strategies.prop_map(|pairs| pairs.into_iter().collect())
 }
 
-fn node_rels(
-    cq: &Cq,
-    inst: &Instance,
-    ctx: &EvalContext,
-) -> (ucq_hypergraph::JoinTree, Vec<NodeRel>) {
+fn node_rels(cq: &Cq, inst: &Instance, ctx: &CtxView) -> (ucq_hypergraph::JoinTree, Vec<NodeRel>) {
     let tree = join_tree(&cq.hypergraph()).expect("acyclic");
     let rels = tree
         .nodes()
@@ -78,7 +74,7 @@ fn node_rels(
 }
 
 /// Decodes one row of a node relation back to values.
-fn decoded_row(nr: &NodeRel, ctx: &EvalContext, row: usize) -> Vec<Value> {
+fn decoded_row(nr: &NodeRel, ctx: &CtxView, row: usize) -> Vec<Value> {
     (0..nr.rel.arity())
         .map(|c| ctx.decode(nr.rel.at(row, c)))
         .collect()
@@ -93,7 +89,7 @@ proptest! {
     fn full_reducer_is_idempotent((cq, inst) in arb_acyclic_cq()
         .prop_flat_map(|cq| { let i = arb_instance(&cq); (Just(cq), i) }))
     {
-        let ctx = EvalContext::new();
+        let ctx = CtxView::new();
         let (tree, mut rels) = node_rels(&cq, &inst, &ctx);
         full_reduce(&tree, &mut rels);
         let snapshot: Vec<usize> = rels.iter().map(|r| r.rel.len()).collect();
@@ -110,7 +106,7 @@ proptest! {
         let before: HashSet<Tuple> =
             evaluate_cq_naive(&cq, &inst).unwrap().into_iter().collect();
         // Build a reduced instance and re-evaluate naively over it.
-        let ctx = EvalContext::new();
+        let ctx = CtxView::new();
         let (tree, mut rels) = node_rels(&cq, &inst, &ctx);
         full_reduce(&tree, &mut rels);
         let mut reduced = Instance::new();
@@ -142,7 +138,7 @@ proptest! {
     fn no_dangling_tuples_after_reduction((cq, inst) in arb_acyclic_cq()
         .prop_flat_map(|cq| { let i = arb_instance(&cq); (Just(cq), i) }))
     {
-        let ctx = EvalContext::new();
+        let ctx = CtxView::new();
         let (tree, mut rels) = node_rels(&cq, &inst, &ctx);
         let nonempty = full_reduce(&tree, &mut rels);
         // Full-head query so the join result determines all variables.

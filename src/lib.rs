@@ -64,12 +64,14 @@ pub use ucq_yannakakis as yannakakis;
 /// The names most programs need.
 pub mod prelude {
     pub use ucq_core::{
-        classify, Classification, CqStatus, EvalSession, Fd, FdSet, FdUcqEngine, HardnessWitness,
-        Hypothesis, SearchConfig, Strategy, UcqEngine, Verdict,
+        classify, Classification, CqStatus, EvalSession, Fd, FdSet, FdUcqEngine, FrozenSession,
+        HardnessWitness, Hypothesis, SearchConfig, Strategy, UcqEngine, Verdict,
     };
     pub use ucq_enumerate::{measure, DelayProfile, Enumerator};
     pub use ucq_query::{parse_cq, parse_ucq, Cq, Ucq};
-    pub use ucq_storage::{Dictionary, EvalContext, Instance, Relation, Tuple, Value, ValueId};
+    pub use ucq_storage::{
+        CtxView, Dictionary, EvalContext, FrozenContext, Instance, Relation, Tuple, Value, ValueId,
+    };
 }
 
 #[cfg(test)]
