@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! ucq classify <query-file>                 three-way verdict + certificate
-//! ucq explain  <query-file>                 per-member structure report
+//! ucq explain  <query-file> [<instance>]    per-member structure report;
+//!                                           with an instance, a costed plan
+//!                                           dump (stats, estimates, cache key)
 //! ucq run      <query-file> <instance>      enumerate answers (DelayClin
 //!                                           strategy when available)
 //!              [--limit N] [--naive] [--stats]
@@ -15,10 +17,10 @@
 //! in this library so it is unit-testable; `main.rs` is a thin shim.
 
 use std::fmt::Write as _;
-use ucq_core::{classify, Strategy, UcqEngine, Verdict};
+use ucq_core::{classify, plan_free_connex_costed, SearchConfig, Strategy, UcqEngine, Verdict};
 use ucq_enumerate::Enumerator;
 use ucq_query::{parse_ucq, Ucq};
-use ucq_storage::{parse_instance, Instance};
+use ucq_storage::{parse_instance, CtxView, Instance};
 
 /// A CLI failure: message + suggested exit code.
 #[derive(Debug)]
@@ -47,7 +49,7 @@ impl std::fmt::Display for CliError {
 /// Usage text.
 pub const USAGE: &str = "usage:
   ucq classify <query-file>
-  ucq explain  <query-file>
+  ucq explain  <query-file> [<instance-file>]
   ucq run      <query-file> <instance-file> [--limit N] [--naive] [--stats]
   ucq decide   <query-file> <instance-file>
   ucq catalog
@@ -63,10 +65,11 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
             let [path] = expect_args(args, 1)?;
             cmd_classify(&load_query(&path)?)
         }
-        Some("explain") => {
-            let [path] = expect_args(args, 1)?;
-            cmd_explain(&load_query(&path)?)
-        }
+        Some("explain") => match &args[1..] {
+            [q] => cmd_explain(&load_query(q)?, None),
+            [q, i] => cmd_explain(&load_query(q)?, Some(&load_instance(i)?)),
+            _ => Err(CliError::new(USAGE)),
+        },
         Some("run") => {
             let (paths, flags) = split_flags(&args[1..]);
             if paths.len() != 2 {
@@ -195,7 +198,7 @@ fn cmd_classify(ucq: &Ucq) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn cmd_explain(ucq: &Ucq) -> Result<String, CliError> {
+fn cmd_explain(ucq: &Ucq, inst: Option<&Instance>) -> Result<String, CliError> {
     let mut out = String::new();
     for (i, cq) in ucq.cqs().iter().enumerate() {
         let _ = writeln!(out, "member {i}: {cq}");
@@ -223,7 +226,71 @@ fn cmd_explain(ucq: &Ucq) -> Result<String, CliError> {
         }
         let _ = writeln!(out);
     }
+    if let Some(inst) = inst {
+        out.push_str(&explain_plan(ucq, inst));
+    }
     Ok(out)
+}
+
+/// The `EXPLAIN`-style dump: statistics the planner harvests, the plan
+/// cache key, and the costed plan with per-atom cardinality estimates.
+fn explain_plan(ucq: &Ucq, inst: &Instance) -> String {
+    let mut out = String::new();
+    let c = classify(ucq);
+    let ctx = CtxView::new();
+    let _ = writeln!(out, "planner (over the minimized union):");
+    let _ = writeln!(out, "  statistics:");
+    for name in c.minimized.relation_names() {
+        match inst.get_shared(name) {
+            Some(rel) => {
+                let stats = ctx.rel_stats(&ctx.interned_rel(&rel));
+                let _ = writeln!(
+                    out,
+                    "    {name}: {} rows, distinct {:?}, max fanout {:?}",
+                    stats.rows, stats.distinct, stats.max_fanout
+                );
+            }
+            None => {
+                let _ = writeln!(out, "    {name}: absent from the instance");
+            }
+        }
+    }
+    let costed = plan_free_connex_costed(&c.minimized, &SearchConfig::default(), inst, &ctx);
+    let _ = writeln!(
+        out,
+        "  plan cache key: fingerprint {:016x} @ stats epoch {}",
+        c.minimized.fingerprint(),
+        ctx.stats_epoch()
+    );
+    match costed {
+        None => {
+            let _ = writeln!(
+                out,
+                "  plan: none — no union extension makes every member free-connex"
+            );
+        }
+        Some(cp) => {
+            let _ = writeln!(out, "  candidates costed: {}", cp.candidates_costed);
+            if cp.plan.atoms.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "  plan: all members free-connex — no materializations needed"
+                );
+            }
+            for (atom, est) in cp.plan.atoms.iter().zip(&cp.estimates) {
+                let _ = writeln!(
+                    out,
+                    "  materialize {} on member {} ← member {} (S = {}, stage {}), est ~{est:.0} rows",
+                    atom.rel_name,
+                    atom.target,
+                    atom.provenance.provider,
+                    atom.provenance.s,
+                    atom.provenance.stage
+                );
+            }
+        }
+    }
+    out
 }
 
 fn cmd_run(
@@ -332,6 +399,33 @@ mod tests {
         let q = write_temp("explain_q", "Q(x, y) <- A(x, z), B(z, y)");
         let out = dispatch(&args(&["explain", &q])).unwrap();
         assert!(out.contains("free-path: (x, z, y)"), "{out}");
+    }
+
+    #[test]
+    fn explain_with_instance_dumps_costed_plan() {
+        let q = write_temp(
+            "explain_plan_q",
+            "Q1(x, y, w) <- R1(x, z), R2(z, y), R3(y, w)\nQ2(x, y, w) <- R1(x, y), R2(y, w)",
+        );
+        let i = write_temp(
+            "explain_plan_i",
+            "R1(1, 2). R1(3, 4). R2(2, 5). R2(4, 6). R3(5, 7). R3(6, 8).",
+        );
+        let out = dispatch(&args(&["explain", &q, &i])).unwrap();
+        assert!(out.contains("planner (over the minimized union):"), "{out}");
+        assert!(out.contains("R1: 2 rows"), "{out}");
+        assert!(out.contains("plan cache key: fingerprint"), "{out}");
+        assert!(out.contains("candidates costed:"), "{out}");
+        assert!(out.contains("materialize @prov_"), "{out}");
+        assert!(out.contains("est ~"), "{out}");
+    }
+
+    #[test]
+    fn explain_with_instance_reports_missing_relations() {
+        let q = write_temp("explain_missing_q", "Q(x, y) <- R(x, z), S(z, y), T(y)");
+        let i = write_temp("explain_missing_i", "R(1, 2). S(2, 3).");
+        let out = dispatch(&args(&["explain", &q, &i])).unwrap();
+        assert!(out.contains("T: absent from the instance"), "{out}");
     }
 
     #[test]

@@ -19,11 +19,13 @@
 
 use crate::algorithm1::Algorithm1;
 use crate::classify::{classify_with, Classification, CqStatus, Verdict};
+use crate::cost::CostedSearch;
 use crate::naive_ucq::{evaluate_ucq_naive_ids_in, evaluate_ucq_naive_in};
 use crate::pipeline::{UcqPipeline, UcqPipelinePrep};
+use crate::plan::ExtensionPlan;
 use crate::search::SearchConfig;
-use std::cell::RefCell;
-use std::sync::Arc;
+use std::cell::{Cell, RefCell};
+use std::sync::{Arc, OnceLock};
 use ucq_enumerate::{Enumerator, IdDecoder, IdVecEnumerator};
 use ucq_query::Ucq;
 use ucq_storage::{CtxView, Instance, Tuple};
@@ -65,10 +67,47 @@ pub enum Strategy {
     Naive,
 }
 
+/// Counters for the cost-based planner, snapshot per session alongside
+/// [`ucq_storage::ContextStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlannerStats {
+    /// Full cost-based plan searches run (one per plan-cache miss).
+    pub plans_searched: usize,
+    /// Candidate extension sets priced across all searches.
+    pub candidates_costed: usize,
+    /// Plan-cache hits: `(query fingerprint, stats epoch)` matched a plan
+    /// stored by an earlier session over the same context.
+    pub plan_cache_hits: usize,
+}
+
+/// Interior-mutable planner counters (sessions hand out `&self` streams).
+#[derive(Default)]
+struct PlannerCounters {
+    plans_searched: Cell<usize>,
+    candidates_costed: Cell<usize>,
+    plan_cache_hits: Cell<usize>,
+}
+
+impl PlannerCounters {
+    fn snapshot(&self) -> PlannerStats {
+        PlannerStats {
+            plans_searched: self.plans_searched.get(),
+            candidates_costed: self.candidates_costed.get(),
+            plan_cache_hits: self.plan_cache_hits.get(),
+        }
+    }
+}
+
 /// A classified UCQ ready to evaluate instances.
 pub struct UcqEngine {
     ucq: Ucq,
+    cfg: SearchConfig,
     classification: Classification,
+    /// The instance-independent half of the costed planner (availability
+    /// fixpoint + candidate extension sets), prepared lazily on the first
+    /// plan-cache miss and shared by every later miss: fresh contexts
+    /// re-*price* the candidates, they never re-*search*.
+    costed: OnceLock<Option<CostedSearch>>,
 }
 
 impl UcqEngine {
@@ -82,7 +121,9 @@ impl UcqEngine {
         let classification = classify_with(&ucq, cfg);
         UcqEngine {
             ucq,
+            cfg: cfg.clone(),
             classification,
+            costed: OnceLock::new(),
         }
     }
 
@@ -145,12 +186,10 @@ impl UcqEngine {
                 inner: Box::new(Algorithm1::build_in(minimized, instance, ctx)?),
             }),
             Strategy::UnionExtension => {
-                let Verdict::FreeConnex { plan } = &self.classification.verdict else {
-                    unreachable!("strategy() checked the verdict");
-                };
+                let plan = self.executable_plan(ctx, instance, None);
                 Ok(UcqAnswers {
                     strategy: Strategy::UnionExtension,
-                    inner: Box::new(UcqPipeline::build_in(minimized, plan, instance, ctx)?),
+                    inner: Box::new(UcqPipeline::build_in(minimized, &plan, instance, ctx)?),
                 })
             }
             Strategy::Naive => Ok(UcqAnswers {
@@ -160,15 +199,82 @@ impl UcqEngine {
         }
     }
 
+    /// The plan the union-extension strategy should execute over
+    /// `instance`: the cached plan when `(query fingerprint, stats epoch)`
+    /// matches, otherwise a fresh costing pass over the engine's prepared
+    /// [`CostedSearch`], stored so the next session over this context skips
+    /// the pricing too. Falls back to the classification's first-found
+    /// certificate if the costed search comes up empty (it enumerates the
+    /// same candidates, so this is belt-and-braces).
+    fn executable_plan(
+        &self,
+        ctx: &CtxView,
+        instance: &Instance,
+        counters: Option<&PlannerCounters>,
+    ) -> Arc<ExtensionPlan> {
+        let minimized = &self.classification.minimized;
+        // Intern every base relation up front: the epoch read below is then
+        // stable across the search (stats collection only hits caches), and
+        // a repeat session over the same instance reads the same epoch.
+        for name in minimized.relation_names() {
+            if let Some(rel) = instance.get_shared(name) {
+                ctx.interned_rel(&rel);
+            }
+        }
+        let fingerprint = minimized.fingerprint();
+        let epoch = ctx.stats_epoch();
+        if let Some(cached) = ctx.cached_plan(fingerprint, epoch) {
+            if let Ok(plan) = cached.downcast::<ExtensionPlan>() {
+                if let Some(c) = counters {
+                    c.plan_cache_hits.set(c.plan_cache_hits.get() + 1);
+                }
+                return plan;
+            }
+        }
+        if let Some(c) = counters {
+            c.plans_searched.set(c.plans_searched.get() + 1);
+        }
+        let search = self
+            .costed
+            .get_or_init(|| CostedSearch::prepare(minimized, &self.cfg));
+        let plan = match search.as_ref().map(|s| s.plan(instance, ctx)) {
+            Some(costed) => {
+                if let Some(c) = counters {
+                    c.candidates_costed
+                        .set(c.candidates_costed.get() + costed.candidates_costed);
+                }
+                Arc::new(costed.plan)
+            }
+            None => {
+                let Verdict::FreeConnex { plan } = &self.classification.verdict else {
+                    unreachable!("union-extension strategy implies a free-connex verdict");
+                };
+                Arc::new(plan.clone())
+            }
+        };
+        ctx.store_plan(fingerprint, epoch, plan.clone());
+        plan
+    }
+
     /// Opens an evaluation session over `instance`: preprocessing (value
     /// interning, normalization, index builds, per-member CDY engines) is
     /// performed at most once and reused by every subsequent call.
     pub fn session(&self, instance: &Instance) -> EvalSession<'_> {
+        self.session_in(&CtxView::new(), instance)
+    }
+
+    /// As [`UcqEngine::session`], but over a caller-provided context:
+    /// repeated sessions share the dictionary, interned relations, indexes,
+    /// statistics — and the plan cache, so the second session's build skips
+    /// the cost-based plan search entirely (observable as
+    /// [`PlannerStats::plan_cache_hits`]).
+    pub fn session_in(&self, ctx: &CtxView, instance: &Instance) -> EvalSession<'_> {
         EvalSession {
             engine: self,
             instance: instance.clone(),
-            ctx: CtxView::new(),
+            ctx: ctx.clone(),
             prepared: RefCell::new(None),
+            planner: PlannerCounters::default(),
         }
     }
 
@@ -235,6 +341,7 @@ pub struct EvalSession<'e> {
     instance: Instance,
     ctx: CtxView,
     prepared: RefCell<Option<Prepared>>,
+    planner: PlannerCounters,
 }
 
 impl EvalSession<'_> {
@@ -253,6 +360,12 @@ impl EvalSession<'_> {
         self.engine.strategy()
     }
 
+    /// Planner counters for this session (plan searches, candidates
+    /// priced, plan-cache hits).
+    pub fn planner_stats(&self) -> PlannerStats {
+        self.planner.snapshot()
+    }
+
     fn ensure_prepared(&self) -> Result<(), EvalError> {
         if self.prepared.borrow().is_some() {
             return Ok(());
@@ -265,12 +378,12 @@ impl EvalSession<'_> {
                 &self.ctx,
             )?),
             Strategy::UnionExtension => {
-                let Verdict::FreeConnex { plan } = &self.engine.classification.verdict else {
-                    unreachable!("strategy() checked the verdict");
-                };
+                let plan =
+                    self.engine
+                        .executable_plan(&self.ctx, &self.instance, Some(&self.planner));
                 Prepared::Union(UcqPipelinePrep::prepare(
                     minimized,
-                    plan,
+                    &plan,
                     &self.instance,
                     &self.ctx,
                 )?)
@@ -369,6 +482,7 @@ impl<'e> EvalSession<'e> {
             instance: self.instance,
             ctx: view,
             prepared,
+            planner: self.planner.snapshot(),
         })
     }
 }
@@ -414,6 +528,7 @@ pub struct FrozenSession<'e> {
     instance: Instance,
     ctx: CtxView,
     prepared: FrozenPrepared,
+    planner: PlannerStats,
 }
 
 impl FrozenSession<'_> {
@@ -435,6 +550,12 @@ impl FrozenSession<'_> {
     /// The strategy frozen evaluations use.
     pub fn strategy(&self) -> Strategy {
         self.engine.strategy()
+    }
+
+    /// Planner counters accumulated by the build-phase session this
+    /// snapshot was frozen from.
+    pub fn planner_stats(&self) -> PlannerStats {
+        self.planner
     }
 
     /// Starts an enumeration over the frozen state. Callable from many
@@ -595,6 +716,74 @@ mod tests {
             builds_after_first,
             "repeated session calls intern nothing new"
         );
+    }
+
+    #[test]
+    fn repeated_sessions_hit_the_plan_cache() {
+        let u = parse_ucq(
+            "Q1(x, y, w) <- R1(x, z), R2(z, y), R3(y, w)\n\
+             Q2(x, y, w) <- R1(x, y), R2(y, w)",
+        )
+        .unwrap();
+        let eng = UcqEngine::new(u);
+        assert_eq!(eng.strategy(), Strategy::UnionExtension);
+        let i = inst(&[
+            ("R1", vec![(1, 2)]),
+            ("R2", vec![(2, 3)]),
+            ("R3", vec![(3, 4)]),
+        ]);
+        let ctx = CtxView::new();
+        let first = eng.session_in(&ctx, &i);
+        let baseline: HashSet<Tuple> = first
+            .enumerate()
+            .unwrap()
+            .collect_all()
+            .into_iter()
+            .collect();
+        let p1 = first.planner_stats();
+        assert_eq!(p1.plans_searched, 1, "first session runs the search");
+        assert_eq!(p1.plan_cache_hits, 0);
+        assert!(p1.candidates_costed >= 1, "at least one candidate priced");
+        // Re-enumerating within one session prepares nothing new.
+        first.enumerate().unwrap();
+        assert_eq!(first.planner_stats(), p1);
+
+        let second = eng.session_in(&ctx, &i);
+        let again: HashSet<Tuple> = second
+            .enumerate()
+            .unwrap()
+            .collect_all()
+            .into_iter()
+            .collect();
+        assert_eq!(again, baseline);
+        let p2 = second.planner_stats();
+        assert_eq!(p2.plans_searched, 0, "second session skips the search");
+        assert_eq!(p2.plan_cache_hits, 1, "cached plan reused");
+        assert_eq!(p2.candidates_costed, 0);
+    }
+
+    #[test]
+    fn redundant_member_gets_no_stages() {
+        // Example 1 shape: Q1 ⊆ Q2, and Q1 alone is cyclic (it would be
+        // hopeless to plan). Union minimization must drop it before any
+        // stage is planned: the executed plan has zero materializations and
+        // zero chosen atoms for the surviving member.
+        let u = parse_ucq(
+            "Q1(x, y) <- R1(x, y), R2(y, z), R3(z, x)\n\
+             Q2(x, y) <- R1(x, y), R2(y, z)",
+        )
+        .unwrap();
+        let eng = UcqEngine::new(u);
+        assert_eq!(
+            eng.classification().minimized.len(),
+            1,
+            "the subsumed member is gone before planning"
+        );
+        let Verdict::FreeConnex { plan } = &eng.classification().verdict else {
+            panic!("minimized union is free-connex");
+        };
+        assert!(!plan.needs_extension(), "no stages for a redundant union");
+        assert!(plan.atoms.is_empty());
     }
 }
 

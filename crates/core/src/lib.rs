@@ -22,6 +22,7 @@
 pub mod algorithm1;
 pub mod body_iso;
 pub mod classify;
+pub mod cost;
 pub mod engine;
 pub mod fd;
 pub mod fd_engine;
@@ -39,7 +40,8 @@ pub use classify::{
     classify, classify_with, cq_status, Classification, CqStatus, HardnessWitness, Hypothesis,
     Verdict,
 };
-pub use engine::{EvalSession, FrozenSession, Strategy, UcqAnswers, UcqEngine};
+pub use cost::{plan_free_connex_costed, CostModel, CostedPlan, CostedSearch};
+pub use engine::{EvalSession, FrozenSession, PlannerStats, Strategy, UcqAnswers, UcqEngine};
 pub use fd::{extend_instance, fd_extend_cq, fd_extend_ucq, Fd, FdExtension, FdSet};
 pub use fd_engine::{FdAnswers, FdSession, FdUcqEngine};
 pub use naive_ucq::{
@@ -47,7 +49,7 @@ pub use naive_ucq::{
 };
 pub use pipeline::{UcqPipeline, UcqPipelinePrep};
 pub use plan::{plan_free_connex, ExtensionPlan, PlannedAtom};
-pub use provides::{compute_availability, Availability, Provenance};
+pub use provides::{compute_availability, compute_availability_all, Availability, Provenance};
 pub use search::{ConnexOracle, SearchConfig};
 
 /// `Decide` for a single free-connex CQ: linear preprocessing, constant

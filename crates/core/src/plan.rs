@@ -11,6 +11,7 @@ use crate::search::{ConnexOracle, SearchConfig};
 use std::collections::HashMap;
 use ucq_hypergraph::VSet;
 use ucq_query::{Atom, Cq, Ucq};
+use ucq_storage::fx_hash_of;
 
 /// One virtual atom scheduled for materialization.
 #[derive(Clone, Debug)]
@@ -76,6 +77,17 @@ impl ExtensionPlan {
     }
 }
 
+/// The materialized-relation name for planned atom `(target, vars)` filled
+/// by `prov`. The name is derived from the plan's full dedup key — target,
+/// variable set, *and* a hash of the provenance (provider, homomorphism,
+/// connex set, uses) — so two plans over the same union that pick different
+/// providers for the same atom can never alias in a shared instance or
+/// context. (The old `@prov_{target}_{vars}` scheme collided exactly there.)
+fn planned_rel_name(target: usize, vars: VSet, prov: &Provenance) -> String {
+    let sig = fx_hash_of(&(prov.provider, &prov.hom, prov.s, &prov.uses));
+    format!("@prov_{target}_{:x}_{sig:016x}", vars.0)
+}
+
 /// Decides free-connexity of the union (within `cfg`'s search bounds) and
 /// builds the plan. `None` means *no certificate found* — for the classes
 /// with proven dichotomies this coincides with "not free-connex".
@@ -101,45 +113,116 @@ pub fn plan_free_connex(ucq: &Ucq, cfg: &SearchConfig) -> Option<ExtensionPlan> 
         chosen.push(atoms);
     }
 
+    Some(schedule_plan(&avail, chosen, &HashMap::new()))
+}
+
+/// Builds the executable plan from per-member chosen atom sets: schedules
+/// materializations dependency-first and attaches a provenance to each.
+///
+/// `overrides` substitutes the provenance for specific *top-level* keys
+/// (the cost-based planner's cheaper provider picks); dependencies inside
+/// the DFS always follow [`Availability::resolve`], whose strictly
+/// decreasing stages guarantee a well-founded order. An override whose own
+/// dependency closure needs the overridden key is dropped back to
+/// `resolve` (see [`sanitize_overrides`]), so by the time we get here every
+/// dependency edge is resolve-backed and acyclic.
+pub(crate) fn schedule_plan(
+    avail: &Availability,
+    chosen: Vec<Vec<VSet>>,
+    overrides: &HashMap<(usize, VSet), Provenance>,
+) -> ExtensionPlan {
+    let prov_of = |key: (usize, VSet), top: bool| -> Provenance {
+        if top {
+            if let Some(p) = overrides.get(&key) {
+                return p.clone();
+            }
+        }
+        avail
+            .resolve(key.0, key.1)
+            .expect("planned atoms are always available")
+            .clone()
+    };
+
     // Schedule materializations: DFS over (target, vars) dependencies,
     // dependencies (the provenance's `uses`, in provider space) first.
-    let mut order: Vec<(usize, VSet)> = Vec::new();
+    let mut order: Vec<((usize, VSet), Provenance)> = Vec::new();
     let mut seen: HashMap<(usize, VSet), ()> = HashMap::new();
+    #[allow(clippy::type_complexity)]
     fn visit(
         key: (usize, VSet),
-        avail: &Availability,
-        order: &mut Vec<(usize, VSet)>,
+        top: bool,
+        prov_of: &dyn Fn((usize, VSet), bool) -> Provenance,
+        order: &mut Vec<((usize, VSet), Provenance)>,
         seen: &mut HashMap<(usize, VSet), ()>,
     ) {
         if seen.contains_key(&key) {
             return;
         }
         seen.insert(key, ());
-        let prov = avail
-            .resolve(key.0, key.1)
-            .expect("planned atoms are always available");
+        let prov = prov_of(key, top);
         for &u in &prov.uses {
-            visit((prov.provider, u), avail, order, seen);
+            visit((prov.provider, u), false, prov_of, order, seen);
         }
-        order.push(key);
+        order.push((key, prov));
     }
     for (i, atoms) in chosen.iter().enumerate() {
         for &vars in atoms {
-            visit((i, vars), &avail, &mut order, &mut seen);
+            visit((i, vars), true, &prov_of, &mut order, &mut seen);
         }
     }
 
     let atoms: Vec<PlannedAtom> = order
         .into_iter()
-        .map(|(target, vars)| PlannedAtom {
+        .map(|((target, vars), provenance)| PlannedAtom {
             target,
             vars,
-            rel_name: format!("@prov_{target}_{:x}", vars.0),
-            provenance: avail.resolve(target, vars).expect("resolved above").clone(),
+            rel_name: planned_rel_name(target, vars, &provenance),
+            provenance,
         })
         .collect();
 
-    Some(ExtensionPlan { atoms, chosen })
+    ExtensionPlan { atoms, chosen }
+}
+
+/// Drops overrides that would break the well-founded schedule: a key that
+/// some (possibly overridden) provenance reaches through its `resolve`-
+/// backed dependency closure must itself be materialized with `resolve`,
+/// or a dependency could be scheduled after its dependent. Iterates to a
+/// fixed point because reverting an override only ever *shrinks* the
+/// override set (closures are recomputed each round from scratch).
+pub(crate) fn sanitize_overrides(
+    avail: &Availability,
+    overrides: &mut HashMap<(usize, VSet), Provenance>,
+) {
+    loop {
+        // Dependency closure over resolve-backed edges, seeded with every
+        // top-level provenance's direct uses.
+        let mut frontier: Vec<(usize, VSet)> = overrides
+            .values()
+            .flat_map(|p| p.uses.iter().map(|&u| (p.provider, u)))
+            .collect();
+        let mut closure: HashMap<(usize, VSet), ()> = HashMap::new();
+        while let Some(key) = frontier.pop() {
+            if closure.contains_key(&key) {
+                continue;
+            }
+            closure.insert(key, ());
+            if let Some(p) = avail.resolve(key.0, key.1) {
+                frontier.extend(p.uses.iter().map(|&u| (p.provider, u)));
+            }
+        }
+        let conflicted: Vec<(usize, VSet)> = overrides
+            .keys()
+            .filter(|k| closure.contains_key(*k))
+            .copied()
+            .collect();
+        if conflicted.is_empty() {
+            return;
+        }
+        for k in conflicted {
+            overrides.remove(&k);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -71,13 +71,51 @@ impl Availability {
             .min_by_key(|(_, p)| p.stage)
             .map(|(_, p)| p)
     }
+
+    /// All provenances that can justify atom `vars` for CQ `i`, earliest
+    /// stage first (ties keep derivation order). The cost-based planner
+    /// scores these alternatives and picks the cheapest; entry 0 after the
+    /// stage sort is what [`Availability::resolve`] returns.
+    pub fn resolve_all(&self, i: usize, vars: VSet) -> Vec<&Provenance> {
+        let mut all: Vec<&Provenance> = self.max_sets[i]
+            .iter()
+            .filter(|(max, _)| vars.is_subset(*max))
+            .map(|(_, p)| p)
+            .collect();
+        all.sort_by_key(|p| p.stage);
+        all
+    }
 }
 
-/// Computes the availability fixpoint for a union.
+/// Computes the availability fixpoint for a union, keeping only maximal
+/// provided sets — the right shape for classification and first-found
+/// planning, where any one provenance per set suffices.
 pub fn compute_availability(
     ucq: &Ucq,
     oracle: &mut ConnexOracle,
     cfg: &SearchConfig,
+) -> Availability {
+    compute_availability_with(ucq, oracle, cfg, false)
+}
+
+/// As [`compute_availability`], but alternative providers of the same set
+/// survive as separate entries so [`Availability::resolve_all`] has
+/// something to price. Strictly more entries per round means a costlier
+/// fixpoint — only the cost-based planner ([`crate::CostedSearch`]) pays
+/// for it, and only once per engine.
+pub fn compute_availability_all(
+    ucq: &Ucq,
+    oracle: &mut ConnexOracle,
+    cfg: &SearchConfig,
+) -> Availability {
+    compute_availability_with(ucq, oracle, cfg, true)
+}
+
+fn compute_availability_with(
+    ucq: &Ucq,
+    oracle: &mut ConnexOracle,
+    cfg: &SearchConfig,
+    keep_alternatives: bool,
 ) -> Availability {
     let n = ucq.len();
     let hypergraphs: Vec<_> = ucq.cqs().iter().map(|q| q.hypergraph()).collect();
@@ -114,7 +152,7 @@ pub fn compute_availability(
                         if image.len() < 2 {
                             continue;
                         }
-                        if add_maximal(
+                        if add_provider(
                             &mut avail.max_sets[i],
                             image,
                             Provenance {
@@ -124,6 +162,7 @@ pub fn compute_availability(
                                 uses: uses.clone(),
                                 stage,
                             },
+                            keep_alternatives,
                         ) {
                             changed = true;
                         }
@@ -138,12 +177,26 @@ pub fn compute_availability(
     avail
 }
 
-/// Inserts `set` unless an entry already covers it. Returns whether
-/// anything changed. Covered (subset) entries are *kept*: they carry
-/// earlier-stage provenances that later derivations' `uses` may depend on
-/// for well-founded materialization order.
-fn add_maximal(entries: &mut Vec<(VSet, Provenance)>, set: VSet, prov: Provenance) -> bool {
-    if entries.iter().any(|(e, _)| set.is_subset(*e)) {
+/// Inserts `set` unless a covering entry already exists. Without
+/// `keep_alternatives`, *any* covering entry suppresses the insert (the
+/// classic maximal-only dedup). With it, only an entry from the **same
+/// provider choice** (provider, connex target `S`) does — alternative
+/// providers of the same set survive as separate entries so the
+/// cost-based planner can choose among them
+/// ([`Availability::resolve_all`]). Covered (subset) entries are *kept*
+/// either way: they carry earlier-stage provenances that later
+/// derivations' `uses` may depend on for well-founded materialization
+/// order. Returns whether anything changed; the key space
+/// `(set, provider, S)` is finite, so the fixpoint still terminates.
+fn add_provider(
+    entries: &mut Vec<(VSet, Provenance)>,
+    set: VSet,
+    prov: Provenance,
+    keep_alternatives: bool,
+) -> bool {
+    if entries.iter().any(|(e, p)| {
+        set.is_subset(*e) && (!keep_alternatives || (p.provider == prov.provider && p.s == prov.s))
+    }) {
         return false;
     }
     entries.push((set, prov));
@@ -224,28 +277,63 @@ mod tests {
     }
 
     #[test]
-    fn add_maximal_keeps_maximal_only() {
-        let prov = |st: usize| Provenance {
-            provider: 0,
+    fn add_provider_dedups_per_provider_choice() {
+        let prov = |provider: usize, s: VSet, st: usize| Provenance {
+            provider,
             hom: vec![],
-            s: VSet::EMPTY,
+            s,
             uses: vec![],
             stage: st,
         };
+        let s0 = vs(&[0, 1]);
         let mut entries = Vec::new();
-        assert!(add_maximal(&mut entries, vs(&[0, 1]), prov(0)));
+        assert!(add_provider(
+            &mut entries,
+            vs(&[0, 1]),
+            prov(0, s0, 0),
+            true
+        ));
         assert!(
-            !add_maximal(&mut entries, vs(&[0, 1]), prov(1)),
-            "duplicate"
+            !add_provider(&mut entries, vs(&[0, 1]), prov(0, s0, 1), true),
+            "same provider choice, same set: duplicate"
         );
-        assert!(!add_maximal(&mut entries, vs(&[0]), prov(1)), "subset");
         assert!(
-            add_maximal(&mut entries, vs(&[0, 1, 2]), prov(1)),
+            !add_provider(&mut entries, vs(&[0]), prov(0, s0, 1), true),
+            "same provider choice, subset: covered"
+        );
+        assert!(
+            add_provider(&mut entries, vs(&[0, 1]), prov(1, s0, 0), true),
+            "alternative provider for the same set is kept"
+        );
+        assert!(
+            !add_provider(&mut entries, vs(&[0, 1]), prov(2, s0, 0), false),
+            "without keep_alternatives, any covering entry suppresses"
+        );
+        assert!(
+            add_provider(&mut entries, vs(&[0, 1, 2]), prov(0, s0, 1), true),
             "superset"
         );
         // The covered earlier entry survives so its (earlier) stage remains
         // resolvable for dependent provenances.
-        assert_eq!(entries.len(), 2);
-        assert_eq!(entries[1].0, vs(&[0, 1, 2]));
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[2].0, vs(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn resolve_all_orders_by_stage_and_leads_with_resolve() {
+        let u = parse_ucq(
+            "Q1(x, y, w) <- R1(x, z), R2(z, y), R3(y, w)\n\
+             Q2(x, y, w) <- R1(x, y), R2(y, w)",
+        )
+        .unwrap();
+        let mut oracle = ConnexOracle::default();
+        let avail = compute_availability_all(&u, &mut oracle, &SearchConfig::default());
+        let target = vs(&[0, 3, 1]);
+        let all = avail.resolve_all(0, target);
+        assert!(!all.is_empty());
+        let first = avail.resolve(0, target).unwrap();
+        assert_eq!(all[0].provider, first.provider);
+        assert_eq!(all[0].s, first.s);
+        assert!(all.windows(2).all(|w| w[0].stage <= w[1].stage));
     }
 }

@@ -17,6 +17,7 @@
 
 use std::collections::HashMap;
 use ucq_hypergraph::{free_paths, is_acyclic, is_s_connex, Hypergraph, VSet};
+use ucq_storage::fx_hash_of;
 
 /// Tunables for the union-extension search.
 #[derive(Clone, Debug)]
@@ -31,6 +32,9 @@ pub struct SearchConfig {
     pub max_rounds: usize,
     /// Cap on the candidate-atom pool per query (default 160).
     pub pool_cap: usize,
+    /// Cap on candidate extension sets enumerated per member by the
+    /// cost-based planner (default 4; `find_extension` uses 1).
+    pub max_plan_candidates: usize,
 }
 
 impl Default for SearchConfig {
@@ -41,23 +45,48 @@ impl Default for SearchConfig {
             hom_cap: 128,
             max_rounds: 6,
             pool_cap: 160,
+            max_plan_candidates: 4,
         }
     }
 }
 
 /// Memoized `S`-connexity oracle over extended hypergraphs.
+///
+/// The memo key is a 64-bit multiset hash of the extended edge list (each
+/// edge hashed independently, combined by commutative wrapping addition)
+/// rather than an owned, sorted `Vec<VSet>`: a query neither clones nor
+/// re-sorts the edge list, and the map stores 16 bytes per entry instead
+/// of a heap vector.
 #[derive(Default)]
 pub struct ConnexOracle {
-    memo: HashMap<(Vec<VSet>, VSet), bool>,
+    memo: HashMap<(u64, VSet), bool>,
+}
+
+/// SplitMix64's finalizer: a bijective non-linear mixer. Each edge must be
+/// mixed *before* the commutative addition — a linear per-edge hash (like
+/// fx on a single word) would make the sum collide for any two edge
+/// multisets with equal bitmask totals, e.g. `{3,12,6}` vs `{5,10,6}`.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The order-independent edge-multiset hash of `base + extra` (vertex count
+/// folded in so hypergraphs differing only in isolated vertices don't
+/// collide).
+fn edges_key(base: &Hypergraph, extra: &[VSet]) -> u64 {
+    let mut acc = mix64(fx_hash_of(&base.n_vertices()));
+    for e in base.edges().iter().chain(extra) {
+        acc = acc.wrapping_add(mix64(e.0));
+    }
+    acc
 }
 
 impl ConnexOracle {
     /// Whether `base + extra` is `s`-connex (memoized).
     pub fn is_s_connex(&mut self, base: &Hypergraph, extra: &[VSet], s: VSet) -> bool {
-        let mut edges: Vec<VSet> = base.edges().to_vec();
-        edges.extend_from_slice(extra);
-        edges.sort_unstable();
-        let key = (edges, s);
+        let key = (edges_key(base, extra), s);
         if let Some(&v) = self.memo.get(&key) {
             return v;
         }
@@ -77,15 +106,41 @@ impl ConnexOracle {
         pool: &[VSet],
         cfg: &SearchConfig,
     ) -> Option<Vec<VSet>> {
-        if self.is_s_connex(base, &[], s) {
-            return Some(Vec::new());
+        self.find_extensions(base, s, pool, cfg, 1).pop()
+    }
+
+    /// Finds up to `k` distinct sets `A ⊆ pool` with `base + A` `s`-connex,
+    /// in the search order of [`ConnexOracle::find_extension`] (empty set,
+    /// then exact size-1 fixes, then exact size-2, then the greedy result).
+    /// The first entry is always what `find_extension` would have returned,
+    /// so costing the candidates and picking any of them preserves the
+    /// planner's completeness. An empty result means no extension was found
+    /// within the bounds.
+    pub fn find_extensions(
+        &mut self,
+        base: &Hypergraph,
+        s: VSet,
+        pool: &[VSet],
+        cfg: &SearchConfig,
+        k: usize,
+    ) -> Vec<Vec<VSet>> {
+        if k == 0 {
+            return Vec::new();
         }
+        if self.is_s_connex(base, &[], s) {
+            // Nothing beats materializing nothing; alternatives are noise.
+            return vec![Vec::new()];
+        }
+        let mut found: Vec<Vec<VSet>> = Vec::new();
         let pool = prune_pool(base, pool, cfg.pool_cap);
         // Exact search, size 1.
         if cfg.max_exact_subset >= 1 {
             for &c in &pool {
                 if self.is_s_connex(base, &[c], s) {
-                    return Some(vec![c]);
+                    found.push(vec![c]);
+                    if found.len() == k {
+                        return found;
+                    }
                 }
             }
         }
@@ -94,10 +149,18 @@ impl ConnexOracle {
             for i in 0..pool.len() {
                 for j in i + 1..pool.len() {
                     if self.is_s_connex(base, &[pool[i], pool[j]], s) {
-                        return Some(vec![pool[i], pool[j]]);
+                        found.push(vec![pool[i], pool[j]]);
+                        if found.len() == k {
+                            return found;
+                        }
                     }
                 }
             }
+        }
+        if !found.is_empty() {
+            // An exact solution exists; the greedy pass could only produce
+            // a superset of some size ≤ 2 fix.
+            return found;
         }
         // Greedy fallback (Lemma 28 style): add the candidate with the best
         // (acyclicity, remaining free-paths) score, require strict progress.
@@ -116,14 +179,17 @@ impl ConnexOracle {
                     best = Some((c, sc));
                 }
             }
-            let (c, sc) = best?;
+            let Some((c, sc)) = best else {
+                return found;
+            };
             chosen.push(c);
             score = sc;
             if self.is_s_connex(base, &chosen, s) {
-                return Some(chosen);
+                found.push(chosen);
+                return found;
             }
         }
-        None
+        found
     }
 }
 
@@ -253,6 +319,62 @@ mod tests {
         assert!(o
             .find_extension(&h, free, &pool, &SearchConfig::default())
             .is_none());
+    }
+
+    #[test]
+    fn find_extensions_orders_first_found_first() {
+        // Example 13 shape again, with a pool holding two alternative
+        // two-atom fixes: k-candidate search must lead with exactly what
+        // find_extension returns and respect the cap.
+        let h = hg(7, &[&[0, 4], &[4, 5], &[5, 6], &[6, 1], &[1, 2, 3]]);
+        let free = vs(&[0, 1, 2, 3]);
+        let pool = [vs(&[0, 4, 5, 1]), vs(&[0, 5, 6, 1])];
+        let mut o = ConnexOracle::default();
+        let first = o
+            .find_extension(&h, free, &pool, &SearchConfig::default())
+            .unwrap();
+        let many = o.find_extensions(&h, free, &pool, &SearchConfig::default(), 4);
+        assert!(!many.is_empty());
+        assert_eq!(many[0], first, "candidate 0 is the first-found set");
+        assert!(o
+            .find_extensions(&h, free, &pool, &SearchConfig::default(), 0)
+            .is_empty());
+    }
+
+    #[test]
+    fn find_extensions_on_connex_base_is_just_empty_set() {
+        let h = hg(3, &[&[0, 2], &[2, 1]]);
+        let mut o = ConnexOracle::default();
+        let many = o.find_extensions(
+            &h,
+            vs(&[0, 1, 2]),
+            &[vs(&[0, 1])],
+            &SearchConfig::default(),
+            4,
+        );
+        assert_eq!(many, vec![Vec::<VSet>::new()]);
+    }
+
+    #[test]
+    fn memo_key_distinguishes_isolated_vertices() {
+        // Same edges, different vertex counts: must not share memo entries.
+        let h3 = hg(3, &[&[0, 1]]);
+        let h4 = hg(4, &[&[0, 1]]);
+        assert_ne!(edges_key(&h3, &[]), edges_key(&h4, &[]));
+        // Order independence: extra edges hash the same in any order.
+        let a = edges_key(&h4, &[vs(&[1, 2]), vs(&[2, 3])]);
+        let b = edges_key(&h4, &[vs(&[2, 3]), vs(&[1, 2])]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn memo_key_distinguishes_equal_bitmask_sums() {
+        // Edge bitmasks {3, 12, 6} and {5, 10, 6} both sum to 21; a linear
+        // per-edge hash would collide here (and once did, conflating one
+        // query's {a,f}-connexity with another's {a,d}).
+        let h1 = hg(4, &[&[0, 1], &[2, 3], &[1, 2]]);
+        let h2 = hg(4, &[&[0, 2], &[1, 3], &[1, 2]]);
+        assert_ne!(edges_key(&h1, &[]), edges_key(&h2, &[]));
     }
 
     #[test]

@@ -298,6 +298,50 @@ proptest! {
         prop_assert_eq!(frozen.decide().unwrap(), !want.is_empty());
     }
 
+    /// The cost-based plan answers exactly like the first-found plan and
+    /// the value-level nested-loop oracle: cost-based planning may change
+    /// *which* providers materialize and in what order, never the answer
+    /// set. Also pins search agreement — the costed planner finds a plan
+    /// iff the first-found planner does.
+    #[test]
+    fn costed_plan_matches_first_found_and_oracle((u, inst) in ucq_and_instance()) {
+        use ucq_core::plan_free_connex_costed;
+        use ucq_storage::CtxView;
+
+        let cfg = SearchConfig::default();
+        let first = plan_free_connex(&u, &cfg);
+        let ctx = CtxView::new();
+        let costed = plan_free_connex_costed(&u, &cfg, &inst, &ctx);
+        prop_assert_eq!(
+            first.is_some(), costed.is_some(),
+            "costed and first-found searches must agree on plan existence"
+        );
+        let (Some(first), Some(costed)) = (first, costed) else { return Ok(()); };
+        prop_assert_eq!(costed.estimates.len(), costed.plan.atoms.len());
+
+        let mut want: HashSet<Tuple> = HashSet::new();
+        let mut schema_ok = true;
+        for cq in u.cqs() {
+            if value_level_cq(cq, &inst, &mut want).is_err() {
+                schema_ok = false;
+                break;
+            }
+        }
+        let via_first = UcqPipeline::build_in(&u, &first, &inst, &ctx);
+        let via_costed = UcqPipeline::build_in(&u, &costed.plan, &inst, &ctx);
+        if !schema_ok {
+            prop_assert!(via_first.is_err() && via_costed.is_err(), "arity clash errors on both");
+            return Ok(());
+        }
+        let first_set: HashSet<Tuple> =
+            via_first.unwrap().collect_all().into_iter().collect();
+        let costed_answers = via_costed.unwrap().collect_all();
+        let costed_set: HashSet<Tuple> = costed_answers.iter().cloned().collect();
+        prop_assert_eq!(costed_answers.len(), costed_set.len(), "costed stream duplicate-free");
+        prop_assert_eq!(&costed_set, &want, "costed plan vs value-level oracle");
+        prop_assert_eq!(&costed_set, &first_set, "costed plan vs first-found plan");
+    }
+
     /// Repeated session evaluations agree with the one-shot path.
     #[test]
     fn session_matches_oneshot((u, inst) in ucq_and_instance()) {

@@ -83,6 +83,29 @@ impl Ucq {
         Ucq { cqs }
     }
 
+    /// A structural fingerprint of the union: member count, and per member
+    /// the head variables and atoms (relation name + argument shape).
+    /// Member names are deliberately excluded — `Q1(x) <- R(x)` fingerprints
+    /// the same however the rule is titled. Stable within a process (used
+    /// as half of a plan-cache key, paired with a context's stats epoch);
+    /// equal unions always collide, distinct unions collide with ordinary
+    /// 64-bit hash probability.
+    pub fn fingerprint(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        self.cqs.len().hash(&mut h);
+        for cq in &self.cqs {
+            cq.head().hash(&mut h);
+            cq.atoms().len().hash(&mut h);
+            for atom in cq.atoms() {
+                atom.rel.hash(&mut h);
+                atom.args.hash(&mut h);
+            }
+        }
+        h.finish()
+    }
+
     /// All relation names mentioned anywhere in the union.
     pub fn relation_names(&self) -> Vec<&str> {
         let mut seen = std::collections::HashSet::new();
@@ -142,5 +165,22 @@ mod tests {
     fn single_wraps() {
         let q = Cq::build("Q", &["x"], &[("R", &["x"])]).unwrap();
         assert_eq!(Ucq::single(q).len(), 1);
+    }
+
+    #[test]
+    fn fingerprint_ignores_names_but_not_structure() {
+        let a = Ucq::single(Cq::build("Q1", &["x"], &[("R", &["x", "y"])]).unwrap());
+        let b = Ucq::single(Cq::build("Other", &["x"], &[("R", &["x", "y"])]).unwrap());
+        assert_eq!(a.fingerprint(), b.fingerprint(), "names don't matter");
+        let c = Ucq::single(Cq::build("Q1", &["x"], &[("S", &["x", "y"])]).unwrap());
+        assert_ne!(a.fingerprint(), c.fingerprint(), "relation names do");
+        let d = Ucq::single(Cq::build("Q1", &["y"], &[("R", &["x", "y"])]).unwrap());
+        assert_ne!(a.fingerprint(), d.fingerprint(), "heads do");
+        let two = Ucq::new(vec![
+            Cq::build("Q1", &["x"], &[("R", &["x", "y"])]).unwrap(),
+            Cq::build("Q2", &["x"], &[("R", &["x", "y"])]).unwrap(),
+        ])
+        .unwrap();
+        assert_ne!(a.fingerprint(), two.fingerprint(), "member count does");
     }
 }

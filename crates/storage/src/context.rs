@@ -37,8 +37,11 @@ use crate::idrel::IdRel;
 use crate::index::HashIndex;
 use crate::key::InlineKey;
 use crate::relation::Relation;
+use crate::stats::RelStats;
 use crate::tuple::Tuple;
 use crate::value::Value;
+use std::any::Any;
+use std::fmt;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Cache-hit/miss counters (diagnostics; also used by tests to assert
@@ -63,6 +66,23 @@ pub struct ContextStats {
 pub(crate) type IndexKey = (usize, Box<[usize]>);
 /// A cache entry: the pinning handle and the shared index.
 pub(crate) type IndexEntry = (Arc<IdRel>, Arc<HashIndex>);
+/// A stats-cache entry: the pinning handle and the shared stats.
+pub(crate) type StatsEntry = (Arc<IdRel>, Arc<RelStats>);
+/// A plan-cache key: `(query fingerprint, stats epoch)`.
+pub(crate) type PlanKey = (u64, u64);
+
+/// A type-erased cached plan. The planner lives downstream of storage, so
+/// the context stores plans as `Arc<dyn Any>` and the planner downcasts on
+/// retrieval; this wrapper exists only to give the cache maps a `Debug`
+/// impl.
+#[derive(Clone)]
+pub(crate) struct PlanSlot(pub(crate) Arc<dyn Any + Send + Sync>);
+
+impl fmt::Debug for PlanSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("PlanSlot(..)")
+    }
+}
 
 /// An index cache: `(relation identity, key columns) → Arc<HashIndex>`.
 ///
@@ -105,6 +125,12 @@ impl IndexCache {
     pub(crate) fn snapshot(&self) -> FastMap<IndexKey, IndexEntry> {
         self.map.clone()
     }
+
+    /// The cached index for `(rel_ptr, key_cols)` if one was already built
+    /// (no build, no counter bump) — the stats harvester's peek.
+    pub(crate) fn peek(&self, rel_ptr: usize, key_cols: &[usize]) -> Option<&Arc<HashIndex>> {
+        self.map.get(&(rel_ptr, key_cols.into())).map(|(_p, i)| i)
+    }
 }
 
 #[derive(Debug, Default)]
@@ -117,6 +143,14 @@ struct Inner {
     /// relation. The base relation is pinned by `interned`.
     derived: FastMap<(usize, Box<[u32]>), Arc<IdRel>>,
     indexes: IndexCache,
+    /// `Arc<IdRel>` address → cached [`RelStats`]. The held `Arc` pins the
+    /// address.
+    rel_stats: FastMap<usize, StatsEntry>,
+    /// `(query fingerprint, stats epoch)` → type-erased plan.
+    plans: FastMap<PlanKey, PlanSlot>,
+    /// Bumped whenever the set of interned relations changes; plan-cache
+    /// keys carry it, so a changed instance invalidates stale plans.
+    epoch: u64,
     interned_hits: usize,
     interned_builds: usize,
     derived_hits: usize,
@@ -164,6 +198,9 @@ impl EvalContext {
             inner.interned.clone(),
             inner.derived.clone(),
             inner.indexes.snapshot(),
+            inner.rel_stats.clone(),
+            inner.plans.clone(),
+            inner.epoch,
             ContextStats {
                 interned_hits: inner.interned_hits,
                 interned_builds: inner.interned_builds,
@@ -263,6 +300,7 @@ impl EvalContext {
             return id_rel;
         }
         inner.interned_builds += 1;
+        inner.epoch += 1;
         let built = {
             let inner = &mut *inner;
             Arc::new(IdRel::from_relation(rel, &mut inner.dict))
@@ -285,6 +323,9 @@ impl EvalContext {
         debug_assert_eq!(rel.len(), id_rel.len(), "mirror must match row count");
         let key = Arc::as_ptr(rel) as usize;
         let mut inner = self.lock();
+        // No epoch bump: registrations are pipeline-produced mirrors of
+        // derived data (Lemma 8 materializations), not new base relations —
+        // bumping here would invalidate the plan cache on every prepare.
         inner.interned.insert(key, (Arc::clone(rel), id_rel));
     }
 
@@ -322,6 +363,53 @@ impl EvalContext {
     /// The cached index over `rel` keyed on `key_cols` (see [`IndexCache`]).
     pub fn index(&self, rel: &Arc<IdRel>, key_cols: &[usize]) -> Arc<HashIndex> {
         self.lock().indexes.get_or_build(rel, key_cols)
+    }
+
+    /// The cached [`RelStats`] of `rel`, computed on first request. Columns
+    /// with an already-built single-column index are harvested straight off
+    /// its CSR offsets; the rest are counted in one pass per column.
+    pub fn rel_stats(&self, rel: &Arc<IdRel>) -> Arc<RelStats> {
+        let key = Arc::as_ptr(rel) as usize;
+        let mut inner = self.lock();
+        if let Some((_pin, s)) = inner.rel_stats.get(&key) {
+            return Arc::clone(s);
+        }
+        let stats = {
+            let indexes = &inner.indexes;
+            Arc::new(RelStats::compute_with(rel, |c| {
+                indexes
+                    .peek(key, &[c])
+                    .map(|i| RelStats::column_from_index(i))
+            }))
+        };
+        inner
+            .rel_stats
+            .insert(key, (Arc::clone(rel), Arc::clone(&stats)));
+        stats
+    }
+
+    /// The current stats epoch: bumped whenever a *new* base relation is
+    /// interned, so `(fingerprint, epoch)` plan-cache keys go stale the
+    /// moment the underlying instance data changes. Registrations of
+    /// derived mirrors do not bump it.
+    pub fn stats_epoch(&self) -> u64 {
+        self.lock().epoch
+    }
+
+    /// The cached plan stored under `(fingerprint, epoch)`, if any. The
+    /// planner downcasts the returned `Arc<dyn Any>` to its own plan type.
+    pub fn cached_plan(&self, fingerprint: u64, epoch: u64) -> Option<Arc<dyn Any + Send + Sync>> {
+        self.lock()
+            .plans
+            .get(&(fingerprint, epoch))
+            .map(|s| Arc::clone(&s.0))
+    }
+
+    /// Stores a type-erased plan under `(fingerprint, epoch)`.
+    pub fn store_plan(&self, fingerprint: u64, epoch: u64, plan: Arc<dyn Any + Send + Sync>) {
+        self.lock()
+            .plans
+            .insert((fingerprint, epoch), PlanSlot(plan));
     }
 
     /// Number of distinct values interned so far.
@@ -418,6 +506,54 @@ mod tests {
         assert!(ctx.lookup_row(&[Value::Int(1), Value::Int(2)], &mut buf));
         assert_eq!(buf.len(), 2);
         assert!(!ctx.lookup_row(&[Value::Int(99)], &mut buf));
+    }
+
+    #[test]
+    fn rel_stats_cached_and_harvested() {
+        let ctx = EvalContext::new();
+        let rel = shared_pairs(&[(1, 10), (1, 20), (2, 10)]);
+        let id_rel = ctx.interned_rel(&rel);
+        // Build a single-column index first so the harvest path is hit.
+        ctx.index(&id_rel, &[0]);
+        let a = ctx.rel_stats(&id_rel);
+        let b = ctx.rel_stats(&id_rel);
+        assert!(Arc::ptr_eq(&a, &b), "stats cached by relation identity");
+        assert_eq!(a.rows, 3);
+        assert_eq!(a.distinct, vec![2, 2]);
+        assert_eq!(a.max_fanout, vec![2, 2]);
+    }
+
+    #[test]
+    fn epoch_bumps_on_intern_but_not_register() {
+        let ctx = EvalContext::new();
+        let e0 = ctx.stats_epoch();
+        let rel = shared_pairs(&[(1, 2)]);
+        ctx.interned_rel(&rel);
+        let e1 = ctx.stats_epoch();
+        assert!(e1 > e0, "interning a new relation bumps the epoch");
+        ctx.interned_rel(&rel);
+        assert_eq!(ctx.stats_epoch(), e1, "cache hits leave the epoch alone");
+        let other = shared_pairs(&[(3, 4)]);
+        let mirror = ctx.interned_rel(&other);
+        let e2 = ctx.stats_epoch();
+        ctx.register_interned(&other, mirror);
+        assert_eq!(
+            ctx.stats_epoch(),
+            e2,
+            "registering a derived mirror must not invalidate cached plans"
+        );
+    }
+
+    #[test]
+    fn plan_cache_roundtrip() {
+        let ctx = EvalContext::new();
+        assert!(ctx.cached_plan(7, 0).is_none());
+        let plan: Arc<dyn std::any::Any + Send + Sync> = Arc::new(42usize);
+        ctx.store_plan(7, 0, plan);
+        let got = ctx.cached_plan(7, 0).expect("stored plan");
+        assert_eq!(*got.downcast::<usize>().unwrap(), 42);
+        assert!(ctx.cached_plan(7, 1).is_none(), "epoch is part of the key");
+        assert!(ctx.cached_plan(8, 0).is_none(), "fingerprint is too");
     }
 
     #[test]

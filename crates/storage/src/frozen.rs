@@ -22,16 +22,20 @@
 //! naive, noderel}`) runs unchanged against either a build-phase context or
 //! a frozen snapshot.
 
-use crate::context::{ContextStats, EvalContext, IndexEntry, IndexKey};
+use crate::context::{
+    ContextStats, EvalContext, IndexEntry, IndexKey, PlanKey, PlanSlot, StatsEntry,
+};
 use crate::dictionary::{Dictionary, ValueId};
 use crate::hash::FastMap;
 use crate::idrel::IdRel;
 use crate::index::HashIndex;
 use crate::key::InlineKey;
 use crate::relation::Relation;
+use crate::stats::RelStats;
 use crate::tuple::Tuple;
 use crate::value::Value;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::any::Any;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Post-freeze fallback state: an overlay dictionary (ids `>= base_len`)
@@ -46,6 +50,8 @@ struct Overflow {
     interned: FastMap<usize, (Arc<Relation>, Arc<IdRel>)>,
     derived: FastMap<(usize, Box<[u32]>), Arc<IdRel>>,
     indexes: FastMap<IndexKey, IndexEntry>,
+    rel_stats: FastMap<usize, StatsEntry>,
+    plans: FastMap<PlanKey, PlanSlot>,
 }
 
 /// An immutable, `Send + Sync` snapshot of an [`EvalContext`]. See the
@@ -58,6 +64,12 @@ pub struct FrozenContext {
     interned: FastMap<usize, (Arc<Relation>, Arc<IdRel>)>,
     derived: FastMap<(usize, Box<[u32]>), Arc<IdRel>>,
     indexes: FastMap<IndexKey, IndexEntry>,
+    rel_stats: FastMap<usize, StatsEntry>,
+    plans: FastMap<PlanKey, PlanSlot>,
+    /// The stats epoch at freeze time; post-freeze overlay interns add
+    /// `epoch_bumps` on top.
+    base_epoch: u64,
+    epoch_bumps: AtomicU64,
     /// Counters carried over from the build phase at freeze time.
     base_stats: ContextStats,
     overflow: Mutex<Overflow>,
@@ -73,11 +85,15 @@ pub struct FrozenContext {
 }
 
 impl FrozenContext {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_parts(
         dict: Dictionary,
         interned: FastMap<usize, (Arc<Relation>, Arc<IdRel>)>,
         derived: FastMap<(usize, Box<[u32]>), Arc<IdRel>>,
         indexes: FastMap<IndexKey, IndexEntry>,
+        rel_stats: FastMap<usize, StatsEntry>,
+        plans: FastMap<PlanKey, PlanSlot>,
+        base_epoch: u64,
         base_stats: ContextStats,
     ) -> FrozenContext {
         FrozenContext {
@@ -86,6 +102,10 @@ impl FrozenContext {
             interned,
             derived,
             indexes,
+            rel_stats,
+            plans,
+            base_epoch,
+            epoch_bumps: AtomicU64::new(0),
             base_stats,
             overflow: Mutex::new(Overflow::default()),
             has_overflow: AtomicBool::new(false),
@@ -277,6 +297,7 @@ impl FrozenContext {
             return r;
         }
         self.interned_builds.fetch_add(1, Ordering::Relaxed);
+        self.epoch_bumps.fetch_add(1, Ordering::Relaxed);
         let built = Arc::new(self.intern_rel_overflow(rel));
         let mut ov = self.overflow();
         // A racing thread may have inserted meanwhile; first build wins so
@@ -291,6 +312,9 @@ impl FrozenContext {
     pub fn register_interned(&self, rel: &Arc<Relation>, id_rel: Arc<IdRel>) {
         debug_assert_eq!(rel.len(), id_rel.len(), "mirror must match row count");
         let key = Arc::as_ptr(rel) as usize;
+        // No epoch bump: registrations are pipeline-produced mirrors of
+        // derived data (Lemma 8 materializations), not new base relations —
+        // bumping here would invalidate the plan cache on every prepare.
         self.overflow()
             .interned
             .insert(key, (Arc::clone(rel), id_rel));
@@ -345,6 +369,62 @@ impl FrozenContext {
         let mut ov = self.overflow();
         let entry = ov.indexes.entry(key).or_insert((Arc::clone(rel), idx));
         Arc::clone(&entry.1)
+    }
+
+    /// The cached [`RelStats`] of `rel`: snapshot hit, overlay hit, or
+    /// overlay compute (harvesting frozen single-column indexes where they
+    /// exist).
+    pub fn rel_stats(&self, rel: &Arc<IdRel>) -> Arc<RelStats> {
+        let key = Arc::as_ptr(rel) as usize;
+        if let Some((_pin, s)) = self.rel_stats.get(&key) {
+            return Arc::clone(s);
+        }
+        if let Some(s) = self
+            .overflow()
+            .rel_stats
+            .get(&key)
+            .map(|(_p, s)| Arc::clone(s))
+        {
+            return s;
+        }
+        // Compute outside the overflow lock; only frozen indexes are
+        // harvested (peeking the overlay would deadlock and the cold path
+        // does not warrant it).
+        let stats = Arc::new(RelStats::compute_with(rel, |c| {
+            let ikey: IndexKey = (key, [c].as_slice().into());
+            self.indexes
+                .get(&ikey)
+                .map(|(_p, i)| RelStats::column_from_index(i))
+        }));
+        let mut ov = self.overflow();
+        let entry = ov.rel_stats.entry(key).or_insert((Arc::clone(rel), stats));
+        Arc::clone(&entry.1)
+    }
+
+    /// The stats epoch: the frozen base plus one bump per post-freeze
+    /// overlay intern/registration.
+    pub fn stats_epoch(&self) -> u64 {
+        self.base_epoch + self.epoch_bumps.load(Ordering::Relaxed)
+    }
+
+    /// The cached plan stored under `(fingerprint, epoch)`: snapshot hit or
+    /// overlay hit.
+    pub fn cached_plan(&self, fingerprint: u64, epoch: u64) -> Option<Arc<dyn Any + Send + Sync>> {
+        if let Some(slot) = self.plans.get(&(fingerprint, epoch)) {
+            return Some(Arc::clone(&slot.0));
+        }
+        self.overflow()
+            .plans
+            .get(&(fingerprint, epoch))
+            .map(|s| Arc::clone(&s.0))
+    }
+
+    /// Stores a type-erased plan under `(fingerprint, epoch)` in the
+    /// overlay (the frozen snapshot is never mutated).
+    pub fn store_plan(&self, fingerprint: u64, epoch: u64, plan: Arc<dyn Any + Send + Sync>) {
+        self.overflow()
+            .plans
+            .insert((fingerprint, epoch), PlanSlot(plan));
     }
 
     /// Number of distinct values known (frozen watermark plus overlay).
@@ -524,6 +604,47 @@ impl CtxView {
         }
     }
 
+    /// The cached [`RelStats`] of `rel`, computed on first request.
+    pub fn rel_stats(&self, rel: &Arc<IdRel>) -> Arc<RelStats> {
+        match self {
+            CtxView::Build(c) => c.rel_stats(rel),
+            CtxView::Frozen(f) => f.rel_stats(rel),
+        }
+    }
+
+    /// The current stats epoch (see [`EvalContext::stats_epoch`]).
+    pub fn stats_epoch(&self) -> u64 {
+        match self {
+            CtxView::Build(c) => c.stats_epoch(),
+            CtxView::Frozen(f) => f.stats_epoch(),
+        }
+    }
+
+    /// The cached plan stored under `(fingerprint, epoch)`, if any.
+    pub fn cached_plan(
+        &self,
+        fingerprint: u64,
+        epoch: u64,
+    ) -> Option<Arc<dyn std::any::Any + Send + Sync>> {
+        match self {
+            CtxView::Build(c) => c.cached_plan(fingerprint, epoch),
+            CtxView::Frozen(f) => f.cached_plan(fingerprint, epoch),
+        }
+    }
+
+    /// Stores a type-erased plan under `(fingerprint, epoch)`.
+    pub fn store_plan(
+        &self,
+        fingerprint: u64,
+        epoch: u64,
+        plan: Arc<dyn std::any::Any + Send + Sync>,
+    ) {
+        match self {
+            CtxView::Build(c) => c.store_plan(fingerprint, epoch, plan),
+            CtxView::Frozen(f) => f.store_plan(fingerprint, epoch, plan),
+        }
+    }
+
     /// Number of distinct values interned so far.
     pub fn dict_len(&self) -> usize {
         match self {
@@ -646,6 +767,31 @@ mod tests {
             (CtxView::Frozen(a), CtxView::Frozen(b)) => assert!(Arc::ptr_eq(a, b)),
             _ => unreachable!(),
         }
+    }
+
+    #[test]
+    fn freeze_carries_stats_epoch_and_plans() {
+        let ctx = Arc::new(EvalContext::new());
+        let rel = shared_pairs(&[(1, 2), (1, 3)]);
+        let id_rel = ctx.interned_rel(&rel);
+        let stats = ctx.rel_stats(&id_rel);
+        let plan: Arc<dyn std::any::Any + Send + Sync> = Arc::new("p".to_string());
+        let epoch = ctx.stats_epoch();
+        ctx.store_plan(11, epoch, plan);
+        let frozen = ctx.freeze();
+        assert_eq!(frozen.stats_epoch(), epoch);
+        assert!(Arc::ptr_eq(&frozen.rel_stats(&id_rel), &stats));
+        assert!(frozen.cached_plan(11, epoch).is_some());
+        // Post-freeze misses compute/store in the overlay; a new interned
+        // relation bumps the frozen epoch.
+        let other = shared_pairs(&[(5, 6)]);
+        let other_ids = frozen.interned_rel(&other);
+        assert!(frozen.stats_epoch() > epoch);
+        let s = frozen.rel_stats(&other_ids);
+        assert_eq!(s.rows, 1);
+        assert!(Arc::ptr_eq(&frozen.rel_stats(&other_ids), &s));
+        frozen.store_plan(12, frozen.stats_epoch(), Arc::new(1usize));
+        assert!(frozen.cached_plan(12, frozen.stats_epoch()).is_some());
     }
 
     #[test]

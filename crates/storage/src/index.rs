@@ -367,6 +367,16 @@ impl HashIndex {
         self.offsets.len() - 1
     }
 
+    /// The largest group size — the worst-case fanout of the key. Read
+    /// straight off the CSR offsets (one O(n_keys) scan, no row data).
+    pub fn max_group_len(&self) -> usize {
+        self.offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Probes a flat run of keys (`stride` ids per key; `keys.len()` must be
     /// a multiple of `stride`) and yields `(probe_index, row_ids)` for every
     /// key in run order, with an empty slice for absent keys.
@@ -604,6 +614,15 @@ mod tests {
         let idx = HashIndex::build(&r, &[1]);
         let ten = dict.lookup(Value::Int(10)).unwrap();
         assert_eq!(idx.get(&[ten]), &[0, 1]);
+    }
+
+    #[test]
+    fn max_group_len_reads_offsets() {
+        let (r, _) = interned_pairs(&[(1, 10), (1, 20), (1, 30), (2, 40)]);
+        let idx = HashIndex::build(&r, &[0]);
+        assert_eq!(idx.max_group_len(), 3);
+        let empty = HashIndex::build(&IdRel::new(2), &[0]);
+        assert_eq!(empty.max_group_len(), 0);
     }
 
     #[test]

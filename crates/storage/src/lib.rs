@@ -24,6 +24,7 @@ pub mod instance;
 pub mod key;
 pub mod par;
 pub mod relation;
+pub mod stats;
 pub mod text;
 pub mod tuple;
 pub mod value;
@@ -33,14 +34,15 @@ pub use context::{ContextStats, EvalContext, IndexCache};
 pub use dictionary::{Dictionary, ValueId};
 pub use frozen::{CtxView, FrozenContext};
 pub use hash::{
-    fast_map_with_capacity, fast_set_with_capacity, seeded_map_with_capacity, FastMap, FastSet,
-    FxBuildHasher, SeededFastMap, SeededFxBuildHasher,
+    fast_map_with_capacity, fast_set_with_capacity, fx_hash_of, seeded_map_with_capacity, FastMap,
+    FastSet, FxBuildHasher, SeededFastMap, SeededFxBuildHasher,
 };
 pub use idrel::{IdRel, IdSet, ProbeScratch};
 pub use index::{HashIndex, ProbeBatch, RowSet};
 pub use instance::Instance;
 pub use key::InlineKey;
 pub use relation::Relation;
+pub use stats::RelStats;
 pub use text::{parse_instance, to_text, TextError};
 pub use tuple::Tuple;
 pub use value::Value;

@@ -183,8 +183,52 @@ impl CdyEngine {
         let nonempty = full_reduce(&ct.tree, &mut rels);
 
         // Lookup structures over the reduced relations.
-        let order = ct.order_connex_first();
+        //
+        // The traversal order must keep every `T'` (connex) node before the
+        // rest and every parent before its children, but sibling order is
+        // free. Default to the canonical traversal and pull a ready node
+        // forward only when its reduced relation is decisively smaller —
+        // under half the rows of the canonical next pick — so the skewed
+        // cases enumerate cheap nodes at shallow depths while near-uniform
+        // trees keep the canonical order exactly.
+        let base_order = ct.order_connex_first();
         let n_connex = ct.connex_nodes().len();
+        let mut is_connex = vec![false; n_nodes];
+        for n in ct.connex_nodes() {
+            is_connex[n] = true;
+        }
+        let mut order: Vec<usize> = Vec::with_capacity(base_order.len());
+        let mut placed = vec![false; n_nodes];
+        for phase in 0..2 {
+            loop {
+                let mut default: Option<usize> = None;
+                let mut smallest: Option<usize> = None;
+                for &n in &base_order {
+                    if placed[n] || is_connex[n] != (phase == 0) {
+                        continue;
+                    }
+                    if let Some(p) = ct.tree.parent(n) {
+                        if !placed[p] {
+                            continue;
+                        }
+                    }
+                    if default.is_none() {
+                        default = Some(n);
+                    }
+                    if smallest.is_none_or(|b| rels[n].rel.len() < rels[b].rel.len()) {
+                        smallest = Some(n);
+                    }
+                }
+                let Some(d) = default else { break };
+                let n = match smallest {
+                    Some(s) if rels[s].rel.len() * 2 < rels[d].rel.len() => s,
+                    _ => d,
+                };
+                placed[n] = true;
+                order.push(n);
+            }
+        }
+        debug_assert_eq!(order.len(), base_order.len(), "reorder is a permutation");
         let mut sep_vars: Vec<Vec<u32>> = vec![Vec::new(); n_nodes];
         let mut indexes: Vec<Option<HashIndex>> = Vec::with_capacity(n_nodes);
         for i in 0..n_nodes {

@@ -118,12 +118,60 @@ pub fn evaluate_cq_naive_ids_in(
     };
 
     while !remaining.is_empty() {
-        // Pick a connected atom if possible, else the smallest.
+        // Pick a connected atom if possible; default to the smallest
+        // relation among the connected (the first, since `remaining` is
+        // size-sorted). With several connected candidates, estimate each
+        // one's per-binding fanout (rows over the distinct counts of its
+        // already-bound columns, from the context's cached RelStats) and
+        // deviate from the default only for a decisive win — at least
+        // twice as selective — so estimate noise on near-uniform inputs
+        // can't flip an order the size sort already got right.
         let acc_set: HashSet<VarId> = acc_vars.iter().copied().collect();
-        let pick_pos = remaining
-            .iter()
-            .position(|&i| nodes[i].0.iter().any(|v| acc_set.contains(v)))
-            .unwrap_or(0);
+        let pick_pos = {
+            let connected: Vec<usize> = remaining
+                .iter()
+                .enumerate()
+                .filter(|(_, &i)| nodes[i].0.iter().any(|v| acc_set.contains(v)))
+                .map(|(pos, _)| pos)
+                .collect();
+            match connected.as_slice() {
+                [] => 0,
+                [only] => *only,
+                // Statistics harvesting costs a pass over each candidate;
+                // below this many rows the size-sorted default can't lose
+                // enough to pay for it.
+                candidates
+                    if candidates
+                        .iter()
+                        .all(|&pos| nodes[remaining[pos]].1.len() < 4096) =>
+                {
+                    candidates[0]
+                }
+                candidates => {
+                    let est = |pos: usize| {
+                        let (vars, rel) = &nodes[remaining[pos]];
+                        let stats = ctx.rel_stats(rel);
+                        let mut fanout = stats.rows as f64;
+                        for (c, v) in vars.iter().enumerate() {
+                            if acc_set.contains(v) {
+                                fanout /= stats.distinct.get(c).copied().unwrap_or(1).max(1) as f64;
+                            }
+                        }
+                        fanout
+                    };
+                    let default = candidates[0];
+                    let threshold = est(default) / 2.0;
+                    let mut pick = (default, threshold);
+                    for &pos in &candidates[1..] {
+                        let f = est(pos);
+                        if f < pick.1 {
+                            pick = (pos, f);
+                        }
+                    }
+                    pick.0
+                }
+            }
+        };
         let i = remaining.remove(pick_pos);
         let (node_vars, node_rel) = &nodes[i];
 
