@@ -1,0 +1,362 @@
+//! A hand-rolled Rust lexer — just enough fidelity for invariant linting.
+//!
+//! No registry access means no `syn`; the lints only need a faithful
+//! token stream (identifiers, punctuation, literals) plus the comment
+//! list, with strings/char-literals/comments correctly skipped so that
+//! `"unsafe"` in a string or `decode` in a doc comment never trips a
+//! lint. Handles nested block comments, raw strings (`r#"…"#`, any hash
+//! depth, `b`/`c` prefixes), raw identifiers (`r#type`), and the
+//! lifetime-vs-char-literal ambiguity.
+
+/// What a token is; enough granularity for pattern scans.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `decode`, …).
+    Ident,
+    /// One punctuation character.
+    Punct(char),
+    /// String/char/number literal (text preserved).
+    Literal,
+    /// A lifetime (`'a`); distinct so `'a` never reads as ident `a`.
+    Lifetime,
+}
+
+/// One token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// One comment (line or block, text includes the delimiters) at its
+/// 1-based starting line.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+}
+
+/// A lexed source file.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens and comments. Unterminated constructs are
+/// tolerated (consumed to end of input): the linter must never panic on
+/// the code it patrols.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut out = Lexed::default();
+
+    // Consumes a normal (escaped) string/char body starting *after* the
+    // opening delimiter; returns the index just past the closing one.
+    let scan_escaped = |mut i: usize, line: &mut u32, delim: char| -> usize {
+        while i < n {
+            match b[i] {
+                '\\' => i += 2,
+                '\n' => {
+                    *line += 1;
+                    i += 1;
+                }
+                c if c == delim => return i + 1,
+                _ => i += 1,
+            }
+        }
+        i
+    };
+
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && i + 1 < n && (b[i + 1] == '/' || b[i + 1] == '*') {
+            let start = i;
+            let start_line = line;
+            if b[i + 1] == '/' {
+                while i < n && b[i] != '\n' {
+                    i += 1;
+                }
+            } else {
+                i += 2;
+                let mut depth = 1usize;
+                while i < n && depth > 0 {
+                    if b[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            out.comments.push(Comment {
+                line: start_line,
+                text: b[start..i].iter().collect(),
+            });
+            continue;
+        }
+
+        // String-literal prefixes: r"…", r#"…"#, b"…", br"…", c"…", cr"…",
+        // and the raw identifier r#ident.
+        if c == 'r' || c == 'b' || c == 'c' {
+            let mut j = i + 1;
+            let mut rawable = c == 'r';
+            if (c == 'b' || c == 'c') && j < n && b[j] == 'r' {
+                j += 1;
+                rawable = true;
+            }
+            let mut hashes = 0usize;
+            let mut k = j;
+            while rawable && k < n && b[k] == '#' {
+                hashes += 1;
+                k += 1;
+            }
+            let is_raw_str = rawable && k < n && b[k] == '"';
+            let is_plain_str = !rawable && hashes == 0 && j < n && b[j] == '"';
+            if is_raw_str {
+                let start_line = line;
+                // Consume to `"` followed by `hashes` hashes; no escapes.
+                let mut p = k + 1;
+                'scan: while p < n {
+                    if b[p] == '\n' {
+                        line += 1;
+                        p += 1;
+                        continue;
+                    }
+                    if b[p] == '"' {
+                        let mut h = 0usize;
+                        while h < hashes && p + 1 + h < n && b[p + 1 + h] == '#' {
+                            h += 1;
+                        }
+                        if h == hashes {
+                            p += 1 + hashes;
+                            break 'scan;
+                        }
+                    }
+                    p += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: b[i..p.min(n)].iter().collect(),
+                    line: start_line,
+                });
+                i = p;
+                continue;
+            }
+            if is_plain_str {
+                let start_line = line;
+                let end = scan_escaped(j + 1, &mut line, '"');
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: b[i..end.min(n)].iter().collect(),
+                    line: start_line,
+                });
+                i = end;
+                continue;
+            }
+            if c == 'r' && hashes == 1 && k < n && is_ident_start(b[k]) {
+                // Raw identifier: token text without the `r#`.
+                let mut p = k;
+                while p < n && is_ident_continue(b[p]) {
+                    p += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: b[k..p].iter().collect(),
+                    line,
+                });
+                i = p;
+                continue;
+            }
+            // Fall through: a normal identifier starting with r/b/c.
+        }
+
+        if c == '"' {
+            let start_line = line;
+            let end = scan_escaped(i + 1, &mut line, '"');
+            out.tokens.push(Token {
+                kind: TokKind::Literal,
+                text: b[i..end.min(n)].iter().collect(),
+                line: start_line,
+            });
+            i = end;
+            continue;
+        }
+
+        if c == '\'' {
+            // Lifetime (`'a` not followed by `'`) vs char literal.
+            if i + 1 < n && is_ident_start(b[i + 1]) {
+                let mut p = i + 1;
+                while p < n && is_ident_continue(b[p]) {
+                    p += 1;
+                }
+                if p < n && b[p] == '\'' {
+                    out.tokens.push(Token {
+                        kind: TokKind::Literal,
+                        text: b[i..=p].iter().collect(),
+                        line,
+                    });
+                    i = p + 1;
+                } else {
+                    out.tokens.push(Token {
+                        kind: TokKind::Lifetime,
+                        text: b[i + 1..p].iter().collect(),
+                        line,
+                    });
+                    i = p;
+                }
+            } else {
+                let start_line = line;
+                let end = scan_escaped(i + 1, &mut line, '\'');
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: b[i..end.min(n)].iter().collect(),
+                    line: start_line,
+                });
+                i = end;
+            }
+            continue;
+        }
+
+        if is_ident_start(c) {
+            let mut p = i;
+            while p < n && is_ident_continue(b[p]) {
+                p += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Ident,
+                text: b[i..p].iter().collect(),
+                line,
+            });
+            i = p;
+            continue;
+        }
+
+        if c.is_ascii_digit() {
+            let mut p = i;
+            while p < n
+                && (is_ident_continue(b[p])
+                    || (b[p] == '.' && p + 1 < n && b[p + 1].is_ascii_digit()))
+            {
+                p += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Literal,
+                text: b[i..p].iter().collect(),
+                line,
+            });
+            i = p;
+            continue;
+        }
+
+        out.tokens.push(Token {
+            kind: TokKind::Punct(c),
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r##"
+            // unsafe decode in a line comment
+            /* nested /* unsafe */ still comment */
+            let s = "unsafe decode Dictionary";
+            let r = r#"unsafe " decode"#;
+            let c = 'u';
+            fn real() {}
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unsafe".to_string()));
+        assert!(!ids.contains(&"decode".to_string()));
+        assert!(!ids.contains(&"Dictionary".to_string()));
+        assert!(ids.contains(&"real".to_string()));
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+    }
+
+    #[test]
+    fn lifetimes_are_not_identifiers_or_chars() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'a' }";
+        let lexed = lex(src);
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal && t.text == "'a'")
+            .collect();
+        assert_eq!(chars.len(), 1);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_to_their_name() {
+        let ids = idents("let r#type = r#loop;");
+        assert_eq!(ids, vec!["let", "type", "loop"]);
+    }
+
+    #[test]
+    fn byte_and_c_strings_are_literals() {
+        let src = r###"let a = b"decode"; let b2 = br##"Mutex"##; let c = c"lock";"###;
+        let ids = idents(src);
+        assert!(!ids.contains(&"decode".to_string()));
+        assert!(!ids.contains(&"Mutex".to_string()));
+        assert!(!ids.contains(&"lock".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "let a = \"x\ny\";\nfn g() {}\n";
+        let lexed = lex(src);
+        let g = lexed.tokens.iter().find(|t| t.text == "g").unwrap();
+        assert_eq!(g.line, 3);
+    }
+}

@@ -1,0 +1,22 @@
+//! The linter, self-hosted: a plain `cargo test` fails if any workspace
+//! source violates L1–L6 without a reviewed waiver in
+//! `analysis/allow.toml` — CI's `analysis` job is belt-and-braces on top.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = ucq_analysis::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above crates/analysis");
+    let outcome = ucq_analysis::lint_workspace(&root).expect("lint run failed");
+    assert!(
+        outcome.is_clean(),
+        "workspace lint violations:\n{}",
+        ucq_analysis::render(&outcome)
+    );
+    assert!(
+        outcome.files_scanned > 30,
+        "suspiciously few files scanned ({}) — walker broke?",
+        outcome.files_scanned
+    );
+}

@@ -1,5 +1,7 @@
 //! Shared helpers for the Criterion benches and the `experiments` binary.
 
+#![forbid(unsafe_code)]
+
 use ucq_core::UcqEngine;
 use ucq_enumerate::{measure, DelayProfile};
 use ucq_storage::{Instance, Tuple};

@@ -10,11 +10,15 @@
 //!              [--limit N] [--naive] [--stats]
 //! ucq decide   <query-file> <instance>      answer existence
 //! ucq catalog                               the paper's example table
+//! ucq lint     [<workspace-root>]           workspace invariant lints
+//!                                           (L1–L6, see ucq-analysis)
 //! ```
 //!
 //! Query files use the parser syntax (one rule per line); instance files use
 //! the fact format of `ucq_storage::parse_instance`. All command logic lives
 //! in this library so it is unit-testable; `main.rs` is a thin shim.
+
+#![forbid(unsafe_code)]
 
 use std::fmt::Write as _;
 use ucq_core::{classify, plan_free_connex_costed, SearchConfig, Strategy, UcqEngine, Verdict};
@@ -53,6 +57,7 @@ pub const USAGE: &str = "usage:
   ucq run      <query-file> <instance-file> [--limit N] [--naive] [--stats]
   ucq decide   <query-file> <instance-file>
   ucq catalog
+  ucq lint     [<workspace-root>]
 
 query files: one rule per line, e.g.  Q(x, y) <- R(x, z), S(z, y)
 instance files: facts, e.g.           R(1, 2). S(2, 3).";
@@ -94,6 +99,11 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
             cmd_decide(&load_query(&q)?, &load_instance(&i)?)
         }
         Some("catalog") => Ok(cmd_catalog()),
+        Some("lint") => match &args[1..] {
+            [] => cmd_lint(None),
+            [root] => cmd_lint(Some(root)),
+            _ => Err(CliError::new(USAGE)),
+        },
         Some("--help") | Some("-h") | Some("help") => Ok(USAGE.to_string()),
         _ => Err(CliError::new(USAGE)),
     }
@@ -352,6 +362,44 @@ fn cmd_decide(ucq: &Ucq, inst: &Instance) -> Result<String, CliError> {
     Ok(format!("{}\n", if yes { "yes" } else { "no" }))
 }
 
+/// `ucq lint`: run the L1–L6 workspace invariant lints (see the
+/// `ucq-analysis` crate and the README's "Static analysis & model
+/// checking" section). With no argument the workspace root is found by
+/// walking up from the current directory; violations exit nonzero.
+fn cmd_lint(root: Option<&str>) -> Result<String, CliError> {
+    let root = match root {
+        Some(p) => {
+            let p = std::path::PathBuf::from(p);
+            if !p.join("Cargo.toml").is_file() {
+                return Err(CliError::new(format!(
+                    "{}: not a workspace root (no Cargo.toml)",
+                    p.display()
+                )));
+            }
+            p
+        }
+        None => {
+            let cwd = std::env::current_dir()
+                .map_err(|e| CliError::new(format!("cannot read current dir: {e}")))?;
+            ucq_analysis::find_workspace_root(&cwd).ok_or_else(|| {
+                CliError::new(
+                    "no workspace root above the current directory; pass one: ucq lint <root>",
+                )
+            })?
+        }
+    };
+    let outcome = ucq_analysis::lint_workspace(&root).map_err(CliError::new)?;
+    let report = ucq_analysis::render(&outcome);
+    if outcome.is_clean() {
+        Ok(report)
+    } else {
+        Err(CliError {
+            message: report,
+            code: 1,
+        })
+    }
+}
+
 fn cmd_catalog() -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{:<16} {:<28} description", "id", "paper ref");
@@ -481,6 +529,29 @@ mod tests {
         let i = write_temp("badlimit_i", "R(1).");
         let err = dispatch(&args(&["run", &q, &i, "--limit", "soon"])).unwrap_err();
         assert!(err.message.contains("bad --limit"));
+    }
+
+    #[test]
+    fn lint_reports_clean_workspace() {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .unwrap()
+            .to_string_lossy()
+            .into_owned();
+        let out = dispatch(&args(&["lint", &root])).unwrap();
+        assert!(out.contains("0 finding(s)"), "{out}");
+        assert!(out.contains("files scanned"), "{out}");
+    }
+
+    #[test]
+    fn lint_rejects_a_non_workspace_root() {
+        let err = dispatch(&args(&["lint", "/no/such/workspace"])).unwrap_err();
+        assert!(
+            err.message.contains("not a workspace root"),
+            "{}",
+            err.message
+        );
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //! `{"group":…,"bench":…,"median_ns":…,"mean_ns":…,"samples":…}` — which is
 //! how the committed `BENCH_*.json` baselines are produced.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::hint::black_box as std_black_box;
 use std::io::Write;

@@ -13,6 +13,8 @@
 //! messages; there is **no shrinking** — failures print the raw
 //! counterexample seed index so reruns are reproducible.
 
+#![forbid(unsafe_code)]
+
 pub mod strategy;
 pub mod test_runner;
 

@@ -8,6 +8,8 @@
 //! **not** bit-compatible with the real `rand::rngs::StdRng` (ChaCha12); all
 //! in-tree consumers only rely on per-seed determinism.
 
+#![forbid(unsafe_code)]
+
 /// Low-level entropy source: 64 random bits at a time.
 pub trait RngCore {
     /// The next 64 random bits.

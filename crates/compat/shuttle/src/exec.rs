@@ -1,0 +1,577 @@
+//! The DFS schedule explorer: executions, decision points, and replay.
+//!
+//! One [`Execution`] is a single run of the modeled program under a fixed
+//! schedule prefix. Modeled threads are real OS threads, but exactly one is
+//! ever running: every wrapped synchronization operation calls back into
+//! the execution at a *decision point*, where the scheduler either replays
+//! the next choice of the current schedule prefix or extends it with the
+//! default choice (keep running the current thread; fall back to the
+//! lowest-id runnable one). After each execution, [`next_schedule`]
+//! backtracks depth-first to the latest decision with an untried
+//! alternative whose preemption count stays within the bound, yielding a
+//! systematic, exhaustive-within-bound exploration of interleavings.
+//!
+//! A *preemption* is choosing a thread other than the one that was just
+//! running while that thread is still runnable; forced switches (the
+//! running thread blocked or exited) are free. Bounding preemptions keeps
+//! the schedule space polynomial while catching the overwhelming majority
+//! of real concurrency bugs (the classic CHESS result).
+
+use std::cell::{Cell, RefCell};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once, PoisonError};
+
+pub(crate) type Tid = usize;
+
+/// Sentinel panic payload used to unwind modeled threads when an execution
+/// aborts (failure elsewhere, deadlock, nondeterminism). Never reported as
+/// a user failure.
+pub(crate) struct ModelAbort;
+
+/// One scheduling decision recorded during an execution.
+#[derive(Clone, Debug)]
+pub(crate) struct Decision {
+    /// Runnable thread ids (ascending) at this decision point.
+    enabled: Vec<Tid>,
+    /// Index into `enabled` that was chosen.
+    chosen: usize,
+    /// Position of the previously running thread in `enabled`, if it was
+    /// still runnable — choosing any other index is a preemption.
+    prev_idx: Option<usize>,
+    /// Preemptions used up to and including this decision.
+    preemptions: usize,
+}
+
+#[derive(Debug, Default)]
+struct ThreadState {
+    runnable: bool,
+    finished: bool,
+    /// Resource key this thread is blocked on (see `wake_key`).
+    blocked_on: Option<u64>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    threads: Vec<ThreadState>,
+    current: Option<Tid>,
+    last_running: Option<Tid>,
+    /// Replay prefix: choice index per decision point.
+    schedule: Vec<usize>,
+    decisions: Vec<Decision>,
+    preemptions: usize,
+    unfinished: usize,
+    abort: bool,
+    failure: Option<String>,
+}
+
+/// Shared state of one modeled execution.
+pub(crate) struct Execution {
+    inner: Mutex<Inner>,
+    cond: Condvar,
+}
+
+thread_local! {
+    /// The execution/thread-id pair of the modeled thread running on this
+    /// OS thread, if any. `None` outside a model: wrapped types fall back
+    /// to plain `std` behavior.
+    static CURRENT: RefCell<Option<(Arc<Execution>, Tid)>> = const { RefCell::new(None) };
+    /// Set on modeled threads so the quiet panic hook can suppress output
+    /// (the driver reports failures itself, with the schedule trace).
+    static IN_MODEL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The `(execution, thread id)` of the calling modeled thread, if the
+/// caller runs inside a model.
+pub(crate) fn current() -> Option<(Arc<Execution>, Tid)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+fn panic_abort() -> ! {
+    std::panic::panic_any(ModelAbort)
+}
+
+/// Installs (once, process-wide) a panic hook that stays silent for panics
+/// on modeled threads: the model driver reports them itself, with the
+/// failing schedule attached, instead of interleaving raw hook output from
+/// detached threads into the test harness stream.
+fn install_quiet_panic_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if IN_MODEL.with(Cell::get) {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+impl Execution {
+    fn new(schedule: Vec<usize>) -> Execution {
+        Execution {
+            inner: Mutex::new(Inner {
+                threads: Vec::new(),
+                current: None,
+                last_running: None,
+                schedule,
+                decisions: Vec::new(),
+                preemptions: 0,
+                unfinished: 0,
+                abort: false,
+                failure: None,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Registers a new runnable thread and returns its id. Called by the
+    /// driver (root thread) and by modeled `thread::spawn`.
+    pub(crate) fn register_thread(&self) -> Tid {
+        let mut inner = self.lock();
+        inner.threads.push(ThreadState {
+            runnable: true,
+            finished: false,
+            blocked_on: None,
+        });
+        inner.unfinished += 1;
+        inner.threads.len() - 1
+    }
+
+    fn set_failure(inner: &mut Inner, msg: String) {
+        if inner.failure.is_none() {
+            inner.failure = Some(msg);
+        }
+        inner.abort = true;
+    }
+
+    /// Records a failure (user panic) and aborts the execution.
+    pub(crate) fn fail(&self, msg: String) {
+        let mut inner = self.lock();
+        Self::set_failure(&mut inner, msg);
+        self.cond.notify_all();
+    }
+
+    /// The scheduler: picks the next thread to run at a decision point.
+    /// Caller holds the lock; notifies all waiters.
+    fn pick_next(&self, inner: &mut Inner) {
+        let enabled: Vec<Tid> = inner
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.runnable && !t.finished)
+            .map(|(i, _)| i)
+            .collect();
+        if enabled.is_empty() {
+            if inner.unfinished == 0 {
+                inner.current = None;
+            } else {
+                let blocked: Vec<(Tid, Option<u64>)> = inner
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| !t.finished)
+                    .map(|(i, t)| (i, t.blocked_on))
+                    .collect();
+                Self::set_failure(
+                    inner,
+                    format!("deadlock: every live thread is blocked (thread, key): {blocked:?}"),
+                );
+            }
+            self.cond.notify_all();
+            return;
+        }
+        let pos = inner.decisions.len();
+        let prev_idx = inner
+            .last_running
+            .and_then(|p| enabled.iter().position(|&t| t == p));
+        let chosen = if pos < inner.schedule.len() {
+            let c = inner.schedule[pos];
+            if c >= enabled.len() {
+                Self::set_failure(
+                    inner,
+                    format!(
+                        "nondeterministic execution: replaying choice {c} at decision {pos}, \
+                         but only {} threads are enabled — model closures must be \
+                         deterministic apart from scheduling",
+                        enabled.len()
+                    ),
+                );
+                self.cond.notify_all();
+                return;
+            }
+            c
+        } else {
+            // Default: keep running the previous thread (no preemption);
+            // fall back to the lowest-id runnable thread on forced switches.
+            prev_idx.unwrap_or(0)
+        };
+        if matches!(prev_idx, Some(p) if p != chosen) {
+            inner.preemptions += 1;
+        }
+        let next = enabled[chosen];
+        inner.decisions.push(Decision {
+            enabled,
+            chosen,
+            prev_idx,
+            preemptions: inner.preemptions,
+        });
+        inner.current = Some(next);
+        inner.last_running = Some(next);
+        self.cond.notify_all();
+    }
+
+    /// Parks until `me` is scheduled for the first time; `false` if the
+    /// execution aborted before that.
+    fn wait_first(&self, me: Tid) -> bool {
+        let mut inner = self.lock();
+        while !inner.abort && inner.current != Some(me) {
+            inner = self
+                .cond
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        !inner.abort
+    }
+
+    /// A decision point where the caller stays runnable. Unwinds with the
+    /// abort sentinel if the execution is aborting.
+    pub(crate) fn yield_now(&self, me: Tid) {
+        if !self.yield_inner(me) {
+            panic_abort();
+        }
+    }
+
+    /// As [`Execution::yield_now`], but returns instead of unwinding on
+    /// abort — for use inside `Drop` impls, where a panic would escalate
+    /// an in-flight unwind into a process abort.
+    pub(crate) fn yield_quiet(&self, me: Tid) {
+        let _ = self.yield_inner(me);
+    }
+
+    fn yield_inner(&self, me: Tid) -> bool {
+        let mut inner = self.lock();
+        if inner.abort {
+            return false;
+        }
+        self.pick_next(&mut inner);
+        while !inner.abort && inner.current != Some(me) {
+            inner = self
+                .cond
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        !inner.abort
+    }
+
+    /// Blocks the caller on `key` until some thread calls
+    /// [`Execution::wake_all`] with the same key *and* the scheduler picks
+    /// the caller again. Spurious wakeups are allowed (callers re-check
+    /// their predicate and may block again).
+    pub(crate) fn block_on(&self, me: Tid, key: u64) {
+        let mut inner = self.lock();
+        if inner.abort {
+            drop(inner);
+            panic_abort();
+        }
+        inner.threads[me].runnable = false;
+        inner.threads[me].blocked_on = Some(key);
+        self.pick_next(&mut inner);
+        while !inner.abort && inner.current != Some(me) {
+            inner = self
+                .cond
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        if inner.abort {
+            drop(inner);
+            panic_abort();
+        }
+    }
+
+    fn wake_key(inner: &mut Inner, key: u64) {
+        for t in &mut inner.threads {
+            if t.blocked_on == Some(key) {
+                t.blocked_on = None;
+                t.runnable = true;
+            }
+        }
+    }
+
+    /// Makes every thread blocked on `key` runnable again (they still wait
+    /// for the scheduler to pick them).
+    pub(crate) fn wake_all(&self, key: u64) {
+        let mut inner = self.lock();
+        Self::wake_key(&mut inner, key);
+    }
+
+    /// Waits (scheduler-aware) until `target` finishes.
+    pub(crate) fn join_wait(&self, me: Tid, target: Tid) {
+        loop {
+            {
+                let inner = self.lock();
+                if inner.abort {
+                    drop(inner);
+                    panic_abort();
+                }
+                if inner.threads[target].finished {
+                    return;
+                }
+            }
+            self.block_on(me, join_key(target));
+        }
+    }
+
+    /// Thread exit: final bookkeeping plus the hand-off decision.
+    pub(crate) fn exit_thread(&self, me: Tid) {
+        let mut inner = self.lock();
+        inner.threads[me].finished = true;
+        inner.threads[me].runnable = false;
+        inner.unfinished -= 1;
+        Self::wake_key(&mut inner, join_key(me));
+        if inner.abort {
+            self.cond.notify_all();
+            return;
+        }
+        self.pick_next(&mut inner);
+    }
+
+    /// Kicks off the execution: the initial scheduling decision.
+    fn start(&self) {
+        let mut inner = self.lock();
+        self.pick_next(&mut inner);
+    }
+
+    /// Driver-side wait for quiescence: all threads finished, or aborted.
+    fn wait_done(&self) -> (Option<String>, Vec<Decision>) {
+        let mut inner = self.lock();
+        while inner.unfinished > 0 && !inner.abort {
+            inner = self
+                .cond
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        (inner.failure.clone(), inner.decisions.clone())
+    }
+}
+
+/// Key space for join waits, disjoint from resource addresses (userspace
+/// addresses never have the top bit set).
+fn join_key(tid: Tid) -> u64 {
+    (1u64 << 63) | tid as u64
+}
+
+/// Runs `body` as modeled thread `tid` of `exec` on the calling OS thread.
+fn run_modeled<T: Send + 'static>(
+    exec: &Arc<Execution>,
+    tid: Tid,
+    slot: &Mutex<Option<T>>,
+    body: impl FnOnce() -> T,
+) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(exec), tid)));
+    IN_MODEL.with(|f| f.set(true));
+    if exec.wait_first(tid) {
+        match catch_unwind(AssertUnwindSafe(body)) {
+            Ok(v) => {
+                *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(v);
+            }
+            Err(payload) => {
+                if payload.downcast_ref::<ModelAbort>().is_none() {
+                    exec.fail(format!(
+                        "modeled thread {tid} panicked: {}",
+                        payload_message(&payload)
+                    ));
+                }
+            }
+        }
+    }
+    exec.exit_thread(tid);
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+/// Spawns `body` as a new modeled thread of `exec`; returns its id. The
+/// result lands in `slot` when the thread completes.
+pub(crate) fn spawn_modeled<T: Send + 'static>(
+    exec: &Arc<Execution>,
+    slot: Arc<Mutex<Option<T>>>,
+    body: impl FnOnce() -> T + Send + 'static,
+) -> Tid {
+    let tid = exec.register_thread();
+    let exec2 = Arc::clone(exec);
+    std::thread::Builder::new()
+        .name(format!("shuttle-model-{tid}"))
+        .spawn(move || run_modeled(&exec2, tid, &slot, body))
+        .expect("spawn modeled thread");
+    tid
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Exploration bounds.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Hard cap on explored schedules; hitting it sets `truncated`.
+    pub max_schedules: usize,
+    /// Bounded-preemption budget per schedule (forced switches are free).
+    pub max_preemptions: usize,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        fn env_usize(name: &str, default: usize) -> usize {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        }
+        Config {
+            max_schedules: env_usize("UCQ_SHUTTLE_MAX_SCHEDULES", 100_000),
+            max_preemptions: env_usize("UCQ_SHUTTLE_PREEMPTIONS", 2),
+        }
+    }
+}
+
+/// What [`model`] reports back: how thoroughly the schedule space was
+/// covered.
+#[derive(Clone, Copy, Debug)]
+pub struct Report {
+    /// Distinct schedules (interleavings) explored.
+    pub schedules: usize,
+    /// Whether exploration stopped at `max_schedules` before exhausting
+    /// the bounded-preemption schedule space.
+    pub truncated: bool,
+}
+
+/// All outcomes of an [`explore`] run: the closure's return value under
+/// every explored schedule, in exploration order.
+#[derive(Clone, Debug)]
+pub struct Exploration<T> {
+    /// One entry per schedule.
+    pub outcomes: Vec<T>,
+    /// Distinct schedules explored.
+    pub schedules: usize,
+    /// Whether the schedule space was truncated at `max_schedules`.
+    pub truncated: bool,
+}
+
+/// DFS backtracking: the next untried schedule within the preemption
+/// budget, or `None` when the bounded space is exhausted.
+fn next_schedule(decisions: &[Decision], max_preemptions: usize) -> Option<Vec<usize>> {
+    for i in (0..decisions.len()).rev() {
+        let d = &decisions[i];
+        let own_cost = usize::from(matches!(d.prev_idx, Some(p) if p != d.chosen));
+        let before = d.preemptions - own_cost;
+        for c in d.chosen + 1..d.enabled.len() {
+            let cost = usize::from(matches!(d.prev_idx, Some(p) if p != c));
+            if before + cost <= max_preemptions {
+                let mut s: Vec<usize> = decisions[..i].iter().map(|x| x.chosen).collect();
+                s.push(c);
+                return Some(s);
+            }
+        }
+    }
+    None
+}
+
+fn trace(decisions: &[Decision]) -> Vec<Tid> {
+    decisions.iter().map(|d| d.enabled[d.chosen]).collect()
+}
+
+/// Runs `f` under every schedule the bounds admit, collecting its return
+/// value per schedule. Panics (with the failing schedule) if any schedule
+/// panics or deadlocks — use plain data returns plus assertions on the
+/// [`Exploration`] to *observe* racy outcomes without failing.
+pub fn explore_with<T, F>(cfg: Config, f: F) -> Exploration<T>
+where
+    F: Fn() -> T + Send + Sync + 'static,
+    T: Send + 'static,
+{
+    assert!(
+        current().is_none(),
+        "nested model()/explore() inside a modeled thread is not supported"
+    );
+    install_quiet_panic_hook();
+    let f = Arc::new(f);
+    let mut schedule: Vec<usize> = Vec::new();
+    let mut outcomes = Vec::new();
+    let mut schedules = 0usize;
+    let mut truncated = false;
+    loop {
+        schedules += 1;
+        let exec = Arc::new(Execution::new(schedule));
+        let slot = Arc::new(Mutex::new(None));
+        {
+            let f2 = Arc::clone(&f);
+            spawn_modeled(&exec, Arc::clone(&slot), move || f2());
+        }
+        exec.start();
+        let (failure, decisions) = exec.wait_done();
+        if let Some(msg) = failure {
+            panic!(
+                "model checking failed on schedule {schedules} \
+                 ({} decisions): {msg}\n  thread trace: {:?}",
+                decisions.len(),
+                trace(&decisions)
+            );
+        }
+        if let Some(v) = slot.lock().unwrap_or_else(PoisonError::into_inner).take() {
+            outcomes.push(v);
+        }
+        match next_schedule(&decisions, cfg.max_preemptions) {
+            Some(s) if schedules < cfg.max_schedules => schedule = s,
+            Some(_) => {
+                truncated = true;
+                break;
+            }
+            None => break,
+        }
+    }
+    Exploration {
+        outcomes,
+        schedules,
+        truncated,
+    }
+}
+
+/// As [`explore_with`] with default bounds.
+pub fn explore<T, F>(f: F) -> Exploration<T>
+where
+    F: Fn() -> T + Send + Sync + 'static,
+    T: Send + 'static,
+{
+    explore_with(Config::default(), f)
+}
+
+/// Model-checks `f`: runs it under every schedule the bounds admit and
+/// panics on the first schedule where `f` panics or deadlocks (the
+/// loom/shuttle entry point). Returns coverage numbers.
+pub fn model<F>(f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    model_with(Config::default(), f)
+}
+
+/// As [`model`] with explicit bounds.
+pub fn model_with<F>(cfg: Config, f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let e = explore_with(cfg, f);
+    Report {
+        schedules: e.schedules,
+        truncated: e.truncated,
+    }
+}

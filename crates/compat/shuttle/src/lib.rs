@@ -1,0 +1,215 @@
+//! Offline, API-compatible subset of the `shuttle`/`loom` model checkers.
+//!
+//! The build environment has no registry access, so this crate hand-rolls
+//! the core idea: run a concurrent closure under *every* thread
+//! interleaving (up to a preemption bound), deterministically, using real
+//! OS threads but letting exactly one run at a time. Code under test uses
+//! [`thread::spawn`] and the wrapped primitives in [`sync`]
+//! (`Mutex`, `OnceLock`, `atomic::*`); each operation on those types is a
+//! decision point where the DFS scheduler may switch threads.
+//!
+//! Entry points:
+//! - [`model`] / [`model_with`] — assert-style checking: panics on the
+//!   first schedule where the closure panics or deadlocks, and returns a
+//!   [`Report`] with the number of schedules explored.
+//! - [`explore`] / [`explore_with`] — data-style checking: collects the
+//!   closure's return value under every schedule into an
+//!   [`Exploration`], so tests can assert over the *set* of reachable
+//!   outcomes (e.g. "a lost update is reachable" for a seeded-bug
+//!   mutation test) without turning racy schedules into panics.
+//!
+//! Outside a model run, every wrapped type behaves exactly like its
+//! `std::sync` counterpart, so the same code compiles and runs correctly
+//! in ordinary builds — that is what makes the `ucq_storage` cfg seam
+//! cheap: the production types are swapped for these only under
+//! `--cfg ucq_model_check`.
+//!
+//! Bounds default to 2 preemptions and 100 000 schedules and can be
+//! overridden with `UCQ_SHUTTLE_PREEMPTIONS` / `UCQ_SHUTTLE_MAX_SCHEDULES`
+//! or per-call via [`Config`].
+
+#![forbid(unsafe_code)]
+
+mod exec;
+pub mod sync;
+pub mod thread;
+
+pub use exec::{explore, explore_with, model, model_with, Config, Exploration, Report};
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicU64, Ordering};
+    use super::sync::{Arc, Mutex, OnceLock};
+    use super::*;
+
+    fn small() -> Config {
+        Config {
+            max_schedules: 50_000,
+            max_preemptions: 2,
+        }
+    }
+
+    #[test]
+    fn single_thread_runs_once() {
+        let r = model(|| {
+            let m = Mutex::new(1);
+            *m.lock().unwrap() += 1;
+            assert_eq!(*m.lock().unwrap(), 2);
+        });
+        assert_eq!(r.schedules, 1);
+        assert!(!r.truncated);
+    }
+
+    #[test]
+    fn finds_lost_update_on_unsynchronized_increment() {
+        // Two threads do a non-atomic load-then-store increment; the
+        // explorer must reach both the correct (2) and the lost-update (1)
+        // outcomes.
+        let e = explore_with(small(), || {
+            let c = Arc::new(AtomicU64::new(0));
+            let hs: Vec<_> = (0..2)
+                .map(|_| {
+                    let c = Arc::clone(&c);
+                    thread::spawn(move || {
+                        let v = c.load(Ordering::SeqCst);
+                        c.store(v + 1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().unwrap();
+            }
+            c.load(Ordering::SeqCst)
+        });
+        assert!(e.schedules > 1, "explored only {} schedules", e.schedules);
+        assert!(!e.truncated);
+        assert!(e.outcomes.contains(&2), "missed the race-free outcome");
+        assert!(e.outcomes.contains(&1), "missed the lost-update outcome");
+    }
+
+    #[test]
+    fn mutex_guarded_increment_never_loses_updates() {
+        let e = explore_with(small(), || {
+            let c = Arc::new(Mutex::new(0u64));
+            let hs: Vec<_> = (0..2)
+                .map(|_| {
+                    let c = Arc::clone(&c);
+                    thread::spawn(move || {
+                        let mut g = c.lock().unwrap();
+                        *g += 1;
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().unwrap();
+            }
+            let v = *c.lock().unwrap();
+            v
+        });
+        assert!(e.schedules > 1);
+        assert!(e.outcomes.iter().all(|&v| v == 2), "mutex lost an update");
+    }
+
+    #[test]
+    fn detects_abba_deadlock() {
+        let caught = std::panic::catch_unwind(|| {
+            model_with(small(), || {
+                let a = Arc::new(Mutex::new(()));
+                let b = Arc::new(Mutex::new(()));
+                let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+                let h = thread::spawn(move || {
+                    let _ga = a2.lock().unwrap();
+                    let _gb = b2.lock().unwrap();
+                });
+                let _gb = b.lock().unwrap();
+                let _ga = a.lock().unwrap();
+                drop(_ga);
+                drop(_gb);
+                h.join().unwrap();
+            });
+        });
+        let err = caught.expect_err("ABBA deadlock went undetected");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("deadlock"), "unexpected failure: {msg}");
+    }
+
+    #[test]
+    fn once_lock_initializes_exactly_once_under_contention() {
+        let e = explore_with(small(), || {
+            let cell = Arc::new(OnceLock::new());
+            let inits = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+            let hs: Vec<_> = (0..2)
+                .map(|i| {
+                    let cell = Arc::clone(&cell);
+                    let inits = Arc::clone(&inits);
+                    thread::spawn(move || {
+                        *cell.get_or_init(|| {
+                            inits.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                            10 + i
+                        })
+                    })
+                })
+                .collect();
+            let seen: Vec<u64> = hs.into_iter().map(|h| h.join().unwrap()).collect();
+            (seen, inits.load(std::sync::atomic::Ordering::SeqCst))
+        });
+        assert!(e.schedules > 1);
+        for (seen, inits) in &e.outcomes {
+            assert_eq!(*inits, 1, "initializer ran {inits} times");
+            assert_eq!(seen[0], seen[1], "threads observed different values");
+        }
+        // Both threads can win the init race under different schedules.
+        let winners: std::collections::BTreeSet<u64> =
+            e.outcomes.iter().map(|(seen, _)| seen[0]).collect();
+        assert!(winners.len() > 1, "only one init winner ever observed");
+    }
+
+    #[test]
+    fn join_returns_spawned_value() {
+        let r = model(|| {
+            let h = thread::spawn(|| 41 + 1);
+            assert_eq!(h.join().unwrap(), 42);
+        });
+        assert!(r.schedules >= 1);
+    }
+
+    #[test]
+    fn truncation_is_reported() {
+        let e = explore_with(
+            Config {
+                max_schedules: 2,
+                max_preemptions: 2,
+            },
+            || {
+                let c = Arc::new(AtomicU64::new(0));
+                let hs: Vec<_> = (0..2)
+                    .map(|_| {
+                        let c = Arc::clone(&c);
+                        thread::spawn(move || c.fetch_add(1, Ordering::SeqCst))
+                    })
+                    .collect();
+                for h in hs {
+                    h.join().unwrap();
+                }
+            },
+        );
+        assert_eq!(e.schedules, 2);
+        assert!(e.truncated);
+    }
+
+    #[test]
+    fn wrapped_types_work_outside_a_model() {
+        // No model() wrapper: everything must behave like plain std.
+        let m = Mutex::new(5);
+        *m.lock().unwrap() += 1;
+        assert_eq!(*m.lock().unwrap(), 6);
+        let cell: OnceLock<u32> = OnceLock::new();
+        assert_eq!(*cell.get_or_init(|| 7), 7);
+        assert_eq!(*cell.get_or_init(|| 8), 7);
+        let a = AtomicU64::new(1);
+        assert_eq!(a.fetch_add(2, Ordering::SeqCst), 1);
+        assert_eq!(a.load(Ordering::SeqCst), 3);
+        let h = thread::spawn(|| 9);
+        assert_eq!(h.join().unwrap(), 9);
+    }
+}

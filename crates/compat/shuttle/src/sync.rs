@@ -1,0 +1,351 @@
+//! Model-aware drop-in replacements for `std::sync` primitives.
+//!
+//! Outside a [`crate::model`]/[`crate::explore`] run every type behaves
+//! exactly like its `std` counterpart (plain delegation), so code compiled
+//! against these types still works in ordinary builds and tests. Inside a
+//! run, every operation is a *decision point*: it yields to the DFS
+//! scheduler first, so the explorer can interleave threads at each
+//! synchronization-relevant instruction.
+//!
+//! Memory-ordering parameters are accepted for API compatibility but the
+//! model explores sequentially-consistent interleavings only (one thread
+//! runs at a time); this checks atomicity/ordering of *operations*, not
+//! weak-memory reorderings.
+
+use crate::exec;
+
+pub use std::sync::{Arc, LockResult, PoisonError};
+
+fn addr_key<T: ?Sized>(r: &T) -> u64 {
+    (r as *const T).cast::<()>() as usize as u64
+}
+
+// ---------------------------------------------------------------------------
+// Mutex
+
+/// A mutual-exclusion lock; `std::sync::Mutex` outside a model, a
+/// scheduler-visible lock inside one.
+pub struct Mutex<T: ?Sized> {
+    /// Model-mode ownership flag; untouched in std mode (the inner mutex
+    /// handles contention there).
+    held: std::sync::atomic::AtomicBool,
+    inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard for [`Mutex`]; releases the lock (and wakes modeled
+/// waiters) on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    model: Option<(Arc<exec::Execution>, exec::Tid)>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex {
+            held: std::sync::atomic::AtomicBool::new(false),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        use std::sync::atomic::Ordering::SeqCst;
+        match exec::current() {
+            Some((ex, me)) => {
+                loop {
+                    ex.yield_now(me);
+                    if !self.held.swap(true, SeqCst) {
+                        break;
+                    }
+                    // Held by another modeled thread: park until the
+                    // holder's guard drop wakes this address, then retry.
+                    ex.block_on(me, addr_key(self));
+                }
+                // Only one modeled thread runs between the flag acquire
+                // and here, so the inner lock is uncontended.
+                let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+                Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(inner),
+                    model: Some((ex, me)),
+                })
+            }
+            None => match self.inner.lock() {
+                Ok(inner) => Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(inner),
+                    model: None,
+                }),
+                Err(poison) => Err(PoisonError::new(MutexGuard {
+                    lock: self,
+                    inner: Some(poison.into_inner()),
+                    model: None,
+                })),
+            },
+        }
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard accessed after release")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard accessed after release")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock before flipping the model flag: a woken
+        // waiter must never find the flag clear while the inner std lock
+        // is still held (that would be a real — not modeled — block).
+        drop(self.inner.take());
+        if let Some((ex, me)) = self.model.take() {
+            self.lock
+                .held
+                .store(false, std::sync::atomic::Ordering::SeqCst);
+            ex.wake_all(addr_key(self.lock));
+            // Quiet yield: this drop may run during an abort unwind, and
+            // a second panic here would escalate to a process abort.
+            ex.yield_quiet(me);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// OnceLock
+
+/// A write-once cell; `std::sync::OnceLock` outside a model. Inside one,
+/// `get_or_init` exposes the initialize-vs-read race to the scheduler:
+/// the winning initializer yields mid-initialization so other threads can
+/// observe the "initializing" window.
+pub struct OnceLock<T> {
+    /// Model-mode claim flag for the initializer slot.
+    initializing: std::sync::atomic::AtomicBool,
+    inner: std::sync::OnceLock<T>,
+}
+
+impl<T> OnceLock<T> {
+    pub const fn new() -> OnceLock<T> {
+        OnceLock {
+            initializing: std::sync::atomic::AtomicBool::new(false),
+            inner: std::sync::OnceLock::new(),
+        }
+    }
+
+    pub fn get(&self) -> Option<&T> {
+        if let Some((ex, me)) = exec::current() {
+            ex.yield_now(me);
+        }
+        self.inner.get()
+    }
+
+    pub fn set(&self, value: T) -> Result<(), T> {
+        match exec::current() {
+            Some((ex, me)) => {
+                ex.yield_now(me);
+                let r = self.inner.set(value);
+                ex.wake_all(addr_key(self));
+                r
+            }
+            None => self.inner.set(value),
+        }
+    }
+
+    pub fn get_or_init<F: FnOnce() -> T>(&self, f: F) -> &T {
+        use std::sync::atomic::Ordering::SeqCst;
+        match exec::current() {
+            Some((ex, me)) => {
+                let mut f = Some(f);
+                loop {
+                    ex.yield_now(me);
+                    if let Some(v) = self.inner.get() {
+                        return v;
+                    }
+                    if !self.initializing.swap(true, SeqCst) {
+                        // This thread won the initializer slot. Yield once
+                        // mid-initialization so the explorer can run other
+                        // threads while the value is still unpublished.
+                        ex.yield_now(me);
+                        let value = (f.take().expect("init closure reused"))();
+                        let _ = self.inner.set(value);
+                        self.initializing.store(false, SeqCst);
+                        ex.wake_all(addr_key(self));
+                        return self.inner.get().expect("value just published");
+                    }
+                    // Another thread is initializing: park until it
+                    // publishes, then re-check.
+                    ex.block_on(me, addr_key(self));
+                }
+            }
+            None => self.inner.get_or_init(f),
+        }
+    }
+
+    pub fn take(&mut self) -> Option<T> {
+        self.inner.take()
+    }
+}
+
+impl<T> Default for OnceLock<T> {
+    fn default() -> OnceLock<T> {
+        OnceLock::new()
+    }
+}
+
+impl<T: Clone> Clone for OnceLock<T> {
+    fn clone(&self) -> OnceLock<T> {
+        OnceLock {
+            initializing: std::sync::atomic::AtomicBool::new(false),
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for OnceLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Atomics
+
+pub mod atomic {
+    //! Model-aware atomics. Every operation yields to the scheduler first
+    //! (making it a decision point), then performs the real operation —
+    //! sound because only one modeled thread runs at a time.
+
+    use super::addr_key;
+    use crate::exec;
+
+    pub use std::sync::atomic::Ordering;
+
+    fn decision_point() {
+        if let Some((ex, me)) = exec::current() {
+            ex.yield_now(me);
+        }
+    }
+
+    macro_rules! model_atomic {
+        ($name:ident, $std:ty, $value:ty $(, $fetch:ident)*) => {
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: $std,
+            }
+
+            impl $name {
+                pub const fn new(v: $value) -> $name {
+                    $name { inner: <$std>::new(v) }
+                }
+
+                pub fn load(&self, order: Ordering) -> $value {
+                    decision_point();
+                    self.inner.load(order)
+                }
+
+                pub fn store(&self, v: $value, order: Ordering) {
+                    decision_point();
+                    self.inner.store(v, order);
+                    self.wake();
+                }
+
+                pub fn swap(&self, v: $value, order: Ordering) -> $value {
+                    decision_point();
+                    let r = self.inner.swap(v, order);
+                    self.wake();
+                    r
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    current: $value,
+                    new: $value,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$value, $value> {
+                    decision_point();
+                    let r = self.inner.compare_exchange(current, new, success, failure);
+                    self.wake();
+                    r
+                }
+
+                pub fn into_inner(self) -> $value {
+                    self.inner.into_inner()
+                }
+
+                fn wake(&self) {
+                    if let Some((ex, _)) = exec::current() {
+                        ex.wake_all(addr_key(self));
+                    }
+                }
+
+                $(
+                    pub fn $fetch(&self, v: $value, order: Ordering) -> $value {
+                        decision_point();
+                        let r = self.inner.$fetch(v, order);
+                        self.wake();
+                        r
+                    }
+                )*
+            }
+        };
+    }
+
+    model_atomic!(
+        AtomicBool,
+        std::sync::atomic::AtomicBool,
+        bool,
+        fetch_or,
+        fetch_and
+    );
+    model_atomic!(
+        AtomicU64,
+        std::sync::atomic::AtomicU64,
+        u64,
+        fetch_add,
+        fetch_sub,
+        fetch_or,
+        fetch_and,
+        fetch_max,
+        fetch_min
+    );
+    model_atomic!(
+        AtomicUsize,
+        std::sync::atomic::AtomicUsize,
+        usize,
+        fetch_add,
+        fetch_sub,
+        fetch_or,
+        fetch_and,
+        fetch_max,
+        fetch_min
+    );
+}

@@ -1,0 +1,72 @@
+//! Model-aware `std::thread` subset: [`spawn`], [`JoinHandle`],
+//! [`yield_now`]. Outside a model run these delegate to `std::thread`;
+//! inside one, spawned closures become modeled threads scheduled by the
+//! DFS explorer.
+
+use crate::exec;
+use std::sync::{Arc, Mutex, PoisonError};
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        exec: Arc<exec::Execution>,
+        tid: exec::Tid,
+        slot: Arc<Mutex<Option<T>>>,
+    },
+}
+
+/// Owned permission to join a spawned thread (API subset of
+/// `std::thread::JoinHandle`).
+pub struct JoinHandle<T>(Inner<T>);
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result. Inside a
+    /// model, the wait is scheduler-aware (a blocked join is visible to
+    /// deadlock detection).
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            Inner::Std(h) => h.join(),
+            Inner::Model { exec, tid, slot } => {
+                let (_, me) =
+                    exec::current().expect("joining a modeled thread from outside its model run");
+                exec.join_wait(me, tid);
+                match slot.lock().unwrap_or_else(PoisonError::into_inner).take() {
+                    Some(v) => Ok(v),
+                    // Unreachable in practice: a panicked modeled thread
+                    // aborts the whole execution before join returns.
+                    None => Err(Box::new("modeled thread finished without a value")),
+                }
+            }
+        }
+    }
+}
+
+/// Spawns a new thread (modeled when called inside [`crate::model`] /
+/// [`crate::explore`], a real `std` thread otherwise).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match exec::current() {
+        Some((ex, _)) => {
+            let slot = Arc::new(Mutex::new(None));
+            let tid = exec::spawn_modeled(&ex, Arc::clone(&slot), f);
+            JoinHandle(Inner::Model {
+                exec: ex,
+                tid,
+                slot,
+            })
+        }
+        None => JoinHandle(Inner::Std(std::thread::spawn(f))),
+    }
+}
+
+/// A pure decision point: lets the scheduler switch threads here (a no-op
+/// hint outside a model).
+pub fn yield_now() {
+    match exec::current() {
+        Some((ex, me)) => ex.yield_now(me),
+        None => std::thread::yield_now(),
+    }
+}

@@ -25,9 +25,10 @@ use crate::pipeline::{UcqPipeline, UcqPipelinePrep};
 use crate::plan::ExtensionPlan;
 use crate::search::SearchConfig;
 use std::cell::{Cell, RefCell};
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 use ucq_enumerate::{Enumerator, IdDecoder, IdVecEnumerator};
 use ucq_query::Ucq;
+use ucq_storage::sync::OnceLock;
 use ucq_storage::{CtxView, Instance, Tuple};
 use ucq_yannakakis::{CdyEngine, EvalError, IdTable};
 
@@ -591,15 +592,6 @@ impl FrozenSession<'_> {
         }
     }
 }
-
-// The whole point of freezing: the serve-phase session is shareable across
-// threads, and every answer stream can move to the thread that drains it.
-const _: () = {
-    const fn assert_send_sync<T: Send + Sync>() {}
-    const fn assert_send<T: Send>() {}
-    assert_send_sync::<FrozenSession<'static>>();
-    assert_send::<UcqAnswers>();
-};
 
 /// A strategy-tagged answer stream. `Send`, so a serving thread can take
 /// an enumeration with it (each stream owns its cursors and scratch).

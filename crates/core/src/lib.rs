@@ -19,6 +19,8 @@
 //! * [`guards`] — Definitions 23/32/34 (free-path/bypass guards, union
 //!   guards, isolation).
 
+#![forbid(unsafe_code)]
+
 pub mod algorithm1;
 pub mod body_iso;
 pub mod classify;
@@ -33,6 +35,7 @@ pub mod pipeline;
 pub mod plan;
 pub mod provides;
 pub mod search;
+mod static_asserts;
 
 pub use algorithm1::Algorithm1;
 pub use body_iso::{align_body_isomorphic, AlignedUnion};

@@ -15,6 +15,8 @@
 //! blocks only amortize virtual-call and buffer overhead (see
 //! [`cheater`]).
 
+#![forbid(unsafe_code)]
+
 pub mod cheater;
 pub mod delay;
 pub mod enumerator;

@@ -14,6 +14,8 @@
 //! * [`paths`] — chordless paths and free-paths;
 //! * [`cliques`] — hypercliques (the Tetra⟨k⟩ objects behind Theorem 3(3)).
 
+#![forbid(unsafe_code)]
+
 pub mod cliques;
 pub mod connex;
 pub mod gyo;

@@ -3,6 +3,8 @@
 //! (containment, redundancy, body-isomorphism) from §2 and Definition 6 of
 //! Carmeli & Kröll (PODS 2019).
 
+#![forbid(unsafe_code)]
+
 pub mod cq;
 pub mod equiv;
 pub mod error;

@@ -11,6 +11,8 @@
 //! * [`tagging`] — the Lemma 14 disjoint-domain exact reduction;
 //! * [`graph`] / [`matrix`] — the combinatorial substrates.
 
+#![forbid(unsafe_code)]
+
 pub mod cliques;
 pub mod graph;
 pub mod matmul;

@@ -38,11 +38,12 @@ use crate::index::HashIndex;
 use crate::key::InlineKey;
 use crate::relation::Relation;
 use crate::stats::RelStats;
+use crate::sync::{lock_unpoisoned, Mutex, MutexGuard};
 use crate::tuple::Tuple;
 use crate::value::Value;
 use std::any::Any;
 use std::fmt;
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::Arc;
 
 /// Cache-hit/miss counters (diagnostics; also used by tests to assert
 /// sharing actually happens).
@@ -183,7 +184,7 @@ impl EvalContext {
     /// in a torn state worth abandoning the session over.
     #[inline]
     fn lock(&self) -> MutexGuard<'_, Inner> {
-        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+        lock_unpoisoned(&self.inner, "the EvalContext interner/index state")
     }
 
     /// An immutable snapshot of the dictionary and all three caches — the

@@ -13,6 +13,8 @@
 //! projections and indexes ([`IndexCache`]) across every pipeline that
 //! evaluates the same instance.
 
+#![forbid(unsafe_code)]
+
 pub mod block;
 pub mod context;
 pub mod dictionary;
@@ -24,7 +26,9 @@ pub mod instance;
 pub mod key;
 pub mod par;
 pub mod relation;
+mod static_asserts;
 pub mod stats;
+pub mod sync;
 pub mod text;
 pub mod tuple;
 pub mod value;

@@ -1,0 +1,18 @@
+//! Compile-time thread-safety contract for the two-phase context
+//! lifecycle, colocated so every shareability claim the crate makes is
+//! checked in one place (the `ucq lint` L4 pass keeps this honest for
+//! `Frozen*` types).
+//!
+//! The build phase is shareable (mutex-guarded), the frozen phase is
+//! shareable (immutable snapshot + overflow mutex behind the watermark
+//! flag), and the unifying view inherits both.
+
+use crate::context::EvalContext;
+use crate::frozen::{CtxView, FrozenContext};
+
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<EvalContext>();
+    assert_send_sync::<FrozenContext>();
+    assert_send_sync::<CtxView>();
+};

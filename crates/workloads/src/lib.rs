@@ -1,10 +1,13 @@
 //! Workloads: the paper's query catalog, random instance generators, and
 //! the concurrent-serving load generator.
 
+#![forbid(unsafe_code)]
+
 pub mod catalog;
 pub mod generators;
 pub mod random;
 pub mod serving;
+mod static_asserts;
 
 pub use catalog::{by_id, catalog, example31, CatalogEntry, PaperVerdict};
 pub use generators::{example39, path_cq, star_cq};

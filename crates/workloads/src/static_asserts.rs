@@ -1,0 +1,14 @@
+//! Compile-time thread-safety contract for the serving harness,
+//! colocated in one place per crate (mirroring `static_asserts` in
+//! `ucq-storage` and `ucq-core`).
+//!
+//! [`ServingReport`](crate::serving::ServingReport) is aggregated across
+//! scoped serving threads and handed back to whoever launched the run, so
+//! it must stay plain shareable data.
+
+use crate::serving::ServingReport;
+
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ServingReport>();
+};

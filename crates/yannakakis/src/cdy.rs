@@ -24,9 +24,10 @@
 use crate::noderel::NodeRel;
 use crate::reducer::full_reduce;
 use std::fmt;
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 use ucq_hypergraph::{ext_s_connex_tree, ConnexTree, VSet};
 use ucq_query::{Cq, VarId};
+use ucq_storage::sync::OnceLock;
 use ucq_storage::{CtxView, HashIndex, IdSet, Instance, Tuple, Value, ValueId};
 
 /// Evaluation errors.

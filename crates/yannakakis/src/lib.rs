@@ -7,6 +7,8 @@
 //! time. Also provides the naive hash-join baseline every experiment
 //! compares against.
 
+#![forbid(unsafe_code)]
+
 pub mod cdy;
 pub mod naive;
 pub mod noderel;

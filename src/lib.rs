@@ -52,6 +52,8 @@
 //! | [`reductions`] | executable lower bounds (BMM, triangles, cliques) |
 //! | [`workloads`] | the paper catalog and instance generators |
 
+#![forbid(unsafe_code)]
+
 pub use ucq_core as core;
 pub use ucq_enumerate as enumerate;
 pub use ucq_hypergraph as hypergraph;
