@@ -82,7 +82,10 @@ pub fn parse(src: &str) -> Result<Vec<Waiver>, String> {
             if w.reason.trim().is_empty() {
                 return Err(format!("allow.toml:{}: `reason` must not be empty", w.line));
             }
-            if !matches!(w.code.as_str(), "L1" | "L2" | "L3" | "L4" | "L5" | "L6") {
+            if !matches!(
+                w.code.as_str(),
+                "L1" | "L2" | "L3" | "L4" | "L5" | "L6" | "L7"
+            ) {
                 return Err(format!(
                     "allow.toml:{}: unknown lint code `{}`",
                     w.line, w.code

@@ -1,4 +1,4 @@
-//! The workspace invariant lints L1–L6.
+//! The workspace invariant lints L1–L7.
 //!
 //! Each lint mechanically enforces a discipline the engine's hot paths
 //! established by convention (see README §"Static analysis & model
@@ -22,17 +22,22 @@
 //!   `ucq_storage::sync::lock_unpoisoned`, which carries a diagnostic.
 //! - **L6** `unsafe-needs-safety-comment` — every `unsafe` keyword is
 //!   preceded (within 3 lines) by a `// SAFETY:` comment.
+//! - **L7** `no-panics-in-serve` — no `.unwrap()`/`.expect()` and no
+//!   panicking slice-index (`x[i]`) in `crates/serve/src`: the serving
+//!   runtime's whole contract is that a request failure becomes a typed
+//!   `RequestError`, never a worker panic. `catch_unwind` is the net,
+//!   not the plan.
 //!
 //! Scopes: L1/L4/L5 patrol every workspace crate except the offline
-//! `crates/compat/*` stand-ins; L2/L3 patrol the named crates; L6 patrols
-//! everything, compat included.
+//! `crates/compat/*` stand-ins; L2/L3/L7 patrol the named crates; L6
+//! patrols everything, compat included.
 
 use crate::lexer::{Lexed, TokKind, Token};
 
 /// One lint hit, before allowlisting.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Finding {
-    /// Lint code, `"L1"`…`"L6"`.
+    /// Lint code, `"L1"`…`"L7"`.
     pub code: &'static str,
     /// Workspace-relative path (`crates/storage/src/frozen.rs`).
     pub file: String,
@@ -91,6 +96,9 @@ pub fn run_all(files: &[SourceFile]) -> Vec<Finding> {
         .any(|p| f.rel.starts_with(p))
         {
             lint_l3(f, &mut out);
+        }
+        if f.rel.starts_with("crates/serve/src") {
+            lint_l7(f, &mut out);
         }
         lint_l6(f, &mut out);
     }
@@ -352,6 +360,91 @@ fn lint_l6(f: &SourceFile, out: &mut Vec<Finding>) {
     }
 }
 
+/// Keywords that can legitimately precede `[` without the bracket being
+/// an index expression (slice patterns, array types/literals in
+/// bindings, `for [a, b] in …` destructuring, …).
+fn keyword_before_bracket(word: &str) -> bool {
+    matches!(
+        word,
+        "let"
+            | "in"
+            | "mut"
+            | "ref"
+            | "return"
+            | "break"
+            | "continue"
+            | "match"
+            | "if"
+            | "else"
+            | "move"
+            | "as"
+            | "const"
+            | "static"
+            | "use"
+            | "pub"
+            | "where"
+            | "for"
+            | "while"
+            | "loop"
+            | "fn"
+            | "impl"
+            | "dyn"
+            | "type"
+            | "struct"
+            | "enum"
+    )
+}
+
+fn lint_l7(f: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &f.lexed.tokens;
+    for i in 0..toks.len() {
+        // `.unwrap(` / `.expect(` — any receiver. The request path must
+        // bubble a typed error, not convert it into a worker panic.
+        if punct_at(toks, i, '.') && punct_at(toks, i + 2, '(') {
+            if let Some(m) = ident_at(toks, i + 1) {
+                if matches!(m, "unwrap" | "expect") {
+                    out.push(Finding {
+                        code: "L7",
+                        file: f.rel.clone(),
+                        line: toks[i + 1].line,
+                        ident: m.to_string(),
+                        message: format!(
+                            "`.{m}(…)` in the serving runtime: a request \
+                             failure must surface as a typed `RequestError`, \
+                             never ride the panic path (`catch_unwind` is \
+                             the net, not the plan)"
+                        ),
+                    });
+                }
+            }
+        }
+        // `expr[...]` — a `[` whose previous token ends an expression
+        // (non-keyword identifier, `)` or `]`) is a panicking index.
+        // Array literals/types, slice patterns, attributes (`#[…]`) and
+        // macro brackets (`vec![…]`) all have a different predecessor.
+        if punct_at(toks, i, '[') && i > 0 {
+            let prev = &toks[i - 1];
+            let indexes = match prev.kind {
+                TokKind::Ident => !keyword_before_bracket(&prev.text),
+                TokKind::Punct(')') | TokKind::Punct(']') => true,
+                _ => false,
+            };
+            if indexes {
+                out.push(Finding {
+                    code: "L7",
+                    file: f.rel.clone(),
+                    line: toks[i].line,
+                    ident: format!("{}[", prev.text),
+                    message: "slice/array indexing in the serving runtime \
+                              panics on a bad index; use `.get(…)` and \
+                              handle the miss as a typed error"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -446,6 +539,52 @@ mod tests {
         let fs = [file("crates/storage/src/context.rs", src)];
         assert_eq!(codes(&run_all(&fs)), vec!["L5"]);
         let fs = [file("crates/storage/src/sync.rs", src)];
+        assert!(run_all(&fs).is_empty());
+    }
+
+    #[test]
+    fn l7_flags_unwrap_expect_and_indexing_in_serve_only() {
+        let src = "fn f(v: &[u32], m: Option<u32>) -> u32 { m.unwrap() + v[0] }";
+        let inside = [file("crates/serve/src/runtime.rs", src)];
+        let f = run_all(&inside);
+        assert_eq!(codes(&f), vec!["L7", "L7"]);
+        assert_eq!(f[0].ident, "unwrap");
+        assert_eq!(f[1].ident, "v[");
+        // The same code outside crates/serve/src is not L7's business
+        // (serve's tests/ directory included — panicking asserts are the
+        // point there).
+        let outside = [file("crates/storage/src/x.rs", src)];
+        assert!(run_all(&outside).is_empty());
+        let tests_dir = [file("crates/serve/tests/runtime.rs", src)];
+        assert!(run_all(&tests_dir).is_empty());
+    }
+
+    #[test]
+    fn l7_flags_expect_and_chained_or_call_indexing() {
+        let src =
+            "fn f(g: &Grid) -> u32 { g.rows().expect(\"rows\"); g.row(0)[1] + g.cells[0][2] }";
+        let fs = [file("crates/serve/src/queue.rs", src)];
+        let f = run_all(&fs);
+        assert_eq!(codes(&f), vec!["L7", "L7", "L7", "L7"]);
+        assert_eq!(f[0].ident, "expect");
+        assert_eq!(f[1].ident, ")[");
+        assert_eq!(f[2].ident, "cells[");
+        assert_eq!(f[3].ident, "][");
+    }
+
+    #[test]
+    fn l7_ignores_non_indexing_brackets() {
+        let src = "
+            #[derive(Debug)]
+            pub struct S { buf: [u8; 4] }
+            fn f() -> Vec<u32> {
+                let a = [1, 2, 3];
+                let [x, ..] = a;
+                for [p, q] in pairs() { use_both(p, q); }
+                vec![x]
+            }
+            fn g(s: &str) -> Option<u32> { s.parse().ok() }";
+        let fs = [file("crates/serve/src/reply.rs", src)];
         assert!(run_all(&fs).is_empty());
     }
 

@@ -1,0 +1,82 @@
+//! E15 — resilient serving: the `ucq-serve` worker pool (bounded
+//! admission, per-request budgets, panic isolation) against the same
+//! frozen sessions E12 drains with raw scoped threads.
+//!
+//! The `steady_*` cells measure the runtime's overhead on an all-clean
+//! request mix across worker counts: queue + reply-slot handoff per
+//! request on top of the enumeration itself. The `capped` cell bounds
+//! every request at a fixed answer budget (the block-boundary budget
+//! check is on the measured path), and the `chaos_mix` cell runs the
+//! canned deadline/cancel mix — in a normal bench build the fault seam
+//! compiles to no-ops, so the cell isolates the *scheduling* cost of
+//! misbehaving requests, not injected faults.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+use ucq_bench::{engine_for, instance_for};
+use ucq_enumerate::Enumerator;
+use ucq_workloads::{drive_resilient, ResilientSpec};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e15_resilient_serving");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+
+    const REQUESTS: usize = 16;
+    for (id, rows) in [("two_free_connex", 8_000usize), ("example2", 2_000)] {
+        let engine = engine_for(id);
+        let inst = instance_for(id, rows, 11);
+        let frozen = Arc::new(
+            engine
+                .session(&inst)
+                .freeze()
+                .expect("DelayClin strategy freezes"),
+        );
+        let single = frozen.enumerate().expect("strategy").collect_all().len();
+
+        for workers in [1usize, 2, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("steady_{id}"), workers),
+                &workers,
+                |b, &w| {
+                    let spec = ResilientSpec::steady(w, REQUESTS, REQUESTS);
+                    b.iter(|| {
+                        let report = drive_resilient(&frozen, &spec);
+                        assert_eq!(report.drains, REQUESTS, "steady mix must not shed");
+                        assert_eq!(report.total_answers, single * REQUESTS);
+                        report.total_answers
+                    })
+                },
+            );
+        }
+
+        group.bench_with_input(BenchmarkId::new("capped", id), &frozen, |b, frozen| {
+            let spec = ResilientSpec::steady(2, REQUESTS, REQUESTS).with_answer_cap(256);
+            b.iter(|| {
+                let report = drive_resilient(frozen, &spec);
+                assert_eq!(report.drains, REQUESTS, "capped mix must not shed");
+                assert!(report.total_answers <= 256 * REQUESTS);
+                report.total_answers
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("chaos_mix", id), &frozen, |b, frozen| {
+            let spec = ResilientSpec::chaos(2, REQUESTS);
+            b.iter(|| {
+                let report = drive_resilient(frozen, &spec);
+                assert_eq!(
+                    report.drains + report.shed + report.panicked + report.drained,
+                    report.submitted,
+                    "ledger must balance"
+                );
+                report.total_answers
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

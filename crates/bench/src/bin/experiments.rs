@@ -40,6 +40,7 @@ fn main() {
     e11_alg1_vs_pipeline(scale);
     e12_concurrent_serving(scale);
     e13_fd_extension(scale);
+    e15_resilient_serving(scale);
 }
 
 /// E1/E2/E3: the DelayClin pipelines vs the naive union, growing |I|.
@@ -464,6 +465,72 @@ fn e13_fd_extension(scale: usize) {
             fmt_ns(prof.p99_ns()),
             fmt_dur(naive_t),
         );
+    }
+    println!();
+}
+
+/// E15: resilient serving — the bounded `ucq-serve` worker pool over one
+/// frozen session, across request mixes: all-clean, answer-capped,
+/// pre-cancelled, and the canned chaos mix (deadlines + cancels; the
+/// fault seam is a no-op in this build). Reports the full outcome ledger
+/// next to throughput — the point is that it balances under every mix.
+fn e15_resilient_serving(scale: usize) {
+    use std::sync::Arc;
+    use std::time::Duration;
+    use ucq_workloads::{drive_resilient, ResilientSpec};
+
+    println!("## E15 (resilient serving: bounded pool, budgets, typed failure ledger)\n");
+    println!(
+        "| query | mix | workers | submitted | served | partial | timed out | shed | \
+         answers/sec | p99 latency |"
+    );
+    println!("|---|---|---:|---:|---:|---:|---:|---:|---:|---:|");
+    for (id, base_rows) in [("two_free_connex", 8_000usize), ("example2", 2_000)] {
+        let rows = (base_rows * scale / 4).max(500);
+        let engine = engine_for(id);
+        let inst = instance_for(id, rows, 11);
+        let frozen = Arc::new(
+            engine
+                .session(&inst)
+                .freeze()
+                .expect("DelayClin strategy freezes"),
+        );
+        let requests = 16 * scale;
+        let mixes: [(&str, ResilientSpec); 4] = [
+            ("steady", ResilientSpec::steady(4, requests, requests)),
+            (
+                "capped(64)",
+                ResilientSpec::steady(4, requests, requests).with_answer_cap(64),
+            ),
+            (
+                "cancel/3",
+                ResilientSpec::steady(4, requests, requests).with_cancel_every(3),
+            ),
+            (
+                "chaos",
+                ResilientSpec::chaos(4, requests)
+                    .with_deadline_every(5, Duration::from_micros(200)),
+            ),
+        ];
+        for (mix, spec) in mixes {
+            let report = drive_resilient(&frozen, &spec);
+            assert_eq!(
+                report.drains + report.shed + report.panicked + report.drained,
+                report.submitted,
+                "E15 ledger does not balance for mix {mix}: {report:?}"
+            );
+            println!(
+                "| {id} | {mix} | {} | {} | {} | {} | {} | {} | {:.0} | {} |",
+                spec.workers,
+                report.submitted,
+                report.drains,
+                report.partial,
+                report.timed_out,
+                report.shed,
+                report.answers_per_sec(),
+                fmt_ns(report.p99_first_answer_ns()),
+            );
+        }
     }
     println!();
 }

@@ -10,8 +10,10 @@
 //!              [--limit N] [--naive] [--stats]
 //! ucq decide   <query-file> <instance>      answer existence
 //! ucq catalog                               the paper's example table
+//! ucq serve-bench <query-file> <instance>   resilient-serving load run
+//!              [--workers N] [--requests N] [--queue N] [--chaos]
 //! ucq lint     [<workspace-root>]           workspace invariant lints
-//!                                           (L1–L6, see ucq-analysis)
+//!                                           (L1–L7, see ucq-analysis)
 //! ```
 //!
 //! Query files use the parser syntax (one rule per line); instance files use
@@ -57,6 +59,7 @@ pub const USAGE: &str = "usage:
   ucq run      <query-file> <instance-file> [--limit N] [--naive] [--stats]
   ucq decide   <query-file> <instance-file>
   ucq catalog
+  ucq serve-bench <query-file> <instance-file> [--workers N] [--requests N] [--queue N] [--chaos]
   ucq lint     [<workspace-root>]
 
 query files: one rule per line, e.g.  Q(x, y) <- R(x, z), S(z, y)
@@ -99,6 +102,23 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
             cmd_decide(&load_query(&q)?, &load_instance(&i)?)
         }
         Some("catalog") => Ok(cmd_catalog()),
+        Some("serve-bench") => {
+            let (paths, flags) = split_flags(&args[1..]);
+            if paths.len() != 2 {
+                return Err(CliError::new(USAGE));
+            }
+            let workers = parsed_flag(&flags, "--workers")?.unwrap_or(4);
+            let requests = parsed_flag(&flags, "--requests")?.unwrap_or(64);
+            let queue = parsed_flag(&flags, "--queue")?;
+            cmd_serve_bench(
+                &load_query(&paths[0])?,
+                &load_instance(&paths[1])?,
+                workers,
+                requests,
+                queue,
+                flags.iter().any(|f| f == "--chaos"),
+            )
+        }
         Some("lint") => match &args[1..] {
             [] => cmd_lint(None),
             [root] => cmd_lint(Some(root)),
@@ -117,6 +137,9 @@ fn expect_args<const N: usize>(args: &[String], n: usize) -> Result<[String; N],
     Ok(std::array::from_fn(|i| rest[i].clone()))
 }
 
+/// Flags that consume the following argument as their value.
+const VALUE_FLAGS: [&str; 4] = ["--limit", "--workers", "--requests", "--queue"];
+
 fn split_flags(rest: &[String]) -> (Vec<String>, Vec<String>) {
     let mut paths = Vec::new();
     let mut flags = Vec::new();
@@ -124,7 +147,7 @@ fn split_flags(rest: &[String]) -> (Vec<String>, Vec<String>) {
     while let Some(a) = it.next() {
         if a.starts_with("--") {
             flags.push(a.clone());
-            if a == "--limit" {
+            if VALUE_FLAGS.contains(&a.as_str()) {
                 if let Some(v) = it.next() {
                     flags.push(v.clone());
                 }
@@ -145,6 +168,15 @@ fn flag_value(flags: &[String], name: &str) -> Result<Option<String>, CliError> 
             .map(Some)
             .ok_or_else(|| CliError::new(format!("{name} needs a value"))),
     }
+}
+
+fn parsed_flag(flags: &[String], name: &str) -> Result<Option<usize>, CliError> {
+    flag_value(flags, name)?
+        .map(|v| {
+            v.parse::<usize>()
+                .map_err(|e| CliError::new(format!("bad {name}: {e}")))
+        })
+        .transpose()
 }
 
 fn load_query(path: &str) -> Result<Ucq, CliError> {
@@ -362,7 +394,86 @@ fn cmd_decide(ucq: &Ucq, inst: &Instance) -> Result<String, CliError> {
     Ok(format!("{}\n", if yes { "yes" } else { "no" }))
 }
 
-/// `ucq lint`: run the L1–L6 workspace invariant lints (see the
+/// `ucq serve-bench`: freeze one session and push a request load through
+/// the resilient `ucq-serve` worker pool, reporting the full outcome
+/// ledger (completions, sheds, timeouts, panics, queue depth) alongside
+/// throughput. `--chaos` switches from the steady all-clean mix to the
+/// canned chaos mix (deadlines every 5th, pre-fired cancels every 7th,
+/// fault-armed every 3rd — the faults only fire when the binary was built
+/// with `--cfg ucq_fault_inject`).
+fn cmd_serve_bench(
+    ucq: &Ucq,
+    inst: &Instance,
+    workers: usize,
+    requests: usize,
+    queue: Option<usize>,
+    chaos: bool,
+) -> Result<String, CliError> {
+    if workers == 0 || requests == 0 {
+        return Err(CliError::new("--workers and --requests must be positive"));
+    }
+    let engine = UcqEngine::new(ucq.clone());
+    let frozen = std::sync::Arc::new(
+        engine
+            .session(inst)
+            .freeze()
+            .map_err(|e| CliError::new(e.to_string()))?,
+    );
+    let mut spec = if chaos {
+        ucq_workloads::ResilientSpec::chaos(workers, requests)
+    } else {
+        ucq_workloads::ResilientSpec::steady(workers, workers.max(2), requests)
+    };
+    if let Some(capacity) = queue {
+        if capacity == 0 {
+            return Err(CliError::new("--queue must be positive"));
+        }
+        spec.queue_capacity = capacity;
+    }
+    let report = ucq_workloads::drive_resilient(&frozen, &spec);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "serve-bench: {} worker(s), queue {}, {} request(s){}",
+        spec.workers,
+        spec.queue_capacity,
+        spec.requests,
+        if chaos { ", chaos mix" } else { "" }
+    );
+    let _ = writeln!(
+        out,
+        "  served {} (partial {}, timed out {}), shed {}, panicked {}, drained {}",
+        report.drains,
+        report.partial,
+        report.timed_out,
+        report.shed,
+        report.panicked,
+        report.drained
+    );
+    let _ = writeln!(
+        out,
+        "  ledger: {} of {} submitted accounted",
+        report.drains + report.shed + report.panicked + report.drained,
+        report.submitted
+    );
+    let _ = writeln!(
+        out,
+        "  {} answers in {:?} ({:.0} answers/sec), queue high-water {}",
+        report.total_answers,
+        report.elapsed,
+        report.answers_per_sec(),
+        report.queue_high_water
+    );
+    let _ = writeln!(
+        out,
+        "  latency (submit→resolution): median {} ns, p99 {} ns",
+        report.median_first_answer_ns(),
+        report.p99_first_answer_ns()
+    );
+    Ok(out)
+}
+
+/// `ucq lint`: run the L1–L7 workspace invariant lints (see the
 /// `ucq-analysis` crate and the README's "Static analysis & model
 /// checking" section). With no argument the workspace root is found by
 /// walking up from the current directory; violations exit nonzero.
@@ -500,6 +611,59 @@ mod tests {
         assert_eq!(out.lines().filter(|l| l.starts_with('(')).count(), 2);
         let out = dispatch(&args(&["run", &q, &i, "--naive"])).unwrap();
         assert!(out.contains("strategy: Naive"));
+    }
+
+    #[test]
+    fn serve_bench_reports_a_balanced_ledger() {
+        let q = write_temp("serve_q", "Q(x, y) <- R(x, y)");
+        let i = write_temp("serve_i", "R(1, 2). R(3, 4). R(5, 6).");
+        let out = dispatch(&args(&[
+            "serve-bench",
+            &q,
+            &i,
+            "--workers",
+            "2",
+            "--requests",
+            "6",
+            "--queue",
+            "8",
+        ]))
+        .unwrap();
+        assert!(out.contains("2 worker(s), queue 8, 6 request(s)"), "{out}");
+        assert!(out.contains("served 6"), "{out}");
+        assert!(out.contains("ledger: 6 of 6 submitted accounted"), "{out}");
+        assert!(out.contains("18 answers"), "{out}");
+    }
+
+    #[test]
+    fn serve_bench_chaos_mix_still_balances() {
+        let q = write_temp("serve_chaos_q", "Q(x, y) <- R(x, y)");
+        let i = write_temp("serve_chaos_i", "R(1, 2). R(3, 4).");
+        let out = dispatch(&args(&[
+            "serve-bench",
+            &q,
+            &i,
+            "--workers",
+            "2",
+            "--requests",
+            "10",
+            "--chaos",
+        ]))
+        .unwrap();
+        assert!(out.contains("chaos mix"), "{out}");
+        assert!(out.contains("of 10 submitted accounted"), "{out}");
+    }
+
+    #[test]
+    fn serve_bench_rejects_degenerate_flags() {
+        let q = write_temp("serve_bad_q", "Q(x) <- R(x)");
+        let i = write_temp("serve_bad_i", "R(1).");
+        let err = dispatch(&args(&["serve-bench", &q, &i, "--workers", "0"])).unwrap_err();
+        assert!(err.message.contains("must be positive"), "{}", err.message);
+        let err = dispatch(&args(&["serve-bench", &q, &i, "--queue", "0"])).unwrap_err();
+        assert!(err.message.contains("--queue"), "{}", err.message);
+        let err = dispatch(&args(&["serve-bench", &q, &i, "--requests", "soon"])).unwrap_err();
+        assert!(err.message.contains("bad --requests"), "{}", err.message);
     }
 
     #[test]

@@ -140,6 +140,107 @@ impl<T: ?Sized> Drop for MutexGuard<'_, T> {
 }
 
 // ---------------------------------------------------------------------------
+// Condvar
+
+/// A condition variable; `std::sync::Condvar` outside a model. Inside one,
+/// `wait` is a scheduler-visible park: the guard's drop releases the
+/// modeled mutex (waking lock waiters), the thread then blocks on the
+/// condvar's address key until a notify bumps the wakeup generation, and
+/// finally re-acquires the lock through the modeled path.
+///
+/// Notifies wake *every* modeled waiter (spurious wakeups are part of the
+/// `Condvar` contract, so waiters must re-check their predicate anyway);
+/// a missing notify still surfaces as a modeled deadlock, which is the
+/// bug class the checker exists to catch.
+#[derive(Default)]
+pub struct Condvar {
+    /// Model-mode wakeup generation. A plain (non-modeled) atomic on
+    /// purpose: reading it must not be a decision point, so the
+    /// check-then-block in `wait` runs without a scheduling gap.
+    generation: std::sync::atomic::AtomicU64,
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    pub const fn new() -> Condvar {
+        Condvar {
+            generation: std::sync::atomic::AtomicU64::new(0),
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        use std::sync::atomic::Ordering::SeqCst;
+        let lock = guard.lock;
+        match exec::current() {
+            Some((ex, me)) => {
+                // Read the generation while still holding the mutex: a
+                // notify can only run after the guard drop below, so any
+                // wakeup this waiter must see bumps past `seen`.
+                let seen = self.generation.load(SeqCst);
+                drop(guard);
+                loop {
+                    if self.generation.load(SeqCst) != seen {
+                        break;
+                    }
+                    // No yield between the check and the park: only one
+                    // modeled thread runs at a time, so no notify can
+                    // slip into the gap (no lost wakeups).
+                    ex.block_on(me, addr_key(self));
+                }
+                lock.lock()
+            }
+            None => {
+                let mut guard = guard;
+                let inner = guard.inner.take().expect("guard accessed after release");
+                drop(guard); // model/flag bookkeeping is a no-op in std mode
+                match self.inner.wait(inner) {
+                    Ok(g) => Ok(MutexGuard {
+                        lock,
+                        inner: Some(g),
+                        model: None,
+                    }),
+                    Err(poison) => Err(PoisonError::new(MutexGuard {
+                        lock,
+                        inner: Some(poison.into_inner()),
+                        model: None,
+                    })),
+                }
+            }
+        }
+    }
+
+    pub fn notify_one(&self) {
+        self.notify(|inner| inner.notify_one());
+    }
+
+    pub fn notify_all(&self) {
+        self.notify(|inner| inner.notify_all());
+    }
+
+    fn notify(&self, std_notify: impl FnOnce(&std::sync::Condvar)) {
+        use std::sync::atomic::Ordering::SeqCst;
+        match exec::current() {
+            Some((ex, me)) => {
+                ex.yield_now(me);
+                self.generation.fetch_add(1, SeqCst);
+                // Modeled notify is a broadcast either way: waiters
+                // re-check predicates, and the explorer decides who wins
+                // the re-acquire race.
+                ex.wake_all(addr_key(self));
+            }
+            None => std_notify(&self.inner),
+        }
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
+// ---------------------------------------------------------------------------
 // OnceLock
 
 /// A write-once cell; `std::sync::OnceLock` outside a model. Inside one,

@@ -34,6 +34,7 @@ pub mod naive_ucq;
 pub mod pipeline;
 pub mod plan;
 pub mod provides;
+pub mod request;
 pub mod search;
 mod static_asserts;
 
@@ -53,6 +54,7 @@ pub use naive_ucq::{
 pub use pipeline::{UcqPipeline, UcqPipelinePrep};
 pub use plan::{plan_free_connex, ExtensionPlan, PlannedAtom};
 pub use provides::{compute_availability, compute_availability_all, Availability, Provenance};
+pub use request::{RequestError, Served};
 pub use search::{ConnexOracle, SearchConfig};
 
 /// `Decide` for a single free-connex CQ: linear preprocessing, constant

@@ -1,0 +1,357 @@
+//! Per-request enumeration budgets, enforced cooperatively at block
+//! boundaries.
+//!
+//! The serving runtime (`crates/serve`) must guarantee that a slow,
+//! deadline'd, or cancelled request terminates promptly *without*
+//! preempting the enumeration mid-block: the id spine produces answers in
+//! blocks of [`DEFAULT_BLOCK_ROWS`] rows, so checking the budget once per
+//! block keeps the enforcement overhead off the per-answer hot path while
+//! bounding overrun to a single block — precisely the granularity the
+//! Cheater's Lemma pacing already works at. [`Budgeted`] wraps any
+//! value-level [`Enumerator`] with that discipline; [`QueryBudget`] is the
+//! declarative limit set, [`CancelToken`] the out-of-band kill switch, and
+//! [`Truncation`] records which limit actually fired.
+//!
+//! This module deliberately uses no locks (lint L2: no `Mutex` in the
+//! enumerate crate) — cancellation is one relaxed-atomic read per block.
+
+use crate::enumerator::Enumerator;
+use crate::idenum::DEFAULT_BLOCK_ROWS;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use ucq_storage::Tuple;
+
+/// Declarative per-request limits; `None` everywhere means unlimited.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryBudget {
+    /// Wall-clock deadline, checked at block boundaries: the request
+    /// terminates within one block of the deadline passing.
+    pub deadline: Option<Instant>,
+    /// Maximum answers to emit (checked exactly; the first suppressed
+    /// answer marks the stream truncated).
+    pub max_answers: Option<usize>,
+    /// Maximum budget-check blocks ([`DEFAULT_BLOCK_ROWS`] answers each)
+    /// to enter.
+    pub max_blocks: Option<usize>,
+}
+
+impl QueryBudget {
+    /// No limits.
+    pub fn unlimited() -> QueryBudget {
+        QueryBudget::default()
+    }
+
+    /// Sets an absolute deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> QueryBudget {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the deadline `timeout` from now.
+    pub fn with_timeout(self, timeout: Duration) -> QueryBudget {
+        self.with_deadline(Instant::now() + timeout)
+    }
+
+    /// Caps the number of emitted answers.
+    pub fn with_max_answers(mut self, n: usize) -> QueryBudget {
+        self.max_answers = Some(n);
+        self
+    }
+
+    /// Caps the number of enumeration blocks.
+    pub fn with_max_blocks(mut self, n: usize) -> QueryBudget {
+        self.max_blocks = Some(n);
+        self
+    }
+
+    /// Whether any limit is set.
+    pub fn is_limited(&self) -> bool {
+        self.deadline.is_some() || self.max_answers.is_some() || self.max_blocks.is_some()
+    }
+}
+
+/// Why a [`Budgeted`] stream stopped before natural exhaustion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Truncation {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The answer cap was reached (more answers existed).
+    MaxAnswers,
+    /// The block cap was reached.
+    MaxBlocks,
+    /// The [`CancelToken`] fired.
+    Cancelled,
+}
+
+impl std::fmt::Display for Truncation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Truncation::Deadline => "deadline",
+            Truncation::MaxAnswers => "max-answers",
+            Truncation::MaxBlocks => "max-blocks",
+            Truncation::Cancelled => "cancelled",
+        })
+    }
+}
+
+/// A cloneable out-of-band cancellation flag; one relaxed load per block
+/// on the enumeration side.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-fired token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Fires the token; every [`Budgeted`] holding a clone truncates at
+    /// its next block boundary.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the token has fired.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+}
+
+/// An [`Enumerator`] adapter enforcing a [`QueryBudget`] at block
+/// boundaries.
+///
+/// Deadline, cancellation, and the block cap are checked once every
+/// `stride` answers (default [`DEFAULT_BLOCK_ROWS`], the id spine's block
+/// size), so a firing limit stops the stream within one block. The answer
+/// cap is exact: the stream reports [`Truncation::MaxAnswers`] only if at
+/// least one more answer actually existed.
+pub struct Budgeted<E> {
+    inner: E,
+    budget: QueryBudget,
+    cancel: Option<CancelToken>,
+    stride: usize,
+    answers: usize,
+    blocks: usize,
+    truncated: Option<Truncation>,
+    done: bool,
+}
+
+impl<E: Enumerator> Budgeted<E> {
+    /// Wraps `inner` under `budget` with the default block stride.
+    pub fn new(inner: E, budget: QueryBudget) -> Budgeted<E> {
+        Budgeted {
+            inner,
+            budget,
+            cancel: None,
+            stride: DEFAULT_BLOCK_ROWS,
+            answers: 0,
+            blocks: 0,
+            truncated: None,
+            done: false,
+        }
+    }
+
+    /// Attaches a cancellation token.
+    pub fn with_cancel(mut self, token: CancelToken) -> Budgeted<E> {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Overrides the budget-check stride (clamped to ≥ 1); test and
+    /// fine-grained-latency knob.
+    pub fn with_stride(mut self, stride: usize) -> Budgeted<E> {
+        self.stride = stride.max(1);
+        self
+    }
+
+    /// Why the stream was cut short, if it was.
+    pub fn truncated_by(&self) -> Option<Truncation> {
+        self.truncated
+    }
+
+    /// Answers emitted so far.
+    pub fn answers_emitted(&self) -> usize {
+        self.answers
+    }
+
+    /// Budget-check blocks entered so far.
+    pub fn blocks_entered(&self) -> usize {
+        self.blocks
+    }
+
+    /// Unwraps the inner enumerator.
+    pub fn into_inner(self) -> E {
+        self.inner
+    }
+
+    fn truncate(&mut self, why: Truncation) -> Option<Tuple> {
+        self.truncated = Some(why);
+        self.done = true;
+        None
+    }
+}
+
+impl<E: Enumerator> Enumerator for Budgeted<E> {
+    fn next(&mut self) -> Option<Tuple> {
+        if self.done {
+            return None;
+        }
+        if self.answers.is_multiple_of(self.stride) {
+            // Block boundary (including before the very first answer).
+            if let Some(token) = &self.cancel {
+                if token.is_cancelled() {
+                    return self.truncate(Truncation::Cancelled);
+                }
+            }
+            if let Some(deadline) = self.budget.deadline {
+                if Instant::now() >= deadline {
+                    return self.truncate(Truncation::Deadline);
+                }
+            }
+            if let Some(max) = self.budget.max_blocks {
+                if self.blocks >= max {
+                    return self.truncate(Truncation::MaxBlocks);
+                }
+            }
+            self.blocks += 1;
+        }
+        if let Some(max) = self.budget.max_answers {
+            if self.answers >= max {
+                // Exact truncation semantics: only report MaxAnswers if
+                // the inner stream really had more to give.
+                return match self.inner.next() {
+                    Some(_) => self.truncate(Truncation::MaxAnswers),
+                    None => {
+                        self.done = true;
+                        None
+                    }
+                };
+            }
+        }
+        match self.inner.next() {
+            Some(t) => {
+                self.answers += 1;
+                Some(t)
+            }
+            None => {
+                self.done = true;
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerator::VecEnumerator;
+
+    fn t(x: i64) -> Tuple {
+        Tuple::from(&[x][..])
+    }
+
+    fn stream(n: i64) -> VecEnumerator {
+        VecEnumerator::new((0..n).map(t).collect())
+    }
+
+    #[test]
+    fn unlimited_budget_passes_everything_through() {
+        let mut b = Budgeted::new(stream(5), QueryBudget::unlimited());
+        assert_eq!(b.collect_all().len(), 5);
+        assert_eq!(b.truncated_by(), None);
+        assert_eq!(b.answers_emitted(), 5);
+    }
+
+    #[test]
+    fn max_answers_cuts_exactly() {
+        let mut b = Budgeted::new(stream(10), QueryBudget::unlimited().with_max_answers(3));
+        assert_eq!(b.collect_all().len(), 3);
+        assert_eq!(b.truncated_by(), Some(Truncation::MaxAnswers));
+    }
+
+    #[test]
+    fn max_answers_equal_to_stream_is_not_a_truncation() {
+        let mut b = Budgeted::new(stream(3), QueryBudget::unlimited().with_max_answers(3));
+        assert_eq!(b.collect_all().len(), 3);
+        assert_eq!(b.truncated_by(), None, "nothing was actually suppressed");
+    }
+
+    #[test]
+    fn max_blocks_bounds_work_in_strides() {
+        let mut b =
+            Budgeted::new(stream(100), QueryBudget::unlimited().with_max_blocks(2)).with_stride(10);
+        assert_eq!(b.collect_all().len(), 20);
+        assert_eq!(b.truncated_by(), Some(Truncation::MaxBlocks));
+        assert_eq!(b.blocks_entered(), 2);
+    }
+
+    #[test]
+    fn expired_deadline_stops_within_one_stride() {
+        let past = Instant::now() - Duration::from_millis(1);
+        let mut b =
+            Budgeted::new(stream(100), QueryBudget::unlimited().with_deadline(past)).with_stride(4);
+        let got = b.collect_all().len();
+        assert_eq!(
+            got, 0,
+            "deadline already passed: truncate at the first boundary"
+        );
+        assert_eq!(b.truncated_by(), Some(Truncation::Deadline));
+    }
+
+    #[test]
+    fn mid_stream_deadline_overruns_at_most_one_stride() {
+        // The deadline is checked only at boundaries, so up to one full
+        // stride of answers may still be emitted after it passes.
+        let mut b = Budgeted::new(
+            stream(100),
+            QueryBudget::unlimited().with_deadline(Instant::now()),
+        )
+        .with_stride(8);
+        let got = b.collect_all().len();
+        assert!(got <= 8, "overran more than one stride: {got}");
+        assert_eq!(b.truncated_by(), Some(Truncation::Deadline));
+    }
+
+    #[test]
+    fn cancel_token_truncates_at_next_boundary() {
+        let token = CancelToken::new();
+        let mut b = Budgeted::new(stream(100), QueryBudget::unlimited())
+            .with_cancel(token.clone())
+            .with_stride(5);
+        let mut got = Vec::new();
+        for _ in 0..3 {
+            got.extend(b.next());
+        }
+        token.cancel();
+        while let Some(t) = b.next() {
+            got.push(t);
+        }
+        assert_eq!(got.len(), 5, "ran to the stride boundary, then stopped");
+        assert_eq!(b.truncated_by(), Some(Truncation::Cancelled));
+    }
+
+    #[test]
+    fn budget_builder_composes() {
+        let budget = QueryBudget::unlimited()
+            .with_timeout(Duration::from_secs(3600))
+            .with_max_answers(7)
+            .with_max_blocks(9);
+        assert!(budget.is_limited());
+        assert!(budget.deadline.is_some());
+        assert_eq!(budget.max_answers, Some(7));
+        assert_eq!(budget.max_blocks, Some(9));
+        assert!(!QueryBudget::unlimited().is_limited());
+    }
+
+    #[test]
+    fn exhausted_budgeted_stream_stays_exhausted() {
+        let mut b = Budgeted::new(stream(2), QueryBudget::unlimited().with_max_answers(1));
+        assert_eq!(b.next(), Some(t(0)));
+        assert_eq!(b.next(), None);
+        assert_eq!(b.next(), None, "stays exhausted after truncation");
+        assert_eq!(b.truncated_by(), Some(Truncation::MaxAnswers));
+    }
+}

@@ -53,6 +53,24 @@ pub struct CheaterStats {
     pub blocks_pumped: usize,
 }
 
+/// Rejected [`Cheater`] configuration: Lemma 5's duplication bound `m`
+/// (the pump budget) must be at least 1.
+///
+/// The serving runtime constructs enumerators on worker threads, where a
+/// constructor panic would burn a `catch_unwind` on a statically-known
+/// configuration mistake — [`Cheater::try_new`] surfaces it as a value
+/// instead; the panicking [`Cheater::new`] delegates to it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PumpBudgetError;
+
+impl std::fmt::Display for PumpBudgetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("pump budget must be positive (Lemma 5's duplication bound m >= 1)")
+    }
+}
+
+impl std::error::Error for PumpBudgetError {}
+
 /// Deduplicating, pacing wrapper around an id enumerator (Lemma 5).
 pub struct Cheater<E: IdEnumerator> {
     inner: E,
@@ -85,11 +103,27 @@ pub struct Cheater<E: IdEnumerator> {
 impl<E: IdEnumerator> Cheater<E> {
     /// Wraps `inner`, pumping up to `pump_budget ≥ 1` inner results per
     /// emitted answer (the duplication bound `m` of Lemma 5). Emitted
-    /// answers decode through `ctx`'s dictionary.
+    /// answers decode through `ctx`'s dictionary. Panics on a zero
+    /// budget; serving-path callers use [`Cheater::try_new`].
     pub fn new(inner: E, pump_budget: usize, ctx: CtxView) -> Cheater<E> {
-        assert!(pump_budget >= 1, "pump budget must be positive");
+        match Cheater::try_new(inner, pump_budget, ctx) {
+            Ok(cheater) => cheater,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// As [`Cheater::new`], but a zero `pump_budget` is a typed error
+    /// instead of a panic.
+    pub fn try_new(
+        inner: E,
+        pump_budget: usize,
+        ctx: CtxView,
+    ) -> Result<Cheater<E>, PumpBudgetError> {
+        if pump_budget == 0 {
+            return Err(PumpBudgetError);
+        }
         let arity = inner.arity();
-        Cheater {
+        Ok(Cheater {
             inner,
             inner_done: false,
             ctx,
@@ -103,7 +137,7 @@ impl<E: IdEnumerator> Cheater<E> {
             q_rows: 0,
             pump_budget,
             stats: CheaterStats::default(),
-        }
+        })
     }
 
     /// Wraps with the default budget of 2 (each result produced at most

@@ -17,12 +17,14 @@
 
 #![forbid(unsafe_code)]
 
+pub mod budget;
 pub mod cheater;
 pub mod delay;
 pub mod enumerator;
 pub mod idenum;
 
-pub use cheater::{Cheater, CheaterStats};
+pub use budget::{Budgeted, CancelToken, QueryBudget, Truncation};
+pub use cheater::{Cheater, CheaterStats, PumpBudgetError};
 pub use delay::{measure, measure_ids, DelayProfile};
 pub use enumerator::{ChainEnumerator, Enumerator, FnEnumerator, VecEnumerator};
 pub use idenum::{IdChainEnumerator, IdDecoder, IdEnumerator, IdVecEnumerator, DEFAULT_BLOCK_ROWS};

@@ -1,0 +1,43 @@
+//! # ucq-serve — a resilient serving runtime over frozen sessions
+//!
+//! The constant-delay guarantees of Carmeli & Kröll's `DelayClin` classes
+//! are *per-enumeration* guarantees; this crate supplies the
+//! operational layer that makes them survivable under load. A hand-rolled
+//! worker pool (no async runtime — the container is offline and the
+//! workspace is dependency-free) admits [`Request`]s against shared
+//! `Arc<FrozenSession>`s with:
+//!
+//! * bounded admission ([`queue::BoundedQueue`]) — a full queue sheds with
+//!   typed [`RequestError::Overloaded`] backpressure instead of blocking
+//!   or buffering unboundedly;
+//! * cooperative per-request budgets ([`QueryBudget`] enforced by
+//!   `Budgeted` at block boundaries) — deadline'd or cancelled requests
+//!   terminate within one block, returning [`Served::Partial`];
+//! * panic isolation — each request runs under `catch_unwind`, panics
+//!   become [`RequestError::Internal`], workers keep serving;
+//! * exactly-once accounting ([`ServeStats`]) — every submission resolves
+//!   to exactly one counted outcome, checked by the chaos suite under
+//!   `--cfg ucq_fault_inject` and model-checked (shutdown/drain protocol)
+//!   under `--cfg ucq_model_check`.
+//!
+//! Entry point: [`serve`] scopes the pool to a body closure; inside it,
+//! [`ServeHandle::submit`] returns a [`Ticket`] redeemable for the
+//! request's outcome.
+
+#![forbid(unsafe_code)]
+
+pub mod queue;
+pub mod reply;
+pub mod runtime;
+mod shield;
+mod static_asserts;
+
+pub use queue::{BoundedQueue, PushRefused};
+pub use reply::ReplySlot;
+pub use runtime::{
+    serve, ConfigError, Request, RequestOutcome, ServeConfig, ServeHandle, ServeStats, Ticket,
+};
+
+// Re-export the request vocabulary so callers need only this crate.
+pub use ucq_core::{RequestError, Served};
+pub use ucq_enumerate::{CancelToken, QueryBudget, Truncation};

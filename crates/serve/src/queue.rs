@@ -1,0 +1,138 @@
+//! The bounded admission queue: backpressure by shedding, not by blocking.
+//!
+//! Producers never wait — [`BoundedQueue::push`] on a full queue returns
+//! the item back immediately ([`PushRefused::Full`]), which the runtime
+//! converts into a typed `Overloaded` rejection. Consumers block on a
+//! condvar until an item arrives or the queue closes; [`BoundedQueue::close`]
+//! lets workers drain what was already admitted (graceful shutdown), while
+//! [`BoundedQueue::abort`] hands the still-queued items back to the caller
+//! so each can be resolved with a recorded outcome — the queue itself never
+//! drops work silently.
+//!
+//! All synchronization goes through the `ucq_storage::sync` seam, so the
+//! shutdown/drain protocol model-checks under `--cfg ucq_model_check`
+//! exactly as it runs in production.
+
+use std::collections::VecDeque;
+use ucq_storage::sync::{lock_unpoisoned, wait_unpoisoned, Condvar, Mutex};
+
+const LOCK_NAME: &str = "the bounded request queue";
+
+/// Why a push was refused; the item comes back to the caller either way.
+#[derive(Debug)]
+pub enum PushRefused<T> {
+    /// The queue was at capacity — admission control sheds the request.
+    Full {
+        /// The refused item, returned to the caller.
+        item: T,
+        /// The capacity it hit.
+        capacity: usize,
+    },
+    /// The queue was closed.
+    Closed {
+        /// The refused item, returned to the caller.
+        item: T,
+    },
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    open: bool,
+    high_water: usize,
+}
+
+/// A mutex+condvar bounded MPMC queue with non-blocking producers.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// An open queue admitting at most `capacity` queued items.
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                open: true,
+                high_water: 0,
+            }),
+            available: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Admits `item`, returning the queue depth after the push; refuses
+    /// (returning the item) when full or closed. Never blocks.
+    pub fn push(&self, item: T) -> Result<usize, PushRefused<T>> {
+        let mut st = lock_unpoisoned(&self.state, LOCK_NAME);
+        if !st.open {
+            return Err(PushRefused::Closed { item });
+        }
+        if st.items.len() >= self.capacity {
+            return Err(PushRefused::Full {
+                item,
+                capacity: self.capacity,
+            });
+        }
+        st.items.push_back(item);
+        let depth = st.items.len();
+        if depth > st.high_water {
+            st.high_water = depth;
+        }
+        drop(st);
+        self.available.notify_one();
+        Ok(depth)
+    }
+
+    /// Takes the next item, blocking while the queue is empty but open;
+    /// `None` once the queue is closed *and* drained (the worker-exit
+    /// signal).
+    pub fn pop(&self) -> Option<T> {
+        let mut st = lock_unpoisoned(&self.state, LOCK_NAME);
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                return Some(item);
+            }
+            if !st.open {
+                return None;
+            }
+            st = wait_unpoisoned(&self.available, st, LOCK_NAME);
+        }
+    }
+
+    /// Closes admission; already-queued items still drain through
+    /// [`BoundedQueue::pop`], then blocked workers wake and exit.
+    pub fn close(&self) {
+        let mut st = lock_unpoisoned(&self.state, LOCK_NAME);
+        st.open = false;
+        drop(st);
+        self.available.notify_all();
+    }
+
+    /// Closes admission *and* returns everything still queued, so the
+    /// caller can record an outcome for each abandoned item.
+    pub fn abort(&self) -> Vec<T> {
+        let mut st = lock_unpoisoned(&self.state, LOCK_NAME);
+        st.open = false;
+        let drained = st.items.drain(..).collect();
+        drop(st);
+        self.available.notify_all();
+        drained
+    }
+
+    /// Items currently queued.
+    pub fn depth(&self) -> usize {
+        lock_unpoisoned(&self.state, LOCK_NAME).items.len()
+    }
+
+    /// The deepest the queue has ever been.
+    pub fn high_water(&self) -> usize {
+        lock_unpoisoned(&self.state, LOCK_NAME).high_water
+    }
+
+    /// The admission bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}

@@ -1,0 +1,69 @@
+//! One-shot reply slots: how a worker hands a request's outcome back to
+//! the submitter.
+//!
+//! A [`ReplySlot`] is written at most once ([`ReplySlot::deliver`] reports
+//! whether the write landed, so the exactly-once accounting is checkable)
+//! and read by a blocking [`ReplySlot::wait`] or a non-blocking
+//! [`ReplySlot::try_take`]. Synchronization goes through the
+//! `ucq_storage::sync` seam for the same reason as the queue: the
+//! deliver/wait handshake is part of the model-checked shutdown protocol.
+
+use ucq_storage::sync::{lock_unpoisoned, wait_unpoisoned, Condvar, Mutex};
+
+const LOCK_NAME: &str = "a request reply slot";
+
+/// A write-once, take-once rendezvous cell.
+#[derive(Default)]
+pub struct ReplySlot<T> {
+    value: Mutex<Option<T>>,
+    ready: Condvar,
+}
+
+impl<T> ReplySlot<T> {
+    /// An empty slot.
+    pub fn new() -> ReplySlot<T> {
+        ReplySlot {
+            value: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Delivers `value`; `false` if the slot was already occupied (the
+    /// value is dropped — under the runtime's protocol this never
+    /// happens, and the model test asserts it).
+    pub fn deliver(&self, value: T) -> bool {
+        let mut slot = lock_unpoisoned(&self.value, LOCK_NAME);
+        if slot.is_some() {
+            return false;
+        }
+        *slot = Some(value);
+        drop(slot);
+        self.ready.notify_all();
+        true
+    }
+
+    /// Blocks until a value is delivered, then takes it.
+    pub fn wait(&self) -> T {
+        let mut slot = lock_unpoisoned(&self.value, LOCK_NAME);
+        loop {
+            if let Some(value) = slot.take() {
+                return value;
+            }
+            slot = wait_unpoisoned(&self.ready, slot, LOCK_NAME);
+        }
+    }
+
+    /// Takes the value if one has been delivered; never blocks.
+    pub fn try_take(&self) -> Option<T> {
+        lock_unpoisoned(&self.value, LOCK_NAME).take()
+    }
+}
+
+impl<T> std::fmt::Debug for ReplySlot<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let occupied = lock_unpoisoned(&self.value, LOCK_NAME).is_some();
+        f.debug_struct("ReplySlot")
+            .field("occupied", &occupied)
+            .finish()
+    }
+}

@@ -1,0 +1,44 @@
+//! Panic-output shielding for isolated request panics.
+//!
+//! The runtime converts per-request panics into typed
+//! `RequestError::Internal` results, so the default panic hook's stderr
+//! report would be pure noise — a chaos run injects hundreds of panics on
+//! purpose. [`install`] wraps the process panic hook once; panics raised
+//! inside a [`shielded`] scope (the worker's `catch_unwind` region) are
+//! silenced, every other panic still reports through the previous hook.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+static INSTALLED: OnceLock<()> = OnceLock::new();
+
+thread_local! {
+    static SHIELDED: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Installs the filtering panic hook (idempotent, first caller wins).
+pub(crate) fn install() {
+    INSTALLED.get_or_init(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if SHIELDED.with(|s| s.get()) {
+                return;
+            }
+            previous(info);
+        }));
+    });
+}
+
+/// Runs `f` with this thread's panics shielded from the hook; the flag is
+/// restored even when `f` unwinds (that unwind is the point).
+pub(crate) fn shielded<R>(f: impl FnOnce() -> R) -> R {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            SHIELDED.with(|s| s.set(self.0));
+        }
+    }
+    let prev = SHIELDED.with(|s| s.replace(true));
+    let _restore = Restore(prev);
+    f()
+}

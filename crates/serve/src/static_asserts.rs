@@ -1,0 +1,15 @@
+//! Compile-time thread-safety contract for the serving runtime: the queue
+//! and reply cells are shared across the pool's threads, and outcomes
+//! cross a thread boundary on delivery.
+
+use crate::queue::BoundedQueue;
+use crate::reply::ReplySlot;
+use crate::runtime::RequestOutcome;
+
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    const fn assert_send<T: Send>() {}
+    assert_send_sync::<BoundedQueue<RequestOutcome>>();
+    assert_send_sync::<ReplySlot<RequestOutcome>>();
+    assert_send::<RequestOutcome>();
+};

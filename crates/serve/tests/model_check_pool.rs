@@ -1,0 +1,161 @@
+//! Model-checks the pool's shutdown/drain protocol — the production
+//! [`BoundedQueue`]/[`ReplySlot`] code — under exhaustive
+//! bounded-preemption schedules:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg ucq_model_check" cargo test -p ucq-serve --test model_check_pool
+//! ```
+//!
+//! Unlike the storage model suite, this one is compiled *only* under the
+//! seam cfg: the queue parks workers on the seam condvar, and in a plain
+//! build that is a real `std::sync::Condvar` wait, which would wedge the
+//! compat executor's one-thread-at-a-time scheduler. Under the cfg the
+//! wait is the modeled, yield-based one and every interleaving of
+//! push/pop/close/abort is explored.
+//!
+//! Invariants checked across every schedule:
+//! * no request is lost: every pushed item is either served (delivered by
+//!   a worker) or handed back by `abort` — exactly once;
+//! * every reply slot resolves exactly once (`deliver` never refused);
+//! * workers join after `close`/`abort` — no deadlock, no wedged pool.
+
+#![cfg(ucq_model_check)]
+
+use std::sync::Arc;
+use ucq_serve::{BoundedQueue, PushRefused, ReplySlot};
+
+type Job = (u32, Arc<ReplySlot<u32>>);
+
+const CONFIG: shuttle::Config = shuttle::Config {
+    max_schedules: 50_000,
+    max_preemptions: 2,
+};
+
+fn worker(queue: Arc<BoundedQueue<Job>>) -> shuttle::thread::JoinHandle<u32> {
+    shuttle::thread::spawn(move || {
+        let mut served = 0u32;
+        while let Some((value, slot)) = queue.pop() {
+            assert!(slot.deliver(value * 10), "double delivery to a slot");
+            served += 1;
+        }
+        served
+    })
+}
+
+/// Graceful shutdown: two workers race a producer that pushes three jobs
+/// then closes. Every admitted job must be served exactly once and both
+/// workers must join.
+#[test]
+fn close_drains_every_admitted_job() {
+    let e = shuttle::explore_with(CONFIG, || {
+        let queue: Arc<BoundedQueue<Job>> = Arc::new(BoundedQueue::new(4));
+        let workers: Vec<_> = (0..2).map(|_| worker(Arc::clone(&queue))).collect();
+
+        let slots: Vec<Arc<ReplySlot<u32>>> = (0..3).map(|_| Arc::new(ReplySlot::new())).collect();
+        let mut admitted = 0u32;
+        for (i, slot) in slots.iter().enumerate() {
+            match queue.push((i as u32, Arc::clone(slot))) {
+                Ok(_) => admitted += 1,
+                Err(refused) => panic!("capacity-4 queue refused job {i}: {refused:?}"),
+            }
+        }
+        queue.close();
+
+        let served: u32 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+        let resolved = slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let got = s.try_take().expect("admitted job never resolved");
+                assert_eq!(got, i as u32 * 10, "job resolved with the wrong value");
+                1u32
+            })
+            .sum::<u32>();
+        (admitted, served, resolved)
+    });
+    assert!(e.schedules > 1, "explored only {} schedules", e.schedules);
+    assert!(!e.truncated, "schedule space unexpectedly truncated");
+    for (admitted, served, resolved) in &e.outcomes {
+        assert_eq!(*admitted, 3);
+        assert_eq!(*served, 3, "a job was dropped or served twice");
+        assert_eq!(*resolved, 3, "a slot resolved zero or multiple times");
+    }
+}
+
+/// Abort mid-stream: a worker races a producer that pushes then aborts.
+/// Each job must end up served or drained — never both, never neither.
+#[test]
+fn abort_accounts_every_job_exactly_once() {
+    let e = shuttle::explore_with(CONFIG, || {
+        let queue: Arc<BoundedQueue<Job>> = Arc::new(BoundedQueue::new(4));
+        let w = worker(Arc::clone(&queue));
+
+        let slots: Vec<Arc<ReplySlot<u32>>> = (0..2).map(|_| Arc::new(ReplySlot::new())).collect();
+        for (i, slot) in slots.iter().enumerate() {
+            queue.push((i as u32, Arc::clone(slot))).unwrap();
+        }
+        let drained = queue.abort();
+        // Resolve drained jobs the way the runtime does (sentinel 999).
+        for (_, slot) in &drained {
+            assert!(slot.deliver(999), "drained job's slot already resolved");
+        }
+
+        let served = w.join().unwrap();
+        let outcomes: Vec<u32> = slots
+            .iter()
+            .map(|s| s.try_take().expect("job neither served nor drained"))
+            .collect();
+        (served, drained.len() as u32, outcomes)
+    });
+    assert!(e.schedules > 1, "explored only {} schedules", e.schedules);
+    assert!(!e.truncated);
+    let mut saw_drain = false;
+    let mut saw_serve = false;
+    for (served, drained, outcomes) in &e.outcomes {
+        assert_eq!(
+            served + drained,
+            2,
+            "jobs lost or duplicated: served={served} drained={drained}"
+        );
+        saw_drain |= *drained > 0;
+        saw_serve |= *served > 0;
+        for (i, got) in outcomes.iter().enumerate() {
+            assert!(
+                *got == 999 || *got == i as u32 * 10,
+                "job {i} resolved with corrupt value {got}"
+            );
+        }
+    }
+    // The race must actually be explored in both directions.
+    assert!(saw_drain, "no schedule drained a job before the worker");
+    assert!(saw_serve, "no schedule let the worker win the race");
+}
+
+/// Admission control under the model: a capacity-1 queue with a parked
+/// consumer sheds the overflow push in every schedule, and the shed item
+/// comes back intact.
+#[test]
+fn overflow_push_sheds_in_every_schedule() {
+    let e = shuttle::explore_with(CONFIG, || {
+        let queue: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(1));
+        queue.push(1).unwrap();
+        let refused = match queue.push(2) {
+            Err(PushRefused::Full { item, capacity }) => (item, capacity),
+            other => panic!("overflow push returned {other:?}"),
+        };
+        let consumer = {
+            let queue = Arc::clone(&queue);
+            shuttle::thread::spawn(move || queue.pop())
+        };
+        queue.close();
+        let popped = consumer.join().unwrap();
+        (refused, popped, queue.high_water())
+    });
+    assert!(e.schedules > 1, "explored only {} schedules", e.schedules);
+    assert!(!e.truncated);
+    for (refused, popped, high_water) in &e.outcomes {
+        assert_eq!(*refused, (2, 1), "shed item or capacity corrupted");
+        assert_eq!(*popped, Some(1), "admitted item lost");
+        assert_eq!(*high_water, 1);
+    }
+}

@@ -1,0 +1,307 @@
+//! Fault-injection seam for the resilient serving runtime's chaos suite.
+//!
+//! Mirrors the [`sync`](crate::sync) seam's philosophy: production code
+//! calls the hooks unconditionally, and the *meaning* of a hook is decided
+//! at compile time. Outside `RUSTFLAGS="--cfg ucq_fault_inject"` every
+//! hook is an empty `#[inline]` function — zero branches on the hot
+//! paths, and the chaos test suite compiles to nothing. With the cfg on,
+//! the hooks consult a process-global [`FaultPlan`] and a per-thread
+//! *armed* flag, so a chaos harness can target specific requests (run
+//! them under [`armed`]) while concurrent non-faulted requests stay
+//! untouched — the suite's oracle-equality assertions depend on that.
+//!
+//! Three fault kinds, each triggered deterministically every N armed hook
+//! visits (process-wide counter, so a mix of armed requests shares one
+//! schedule):
+//!
+//! - **panics** at probe/decode sites — exercises `catch_unwind` panic
+//!   isolation and lock-poison recovery ([`sync::lock_unpoisoned`]);
+//! - **per-block delays** at probe/decode sites — exercises deadline
+//!   budgets (a delayed block must still terminate the request within one
+//!   block past its deadline);
+//! - **forced overflow-overlay misses** at the intern/lookup sites —
+//!   skips the lock-free frozen-dictionary fast path so the request takes
+//!   the mutex-guarded overlay slow path. Semantically a no-op (the
+//!   overlay re-checks the frozen dictionary under the lock), so faulted
+//!   requests still produce oracle-identical answers while hammering the
+//!   lock under load.
+//!
+//! [`sync::lock_unpoisoned`]: crate::sync::lock_unpoisoned
+
+/// A deterministic fault schedule; `0` disables a fault kind.
+///
+/// "Every N" counts *armed hook visits* of the matching kind across the
+/// whole process, not per thread — under a worker pool the schedule is
+/// deterministic in aggregate (exactly `visits / n` faults fire), while
+/// which request absorbs each fault depends on the interleaving, which is
+/// exactly the nondeterminism a chaos suite wants to range over.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Panic at every Nth armed probe/decode hook visit.
+    pub panic_every: u64,
+    /// Sleep at every Nth armed probe/decode hook visit…
+    pub delay_every: u64,
+    /// …for this many microseconds.
+    pub delay_micros: u64,
+    /// Force every Nth armed intern/lookup to miss the frozen dictionary
+    /// and take the overlay lock.
+    pub overlay_miss_every: u64,
+}
+
+/// Counters of faults actually injected since the last [`install`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Panics thrown by [`on_probe`]/[`on_decode`].
+    pub panics: u64,
+    /// Delays injected by [`on_probe`]/[`on_decode`].
+    pub delays: u64,
+    /// Frozen-dictionary hits converted to overlay misses.
+    pub forced_misses: u64,
+}
+
+/// Message carried by every injected panic (chaos assertions match on it).
+pub const INJECTED_PANIC_MSG: &str = "ucq_fault_inject: injected panic";
+
+#[cfg(ucq_fault_inject)]
+mod imp {
+    use super::{FaultCounters, FaultPlan, INJECTED_PANIC_MSG};
+    use std::cell::Cell;
+    // Plain std atomics on purpose: the fault schedule is bookkeeping, not
+    // protocol state, and must not become decision points under a
+    // (hypothetical) combined model-check + fault-inject build.
+    use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+    static PANIC_EVERY: AtomicU64 = AtomicU64::new(0);
+    static DELAY_EVERY: AtomicU64 = AtomicU64::new(0);
+    static DELAY_MICROS: AtomicU64 = AtomicU64::new(0);
+    static MISS_EVERY: AtomicU64 = AtomicU64::new(0);
+
+    /// Armed probe/decode hook visits (drives panic + delay schedules).
+    static OP_VISITS: AtomicU64 = AtomicU64::new(0);
+    /// Armed intern/lookup hook visits (drives the miss schedule).
+    static MISS_VISITS: AtomicU64 = AtomicU64::new(0);
+
+    static PANICS: AtomicU64 = AtomicU64::new(0);
+    static DELAYS: AtomicU64 = AtomicU64::new(0);
+    static FORCED_MISSES: AtomicU64 = AtomicU64::new(0);
+
+    thread_local! {
+        static ARMED: Cell<bool> = const { Cell::new(false) };
+    }
+
+    pub fn install(plan: FaultPlan) {
+        PANIC_EVERY.store(plan.panic_every, Relaxed);
+        DELAY_EVERY.store(plan.delay_every, Relaxed);
+        DELAY_MICROS.store(plan.delay_micros, Relaxed);
+        MISS_EVERY.store(plan.overlay_miss_every, Relaxed);
+        OP_VISITS.store(0, Relaxed);
+        MISS_VISITS.store(0, Relaxed);
+        PANICS.store(0, Relaxed);
+        DELAYS.store(0, Relaxed);
+        FORCED_MISSES.store(0, Relaxed);
+    }
+
+    pub fn clear() {
+        install(FaultPlan::default());
+    }
+
+    pub fn injected() -> FaultCounters {
+        FaultCounters {
+            panics: PANICS.load(Relaxed),
+            delays: DELAYS.load(Relaxed),
+            forced_misses: FORCED_MISSES.load(Relaxed),
+        }
+    }
+
+    pub fn is_armed() -> bool {
+        ARMED.with(|a| a.get())
+    }
+
+    /// Restores the previous armed state even when `f` unwinds (injected
+    /// panics do exactly that).
+    struct ArmGuard(bool);
+    impl Drop for ArmGuard {
+        fn drop(&mut self) {
+            ARMED.with(|a| a.set(self.0));
+        }
+    }
+
+    pub fn armed<R>(f: impl FnOnce() -> R) -> R {
+        let prev = ARMED.with(|a| a.replace(true));
+        let _restore = ArmGuard(prev);
+        f()
+    }
+
+    fn hook() {
+        if !is_armed() {
+            return;
+        }
+        let n = OP_VISITS.fetch_add(1, Relaxed) + 1;
+        let every = PANIC_EVERY.load(Relaxed);
+        if every != 0 && n.is_multiple_of(every) {
+            PANICS.fetch_add(1, Relaxed);
+            panic!("{INJECTED_PANIC_MSG}");
+        }
+        let every = DELAY_EVERY.load(Relaxed);
+        if every != 0 && n.is_multiple_of(every) {
+            DELAYS.fetch_add(1, Relaxed);
+            std::thread::sleep(std::time::Duration::from_micros(DELAY_MICROS.load(Relaxed)));
+        }
+    }
+
+    pub fn on_probe() {
+        hook();
+    }
+
+    pub fn on_decode() {
+        hook();
+    }
+
+    pub fn force_overlay_miss() -> bool {
+        if !is_armed() {
+            return false;
+        }
+        let every = MISS_EVERY.load(Relaxed);
+        if every == 0 {
+            return false;
+        }
+        let n = MISS_VISITS.fetch_add(1, Relaxed) + 1;
+        if n.is_multiple_of(every) {
+            FORCED_MISSES.fetch_add(1, Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(not(ucq_fault_inject))]
+mod imp {
+    use super::{FaultCounters, FaultPlan};
+
+    /// No-op without `--cfg ucq_fault_inject`.
+    #[inline(always)]
+    pub fn install(_plan: FaultPlan) {}
+
+    /// No-op without `--cfg ucq_fault_inject`.
+    #[inline(always)]
+    pub fn clear() {}
+
+    /// Always zero without `--cfg ucq_fault_inject`.
+    #[inline(always)]
+    pub fn injected() -> FaultCounters {
+        FaultCounters::default()
+    }
+
+    /// Always `false` without `--cfg ucq_fault_inject`.
+    #[inline(always)]
+    pub fn is_armed() -> bool {
+        false
+    }
+
+    /// Runs `f` directly without `--cfg ucq_fault_inject`.
+    #[inline(always)]
+    pub fn armed<R>(f: impl FnOnce() -> R) -> R {
+        f()
+    }
+
+    /// Empty without `--cfg ucq_fault_inject`.
+    #[inline(always)]
+    pub fn on_probe() {}
+
+    /// Empty without `--cfg ucq_fault_inject`.
+    #[inline(always)]
+    pub fn on_decode() {}
+
+    /// Always `false` without `--cfg ucq_fault_inject`.
+    #[inline(always)]
+    pub fn force_overlay_miss() -> bool {
+        false
+    }
+}
+
+pub use imp::{armed, clear, force_overlay_miss, injected, install, is_armed, on_decode, on_probe};
+
+#[cfg(all(test, not(ucq_fault_inject)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hooks_are_inert_without_the_cfg() {
+        install(FaultPlan {
+            panic_every: 1,
+            delay_every: 1,
+            delay_micros: 1,
+            overlay_miss_every: 1,
+        });
+        let r = armed(|| {
+            on_probe();
+            on_decode();
+            assert!(!force_overlay_miss());
+            assert!(!is_armed());
+            7
+        });
+        assert_eq!(r, 7);
+        assert_eq!(injected(), FaultCounters::default());
+        clear();
+    }
+}
+
+#[cfg(all(test, ucq_fault_inject))]
+mod tests {
+    use super::*;
+
+    /// The plan and its counters are process-global; serialize the tests
+    /// that install competing plans. (A plain std mutex, not the seam
+    /// type: test scaffolding must not become a modeled decision point.)
+    static PLAN_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn serialize() -> std::sync::MutexGuard<'static, ()> {
+        match PLAN_LOCK.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    #[test]
+    fn unarmed_threads_never_fault() {
+        let _serial = serialize();
+        install(FaultPlan {
+            panic_every: 1,
+            delay_every: 1,
+            delay_micros: 1,
+            overlay_miss_every: 1,
+        });
+        on_probe();
+        on_decode();
+        assert!(!force_overlay_miss());
+        clear();
+    }
+
+    #[test]
+    fn armed_scope_schedules_deterministically() {
+        let _serial = serialize();
+        install(FaultPlan {
+            overlay_miss_every: 2,
+            ..FaultPlan::default()
+        });
+        let hits: Vec<bool> = armed(|| (0..4).map(|_| force_overlay_miss()).collect());
+        assert_eq!(hits, vec![false, true, false, true]);
+        assert_eq!(injected().forced_misses, 2);
+        clear();
+    }
+
+    #[test]
+    fn armed_flag_restored_after_unwind() {
+        let _serial = serialize();
+        install(FaultPlan {
+            panic_every: 1,
+            ..FaultPlan::default()
+        });
+        let err = std::panic::catch_unwind(|| armed(on_probe));
+        assert!(err.is_err(), "panic_every=1 must panic on the first visit");
+        assert!(!is_armed(), "armed flag leaked past the unwound scope");
+        assert_eq!(injected().panics, 1);
+        clear();
+    }
+}

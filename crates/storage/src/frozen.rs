@@ -170,8 +170,17 @@ impl FrozenContext {
     }
 
     /// Interns one value (overlay on frozen-dictionary miss).
+    ///
+    /// The `faults::force_overlay_miss` chaos hook (inert outside
+    /// `--cfg ucq_fault_inject`) skips the lock-free fast path so the
+    /// request takes the overlay lock; `intern_with` re-checks the frozen
+    /// dictionary under the lock, so the result is identical.
     #[inline]
     pub fn intern(&self, v: Value) -> ValueId {
+        if crate::faults::force_overlay_miss() {
+            let mut ov = self.overflow();
+            return self.intern_with(&mut ov, v);
+        }
         match self.dict.lookup(v) {
             Some(id) => id,
             None => {
@@ -184,6 +193,16 @@ impl FrozenContext {
     /// The id of `v` if the frozen session (or its overlay) has seen it.
     #[inline]
     pub fn lookup(&self, v: Value) -> Option<ValueId> {
+        if crate::faults::force_overlay_miss() {
+            // Chaos path: resolve through the overlay lock; frozen ids
+            // are still found (the lock-held re-check hits the frozen
+            // dictionary first).
+            let ov = self.overflow();
+            if let Some(id) = self.dict.lookup(v) {
+                return Some(id);
+            }
+            return ov.map.get(&v).copied();
+        }
         if let Some(id) = self.dict.lookup(v) {
             return Some(id);
         }
@@ -200,15 +219,18 @@ impl FrozenContext {
     }
 
     /// Decodes a sequence of ids into an answer [`Tuple`] — the per-answer
-    /// emission path, lock-free for frozen ids.
+    /// emission path, lock-free for frozen ids. Chaos hook: one
+    /// `faults::on_decode` visit per emitted answer.
     #[inline]
     pub fn decode_tuple<I: IntoIterator<Item = ValueId>>(&self, ids: I) -> Tuple {
+        crate::faults::on_decode();
         Tuple(ids.into_iter().map(|id| self.decode_fast(id)).collect())
     }
 
     /// Decodes a flat run of id rows (`width` ids per row), lock-free for
-    /// frozen ids.
+    /// frozen ids. Chaos hook: one `faults::on_decode` visit per block.
     pub fn decode_rows(&self, width: usize, ids: &[ValueId]) -> Vec<Tuple> {
+        crate::faults::on_decode();
         if width == 0 {
             return vec![Tuple::empty(); ids.len()];
         }

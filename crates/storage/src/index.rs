@@ -387,6 +387,10 @@ impl HashIndex {
     /// `stride` must be non-zero and equal to the key width of the index;
     /// nullary-key indexes are probed with [`HashIndex::get`]`(&[])`.
     pub fn probe_batch<'k>(&self, keys: &'k [ValueId], stride: usize) -> ProbeBatch<'_, 'k> {
+        // Chaos hook (inert outside `--cfg ucq_fault_inject`): one visit
+        // per probe block, the injection site for per-block delays and
+        // panics on the join path.
+        crate::faults::on_probe();
         assert!(stride > 0, "probe_batch requires a non-empty key stride");
         assert_eq!(
             stride,

@@ -18,6 +18,7 @@
 pub mod block;
 pub mod context;
 pub mod dictionary;
+pub mod faults;
 pub mod frozen;
 pub mod hash;
 pub mod idrel;

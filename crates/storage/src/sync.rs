@@ -22,12 +22,12 @@
 #[cfg(not(ucq_model_check))]
 pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 #[cfg(not(ucq_model_check))]
-pub use std::sync::{Mutex, MutexGuard, OnceLock};
+pub use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
 
 #[cfg(ucq_model_check)]
 pub use shuttle::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 #[cfg(ucq_model_check)]
-pub use shuttle::sync::{Mutex, MutexGuard, OnceLock};
+pub use shuttle::sync::{Condvar, Mutex, MutexGuard, OnceLock};
 
 /// Acquires `mutex`, recovering from poisoning with a diagnostic instead
 /// of panicking (or silently swallowing it with a bare
@@ -42,6 +42,27 @@ pub fn lock_unpoisoned<'a, T: ?Sized>(mutex: &'a Mutex<T>, what: &str) -> MutexG
             eprintln!(
                 "ucq-storage: recovering {what} from a poisoned lock \
                  (a previous holder panicked; the protected state is append-consistent)"
+            );
+            poisoned.into_inner()
+        }
+    }
+}
+
+/// The [`Condvar::wait`] counterpart of [`lock_unpoisoned`]: parks on
+/// `condvar` (releasing `guard`'s lock) and re-acquires it on wakeup,
+/// recovering from poisoning with the same diagnostic discipline.
+pub fn wait_unpoisoned<'a, T>(
+    condvar: &Condvar,
+    guard: MutexGuard<'a, T>,
+    what: &str,
+) -> MutexGuard<'a, T> {
+    match condvar.wait(guard) {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            eprintln!(
+                "ucq-storage: recovering {what} from a poisoned lock after a \
+                 condvar wait (a previous holder panicked; the protected state \
+                 is append-consistent)"
             );
             poisoned.into_inner()
         }

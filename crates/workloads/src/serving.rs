@@ -30,6 +30,24 @@ pub struct ServingReport {
     /// First-answer delay per drain, sorted ascending (empty drains — no
     /// first answer — are excluded).
     pub first_answer_ns: Vec<u64>,
+    /// Requests offered to the runtime. For the plain [`drive_frozen`]
+    /// harness (every drain admitted unconditionally) this equals
+    /// `drains`; the resilient driver reports the true submission count
+    /// including requests that were refused.
+    pub submitted: usize,
+    /// Requests refused at admission (queue full or closed).
+    pub shed: usize,
+    /// Requests truncated by their budget (deadline, caps, or cancel).
+    pub partial: usize,
+    /// The subset of `partial` truncated specifically by a deadline.
+    pub timed_out: usize,
+    /// Requests that panicked and were isolated by the runtime.
+    pub panicked: usize,
+    /// Requests abandoned in the queue at shutdown.
+    pub drained: usize,
+    /// The deepest the admission queue ever got (0 for the plain
+    /// harness, which has no queue).
+    pub queue_high_water: usize,
 }
 
 impl ServingReport {
@@ -112,6 +130,13 @@ pub fn drive_frozen(
         total_answers,
         elapsed,
         first_answer_ns,
+        submitted: threads * drains_per_thread,
+        shed: 0,
+        partial: 0,
+        timed_out: 0,
+        panicked: 0,
+        drained: 0,
+        queue_high_water: 0,
     }
 }
 
@@ -175,5 +200,64 @@ mod tests {
         let xs: Vec<u64> = (1..=100).collect();
         assert_eq!(percentile(&xs, 99), 99);
         assert_eq!(percentile(&xs, 50), 50);
+    }
+
+    #[test]
+    fn percentile_extremes_clamp_to_the_data() {
+        let xs: Vec<u64> = (1..=100).collect();
+        // pct=0 would compute rank 0; nearest-rank clamps to the minimum.
+        assert_eq!(percentile(&xs, 0), 1);
+        assert_eq!(percentile(&xs, 100), 100);
+        // Odd sizes: rank = ceil(len * pct / 100), still in bounds.
+        let odd: Vec<u64> = vec![10, 20, 30];
+        assert_eq!(percentile(&odd, 0), 10);
+        assert_eq!(percentile(&odd, 50), 20);
+        assert_eq!(percentile(&odd, 99), 30);
+        assert_eq!(percentile(&odd, 100), 30);
+        // Singleton: every percentile is the one sample.
+        assert_eq!(percentile(&[7], 0), 7);
+        assert_eq!(percentile(&[7], 100), 7);
+    }
+
+    #[test]
+    fn empty_report_rates_are_zero_not_nan() {
+        let report = ServingReport {
+            threads: 1,
+            drains: 0,
+            total_answers: 0,
+            elapsed: Duration::ZERO,
+            first_answer_ns: Vec::new(),
+            submitted: 0,
+            shed: 0,
+            partial: 0,
+            timed_out: 0,
+            panicked: 0,
+            drained: 0,
+            queue_high_water: 0,
+        };
+        // Zero elapsed must not divide: the rate is defined as 0, not NaN.
+        assert_eq!(report.answers_per_sec(), 0.0);
+        // No drain produced an answer: the delay percentiles are 0.
+        assert_eq!(report.p99_first_answer_ns(), 0);
+        assert_eq!(report.median_first_answer_ns(), 0);
+    }
+
+    #[test]
+    fn all_empty_drains_report_no_delays() {
+        let u = parse_ucq("Q(x, y) <- R(x, y)").unwrap();
+        let engine = UcqEngine::new(u);
+        // An empty relation: every drain completes with zero answers.
+        let instance: Instance = [("R", Relation::from_pairs([]))].into_iter().collect();
+        let frozen = engine.session(&instance).freeze().unwrap();
+        let report = drive_frozen(&frozen, 2, 2);
+        assert_eq!(report.drains, 4);
+        assert_eq!(report.total_answers, 0);
+        assert!(
+            report.first_answer_ns.is_empty(),
+            "empty drains must not record a first-answer delay"
+        );
+        assert_eq!(report.p99_first_answer_ns(), 0);
+        assert_eq!(report.submitted, report.drains);
+        assert_eq!(report.shed + report.panicked + report.drained, 0);
     }
 }
