@@ -291,12 +291,31 @@ fn explain_plan(ucq: &Ucq, inst: &Instance) -> String {
                     "    {name}: {} rows, distinct {:?}, max fanout {:?}",
                     stats.rows, stats.distinct, stats.max_fanout
                 );
+                if let Some(churn) = ctx.churn_of(&rel) {
+                    let _ = writeln!(
+                        out,
+                        "      storage: {} segment(s), {} live / {} dead rows, {:.1}% tombstones",
+                        churn.segments,
+                        churn.live_rows,
+                        churn.dead_rows,
+                        churn.tombstone_fraction * 100.0
+                    );
+                }
             }
             None => {
                 let _ = writeln!(out, "    {name}: absent from the instance");
             }
         }
     }
+    let ingest = ctx.ingest_stats();
+    let _ = writeln!(
+        out,
+        "  dictionary: {} distinct value(s) interned; ingest: {} insert(s), {} delete(s), {} epoch bump(s)",
+        ctx.dict_len(),
+        ingest.inserts,
+        ingest.deletes,
+        ingest.epoch_bumps
+    );
     let costed = plan_free_connex_costed(&c.minimized, &SearchConfig::default(), inst, &ctx);
     let _ = writeln!(
         out,
@@ -573,6 +592,11 @@ mod tests {
         let out = dispatch(&args(&["explain", &q, &i])).unwrap();
         assert!(out.contains("planner (over the minimized union):"), "{out}");
         assert!(out.contains("R1: 2 rows"), "{out}");
+        assert!(
+            out.contains("storage: 1 segment(s), 2 live / 0 dead rows, 0.0% tombstones"),
+            "{out}"
+        );
+        assert!(out.contains("dictionary: "), "{out}");
         assert!(out.contains("plan cache key: fingerprint"), "{out}");
         assert!(out.contains("candidates costed:"), "{out}");
         assert!(out.contains("materialize @prov_"), "{out}");

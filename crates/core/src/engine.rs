@@ -459,6 +459,7 @@ impl<'e> EvalSession<'e> {
             )?),
             _ => None,
         };
+        let build_ctx = self.ctx.clone();
         let view = self.ctx.freeze();
         let prepared = match self.prepared.into_inner().expect("just prepared") {
             Prepared::Algorithm1(mut engines) => {
@@ -482,6 +483,7 @@ impl<'e> EvalSession<'e> {
             engine: self.engine,
             instance: self.instance,
             ctx: view,
+            build_ctx,
             prepared,
             planner: self.planner.snapshot(),
         })
@@ -528,6 +530,11 @@ pub struct FrozenSession<'e> {
     engine: &'e UcqEngine,
     instance: Instance,
     ctx: CtxView,
+    /// The build-phase context this snapshot was frozen from, kept alive so
+    /// [`FrozenSession::refreeze`] can ingest deltas into the *same*
+    /// dictionary lineage and snapshot the next epoch without re-interning
+    /// anything the previous epoch already holds.
+    build_ctx: CtxView,
     prepared: FrozenPrepared,
     planner: PlannerStats,
 }
@@ -590,6 +597,146 @@ impl FrozenSession<'_> {
                 Ok(ans.next().is_some())
             }
         }
+    }
+
+    /// The build-phase context behind this snapshot — the write side of the
+    /// session. Deltas go here
+    /// ([`EvalContext::insert_rows`](ucq_storage::EvalContext::insert_rows) /
+    /// [`delete_rows`](ucq_storage::EvalContext::delete_rows) via the view),
+    /// then [`FrozenSession::refreeze`] publishes them as the next epoch.
+    pub fn build_context(&self) -> &CtxView {
+        &self.build_ctx
+    }
+
+    #[cfg(test)]
+    fn a1_engines(&self) -> Option<&[Arc<CdyEngine>]> {
+        match &self.prepared {
+            FrozenPrepared::Algorithm1(engines) => Some(engines),
+            _ => None,
+        }
+    }
+}
+
+impl<'e> FrozenSession<'e> {
+    /// Whether any relation this session's (minimized) query reads differs
+    /// between the pinned instance and `instance` — by `Arc` identity, which
+    /// is exactly what the delta-ingestion API preserves for untouched
+    /// relations.
+    fn touched(&self, instance: &Instance, names: &[&str]) -> bool {
+        names.iter().any(
+            |n| match (self.instance.get_shared(n), instance.get_shared(n)) {
+                (Some(a), Some(b)) => !Arc::ptr_eq(&a, &b),
+                (None, None) => false,
+                _ => true,
+            },
+        )
+    }
+
+    /// Builds the **next epoch** of this frozen session over `instance`,
+    /// doing work proportional to the delta rather than the database.
+    ///
+    /// `instance` is expected to differ from the pinned instance only in
+    /// relations replaced through the delta-ingestion API
+    /// (`insert_rows`/`delete_rows` on [`FrozenSession::build_context`],
+    /// spliced in with
+    /// [`Instance::with_relation_shared`](ucq_storage::Instance::with_relation_shared)),
+    /// so untouched relations keep their `Arc` identity. The new snapshot is
+    /// taken from the same build context, so every untouched relation,
+    /// index, derived normalization and cached plan is *shared* with the
+    /// previous epoch — only state downstream of a touched relation is
+    /// rebuilt:
+    ///
+    /// * **Algorithm 1** — members whose relations are all untouched keep
+    ///   their prepared engine (pinned to the previous epoch's view, which
+    ///   stays valid: both epochs share one dictionary lineage); touched
+    ///   members rebuild against the pre-seeded caches, so interning and
+    ///   index work is already done.
+    /// * **Union extension** — an untouched union clones the prep wholesale;
+    ///   otherwise the plan is re-costed (the churn ledger bumps the stats
+    ///   epoch past the replan threshold, so skew flips surface here) and
+    ///   the pipeline re-prepares.
+    /// * **Naive** — the materialized answer table is recomputed only when
+    ///   touched.
+    ///
+    /// The old session keeps serving its own epoch untouched throughout —
+    /// pair with [`ucq_storage::EpochCell`] to rotate live traffic.
+    pub fn refreeze(&self, instance: &Instance) -> Result<FrozenSession<'e>, EvalError> {
+        let minimized = &self.engine.classification.minimized;
+        if !self.touched(instance, &minimized.relation_names()) {
+            // Nothing the query reads changed: the next epoch *is* the
+            // current one, minus the snapshot cost.
+            let prepared = match &self.prepared {
+                FrozenPrepared::Algorithm1(engines) => FrozenPrepared::Algorithm1(engines.clone()),
+                FrozenPrepared::Union(prep) => FrozenPrepared::Union(prep.clone()),
+                FrozenPrepared::Naive(table) => FrozenPrepared::Naive(table.clone()),
+            };
+            return Ok(FrozenSession {
+                engine: self.engine,
+                instance: instance.clone(),
+                ctx: self.ctx.clone(),
+                build_ctx: self.build_ctx.clone(),
+                prepared,
+                planner: self.planner,
+            });
+        }
+        // Rebuild touched state against the build context *before* taking
+        // the snapshot, so everything it interns, indexes, materializes or
+        // plans lands below the new epoch's watermark (no overlay traffic
+        // at serve time).
+        let prepared = match &self.prepared {
+            FrozenPrepared::Algorithm1(engines) => {
+                let mut rebuilt: Vec<(usize, CdyEngine)> = Vec::new();
+                let mut next = engines.clone();
+                for (i, cq) in minimized.cqs().iter().enumerate() {
+                    if self.touched(instance, &cq.relation_names()) {
+                        rebuilt.push((i, CdyEngine::for_query_in(cq, instance, &self.build_ctx)?));
+                    }
+                }
+                let view = self.build_ctx.freeze();
+                for (i, mut eng) in rebuilt {
+                    eng.set_view(view.clone());
+                    next[i] = Arc::new(eng);
+                }
+                return Ok(FrozenSession {
+                    engine: self.engine,
+                    instance: instance.clone(),
+                    ctx: view,
+                    build_ctx: self.build_ctx.clone(),
+                    prepared: FrozenPrepared::Algorithm1(next),
+                    planner: self.planner,
+                });
+            }
+            FrozenPrepared::Union(_) => {
+                let plan = self.engine.executable_plan(&self.build_ctx, instance, None);
+                FrozenPrepared::Union(UcqPipelinePrep::prepare(
+                    minimized,
+                    &plan,
+                    instance,
+                    &self.build_ctx,
+                )?)
+            }
+            FrozenPrepared::Naive(_) => FrozenPrepared::Naive(evaluate_ucq_naive_ids_in(
+                minimized,
+                instance,
+                &self.build_ctx,
+            )?),
+        };
+        let view = self.build_ctx.freeze();
+        let prepared = match prepared {
+            FrozenPrepared::Union(mut prep) => {
+                prep.retarget(&view);
+                FrozenPrepared::Union(prep)
+            }
+            other => other,
+        };
+        Ok(FrozenSession {
+            engine: self.engine,
+            instance: instance.clone(),
+            ctx: view,
+            build_ctx: self.build_ctx.clone(),
+            prepared,
+            planner: self.planner,
+        })
     }
 }
 
@@ -752,6 +899,158 @@ mod tests {
         assert_eq!(p2.plans_searched, 0, "second session skips the search");
         assert_eq!(p2.plan_cache_hits, 1, "cached plan reused");
         assert_eq!(p2.candidates_costed, 0);
+    }
+
+    #[test]
+    fn churned_skew_flips_the_cheapest_provider() {
+        use crate::cost::plan_free_connex_costed;
+        // Q1's extension {x, z, y} has two providers: Q2 prices it off
+        // R1 ⋈ R2, Q3 off R1 ⋈ R4. Which is cheapest depends on the data.
+        let text = "Q1(x, y, w) <- R1(x, z), R2(z, y), R4(z, y), R3(y, w)\n\
+                    Q2(x, y, w) <- R1(x, y), R2(y, w)\n\
+                    Q3(x, y, w) <- R1(x, y), R4(y, w)";
+        let u = parse_ucq(text).unwrap();
+        let eng = UcqEngine::new(u.clone());
+        assert_eq!(eng.strategy(), Strategy::UnionExtension);
+        let base = inst(&[
+            ("R1", (0..4).map(|i| (i, i + 1)).collect()),
+            ("R2", (0..4).map(|i| (i + 1, i + 2)).collect()),
+            ("R4", (0..4).map(|i| (i + 1, i + 2)).collect()),
+            ("R3", (0..4).map(|i| (i + 2, i + 3)).collect()),
+        ]);
+        let ctx = CtxView::new();
+        let first = eng.session_in(&ctx, &base);
+        first.enumerate().unwrap();
+        assert_eq!(first.planner_stats().plans_searched, 1);
+        let uniform = plan_free_connex_costed(&u, &SearchConfig::default(), &base, &ctx).unwrap();
+        let before = uniform.plan.atoms[0].provenance.provider;
+
+        // Skew R2: a delta far past the 25% churn threshold bumps the
+        // stats epoch, so the cached plan goes stale …
+        let e0 = ctx.stats_epoch();
+        let delta = Relation::from_pairs((0..400i64).map(|i| (i % 5, i + 10)));
+        let r2 = ctx.insert_rows(&base.get_shared("R2").unwrap(), &delta);
+        let skewed = base.with_relation_shared("R2", r2);
+        assert!(ctx.stats_epoch() > e0, "heavy churn bumps the stats epoch");
+
+        // … the next session re-searches instead of hitting the cache …
+        let second = eng.session_in(&ctx, &skewed);
+        second.enumerate().unwrap();
+        let p2 = second.planner_stats();
+        assert_eq!(p2.plan_cache_hits, 0, "stale plan must not be reused");
+        assert_eq!(p2.plans_searched, 1, "churned stats force a re-search");
+
+        // … and the re-costed plan routes the extension through the other
+        // provider (R2's blow-up makes Q3's R1 ⋈ R4 the cheap one).
+        let recosted =
+            plan_free_connex_costed(&u, &SearchConfig::default(), &skewed, &ctx).unwrap();
+        let after = recosted.plan.atoms[0].provenance.provider;
+        assert_ne!(before, after, "skew flips the cheapest provider");
+
+        // The flip never changes the answers.
+        let got: HashSet<Tuple> = second
+            .enumerate()
+            .unwrap()
+            .collect_all()
+            .into_iter()
+            .collect();
+        assert_eq!(got, naive_set(text, &skewed));
+    }
+
+    fn naive_set(text: &str, i: &Instance) -> HashSet<Tuple> {
+        evaluate_ucq_naive_set(&parse_ucq(text).unwrap(), i).unwrap()
+    }
+
+    fn collect(frozen: &FrozenSession<'_>) -> HashSet<Tuple> {
+        frozen
+            .enumerate()
+            .unwrap()
+            .collect_all()
+            .into_iter()
+            .collect()
+    }
+
+    #[test]
+    fn refreeze_reuses_untouched_members() {
+        let text = "Q1(x, y) <- R(x, y)\nQ2(a, b) <- S(a, b)";
+        let eng = UcqEngine::new(parse_ucq(text).unwrap());
+        assert_eq!(eng.strategy(), Strategy::Algorithm1);
+        let i = inst(&[("R", vec![(1, 2)]), ("S", vec![(5, 6)])]);
+        let frozen = eng.session(&i).freeze().unwrap();
+        assert_eq!(collect(&frozen), naive_set(text, &i));
+
+        // Delta into R only; S keeps its Arc identity.
+        let r2 = frozen
+            .build_context()
+            .insert_rows(&i.get_shared("R").unwrap(), &Relation::from_pairs([(3, 4)]));
+        let i2 = i.with_relation_shared("R", r2);
+        let next = frozen.refreeze(&i2).unwrap();
+        assert_eq!(collect(&next), naive_set(text, &i2));
+        // The old epoch still serves the old answers.
+        assert_eq!(collect(&frozen), naive_set(text, &i));
+        // Member order follows minimized.cqs(): Q1 reads R (rebuilt), Q2
+        // reads S (shared with the previous epoch).
+        let old = frozen.a1_engines().unwrap();
+        let new = next.a1_engines().unwrap();
+        assert!(!Arc::ptr_eq(&old[0], &new[0]), "touched member rebuilt");
+        assert!(Arc::ptr_eq(&old[1], &new[1]), "untouched member shared");
+    }
+
+    #[test]
+    fn refreeze_with_no_changes_shares_the_snapshot() {
+        let eng = UcqEngine::new(parse_ucq("Q(x, y) <- R(x, y)").unwrap());
+        let i = inst(&[("R", vec![(1, 2)])]);
+        let frozen = eng.session(&i).freeze().unwrap();
+        let next = frozen.refreeze(&i.clone()).unwrap();
+        match (&frozen.ctx, &next.ctx) {
+            (CtxView::Frozen(a), CtxView::Frozen(b)) => {
+                assert!(Arc::ptr_eq(a, b), "no-op refreeze shares the snapshot")
+            }
+            _ => panic!("frozen sessions hold frozen views"),
+        }
+        assert_eq!(collect(&next), collect(&frozen));
+    }
+
+    #[test]
+    fn refreeze_union_strategy_after_delete() {
+        let text = "Q1(x, y, w) <- R1(x, z), R2(z, y), R3(y, w)\n\
+                    Q2(x, y, w) <- R1(x, y), R2(y, w)";
+        let eng = UcqEngine::new(parse_ucq(text).unwrap());
+        assert_eq!(eng.strategy(), Strategy::UnionExtension);
+        let i = inst(&[
+            ("R1", vec![(1, 2), (1, 5), (9, 7)]),
+            ("R2", vec![(2, 3), (5, 3), (7, 0)]),
+            ("R3", vec![(3, 4), (3, 6), (0, 2)]),
+        ]);
+        let frozen = eng.session(&i).freeze().unwrap();
+        assert_eq!(collect(&frozen), naive_set(text, &i));
+
+        let ctx = frozen.build_context();
+        let r1 = ctx.delete_rows(
+            &i.get_shared("R1").unwrap(),
+            &Relation::from_pairs([(9, 7)]),
+        );
+        let r1 = ctx.insert_rows(&r1, &Relation::from_pairs([(8, 2)]));
+        let i2 = i.with_relation_shared("R1", r1);
+        let next = frozen.refreeze(&i2).unwrap();
+        assert_eq!(collect(&next), naive_set(text, &i2));
+        assert_eq!(collect(&frozen), naive_set(text, &i), "old epoch intact");
+    }
+
+    #[test]
+    fn refreeze_naive_strategy_rematerializes() {
+        let text = "Q(x, y) <- A(x, z), B(z, y)";
+        let eng = UcqEngine::new(parse_ucq(text).unwrap());
+        assert_eq!(eng.strategy(), Strategy::Naive);
+        let i = inst(&[("A", vec![(1, 2)]), ("B", vec![(2, 3)])]);
+        let frozen = eng.session(&i).freeze().unwrap();
+        let a2 = frozen
+            .build_context()
+            .insert_rows(&i.get_shared("A").unwrap(), &Relation::from_pairs([(7, 2)]));
+        let i2 = i.with_relation_shared("A", a2);
+        let next = frozen.refreeze(&i2).unwrap();
+        assert_eq!(collect(&next), naive_set(text, &i2));
+        assert_eq!(collect(&frozen), naive_set(text, &i));
     }
 
     #[test]

@@ -56,6 +56,10 @@ pub use plan::{plan_free_connex, ExtensionPlan, PlannedAtom};
 pub use provides::{compute_availability, compute_availability_all, Availability, Provenance};
 pub use request::{RequestError, Served};
 pub use search::{ConnexOracle, SearchConfig};
+// The error type every engine/session entry point returns; re-exported so
+// downstream crates (serve drivers, workloads) need not depend on the
+// yannakakis crate for their signatures.
+pub use ucq_yannakakis::EvalError;
 
 /// `Decide` for a single free-connex CQ: linear preprocessing, constant
 /// answer (Theorem 3(1) specialized to the Boolean question).

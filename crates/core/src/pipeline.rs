@@ -37,6 +37,11 @@ use ucq_yannakakis::{CdyEngine, EvalError, OwnedCdyIter};
 /// The preprocessed (linear-phase) state of the Theorem 12 pipeline:
 /// materialized virtual relations folded into per-member CDY engines, ready
 /// to start enumerations.
+///
+/// Cloning is cheap (the member engines are shared `Arc`s; the early-answer
+/// ids are one flat memcpy) — `FrozenSession::refreeze` clones the prep
+/// wholesale when no relation it reads was touched by a delta.
+#[derive(Clone)]
 pub struct UcqPipelinePrep {
     /// Provider answers emitted during materialization (Lemma 8's output
     /// charging), as flat id rows; replayed at the head of every

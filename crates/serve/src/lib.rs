@@ -35,9 +35,11 @@ mod static_asserts;
 pub use queue::{BoundedQueue, PushRefused};
 pub use reply::ReplySlot;
 pub use runtime::{
-    serve, ConfigError, Request, RequestOutcome, ServeConfig, ServeHandle, ServeStats, Ticket,
+    serve, ConfigError, Request, RequestOutcome, ServeConfig, ServeHandle, ServeStats,
+    SessionSource, Ticket,
 };
 
 // Re-export the request vocabulary so callers need only this crate.
 pub use ucq_core::{RequestError, Served};
 pub use ucq_enumerate::{CancelToken, QueryBudget, Truncation};
+pub use ucq_storage::EpochCell;

@@ -27,6 +27,7 @@ use ucq_core::{FrozenSession, RequestError, Served};
 use ucq_enumerate::{Budgeted, CancelToken, Enumerator, QueryBudget, Truncation};
 use ucq_storage::faults;
 use ucq_storage::sync::{AtomicUsize, Ordering};
+use ucq_storage::EpochCell;
 
 /// How a request resolves: answers (complete or partial) or a typed error.
 pub type RequestOutcome = Result<Served, RequestError>;
@@ -85,9 +86,30 @@ impl ServeConfig {
     }
 }
 
+/// Where a request finds its session: pinned to one snapshot, or resolved
+/// from an [`EpochCell`] at dequeue time so live traffic picks up a
+/// re-frozen epoch without restarting the pool.
+pub enum SessionSource<'e> {
+    /// One fixed snapshot for the request's whole life.
+    Pinned(Arc<FrozenSession<'e>>),
+    /// The *current* epoch, read when a worker starts the request. A
+    /// request already running keeps the epoch it resolved — rotation
+    /// never tears an in-flight enumeration.
+    Cell(Arc<EpochCell<FrozenSession<'e>>>),
+}
+
+impl<'e> SessionSource<'e> {
+    fn resolve(self) -> Arc<FrozenSession<'e>> {
+        match self {
+            SessionSource::Pinned(session) => session,
+            SessionSource::Cell(cell) => cell.load(),
+        }
+    }
+}
+
 /// One enumeration request against a shared frozen session.
 pub struct Request<'e> {
-    session: Arc<FrozenSession<'e>>,
+    source: SessionSource<'e>,
     budget: QueryBudget,
     cancel: Option<CancelToken>,
     inject_faults: bool,
@@ -96,8 +118,20 @@ pub struct Request<'e> {
 impl<'e> Request<'e> {
     /// An unlimited request against `session`.
     pub fn new(session: Arc<FrozenSession<'e>>) -> Request<'e> {
+        Request::from_source(SessionSource::Pinned(session))
+    }
+
+    /// An unlimited request that resolves the current epoch of `cell` when
+    /// a worker picks it up — the zero-downtime rotation path: install a
+    /// re-frozen session into the cell and subsequent requests serve the
+    /// new epoch while in-flight ones finish on the old.
+    pub fn from_cell(cell: Arc<EpochCell<FrozenSession<'e>>>) -> Request<'e> {
+        Request::from_source(SessionSource::Cell(cell))
+    }
+
+    fn from_source(source: SessionSource<'e>) -> Request<'e> {
         Request {
-            session,
+            source,
             budget: QueryBudget::unlimited(),
             cancel: None,
             inject_faults: false,
@@ -340,11 +374,14 @@ fn worker_loop<'e>(queue: &BoundedQueue<Job<'e>>, stats: &StatsCells) {
 
 fn run_request(request: Request<'_>) -> RequestOutcome {
     let Request {
-        session,
+        source,
         budget,
         cancel,
         inject_faults,
     } = request;
+    // Resolve the epoch once, up front: the whole request — including its
+    // panic path — serves one consistent snapshot.
+    let session = source.resolve();
     let enumerate = move || -> RequestOutcome {
         let answers = session.enumerate()?;
         let mut budgeted = Budgeted::new(answers, budget);

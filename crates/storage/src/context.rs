@@ -33,8 +33,8 @@
 use crate::dictionary::{Dictionary, ValueId};
 use crate::frozen::FrozenContext;
 use crate::hash::FastMap;
-use crate::idrel::IdRel;
-use crate::index::HashIndex;
+use crate::idrel::{normalize_ranked, normalize_ranked_append, IdRel, IdSet};
+use crate::index::{HashIndex, RowSet};
 use crate::key::InlineKey;
 use crate::relation::Relation;
 use crate::stats::RelStats;
@@ -62,6 +62,58 @@ pub struct ContextStats {
     /// Index cache misses (builds).
     pub index_builds: usize,
 }
+
+/// Counters over the session's delta-ingestion traffic
+/// ([`EvalContext::insert_rows`]/[`EvalContext::delete_rows`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// `insert_rows` calls that changed anything.
+    pub inserts: usize,
+    /// `delete_rows` calls that changed anything.
+    pub deletes: usize,
+    /// Rows appended across all deltas.
+    pub rows_inserted: usize,
+    /// Rows removed (value level) across all deletes.
+    pub rows_deleted: usize,
+    /// Cached indexes carried to a successor mirror by CSR merge instead
+    /// of being rebuilt.
+    pub indexes_merged: usize,
+    /// Cached normalizations carried to a successor mirror by delta-append
+    /// ([`normalize_ranked_append`]) instead of being rebuilt.
+    pub derived_carried: usize,
+    /// Stats-epoch bumps forced by cumulative churn crossing the
+    /// re-planning threshold.
+    pub epoch_bumps: usize,
+}
+
+/// Per-relation churn diagnostics read off the interned mirror — the
+/// numbers `ucq explain` reports so segment/tombstone bloat is observable
+/// before compaction ships.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RelChurn {
+    /// CSR/columnar segments (base build + appended deltas).
+    pub segments: usize,
+    /// Live (visible) rows.
+    pub live_rows: usize,
+    /// Tombstoned rows still occupying physical slots.
+    pub dead_rows: usize,
+    /// `dead / (live + dead)`.
+    pub tombstone_fraction: f64,
+}
+
+/// Cumulative churn on one relation lineage since its last stats-epoch
+/// bump; when `churned` reaches [`CHURN_REPLAN_PERCENT`] of `base`, the
+/// epoch bumps so cached plans go stale and the planner re-costs against
+/// fresh statistics.
+#[derive(Clone, Copy, Debug, Default)]
+struct IngestLedger {
+    churned: usize,
+    base: usize,
+}
+
+/// Re-plan once cumulative churn reaches this percentage of the base
+/// cardinality the current plan generation was costed against.
+pub const CHURN_REPLAN_PERCENT: usize = 25;
 
 /// A cache key: relation identity (pinned `Arc` address) plus key columns.
 pub(crate) type IndexKey = (usize, Box<[usize]>);
@@ -132,17 +184,64 @@ impl IndexCache {
     pub(crate) fn peek(&self, rel_ptr: usize, key_cols: &[usize]) -> Option<&Arc<HashIndex>> {
         self.map.get(&(rel_ptr, key_cols.into())).map(|(_p, i)| i)
     }
+
+    /// Carries every cached index of the mirror at `old_ptr` over to its
+    /// churned successor `new_rel` via [`HashIndex::merge_appended`] —
+    /// O(Δ + arena) per index, re-hashing only delta rows. The old
+    /// entries are dropped from this (build-phase) cache; frozen epochs
+    /// hold their own snapshot of the map, so in-flight readers keep
+    /// probing the old indexes untouched. Returns the number of indexes
+    /// merged.
+    pub(crate) fn reseed_merged(
+        &mut self,
+        old_ptr: usize,
+        new_rel: &Arc<IdRel>,
+        old_rows: usize,
+    ) -> usize {
+        let keys: Vec<IndexKey> = self
+            .map
+            .keys()
+            .filter(|(p, _)| *p == old_ptr)
+            .cloned()
+            .collect();
+        let new_ptr = Arc::as_ptr(new_rel) as usize;
+        let mut merged = 0usize;
+        for key in keys {
+            let (_pin, idx) = self.map.remove(&key).expect("key listed above");
+            let next = Arc::new(idx.merge_appended(new_rel, old_rows));
+            self.map
+                .insert((new_ptr, key.1), (Arc::clone(new_rel), next));
+            merged += 1;
+        }
+        merged
+    }
 }
+
+/// A cached normalization: the derived relation, plus — for entries built
+/// through [`EvalContext::normalized_rel`] — the dedup set that makes the
+/// entry delta-appendable when its base relation churns. Closure-built
+/// entries ([`EvalContext::derived_rel`]) carry `None`.
+type DerivedEntry = (Arc<IdRel>, Option<Arc<IdSet>>);
 
 #[derive(Debug, Default)]
 struct Inner {
     dict: Dictionary,
+    /// The most recent frozen snapshot of the dictionary. The dictionary
+    /// is append-only, so an unchanged length means unchanged content:
+    /// epoch re-freezes that interned no new values share this `Arc`
+    /// instead of re-copying the whole table.
+    dict_snapshot: Option<Arc<Dictionary>>,
     /// `Arc<Relation>` address → interned columnar mirror. The held `Arc`
     /// pins the address.
     interned: FastMap<usize, (Arc<Relation>, Arc<IdRel>)>,
     /// `(Arc<Relation>` address, normalization signature) → derived
-    /// relation. The base relation is pinned by `interned`.
-    derived: FastMap<(usize, Box<[u32]>), Arc<IdRel>>,
+    /// relation. The base relation is pinned by `interned`. Entries built
+    /// through [`EvalContext::normalized_rel`] also keep their dedup set,
+    /// which is what lets [`EvalContext::insert_rows`] carry them to a
+    /// churned successor by re-normalizing only the delta segment
+    /// ([`normalize_ranked_append`]); closure-built entries
+    /// ([`EvalContext::derived_rel`]) have no set and are dropped on churn.
+    derived: FastMap<(usize, Box<[u32]>), DerivedEntry>,
     indexes: IndexCache,
     /// `Arc<IdRel>` address → cached [`RelStats`]. The held `Arc` pins the
     /// address.
@@ -152,10 +251,45 @@ struct Inner {
     /// Bumped whenever the set of interned relations changes; plan-cache
     /// keys carry it, so a changed instance invalidates stale plans.
     epoch: u64,
+    /// Successor `Arc<Relation>` address → churn accumulated on that
+    /// lineage since its last epoch bump.
+    churn: FastMap<usize, IngestLedger>,
+    ingest: IngestStats,
     interned_hits: usize,
     interned_builds: usize,
     derived_hits: usize,
     derived_builds: usize,
+}
+
+impl Inner {
+    /// Moves the churn ledger from `old_key` to `new_key`, adding
+    /// `changed` churned rows. A fresh lineage starts from `base_before`
+    /// (the pre-change live cardinality — what any cached plan was costed
+    /// against). Crossing [`CHURN_REPLAN_PERCENT`] bumps the stats epoch
+    /// and re-bases the ledger on `live_now`.
+    fn note_churn(
+        &mut self,
+        old_key: usize,
+        new_key: usize,
+        changed: usize,
+        base_before: usize,
+        live_now: usize,
+    ) {
+        let mut led = self.churn.remove(&old_key).unwrap_or(IngestLedger {
+            churned: 0,
+            base: base_before,
+        });
+        led.churned += changed;
+        if led.churned * 100 >= led.base.max(1) * CHURN_REPLAN_PERCENT {
+            self.epoch += 1;
+            self.ingest.epoch_bumps += 1;
+            led = IngestLedger {
+                churned: 0,
+                base: live_now,
+            };
+        }
+        self.churn.insert(new_key, led);
+    }
 }
 
 /// The per-instance evaluation session state. See the module docs.
@@ -189,15 +323,34 @@ impl EvalContext {
 
     /// An immutable snapshot of the dictionary and all three caches — the
     /// serve-phase handle. Cheap relative to preprocessing: the cache maps
-    /// hold `Arc`s (shallow clones) and the dictionary is one table copy.
-    /// The snapshot and this context do not alias: values interned here
-    /// *after* the freeze are unknown to the snapshot and vice versa.
+    /// hold `Arc`s (shallow clones) and the dictionary is one table copy,
+    /// paid only when it actually grew since the previous freeze — the
+    /// dictionary is append-only, so an unchanged length means unchanged
+    /// content and an epoch re-freeze that interned nothing new shares the
+    /// previous snapshot `Arc`. The snapshot and this context do not
+    /// alias: values interned here *after* the freeze are unknown to the
+    /// snapshot and vice versa.
     pub fn freeze(&self) -> Arc<FrozenContext> {
-        let inner = self.lock();
+        let mut inner = self.lock();
+        let dict = match &inner.dict_snapshot {
+            Some(snap) if snap.len() == inner.dict.len() => Arc::clone(snap),
+            _ => {
+                let snap = Arc::new(inner.dict.clone());
+                inner.dict_snapshot = Some(Arc::clone(&snap));
+                snap
+            }
+        };
+        // The frozen side never churns, so it keeps only the derived
+        // relations, not their dedup sets.
+        let derived = inner
+            .derived
+            .iter()
+            .map(|(k, (r, _))| (k.clone(), Arc::clone(r)))
+            .collect();
         Arc::new(FrozenContext::from_parts(
-            inner.dict.clone(),
+            dict,
             inner.interned.clone(),
-            inner.derived.clone(),
+            derived,
             inner.indexes.snapshot(),
             inner.rel_stats.clone(),
             inner.plans.clone(),
@@ -321,7 +474,11 @@ impl EvalContext {
     /// waste. `id_rel` must be the row-for-row mirror of `rel` under this
     /// context's dictionary.
     pub fn register_interned(&self, rel: &Arc<Relation>, id_rel: Arc<IdRel>) {
-        debug_assert_eq!(rel.len(), id_rel.len(), "mirror must match row count");
+        debug_assert_eq!(
+            rel.len(),
+            id_rel.live_len(),
+            "mirror must match live row count"
+        );
         let key = Arc::as_ptr(rel) as usize;
         let mut inner = self.lock();
         // No epoch bump: registrations are pipeline-produced mirrors of
@@ -343,7 +500,7 @@ impl EvalContext {
         let key = (Arc::as_ptr(rel) as usize, sig.into());
         if let Some(found) = {
             let mut inner = self.lock();
-            let found = inner.derived.get(&key).cloned();
+            let found = inner.derived.get(&key).map(|(r, _)| Arc::clone(r));
             if found.is_some() {
                 inner.derived_hits += 1;
             }
@@ -358,12 +515,208 @@ impl EvalContext {
         let built = Arc::new(build(&base));
         let mut inner = self.lock();
         inner.derived_builds += 1;
-        Arc::clone(inner.derived.entry(key).or_insert(built))
+        Arc::clone(&inner.derived.entry(key).or_insert((built, None)).0)
+    }
+
+    /// The cached atom-normalization of `rel` under the rank signature
+    /// `sig` ([`normalize_ranked`]): rows whose repeated positions agree,
+    /// projected to one column per distinct rank, deduplicated. Shares the
+    /// `(relation, sig)` cache with [`EvalContext::derived_rel`], but also
+    /// keeps the dedup set, so [`EvalContext::insert_rows`] can carry the
+    /// entry across a delta append by normalizing only the delta segment
+    /// instead of re-hashing the whole relation.
+    pub fn normalized_rel(&self, rel: &Arc<Relation>, sig: &[u32]) -> Arc<IdRel> {
+        let key = (Arc::as_ptr(rel) as usize, sig.into());
+        if let Some(found) = {
+            let mut inner = self.lock();
+            let found = inner.derived.get(&key).map(|(r, _)| Arc::clone(r));
+            if found.is_some() {
+                inner.derived_hits += 1;
+            }
+            found
+        } {
+            return found;
+        }
+        // Build outside the lock (`interned_rel` takes it internally).
+        let base = self.interned_rel(rel);
+        let (out, seen) = normalize_ranked(&base, sig);
+        let mut inner = self.lock();
+        inner.derived_builds += 1;
+        Arc::clone(
+            &inner
+                .derived
+                .entry(key)
+                .or_insert((Arc::new(out), Some(Arc::new(seen))))
+                .0,
+        )
     }
 
     /// The cached index over `rel` keyed on `key_cols` (see [`IndexCache`]).
     pub fn index(&self, rel: &Arc<IdRel>, key_cols: &[usize]) -> Arc<HashIndex> {
         self.lock().indexes.get_or_build(rel, key_cols)
+    }
+
+    /// Appends `delta` to `rel`, returning the successor `Arc<Relation>`
+    /// handle — O(Δ) end-to-end when `rel` is interned: only the delta's
+    /// cells are interned ([`IdRel::append_delta`]), every cached index is
+    /// carried over by CSR segment merge ([`HashIndex::merge_appended`]),
+    /// and the fresh `Arc` identity invalidates exactly this relation's
+    /// normalization/stats entries (cache keys are `Arc` addresses).
+    ///
+    /// Cumulative churn past [`CHURN_REPLAN_PERCENT`] of the relation's
+    /// base cardinality bumps the stats epoch, so stale cost-based plans
+    /// are re-costed. An empty delta returns `rel` unchanged.
+    pub fn insert_rows(&self, rel: &Arc<Relation>, delta: &Relation) -> Arc<Relation> {
+        assert_eq!(delta.arity(), rel.arity(), "delta arity mismatch");
+        if delta.is_empty() {
+            return Arc::clone(rel);
+        }
+        let mut next = (**rel).clone();
+        for row in delta.iter_rows() {
+            next.push_row(row);
+        }
+        let next = Arc::new(next);
+        let mut inner = self.lock();
+        let inner = &mut *inner;
+        inner.ingest.inserts += 1;
+        inner.ingest.rows_inserted += delta.len();
+        let old_key = Arc::as_ptr(rel) as usize;
+        let new_key = Arc::as_ptr(&next) as usize;
+        if let Some((_pin, old_mirror)) = inner.interned.remove(&old_key) {
+            let base_before = old_mirror.live_len();
+            let old_rows = old_mirror.len();
+            let old_mirror_ptr = Arc::as_ptr(&old_mirror) as usize;
+            let mut mirror = (*old_mirror).clone();
+            mirror.append_delta(delta, &mut inner.dict);
+            let mirror = Arc::new(mirror);
+            inner
+                .interned
+                .insert(new_key, (Arc::clone(&next), Arc::clone(&mirror)));
+            inner.ingest.indexes_merged +=
+                inner
+                    .indexes
+                    .reseed_merged(old_mirror_ptr, &mirror, old_rows);
+            // Normalizations built with their dedup set carry over: append
+            // the delta segment's normalization to a copy of the old entry
+            // ([`normalize_ranked_append`] is prefix-compositional), so the
+            // successor's first prepare re-hashes Δ rows, not the relation.
+            // Closure-built entries (no set) are rebuilt on demand.
+            let carried: Vec<_> = inner
+                .derived
+                .iter()
+                .filter(|((p, _), (_, seen))| *p == old_key && seen.is_some())
+                .map(|((_, sig), (drel, seen))| {
+                    let seen = seen.as_ref().expect("filtered on Some");
+                    (sig.clone(), Arc::clone(drel), Arc::clone(seen))
+                })
+                .collect();
+            inner.derived.retain(|(p, _), _| *p != old_key);
+            for (sig, drel, dseen) in carried {
+                let mut out = (*drel).clone();
+                let mut seen = (*dseen).clone();
+                normalize_ranked_append(&mirror, &sig, old_rows, &mut out, &mut seen);
+                inner.ingest.derived_carried += 1;
+                inner
+                    .derived
+                    .insert((new_key, sig), (Arc::new(out), Some(Arc::new(seen))));
+            }
+            inner.rel_stats.remove(&old_mirror_ptr);
+            inner.note_churn(
+                old_key,
+                new_key,
+                delta.len(),
+                base_before,
+                mirror.live_len(),
+            );
+        } else {
+            // Never interned: nothing cached to carry. The first
+            // `interned_rel` on the successor pays the (full) build and
+            // bumps the epoch as any new base relation does.
+            inner.note_churn(old_key, new_key, delta.len(), rel.len(), next.len());
+        }
+        next
+    }
+
+    /// Removes every row of `rel` equal to a row of `victims`, returning
+    /// the successor `Arc<Relation>` handle. The value-level successor is
+    /// compact; the interned mirror keeps its physical layout and marks
+    /// the victims in a tombstone bitmap ([`IdRel::mark_deleted_where`]),
+    /// so cached CSR indexes merge over ([`HashIndex::merge_appended`]
+    /// drops dead rows from the arena) instead of rebuilding. Victim rows
+    /// containing values the session never interned match nothing. An
+    /// empty victim set returns `rel` unchanged.
+    pub fn delete_rows(&self, rel: &Arc<Relation>, victims: &Relation) -> Arc<Relation> {
+        assert_eq!(victims.arity(), rel.arity(), "victim arity mismatch");
+        if victims.is_empty() {
+            return Arc::clone(rel);
+        }
+        let victim_set = RowSet::build(victims);
+        let mut next = (**rel).clone();
+        next.retain_rows(|row| !victim_set.contains(row));
+        let removed = rel.len() - next.len();
+        let next = Arc::new(next);
+        let mut inner = self.lock();
+        let inner = &mut *inner;
+        inner.ingest.deletes += 1;
+        inner.ingest.rows_deleted += removed;
+        let old_key = Arc::as_ptr(rel) as usize;
+        let new_key = Arc::as_ptr(&next) as usize;
+        if let Some((_pin, old_mirror)) = inner.interned.remove(&old_key) {
+            let base_before = old_mirror.live_len();
+            let old_rows = old_mirror.len();
+            let old_mirror_ptr = Arc::as_ptr(&old_mirror) as usize;
+            let mut mirror = (*old_mirror).clone();
+            // Id-level victim keys through lookup only: values the session
+            // has never seen cannot occur in the mirror.
+            let mut ids = IdSet::new();
+            let mut buf: Vec<ValueId> = Vec::with_capacity(victims.arity());
+            'rows: for row in victims.iter_rows() {
+                buf.clear();
+                for &v in row {
+                    match inner.dict.lookup(v) {
+                        Some(id) => buf.push(id),
+                        None => continue 'rows,
+                    }
+                }
+                ids.insert(&buf);
+            }
+            let killed = mirror.mark_deleted_where(|row| ids.contains(row));
+            debug_assert_eq!(killed, removed, "mirror and value rows agree");
+            let mirror = Arc::new(mirror);
+            inner
+                .interned
+                .insert(new_key, (Arc::clone(&next), Arc::clone(&mirror)));
+            inner.ingest.indexes_merged +=
+                inner
+                    .indexes
+                    .reseed_merged(old_mirror_ptr, &mirror, old_rows);
+            inner.derived.retain(|(p, _), _| *p != old_key);
+            inner.rel_stats.remove(&old_mirror_ptr);
+            inner.note_churn(old_key, new_key, killed, base_before, mirror.live_len());
+        } else {
+            inner.note_churn(old_key, new_key, removed, rel.len(), next.len());
+        }
+        next
+    }
+
+    /// Churn diagnostics for `rel`, if its mirror is interned: segment
+    /// count, live/dead rows, tombstone fraction.
+    pub fn churn_of(&self, rel: &Arc<Relation>) -> Option<RelChurn> {
+        let inner = self.lock();
+        inner
+            .interned
+            .get(&(Arc::as_ptr(rel) as usize))
+            .map(|(_pin, m)| RelChurn {
+                segments: m.n_segments(),
+                live_rows: m.live_len(),
+                dead_rows: m.n_dead(),
+                tombstone_fraction: m.tombstone_fraction(),
+            })
+    }
+
+    /// Snapshot of the delta-ingestion counters.
+    pub fn ingest_stats(&self) -> IngestStats {
+        self.lock().ingest
     }
 
     /// The cached [`RelStats`] of `rel`, computed on first request. Columns
@@ -543,6 +896,153 @@ mod tests {
             e2,
             "registering a derived mirror must not invalidate cached plans"
         );
+    }
+
+    #[test]
+    fn insert_rows_preseeds_mirror_and_merges_indexes() {
+        let ctx = EvalContext::new();
+        let rel = shared_pairs(&[(1, 10), (2, 20)]);
+        let id_rel = ctx.interned_rel(&rel);
+        ctx.index(&id_rel, &[0]);
+        let before = ctx.stats();
+        let next = ctx.insert_rows(&rel, &Relation::from_pairs([(3, 30)]));
+        let next_ids = ctx.interned_rel(&next);
+        assert_eq!(
+            ctx.stats().interned_builds,
+            before.interned_builds,
+            "the successor mirror is pre-seeded, not re-interned"
+        );
+        assert_eq!(next_ids.len(), 3);
+        assert_eq!(next_ids.n_segments(), 2);
+        let idx = ctx.index(&next_ids, &[0]);
+        assert_eq!(
+            ctx.stats().index_builds,
+            before.index_builds,
+            "the index is carried by CSR merge, not rebuilt"
+        );
+        let three = ctx.lookup(Value::Int(3)).unwrap();
+        assert_eq!(idx.get(&[three]), &[2]);
+        let ing = ctx.ingest_stats();
+        assert_eq!(ing.inserts, 1);
+        assert_eq!(ing.rows_inserted, 1);
+        assert_eq!(ing.indexes_merged, 1);
+    }
+
+    #[test]
+    fn insert_rows_carries_normalizations_by_delta_append() {
+        let ctx = EvalContext::new();
+        let rel = shared_pairs(&[(1, 10), (2, 20), (2, 2)]);
+        // One identity normalization and one repeated-variable shape
+        // (`R(x, x)`: keep rows whose columns agree, project to one).
+        let ident = ctx.normalized_rel(&rel, &[0, 1]);
+        let diag = ctx.normalized_rel(&rel, &[0, 0]);
+        assert_eq!(ident.len(), 3);
+        assert_eq!(diag.len(), 1, "only (2, 2) survives R(x, x)");
+        let builds = ctx.stats().derived_builds;
+        // Delta: one fresh row, one duplicate of a live row, one new
+        // diagonal row.
+        let next = ctx.insert_rows(&rel, &Relation::from_pairs([(3, 30), (1, 10), (7, 7)]));
+        assert_eq!(ctx.ingest_stats().derived_carried, 2);
+        let ident2 = ctx.normalized_rel(&next, &[0, 1]);
+        let diag2 = ctx.normalized_rel(&next, &[0, 0]);
+        assert_eq!(
+            ctx.stats().derived_builds,
+            builds,
+            "carried entries hit the cache, nothing is re-normalized"
+        );
+        assert_eq!(ident2.len(), 5, "the duplicate delta row deduplicates");
+        assert_eq!(diag2.len(), 2, "(7, 7) joins the diagonal");
+        // The carried entries decode to exactly a from-scratch rebuild.
+        let (scratch, _) = crate::idrel::normalize_ranked(&ctx.interned_rel(&next), &[0, 1]);
+        assert_eq!(*ident2, scratch);
+        let (scratch, _) = crate::idrel::normalize_ranked(&ctx.interned_rel(&next), &[0, 0]);
+        assert_eq!(*diag2, scratch);
+    }
+
+    #[test]
+    fn delete_rows_drops_normalizations_for_rebuild() {
+        let ctx = EvalContext::new();
+        let rel = shared_pairs(&[(1, 10), (2, 20)]);
+        ctx.normalized_rel(&rel, &[0, 1]);
+        let builds = ctx.stats().derived_builds;
+        let next = ctx.delete_rows(&rel, &Relation::from_pairs([(1, 10)]));
+        assert_eq!(
+            ctx.ingest_stats().derived_carried,
+            0,
+            "deletes cannot carry: derived rows do not map back to base rows"
+        );
+        let after = ctx.normalized_rel(&next, &[0, 1]);
+        assert_eq!(ctx.stats().derived_builds, builds + 1, "rebuilt on demand");
+        assert_eq!(after.len(), 1);
+    }
+
+    #[test]
+    fn delete_rows_tombstones_and_emptied_keys_vanish() {
+        let ctx = EvalContext::new();
+        let rel = shared_pairs(&[(1, 10), (2, 20), (2, 21)]);
+        let id_rel = ctx.interned_rel(&rel);
+        ctx.index(&id_rel, &[0]);
+        let next = ctx.delete_rows(&rel, &Relation::from_pairs([(1, 10)]));
+        assert_eq!(next.len(), 2, "value level compacts");
+        let m = ctx.interned_rel(&next);
+        assert_eq!(m.live_len(), 2);
+        assert_eq!(m.len(), 3, "mirror keeps physical slots");
+        let idx = ctx.index(&m, &[0]);
+        let one = ctx.lookup(Value::Int(1)).unwrap();
+        assert!(!idx.contains_key(&[one]), "emptied group reads as absent");
+        let churn = ctx.churn_of(&next).unwrap();
+        assert_eq!(churn.dead_rows, 1);
+        assert_eq!(churn.live_rows, 2);
+        assert!(churn.tombstone_fraction > 0.0);
+        assert_eq!(ctx.ingest_stats().rows_deleted, 1);
+    }
+
+    #[test]
+    fn delete_of_unknown_values_matches_nothing() {
+        let ctx = EvalContext::new();
+        let rel = shared_pairs(&[(1, 10)]);
+        ctx.interned_rel(&rel);
+        let next = ctx.delete_rows(&rel, &Relation::from_pairs([(99, 99)]));
+        assert_eq!(next.len(), 1);
+        assert_eq!(ctx.interned_rel(&next).live_len(), 1);
+        assert_eq!(ctx.ingest_stats().rows_deleted, 0);
+    }
+
+    #[test]
+    fn empty_delta_is_a_no_op_handle() {
+        let ctx = EvalContext::new();
+        let rel = shared_pairs(&[(1, 10)]);
+        let same = ctx.insert_rows(&rel, &Relation::new(2));
+        assert!(Arc::ptr_eq(&rel, &same), "empty delta keeps the handle");
+        assert_eq!(ctx.ingest_stats().inserts, 0);
+    }
+
+    #[test]
+    fn churn_threshold_bumps_epoch_cumulatively() {
+        let ctx = EvalContext::new();
+        let rel = shared_pairs(&[
+            (0, 0),
+            (1, 1),
+            (2, 2),
+            (3, 3),
+            (4, 4),
+            (5, 5),
+            (6, 6),
+            (7, 7),
+        ]);
+        ctx.interned_rel(&rel);
+        let e0 = ctx.stats_epoch();
+        // 1 of 8 rows = 12.5% — below the 25% re-plan threshold.
+        let r1 = ctx.insert_rows(&rel, &Relation::from_pairs([(100, 100)]));
+        assert_eq!(ctx.stats_epoch(), e0, "small deltas keep plans hot");
+        // A second row crosses 25% cumulative churn on the lineage.
+        let r2 = ctx.insert_rows(&r1, &Relation::from_pairs([(101, 101)]));
+        assert_eq!(ctx.stats_epoch(), e0 + 1, "cumulative churn re-plans");
+        assert_eq!(ctx.ingest_stats().epoch_bumps, 1);
+        // The ledger re-based on the new cardinality: one more small delta
+        // stays below threshold again.
+        ctx.insert_rows(&r2, &Relation::from_pairs([(102, 102)]));
+        assert_eq!(ctx.stats_epoch(), e0 + 1);
     }
 
     #[test]

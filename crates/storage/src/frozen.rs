@@ -23,7 +23,8 @@
 //! a frozen snapshot.
 
 use crate::context::{
-    ContextStats, EvalContext, IndexEntry, IndexKey, PlanKey, PlanSlot, StatsEntry,
+    ContextStats, EvalContext, IndexEntry, IndexKey, IngestStats, PlanKey, PlanSlot, RelChurn,
+    StatsEntry,
 };
 use crate::dictionary::{Dictionary, ValueId};
 use crate::hash::FastMap;
@@ -60,7 +61,9 @@ struct Overflow {
 /// module docs; constructed via [`EvalContext::freeze`].
 #[derive(Debug)]
 pub struct FrozenContext {
-    dict: Dictionary,
+    /// Shared with the build context's snapshot cache: consecutive epochs
+    /// that interned no new values alias one dictionary table.
+    dict: Arc<Dictionary>,
     /// Frozen dictionary size: ids below this decode without locking.
     base_len: usize,
     interned: FastMap<usize, (Arc<Relation>, Arc<IdRel>)>,
@@ -89,7 +92,7 @@ pub struct FrozenContext {
 impl FrozenContext {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_parts(
-        dict: Dictionary,
+        dict: Arc<Dictionary>,
         interned: FastMap<usize, (Arc<Relation>, Arc<IdRel>)>,
         derived: FastMap<(usize, Box<[u32]>), Arc<IdRel>>,
         indexes: FastMap<IndexKey, IndexEntry>,
@@ -620,6 +623,19 @@ impl CtxView {
         }
     }
 
+    /// The cached atom-normalization of `rel` under the rank signature
+    /// `sig` (see [`EvalContext::normalized_rel`]). On the build side the
+    /// entry keeps its dedup set so delta ingestion can carry it over; a
+    /// frozen context builds the same rows into its overlay on a miss.
+    pub fn normalized_rel(&self, rel: &Arc<Relation>, sig: &[u32]) -> Arc<IdRel> {
+        match self {
+            CtxView::Build(c) => c.normalized_rel(rel, sig),
+            CtxView::Frozen(f) => {
+                f.derived_rel(rel, sig, |base| crate::idrel::normalize_ranked(base, sig).0)
+            }
+        }
+    }
+
     /// The cached index over `rel` keyed on `key_cols`.
     pub fn index(&self, rel: &Arc<IdRel>, key_cols: &[usize]) -> Arc<HashIndex> {
         match self {
@@ -633,6 +649,51 @@ impl CtxView {
         match self {
             CtxView::Build(c) => c.rel_stats(rel),
             CtxView::Frozen(f) => f.rel_stats(rel),
+        }
+    }
+
+    /// Appends `delta` to `rel`, returning the new handle (see
+    /// [`EvalContext::insert_rows`]). Ingestion is a build-phase operation:
+    /// frozen snapshots are immutable, so calling this on a frozen view
+    /// panics — route deltas through the session's build context and
+    /// publish the result with a re-freeze.
+    pub fn insert_rows(&self, rel: &Arc<Relation>, delta: &Relation) -> Arc<Relation> {
+        match self {
+            CtxView::Build(c) => c.insert_rows(rel, delta),
+            CtxView::Frozen(_) => {
+                panic!("insert_rows on a frozen snapshot: ingest through the build-phase context")
+            }
+        }
+    }
+
+    /// Tombstones every row of `rel` matching a row of `victims`, returning
+    /// the new handle (see [`EvalContext::delete_rows`]). Panics on a
+    /// frozen view for the same reason as [`CtxView::insert_rows`].
+    pub fn delete_rows(&self, rel: &Arc<Relation>, victims: &Relation) -> Arc<Relation> {
+        match self {
+            CtxView::Build(c) => c.delete_rows(rel, victims),
+            CtxView::Frozen(_) => {
+                panic!("delete_rows on a frozen snapshot: ingest through the build-phase context")
+            }
+        }
+    }
+
+    /// Segment/tombstone churn of `rel`'s interned mirror, if it has one
+    /// (see [`EvalContext::churn_of`]). Frozen snapshots report `None` —
+    /// churn is build-phase bookkeeping.
+    pub fn churn_of(&self, rel: &Arc<Relation>) -> Option<RelChurn> {
+        match self {
+            CtxView::Build(c) => c.churn_of(rel),
+            CtxView::Frozen(_) => None,
+        }
+    }
+
+    /// Cumulative ingestion counters (see [`EvalContext::ingest_stats`]).
+    /// Frozen snapshots report zeros — ingestion happens pre-freeze.
+    pub fn ingest_stats(&self) -> IngestStats {
+        match self {
+            CtxView::Build(c) => c.ingest_stats(),
+            CtxView::Frozen(_) => IngestStats::default(),
         }
     }
 

@@ -18,10 +18,27 @@ use crate::value::Value;
 ///
 /// Row `r` is `(col(0)[r], col(1)[r], …)`. Arity-0 relations hold zero or
 /// one (empty) rows, tracked by `n_rows` alone.
+///
+/// Base-relation mirrors grow by *segments*: [`IdRel::append_delta`]
+/// interns only the delta's cells (the dictionary is append-only, so
+/// surviving rows keep their ids), and [`IdRel::mark_deleted_where`]
+/// tombstones rows in place instead of compacting — physical row ids stay
+/// stable, so cached CSR indexes can be merged rather than rebuilt.
+/// Derived relations (normalizations, projections, semijoin results) are
+/// always compact: every producing operation here skips dead rows.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct IdRel {
     n_rows: usize,
     cols: Vec<Vec<ValueId>>,
+    /// Tombstone bitmap over physical rows (bit set = deleted). May be
+    /// shorter than `n_rows / 64` — rows past its end are live (deltas
+    /// appended after a delete don't grow it until the next delete).
+    tombs: Vec<u64>,
+    /// Number of set bits in `tombs`.
+    n_dead: usize,
+    /// Delta segments appended since construction (diagnostics; the base
+    /// build is segment zero).
+    delta_segments: u32,
 }
 
 impl IdRel {
@@ -30,6 +47,9 @@ impl IdRel {
         IdRel {
             n_rows: 0,
             cols: vec![Vec::new(); arity],
+            tombs: Vec::new(),
+            n_dead: 0,
+            delta_segments: 0,
         }
     }
 
@@ -41,6 +61,9 @@ impl IdRel {
             // Vec drops its capacity, which would leave every column but
             // one unallocated.
             cols: (0..arity).map(|_| Vec::with_capacity(rows)).collect(),
+            tombs: Vec::new(),
+            n_dead: 0,
+            delta_segments: 0,
         }
     }
 
@@ -145,7 +168,13 @@ impl IdRel {
                 }
             });
         }
-        IdRel { n_rows: n, cols }
+        IdRel {
+            n_rows: n,
+            cols,
+            tombs: Vec::new(),
+            n_dead: 0,
+            delta_segments: 0,
+        }
     }
 
     /// The arity (number of columns).
@@ -154,16 +183,118 @@ impl IdRel {
         self.cols.len()
     }
 
-    /// Number of rows.
+    /// Number of physical rows, dead rows included — the bound for raw
+    /// row-id access ([`IdRel::at`], [`IdRel::col`]). Use
+    /// [`IdRel::live_len`] for cardinality.
     #[inline]
     pub fn len(&self) -> usize {
         self.n_rows
     }
 
-    /// Whether there are no rows.
+    /// Whether there are no physical rows.
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.n_rows == 0
+    }
+
+    /// Number of live (non-tombstoned) rows — the logical cardinality.
+    #[inline]
+    pub fn live_len(&self) -> usize {
+        self.n_rows - self.n_dead
+    }
+
+    /// Number of tombstoned rows.
+    #[inline]
+    pub fn n_dead(&self) -> usize {
+        self.n_dead
+    }
+
+    /// Whether any row is tombstoned.
+    #[inline]
+    pub fn has_tombstones(&self) -> bool {
+        self.n_dead != 0
+    }
+
+    /// Whether physical row `r` is live. Rows past the bitmap's end are
+    /// live by construction.
+    #[inline]
+    pub fn is_live(&self, r: usize) -> bool {
+        self.n_dead == 0
+            || self
+                .tombs
+                .get(r >> 6)
+                .is_none_or(|w| w & (1u64 << (r & 63)) == 0)
+    }
+
+    /// Segments: the base build plus one per appended delta.
+    #[inline]
+    pub fn n_segments(&self) -> usize {
+        self.delta_segments as usize + 1
+    }
+
+    /// Fraction of physical rows that are tombstoned (`0.0` when empty) —
+    /// the churn-bloat signal `ucq explain` surfaces.
+    pub fn tombstone_fraction(&self) -> f64 {
+        if self.n_rows == 0 {
+            0.0
+        } else {
+            self.n_dead as f64 / self.n_rows as f64
+        }
+    }
+
+    /// Appends `delta` as a new segment, interning only its cells — O(Δ),
+    /// not O(n): surviving rows already hold stable ids in the append-only
+    /// `dict`. Returns the number of physical rows added. An arity-0 delta
+    /// revives the single empty tuple.
+    pub fn append_delta(&mut self, delta: &Relation, dict: &mut Dictionary) -> usize {
+        assert_eq!(delta.arity(), self.arity(), "delta arity mismatch");
+        if delta.is_empty() {
+            return 0;
+        }
+        self.delta_segments += 1;
+        if self.arity() == 0 {
+            let added = usize::from(self.live_len() == 0);
+            self.n_rows = 1;
+            self.tombs.clear();
+            self.n_dead = 0;
+            return added;
+        }
+        for row in delta.iter_rows() {
+            for (c, &v) in row.iter().enumerate() {
+                self.cols[c].push(dict.intern(v));
+            }
+        }
+        self.n_rows += delta.len();
+        delta.len()
+    }
+
+    /// Tombstones every live row whose ids satisfy `pred` — rows stay
+    /// physically in place (cached CSR row ids remain valid), they just
+    /// stop being visible to live-row consumers. Returns the number of
+    /// rows newly tombstoned.
+    pub fn mark_deleted_where<F>(&mut self, mut pred: F) -> usize
+    where
+        F: FnMut(&[ValueId]) -> bool,
+    {
+        let mut buf: Vec<ValueId> = Vec::with_capacity(self.arity());
+        let mut killed = 0usize;
+        for r in 0..self.n_rows {
+            if !self.is_live(r) {
+                continue;
+            }
+            buf.clear();
+            buf.extend(self.cols.iter().map(|col| col[r]));
+            if pred(&buf) {
+                let want = (r >> 6) + 1;
+                if self.tombs.len() < want {
+                    self.tombs.resize(want, 0);
+                }
+                self.tombs[r >> 6] |= 1u64 << (r & 63);
+                self.n_dead += 1;
+                killed += 1;
+            }
+        }
+        killed
     }
 
     /// Column `c` as a dense id slice — the columnar access path.
@@ -204,13 +335,17 @@ impl IdRel {
     }
 
     /// Projects onto `cols` (by position), deduplicating rows (packed-key
-    /// dedup for projections up to 4 columns — see [`IdSet`]).
+    /// dedup for projections up to 4 columns — see [`IdSet`]). Tombstoned
+    /// rows are skipped; the projection is always compact.
     pub fn project_dedup(&self, cols: &[usize]) -> IdRel {
-        let mut seen = IdSet::with_capacity(self.n_rows);
+        let mut seen = IdSet::with_capacity(self.live_len());
         let mut out = IdRel::new(cols.len());
         let col_slices: Vec<&[ValueId]> = cols.iter().map(|&c| self.cols[c].as_slice()).collect();
         let mut buf: Vec<ValueId> = Vec::with_capacity(cols.len());
         for r in 0..self.n_rows {
+            if !self.is_live(r) {
+                continue;
+            }
             buf.clear();
             buf.extend(col_slices.iter().map(|c| c[r]));
             if seen.insert(&buf) {
@@ -220,21 +355,25 @@ impl IdRel {
         out
     }
 
-    /// Keeps only rows whose ids (projected onto `key_cols`) pass `pred`.
-    /// The predicate sees the projected key in a reused buffer.
+    /// Keeps only live rows whose ids (projected onto `key_cols`) pass
+    /// `pred`. The predicate sees the projected key in a reused buffer.
+    /// Compacts: tombstoned rows are dropped along the way.
     pub fn retain_rows_by_key<F>(&mut self, key_cols: &[usize], mut pred: F)
     where
         F: FnMut(&[ValueId]) -> bool,
     {
         if self.arity() == 0 {
-            if self.n_rows == 1 && !pred(&[]) {
-                self.n_rows = 0;
-            }
+            self.n_rows = usize::from(self.live_len() == 1 && pred(&[]));
+            self.tombs.clear();
+            self.n_dead = 0;
             return;
         }
         let mut buf: Vec<ValueId> = Vec::with_capacity(key_cols.len());
         let mut write = 0usize;
         for read in 0..self.n_rows {
+            if !self.is_live(read) {
+                continue;
+            }
             buf.clear();
             buf.extend(key_cols.iter().map(|&c| self.cols[c][read]));
             if pred(&buf) {
@@ -250,6 +389,8 @@ impl IdRel {
             col.truncate(write);
         }
         self.n_rows = write;
+        self.tombs.clear();
+        self.n_dead = 0;
     }
 
     /// Keeps only rows whose key-column projection has a match in `idx`
@@ -290,7 +431,7 @@ impl IdRel {
         }
         let mut write = 0usize;
         for read in 0..n {
-            if scratch.keep[read] {
+            if scratch.keep[read] && self.is_live(read) {
                 if write != read {
                     for col in self.cols.iter_mut() {
                         col[write] = col[read];
@@ -303,6 +444,8 @@ impl IdRel {
             col.truncate(write);
         }
         self.n_rows = write;
+        self.tombs.clear();
+        self.n_dead = 0;
     }
 
     /// Keeps only rows whose key-column projection is a member of `set` —
@@ -321,6 +464,10 @@ impl IdRel {
             !key_cols.is_empty(),
             "empty separators are a nonemptiness check, not a probe"
         );
+        // The set-probe twin of the `probe_batch` hook: reducer semijoins
+        // on the small-relation path are still probe sites to the chaos
+        // seam (inert without `--cfg ucq_fault_inject`).
+        crate::faults::on_probe();
         let n = self.n_rows;
         scratch.keep.clear();
         {
@@ -334,7 +481,7 @@ impl IdRel {
         }
         let mut write = 0usize;
         for read in 0..n {
-            if scratch.keep[read] {
+            if scratch.keep[read] && self.is_live(read) {
                 if write != read {
                     for col in self.cols.iter_mut() {
                         col[write] = col[read];
@@ -347,11 +494,22 @@ impl IdRel {
             col.truncate(write);
         }
         self.n_rows = write;
+        self.tombs.clear();
+        self.n_dead = 0;
     }
 
-    /// Deduplicates rows, preserving first-occurrence order.
+    /// Deduplicates rows, preserving first-occurrence order. Compacts
+    /// tombstoned rows away as a side effect.
     pub fn dedup_rows(&mut self) {
         if self.arity() == 0 || self.n_rows <= 1 {
+            if self.n_dead > 0 {
+                self.n_rows = self.live_len();
+                self.tombs.clear();
+                self.n_dead = 0;
+                for col in self.cols.iter_mut() {
+                    col.truncate(self.n_rows);
+                }
+            }
             return;
         }
         let mut seen: FastSet<InlineKey> = fast_set_with_capacity(self.n_rows);
@@ -360,10 +518,14 @@ impl IdRel {
     }
 
     /// Decodes back to a row-major [`Relation`] (answer-boundary only).
+    /// Tombstoned rows are not decoded.
     pub fn decode(&self, dict: &Dictionary) -> Relation {
-        let mut out = Relation::with_capacity(self.arity(), self.n_rows);
+        let mut out = Relation::with_capacity(self.arity(), self.live_len());
         let mut buf = Vec::with_capacity(self.arity());
         for r in 0..self.n_rows {
+            if !self.is_live(r) {
+                continue;
+            }
             buf.clear();
             buf.extend(self.cols.iter().map(|col| dict.value(col[r])));
             out.push_row(&buf);
@@ -450,13 +612,16 @@ impl IdSet {
         }
     }
 
-    /// The projections of all rows of `rel` onto `cols`.
+    /// The projections of all live rows of `rel` onto `cols`.
     pub fn build_projected(rel: &IdRel, cols: &[usize]) -> IdSet {
-        let mut out = IdSet::with_capacity(rel.len());
+        let mut out = IdSet::with_capacity(rel.live_len());
         // Hoisted column accessors for the whole build pass.
         let col_slices: Vec<&[ValueId]> = cols.iter().map(|&c| rel.col(c)).collect();
         let mut buf: Vec<ValueId> = Vec::with_capacity(cols.len());
         for r in 0..rel.len() {
+            if !rel.is_live(r) {
+                continue;
+            }
             buf.clear();
             buf.extend(col_slices.iter().map(|c| c[r]));
             out.insert(&buf);
@@ -531,6 +696,70 @@ impl IdSet {
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
+}
+
+/// Appends the atom-normalization of `base`'s live rows `start..` onto
+/// `(out, seen)`: keeps rows whose repeated positions (equal ranks in
+/// `sig`) agree, projects to one column per distinct rank in rank order,
+/// and deduplicates against `seen`.
+///
+/// Normalization is prefix-compositional: if `(out, seen)` hold the
+/// normalization of physical rows `0..start`, the result holds the
+/// normalization of rows `0..base.len()`.
+/// [`EvalContext::insert_rows`](crate::EvalContext::insert_rows) leans on
+/// exactly that to carry cached normalizations over a delta append —
+/// re-normalizing only the delta segment — while a from-scratch build is
+/// `start == 0` on empty state ([`normalize_ranked`]).
+pub fn normalize_ranked_append(
+    base: &IdRel,
+    sig: &[u32],
+    start: usize,
+    out: &mut IdRel,
+    seen: &mut IdSet,
+) {
+    let n_distinct = sig.iter().map(|&r| r + 1).max().unwrap_or(0) as usize;
+    // First source position of each rank.
+    let src_pos: Vec<usize> = (0..n_distinct as u32)
+        .map(|r| sig.iter().position(|&s| s == r).expect("rank present"))
+        .collect();
+    // Positions that must agree (repeated variables) — resolved to column
+    // slices once, outside the row loop.
+    let eq_cols: Vec<(&[ValueId], &[ValueId])> = sig
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &r)| {
+            let first = src_pos[r as usize];
+            (first != i).then(|| (base.col(first), base.col(i)))
+        })
+        .collect();
+    let src_cols: Vec<&[ValueId]> = src_pos.iter().map(|&p| base.col(p)).collect();
+    let mut buf: Vec<ValueId> = Vec::with_capacity(n_distinct);
+    for row in start..base.len() {
+        // Tombstoned rows of a churned base mirror are not part of the
+        // relation; normalizations are always compact.
+        if !base.is_live(row) {
+            continue;
+        }
+        if eq_cols.iter().any(|&(a, b)| a[row] != b[row]) {
+            continue;
+        }
+        buf.clear();
+        buf.extend(src_cols.iter().map(|c| c[row]));
+        if seen.insert(&buf) {
+            out.push_row(&buf);
+        }
+    }
+}
+
+/// The atom-normalization of all live rows of `base` (see
+/// [`normalize_ranked_append`]), along with the dedup set — cached
+/// together so later delta appends can continue where this build stopped.
+pub fn normalize_ranked(base: &IdRel, sig: &[u32]) -> (IdRel, IdSet) {
+    let n_distinct = sig.iter().map(|&r| r + 1).max().unwrap_or(0) as usize;
+    let mut out = IdRel::with_capacity(n_distinct, base.live_len());
+    let mut seen = IdSet::with_capacity(base.live_len());
+    normalize_ranked_append(base, sig, 0, &mut out, &mut seen);
+    (out, seen)
 }
 
 #[cfg(test)]
@@ -674,6 +903,76 @@ mod tests {
             manual.insert(&[r.at(i, 0)]);
         }
         assert_eq!(manual.len(), s.len());
+    }
+
+    #[test]
+    fn append_delta_adds_a_segment_with_stable_ids() {
+        let (mut r, mut dict) = rel_of_pairs(&[(1, 10), (2, 20)]);
+        let id_one = r.at(0, 0);
+        let dict_before = dict.len();
+        let added = r.append_delta(&Relation::from_pairs([(1, 99), (3, 30)]), &mut dict);
+        assert_eq!(added, 2);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.live_len(), 4);
+        assert_eq!(r.n_segments(), 2);
+        assert_eq!(r.at(2, 0), id_one, "surviving values keep their ids");
+        assert_eq!(dict.len(), dict_before + 3, "only delta values interned");
+        assert_eq!(r.decode(&dict).len(), 4);
+    }
+
+    #[test]
+    fn mark_deleted_tombstones_without_moving_rows() {
+        let (mut r, dict) = rel_of_pairs(&[(1, 10), (2, 20), (3, 30)]);
+        let gone = dict.lookup(Value::Int(2)).unwrap();
+        let killed = r.mark_deleted_where(|row| row[0] == gone);
+        assert_eq!(killed, 1);
+        assert_eq!(r.len(), 3, "physical rows stay put");
+        assert_eq!(r.live_len(), 2);
+        assert!(r.is_live(0) && !r.is_live(1) && r.is_live(2));
+        assert!((r.tombstone_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.decode(&dict).len(), 2, "decode skips dead rows");
+        assert_eq!(r.project_dedup(&[0]).len(), 2);
+        assert_eq!(IdSet::build_projected(&r, &[0]).len(), 2);
+        // Marking again matches nothing: the dead row is not revisited.
+        let again = r.mark_deleted_where(|row| row[0] == gone);
+        assert_eq!(again, 0);
+    }
+
+    #[test]
+    fn retains_compact_tombstones_away() {
+        let (mut r, dict) = rel_of_pairs(&[(1, 10), (2, 20), (3, 30)]);
+        let two = dict.lookup(Value::Int(2)).unwrap();
+        r.mark_deleted_where(|row| row[0] == two);
+        r.retain_rows_by_key(&[0], |_| true);
+        assert_eq!(r.len(), 2);
+        assert!(!r.has_tombstones());
+        assert_eq!(r.decode(&dict).len(), 2);
+    }
+
+    #[test]
+    fn delta_after_delete_keeps_later_rows_live() {
+        let (mut r, mut dict) = rel_of_pairs(&[(1, 10), (2, 20)]);
+        let one = dict.lookup(Value::Int(1)).unwrap();
+        r.mark_deleted_where(|row| row[0] == one);
+        r.append_delta(&Relation::from_pairs([(4, 40)]), &mut dict);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.live_len(), 2);
+        assert!(r.is_live(2), "appended rows are live past the bitmap end");
+        assert_eq!(r.n_segments(), 2);
+    }
+
+    #[test]
+    fn nullary_delta_and_delete_roundtrip() {
+        let mut r = IdRel::new(0);
+        let mut dict = Dictionary::new();
+        let mut unit = Relation::new(0);
+        unit.push_row(&[]);
+        assert_eq!(r.append_delta(&unit, &mut dict), 1);
+        assert_eq!(r.live_len(), 1);
+        assert_eq!(r.mark_deleted_where(|_| true), 1);
+        assert_eq!(r.live_len(), 0);
+        assert_eq!(r.append_delta(&unit, &mut dict), 1, "delta revives");
+        assert_eq!(r.live_len(), 1);
     }
 
     #[test]

@@ -103,11 +103,145 @@ impl HashIndex {
     /// parallel row threshold when worker threads are available, and to the
     /// sequential two-pass CSR builder otherwise (see the module docs).
     pub fn build(rel: &IdRel, key_cols: &[usize]) -> HashIndex {
+        if rel.has_tombstones() {
+            return HashIndex::build_seq_live(rel, key_cols);
+        }
         let workers = par::workers_for(rel.len());
         if workers > 1 && !key_cols.is_empty() {
             HashIndex::build_parallel(rel, key_cols, workers)
         } else {
             HashIndex::build_seq(rel, key_cols)
+        }
+    }
+
+    /// The tombstone-aware build: [`HashIndex::build_seq`] over only the
+    /// live rows of `rel` (dead rows never enter the arena, so probes pay
+    /// no per-row liveness check). Cold: churned base mirrors normally
+    /// reach the cache through [`HashIndex::merge_appended`]; this is the
+    /// from-scratch fallback.
+    #[cold]
+    pub fn build_seq_live(rel: &IdRel, key_cols: &[usize]) -> HashIndex {
+        let cols: Vec<&[ValueId]> = key_cols.iter().map(|&c| rel.col(c)).collect();
+        let live: Vec<u32> = (0..rel.len())
+            .filter(|&r| rel.is_live(r))
+            .map(|r| r as u32)
+            .collect();
+        let mut map: FastMap<InlineKey, u32> =
+            fast_map_with_capacity(key_capacity_hint(live.len()));
+        let mut row_gids: Vec<u32> = Vec::with_capacity(live.len());
+        let mut counts: Vec<u32> = Vec::new();
+        let mut buf: Vec<ValueId> = Vec::with_capacity(key_cols.len());
+        for &i in &live {
+            buf.clear();
+            buf.extend(cols.iter().map(|c| c[i as usize]));
+            let gid = match map.get(buf.as_slice()) {
+                Some(&g) => g,
+                None => {
+                    let g = counts.len() as u32;
+                    map.insert(InlineKey::from_slice(&buf), g);
+                    counts.push(0);
+                    g
+                }
+            };
+            counts[gid as usize] += 1;
+            row_gids.push(gid);
+        }
+        let (offsets, local_ids) = scatter_csr(&mut counts, &row_gids, 0);
+        // Local positions → physical row ids.
+        let row_ids = local_ids.iter().map(|&p| live[p as usize]).collect();
+        HashIndex {
+            key_cols: key_cols.to_vec(),
+            shards: vec![map],
+            shard_bits: 0,
+            offsets,
+            row_ids,
+        }
+    }
+
+    /// Merges the delta segment of `rel` (physical rows `old_rows..`) into
+    /// this index — the same concatenation idea as the parallel build's
+    /// shard merge, turned 90° into ingest-time incrementality. The shard
+    /// key maps are cloned as-is (cloning a hash map re-hashes nothing);
+    /// only delta rows are hashed, so the merge is O(Δ + arena), never
+    /// O(n · hash). Rows of `rel` that have been tombstoned since the
+    /// index was built (including old rows) are dropped from the arena, so
+    /// probes stay liveness-check-free. Groups whose rows all died keep
+    /// their gid with an empty slice — [`HashIndex::contains_key`] and
+    /// [`HashIndex::get`] treat them as absent.
+    ///
+    /// `self` must have been built over exactly the first `old_rows`
+    /// physical rows of `rel` (with no tombstones at build time).
+    pub fn merge_appended(&self, rel: &IdRel, old_rows: usize) -> HashIndex {
+        debug_assert!(old_rows <= rel.len(), "index covers rows the rel lost");
+        let stride = self.key_cols.len();
+        let cols: Vec<&[ValueId]> = self.key_cols.iter().map(|&c| rel.col(c)).collect();
+        let mut shards = self.shards.clone();
+        let old_groups = self.n_keys();
+        // Surviving members per old group, then delta adds per (possibly
+        // fresh) group.
+        let mut counts: Vec<u32> = Vec::with_capacity(old_groups + 16);
+        for g in 0..old_groups {
+            let members = &self.row_ids[self.offsets[g] as usize..self.offsets[g + 1] as usize];
+            counts.push(members.iter().filter(|&&r| rel.is_live(r as usize)).count() as u32);
+        }
+        let mut delta_rows: Vec<(u32, u32)> = Vec::with_capacity(rel.len() - old_rows);
+        let mut buf: Vec<ValueId> = Vec::with_capacity(stride);
+        for r in old_rows..rel.len() {
+            if !rel.is_live(r) {
+                continue;
+            }
+            buf.clear();
+            buf.extend(cols.iter().map(|c| c[r]));
+            let shard = if self.shard_bits == 0 {
+                0
+            } else {
+                (fx_hash_of(buf.as_slice()) >> (64 - self.shard_bits)) as usize
+            };
+            let next = counts.len() as u32;
+            let gid = *shards[shard]
+                .entry(InlineKey::from_slice(&buf))
+                .or_insert(next);
+            if gid == next {
+                counts.push(0);
+            }
+            counts[gid as usize] += 1;
+            delta_rows.push((gid, r as u32));
+        }
+        // Prefix-sum the counts into offsets and reuse them as scatter
+        // cursors (the `scatter_csr` scheme, split so old survivors land
+        // before delta rows — both sides ascend, and every delta row id is
+        // greater than every old one, so groups stay ascending).
+        let mut offsets: Vec<u32> = Vec::with_capacity(counts.len() + 1);
+        offsets.push(0);
+        let mut acc = 0u32;
+        for c in counts.iter_mut() {
+            let start = acc;
+            acc += *c;
+            *c = start;
+            offsets.push(acc);
+        }
+        let mut row_ids = vec![0u32; acc as usize];
+        for g in 0..old_groups {
+            let members = &self.row_ids[self.offsets[g] as usize..self.offsets[g + 1] as usize];
+            for &r in members {
+                if rel.is_live(r as usize) {
+                    let cursor = &mut counts[g];
+                    row_ids[*cursor as usize] = r;
+                    *cursor += 1;
+                }
+            }
+        }
+        for (gid, r) in delta_rows {
+            let cursor = &mut counts[gid as usize];
+            row_ids[*cursor as usize] = r;
+            *cursor += 1;
+        }
+        HashIndex {
+            key_cols: self.key_cols.clone(),
+            shards,
+            shard_bits: self.shard_bits,
+            offsets,
+            row_ids,
         }
     }
 
@@ -206,6 +340,10 @@ impl HashIndex {
     /// ids shifted by a per-shard base; shard key maps kept as-is with their
     /// values rewritten) — no key is re-hashed during the merge.
     pub fn build_parallel(rel: &IdRel, key_cols: &[usize], workers: usize) -> HashIndex {
+        debug_assert!(
+            !rel.has_tombstones(),
+            "tombstoned relations build through build_seq_live"
+        );
         let n = rel.len();
         // Shard count: the largest power of two *within* the worker bound,
         // so neither build phase spawns more threads than `workers`.
@@ -356,13 +494,15 @@ impl HashIndex {
         }
     }
 
-    /// Whether any row matches `key`. Borrowed key — no allocation.
+    /// Whether any row matches `key`. Borrowed key — no allocation. A
+    /// group emptied by tombstone merges counts as absent.
     #[inline]
     pub fn contains_key(&self, key: &[ValueId]) -> bool {
-        self.gid_of(key).is_some()
+        self.gid_of(key).is_some_and(|g| !self.group(g).is_empty())
     }
 
-    /// Number of distinct keys.
+    /// Number of groups, including groups a tombstone merge has emptied
+    /// (gids are stable across merges, so empty groups keep their slot).
     pub fn n_keys(&self) -> usize {
         self.offsets.len() - 1
     }
@@ -375,6 +515,20 @@ impl HashIndex {
             .map(|w| (w[1] - w[0]) as usize)
             .max()
             .unwrap_or(0)
+    }
+
+    /// `(non-empty groups, largest group)` in one offsets scan — the stats
+    /// harvest; excludes groups a tombstone merge emptied, so distinct
+    /// counts stay exact on churned relations.
+    pub fn group_stats(&self) -> (usize, usize) {
+        let mut nonempty = 0usize;
+        let mut max = 0usize;
+        for w in self.offsets.windows(2) {
+            let len = (w[1] - w[0]) as usize;
+            nonempty += usize::from(len > 0);
+            max = max.max(len);
+        }
+        (nonempty, max)
     }
 
     /// Probes a flat run of keys (`stride` ids per key; `keys.len()` must be
@@ -723,6 +877,90 @@ mod tests {
         assert_eq!(run_len_1(&keys[1..], ValueId(1)), 7);
         assert_eq!(run_len_1(&keys[16..], ValueId(3)), 9);
         assert_eq!(run_len_1(&[], ValueId(3)), 0);
+    }
+
+    /// Every key present in `a` resolves to the same group in `b` and vice
+    /// versa — ignoring empty groups (a tombstone merge keeps their gids).
+    fn assert_same_live_groups(a: &HashIndex, b: &HashIndex) {
+        for (key, rows) in a.iter() {
+            assert_eq!(b.get(key), rows, "group mismatch for {key:?}");
+        }
+        for (key, rows) in b.iter() {
+            assert_eq!(a.get(key), rows, "group mismatch for {key:?}");
+        }
+    }
+
+    /// Appends `extra` synthetic rows and tombstones every row whose first
+    /// key id is divisible by `kill_mod` — the churn shape the merge and
+    /// live-build paths must agree on.
+    fn churned_rel(base_rows: usize, extra: usize, kill_mod: u32) -> (IdRel, usize) {
+        let mut rel = synthetic_rel(base_rows + extra, 23);
+        if kill_mod > 0 {
+            rel.mark_deleted_where(|row| row[0].0 % kill_mod == 0);
+        }
+        (rel, base_rows)
+    }
+
+    #[test]
+    fn merge_appended_matches_fresh_live_build() {
+        for (extra, kill_mod) in [(50usize, 0u32), (50, 3), (0, 3), (7, 1)] {
+            let (rel, old_rows) = churned_rel(200, extra, kill_mod);
+            // The index predates the churn: build it over the base prefix
+            // (synthetic_rel is deterministic, so the prefix matches).
+            let base = synthetic_rel(200, 23);
+            for key_cols in [&[0usize][..], &[1], &[0, 1]] {
+                let idx = HashIndex::build_seq(&base, key_cols);
+                let merged = idx.merge_appended(&rel, old_rows);
+                let fresh = HashIndex::build_seq_live(&rel, key_cols);
+                assert_same_live_groups(&merged, &fresh);
+                for (_, rows) in merged.iter() {
+                    assert!(rows.windows(2).all(|w| w[0] < w[1]), "ascending groups");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_appended_from_parallel_base() {
+        let mut rel = synthetic_rel(5_000, 101);
+        let idx = HashIndex::build_parallel(&rel, &[0], 4);
+        let old_rows = rel.len();
+        for _ in 0..60 {
+            let last = rel.at(rel.len() - 1, 0);
+            rel.push_row(&[ValueId(last.0.wrapping_mul(7) % 101), ValueId(3)]);
+        }
+        rel.mark_deleted_where(|row| row[1].0 % 4 == 0);
+        let merged = idx.merge_appended(&rel, old_rows);
+        let fresh = HashIndex::build_seq_live(&rel, &[0]);
+        assert_same_live_groups(&merged, &fresh);
+    }
+
+    #[test]
+    fn emptied_groups_read_as_absent() {
+        let (r, dict) = interned_pairs(&[(1, 10), (1, 20), (2, 30)]);
+        let idx = HashIndex::build_seq(&r, &[0]);
+        let one = dict.lookup(Value::Int(1)).unwrap();
+        let two = dict.lookup(Value::Int(2)).unwrap();
+        let mut churned = r.clone();
+        churned.mark_deleted_where(|row| row[0] == one);
+        let merged = idx.merge_appended(&churned, churned.len());
+        assert!(!merged.contains_key(&[one]), "emptied group is absent");
+        assert_eq!(merged.get(&[one]), &[] as &[u32]);
+        assert!(merged.contains_key(&[two]));
+        assert_eq!(merged.get(&[two]), &[2]);
+    }
+
+    #[test]
+    fn build_routes_tombstoned_rels_to_live_build() {
+        let (mut r, dict) = interned_pairs(&[(1, 10), (2, 20), (3, 30)]);
+        let two = dict.lookup(Value::Int(2)).unwrap();
+        r.mark_deleted_where(|row| row[0] == two);
+        let idx = HashIndex::build(&r, &[0]);
+        assert_eq!(idx.n_keys(), 2, "dead rows never enter the index");
+        assert!(!idx.contains_key(&[two]));
+        // Nullary key: the everything-group holds only live rows.
+        let all = HashIndex::build(&r, &[]);
+        assert_eq!(all.get(&[]), &[0, 2]);
     }
 
     #[test]

@@ -54,6 +54,18 @@ impl Instance {
         copy
     }
 
+    /// A cheap copy of this instance with one extra/overridden pre-shared
+    /// relation — the delta-ingestion path: [`EvalContext::insert_rows`]
+    /// (crate::EvalContext::insert_rows) hands back an `Arc<Relation>`
+    /// whose caches are already seeded, and this splices it in without
+    /// cloning tuples or disturbing the other relations' identities.
+    #[must_use]
+    pub fn with_relation_shared(&self, name: impl Into<String>, rel: Arc<Relation>) -> Instance {
+        let mut copy = self.clone();
+        copy.insert_shared(name, rel);
+        copy
+    }
+
     /// Relation names in unspecified order.
     pub fn names(&self) -> impl Iterator<Item = &str> {
         self.relations.keys().map(String::as_str)

@@ -18,6 +18,7 @@
 pub mod block;
 pub mod context;
 pub mod dictionary;
+pub mod epoch;
 pub mod faults;
 pub mod frozen;
 pub mod hash;
@@ -35,14 +36,15 @@ pub mod tuple;
 pub mod value;
 
 pub use block::IdBlock;
-pub use context::{ContextStats, EvalContext, IndexCache};
+pub use context::{ContextStats, EvalContext, IndexCache, IngestStats, RelChurn};
 pub use dictionary::{Dictionary, ValueId};
+pub use epoch::EpochCell;
 pub use frozen::{CtxView, FrozenContext};
 pub use hash::{
     fast_map_with_capacity, fast_set_with_capacity, fx_hash_of, seeded_map_with_capacity, FastMap,
     FastSet, FxBuildHasher, SeededFastMap, SeededFxBuildHasher,
 };
-pub use idrel::{IdRel, IdSet, ProbeScratch};
+pub use idrel::{normalize_ranked, normalize_ranked_append, IdRel, IdSet, ProbeScratch};
 pub use index::{HashIndex, ProbeBatch, RowSet};
 pub use instance::Instance;
 pub use key::InlineKey;

@@ -48,9 +48,10 @@ impl RelStats {
     }
 
     /// The `(distinct, max fanout)` of one column read straight off a CSR
-    /// index's offsets — no row data touched.
+    /// index's offsets — no row data touched. Groups a tombstone merge
+    /// emptied are not counted as distinct values.
     pub fn column_from_index(idx: &HashIndex) -> (usize, usize) {
-        (idx.n_keys(), idx.max_group_len())
+        idx.group_stats()
     }
 
     /// Computes stats for `rel`. `cached_index` lets the caller supply
@@ -61,7 +62,7 @@ impl RelStats {
         rel: &IdRel,
         mut cached_index: impl FnMut(usize) -> Option<(usize, usize)>,
     ) -> RelStats {
-        let rows = rel.len();
+        let rows = rel.live_len();
         let arity = rel.arity();
         let mut distinct = Vec::with_capacity(arity);
         let mut max_fanout = Vec::with_capacity(arity);
@@ -73,8 +74,17 @@ impl RelStats {
                 continue;
             }
             counts.clear();
-            for &id in rel.col(c) {
-                *counts.entry(id).or_insert(0) += 1;
+            if rel.has_tombstones() {
+                let col = rel.col(c);
+                for (r, &id) in col.iter().enumerate() {
+                    if rel.is_live(r) {
+                        *counts.entry(id).or_insert(0) += 1;
+                    }
+                }
+            } else {
+                for &id in rel.col(c) {
+                    *counts.entry(id).or_insert(0) += 1;
+                }
             }
             distinct.push(counts.len());
             max_fanout.push(counts.values().max().copied().unwrap_or(0) as usize);

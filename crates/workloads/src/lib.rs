@@ -7,6 +7,7 @@ pub mod catalog;
 pub mod generators;
 pub mod random;
 pub mod resilient;
+pub mod rotation;
 pub mod serving;
 mod static_asserts;
 
@@ -14,4 +15,5 @@ pub use catalog::{by_id, catalog, example31, CatalogEntry, PaperVerdict};
 pub use generators::{example39, path_cq, star_cq};
 pub use random::{random_instance, InstanceSpec};
 pub use resilient::{drive_resilient, ResilientSpec};
+pub use rotation::{drive_rotation, RotationReport, RotationSpec};
 pub use serving::{drive_frozen, drive_frozen_fixed_work, ServingReport};

@@ -1,0 +1,326 @@
+//! A churn-and-rotate load generator: delta ingestion + epoch re-freezing
+//! under live serving traffic.
+//!
+//! Where [`crate::resilient::drive_resilient`] stresses one fixed snapshot
+//! with misbehaving requests, this driver exercises the *write* side of
+//! the serve lifecycle: requests resolve their session through a shared
+//! [`EpochCell`] ([`Request::from_cell`]), and between request batches the
+//! driver ingests a delta into the session's build context
+//! (`insert_rows`), re-freezes the next epoch
+//! ([`FrozenSession::refreeze`] — delta-proportional work), and installs
+//! it into the cell *while the previous batch is still in flight*. The
+//! report proves the zero-downtime claims:
+//!
+//! * nothing is shed because of a rotation (the pool never pauses);
+//! * every drained request's answers equal a fresh-build oracle of some
+//!   epoch at or after the one current when it was submitted — in-flight
+//!   requests finish on their old epoch, later ones see the new one;
+//! * with [`RotationSpec::fault_rotations`] (chaos suite, under
+//!   `--cfg ucq_fault_inject`), a refreeze killed by an injected panic
+//!   leaves the previous epoch installed and serving.
+
+use crate::serving::ServingReport;
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Instant;
+use ucq_core::{EvalError, UcqEngine};
+use ucq_enumerate::Enumerator;
+use ucq_serve::{serve, EpochCell, Request, ServeConfig};
+use ucq_storage::{faults, Instance, Relation, Tuple};
+
+/// The shape of one rotation run: pool size, batch size, and whether the
+/// refreezes themselves run with the fault seam armed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RotationSpec {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Admission-queue bound.
+    pub queue_capacity: usize,
+    /// Requests submitted per phase (once before any rotation, then once
+    /// after each delta — each batch still in flight when the next epoch
+    /// installs).
+    pub requests_per_phase: usize,
+    /// Arm the `ucq_fault_inject` seam around each refreeze (a no-op
+    /// without the cfg): injected panics abort the rotation, which must
+    /// leave the previous epoch installed.
+    pub fault_rotations: bool,
+}
+
+impl RotationSpec {
+    /// A fault-free rotation run.
+    pub fn steady(
+        workers: usize,
+        queue_capacity: usize,
+        requests_per_phase: usize,
+    ) -> RotationSpec {
+        RotationSpec {
+            workers,
+            queue_capacity,
+            requests_per_phase,
+            fault_rotations: false,
+        }
+    }
+
+    /// Arms the fault seam around every refreeze.
+    pub fn with_faulted_rotations(mut self) -> RotationSpec {
+        self.fault_rotations = true;
+        self
+    }
+}
+
+/// What one [`drive_rotation`] run proved. The serving ledger is in
+/// [`RotationReport::serving`]; the rotation-specific counters classify
+/// every drained request against per-epoch fresh-build oracles.
+#[derive(Clone, Debug)]
+pub struct RotationReport {
+    /// Deltas the driver tried to rotate in.
+    pub rotations_attempted: usize,
+    /// Rotations that installed a new epoch (all of them, unless a faulted
+    /// refreeze was aborted by an injected panic).
+    pub rotations_installed: usize,
+    /// The cell's epoch after the run (equals `rotations_installed`).
+    pub final_epoch: u64,
+    /// Drained requests whose answers matched the fresh-build oracle of an
+    /// admissible epoch (at or after the epoch current at submission).
+    pub matched: usize,
+    /// The subset of `matched` that served exactly the epoch current at
+    /// submission — when the final epoch is newer, these are requests that
+    /// finished on an old epoch while rotation proceeded.
+    pub pinned_to_submit_epoch: usize,
+    /// The subset of `matched` that served a newer epoch than the one at
+    /// submission (dequeued after an install).
+    pub upgraded_epoch: usize,
+    /// Drained requests matching no admissible oracle — always zero unless
+    /// rotation broke snapshot isolation.
+    pub mismatched: usize,
+    /// The runtime's outcome ledger and latency numbers.
+    pub serving: ServingReport,
+}
+
+impl RotationReport {
+    /// Whether every drained request was oracle-identical to some
+    /// admissible epoch.
+    pub fn oracle_identical(&self) -> bool {
+        self.mismatched == 0
+    }
+}
+
+/// A fresh-build oracle: one-shot enumeration with a private context.
+fn oracle(engine: &UcqEngine, instance: &Instance) -> Result<HashSet<Tuple>, EvalError> {
+    Ok(engine
+        .enumerate(instance)?
+        .collect_all()
+        .into_iter()
+        .collect())
+}
+
+/// Serves `requests_per_phase` requests per epoch through a bounded pool
+/// while rotating `deltas` into `churn_rel` one at a time: ingest via
+/// `insert_rows` on the live session's build context, build the next epoch
+/// with `refreeze`, install it into the shared [`EpochCell`] — all without
+/// pausing the pool. Every drained request is checked against the
+/// fresh-build oracles of the epochs it could legitimately have served.
+pub fn drive_rotation(
+    engine: &UcqEngine,
+    instance: &Instance,
+    churn_rel: &str,
+    deltas: &[Relation],
+    spec: &RotationSpec,
+) -> Result<RotationReport, EvalError> {
+    let config = ServeConfig::new(spec.workers, spec.queue_capacity)
+        .expect("rotation spec needs positive workers and queue capacity");
+    let mut expected = vec![oracle(engine, instance)?];
+    let cell = Arc::new(EpochCell::from_arc(Arc::new(
+        engine.session(instance).freeze()?,
+    )));
+    let mut current = instance.clone();
+    let mut rotations_installed = 0usize;
+    let t0 = Instant::now();
+    let (outcome, stats) = serve(config, |handle| -> Result<_, EvalError> {
+        let mut tickets = Vec::with_capacity((deltas.len() + 1) * spec.requests_per_phase);
+        for phase in 0..=deltas.len() {
+            for _ in 0..spec.requests_per_phase {
+                let at_epoch = cell.epoch();
+                let submitted_at = Instant::now();
+                if let Ok(ticket) = handle.submit(Request::from_cell(Arc::clone(&cell))) {
+                    tickets.push((at_epoch, submitted_at, ticket));
+                }
+            }
+            let Some(delta) = deltas.get(phase) else {
+                break;
+            };
+            // Rotate while this phase's requests are still in flight: O(Δ)
+            // ingest into the shared build context, delta-only refreeze,
+            // epoch install. The pool never stops admitting.
+            let session = cell.load();
+            let base = current
+                .get_shared(churn_rel)
+                .expect("churn relation exists in the instance");
+            let next_rel = session.build_context().insert_rows(&base, delta);
+            let next_instance = current.with_relation_shared(churn_rel, next_rel);
+            let refrozen = if spec.fault_rotations {
+                catch_unwind(AssertUnwindSafe(|| {
+                    faults::armed(|| session.refreeze(&next_instance))
+                }))
+            } else {
+                Ok(session.refreeze(&next_instance))
+            };
+            match refrozen {
+                Ok(next) => {
+                    cell.install(Arc::new(next?));
+                    expected.push(oracle(engine, &next_instance)?);
+                    current = next_instance;
+                    rotations_installed += 1;
+                }
+                Err(_injected_panic) => {
+                    // The rotation died mid-refreeze; the cell still holds
+                    // the previous epoch and serving continues on it.
+                }
+            }
+        }
+        let mut first_answer_ns = Vec::with_capacity(tickets.len());
+        let (mut total_answers, mut drains) = (0usize, 0usize);
+        let (mut matched, mut pinned, mut upgraded, mut mismatched) = (0usize, 0, 0, 0);
+        for (at_epoch, submitted_at, ticket) in tickets {
+            if let Ok(served) = ticket.wait() {
+                drains += 1;
+                let answers = served.answers();
+                total_answers += answers.len();
+                if !answers.is_empty() {
+                    first_answer_ns.push(submitted_at.elapsed().as_nanos() as u64);
+                }
+                let got: HashSet<Tuple> = answers.iter().cloned().collect();
+                match expected[at_epoch as usize..]
+                    .iter()
+                    .position(|want| *want == got)
+                {
+                    Some(0) => {
+                        matched += 1;
+                        pinned += 1;
+                    }
+                    Some(_) => {
+                        matched += 1;
+                        upgraded += 1;
+                    }
+                    None => mismatched += 1,
+                }
+            }
+        }
+        Ok((
+            first_answer_ns,
+            total_answers,
+            drains,
+            matched,
+            pinned,
+            upgraded,
+            mismatched,
+        ))
+    });
+    let elapsed = t0.elapsed();
+    let (mut first_answer_ns, total_answers, drains, matched, pinned, upgraded, mismatched) =
+        outcome?;
+    first_answer_ns.sort_unstable();
+    Ok(RotationReport {
+        rotations_attempted: deltas.len(),
+        rotations_installed,
+        final_epoch: cell.epoch(),
+        matched,
+        pinned_to_submit_epoch: pinned,
+        upgraded_epoch: upgraded,
+        mismatched,
+        serving: ServingReport {
+            threads: spec.workers,
+            drains,
+            total_answers,
+            elapsed,
+            first_answer_ns,
+            submitted: stats.submitted,
+            shed: stats.shed,
+            partial: stats.partial,
+            timed_out: stats.timed_out,
+            panicked: stats.panicked,
+            drained: stats.drained,
+            queue_high_water: stats.queue_high_water,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucq_query::parse_ucq;
+
+    fn deltas(n: usize, start: i64) -> Vec<Relation> {
+        (0..n as i64)
+            .map(|d| Relation::from_pairs([(start + 2 * d, start + 2 * d + 1)]))
+            .collect()
+    }
+
+    #[test]
+    fn algorithm1_rotation_is_oracle_identical_with_zero_shed() {
+        let engine = UcqEngine::new(parse_ucq("Q1(x, y) <- R(x, y)\nQ2(a, b) <- S(a, b)").unwrap());
+        let instance: Instance = [
+            ("R", Relation::from_pairs((0..20).map(|i| (i, i + 1)))),
+            ("S", Relation::from_pairs([(100, 101)])),
+        ]
+        .into_iter()
+        .collect();
+        let spec = RotationSpec::steady(2, 64, 8);
+        let report = drive_rotation(&engine, &instance, "R", &deltas(3, 1000), &spec).unwrap();
+        assert_eq!(report.rotations_installed, 3);
+        assert_eq!(report.final_epoch, 3);
+        assert!(report.oracle_identical(), "{report:?}");
+        assert_eq!(report.serving.shed, 0, "rotation never sheds");
+        assert_eq!(report.serving.drains, 4 * 8, "every request drained");
+        assert_eq!(report.matched, 4 * 8);
+    }
+
+    #[test]
+    fn union_extension_rotation_is_oracle_identical() {
+        let engine = UcqEngine::new(
+            parse_ucq(
+                "Q1(x, y, w) <- R1(x, z), R2(z, y), R3(y, w)\n\
+                 Q2(x, y, w) <- R1(x, y), R2(y, w)",
+            )
+            .unwrap(),
+        );
+        let instance: Instance = [
+            ("R1", Relation::from_pairs([(1, 2), (1, 5), (9, 7)])),
+            ("R2", Relation::from_pairs([(2, 3), (5, 3), (7, 0)])),
+            ("R3", Relation::from_pairs([(3, 4), (3, 6), (0, 2)])),
+        ]
+        .into_iter()
+        .collect();
+        let spec = RotationSpec::steady(2, 32, 4);
+        let ds = vec![
+            Relation::from_pairs([(8, 2)]),
+            Relation::from_pairs([(8, 5), (6, 7)]),
+        ];
+        let report = drive_rotation(&engine, &instance, "R1", &ds, &spec).unwrap();
+        assert_eq!(report.rotations_installed, 2);
+        assert!(report.oracle_identical(), "{report:?}");
+        assert_eq!(report.serving.shed, 0);
+        assert!(report.serving.total_answers > 0);
+    }
+
+    #[test]
+    fn rotation_accounting_balances() {
+        let engine = UcqEngine::new(parse_ucq("Q(x, y) <- R(x, y)").unwrap());
+        let instance: Instance = [("R", Relation::from_pairs([(1, 2), (3, 4)]))]
+            .into_iter()
+            .collect();
+        let spec = RotationSpec::steady(1, 16, 3);
+        let report = drive_rotation(&engine, &instance, "R", &deltas(2, 50), &spec).unwrap();
+        assert_eq!(report.serving.submitted, 3 * 3);
+        assert_eq!(
+            report.matched + report.mismatched,
+            report.serving.drains,
+            "every drained request classified"
+        );
+        assert_eq!(
+            report.pinned_to_submit_epoch + report.upgraded_epoch,
+            report.matched
+        );
+    }
+}

@@ -285,6 +285,108 @@ fn overload_accounting_is_exact_under_chaos() {
     assert!(stats.queue_high_water <= 2);
 }
 
+/// Epoch rotation under injected refreeze panics: every armed refreeze
+/// dies at its first probe site, so no rotation ever installs — and the
+/// pool must keep serving the original epoch, oracle-identical, with a
+/// balanced ledger. This is the crash-safety half of the zero-downtime
+/// claim: a failed rebuild never takes down (or corrupts) serving.
+#[test]
+fn faulted_refreeze_leaves_previous_epoch_serving() {
+    let _scenario = Scenario::install(FaultPlan {
+        panic_every: 1,
+        ..FaultPlan::default()
+    });
+    let engine = UcqEngine::new(parse_ucq("Q(x, y) <- R(x, y), S(y, w)").unwrap());
+    let instance: Instance = [
+        ("R", Relation::from_pairs((0..50).map(|i| (i, i % 10)))),
+        ("S", Relation::from_pairs((0..10).map(|i| (i, i + 1)))),
+    ]
+    .into_iter()
+    .collect();
+    let deltas: Vec<Relation> = (0..3)
+        .map(|d| Relation::from_pairs([(200 + d, d % 10)]))
+        .collect();
+    let spec = ucq_workloads::RotationSpec::steady(2, 64, 6).with_faulted_rotations();
+    let report = ucq_workloads::drive_rotation(&engine, &instance, "R", &deltas, &spec).unwrap();
+
+    assert_eq!(report.rotations_attempted, 3);
+    assert_eq!(
+        report.rotations_installed, 0,
+        "panic_every=1 must abort every refreeze: {report:?}"
+    );
+    assert_eq!(report.final_epoch, 0, "the original epoch stays installed");
+    assert!(
+        faults::injected().panics >= 3,
+        "the panic schedule never hit"
+    );
+    // Serving never noticed: nothing shed, nothing panicked (request
+    // threads are unarmed), every drain matches the epoch-0 oracle.
+    assert!(report.oracle_identical(), "{report:?}");
+    assert_eq!(report.matched, report.serving.drains);
+    assert_eq!(report.pinned_to_submit_epoch, report.serving.drains);
+    assert_eq!(report.serving.shed, 0);
+    assert_eq!(report.serving.panicked, 0);
+    assert_eq!(
+        report.serving.drains + report.serving.drained,
+        report.serving.submitted,
+        "rotation ledger does not balance: {report:?}"
+    );
+}
+
+/// Epoch rotation with forced overlay misses armed around every refreeze:
+/// the misses divert dictionary fast paths through the overlay lock but
+/// are semantically invisible, so every rotation must install and serving
+/// must stay oracle-identical across each epoch boundary.
+#[test]
+fn rotation_under_forced_overlay_misses_stays_oracle_identical() {
+    let _scenario = Scenario::install(FaultPlan {
+        overlay_miss_every: 1,
+        ..FaultPlan::default()
+    });
+    let engine = UcqEngine::new(parse_ucq("Q(x, y) <- R(x, y), S(y, w)").unwrap());
+    let instance: Instance = [
+        ("R", Relation::from_pairs((0..40).map(|i| (i, i % 8)))),
+        ("S", Relation::from_pairs((0..8).map(|i| (i, i + 1)))),
+    ]
+    .into_iter()
+    .collect();
+    let deltas: Vec<Relation> = (0..2)
+        .map(|d| Relation::from_pairs([(300 + d, d % 8)]))
+        .collect();
+    let spec = ucq_workloads::RotationSpec::steady(2, 64, 5).with_faulted_rotations();
+    let report = ucq_workloads::drive_rotation(&engine, &instance, "R", &deltas, &spec).unwrap();
+
+    assert_eq!(
+        report.rotations_installed, 2,
+        "forced misses must not abort a rotation: {report:?}"
+    );
+    assert_eq!(report.final_epoch, 2);
+    assert!(report.oracle_identical(), "{report:?}");
+    assert_eq!(report.serving.shed, 0);
+    assert_eq!(
+        report.serving.drains + report.serving.drained,
+        report.serving.submitted
+    );
+
+    // Pin the diversion on the rotated snapshot itself: an armed lookup
+    // against the *new* epoch's frozen context must take the overlay path
+    // and still resolve every value interned across the rotation.
+    let session = engine.session(&instance).freeze().unwrap();
+    let r2 = session
+        .build_context()
+        .insert_rows(&instance.get_shared("R").unwrap(), &deltas[0]);
+    let rotated = session
+        .refreeze(&instance.with_relation_shared("R", r2))
+        .unwrap();
+    let before = faults::injected().forced_misses;
+    let hit = faults::armed(|| rotated.context().lookup(Value::Int(300)));
+    assert!(hit.is_some(), "a delta value vanished across the rotation");
+    assert!(
+        faults::injected().forced_misses > before,
+        "the miss schedule never fired on the rotated snapshot"
+    );
+}
+
 /// The canned chaos mix through the workloads driver: whatever the
 /// interleaving, the report's ledger must balance and the pool must
 /// produce real answers.

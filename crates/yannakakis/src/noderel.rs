@@ -3,7 +3,8 @@
 //!
 //! Join-tree nodes carry their data in this normalized form: one column per
 //! *distinct* variable, columns sorted by variable id, values interned to
-//! [`ValueId`]s. Atoms with repeated variables (`R(x,x)`) are normalized by
+//! [`ValueId`](ucq_storage::ValueId)s. Atoms with repeated variables
+//! (`R(x,x)`) are normalized by
 //! filtering rows whose repeated positions disagree and then dropping the
 //! duplicate columns.
 //!
@@ -16,7 +17,7 @@
 use std::sync::Arc;
 use ucq_hypergraph::VSet;
 use ucq_query::{Atom, VarId};
-use ucq_storage::{par, CtxView, HashIndex, IdRel, IdSet, ProbeScratch, Relation, ValueId};
+use ucq_storage::{par, CtxView, HashIndex, IdRel, IdSet, ProbeScratch, Relation};
 
 /// The normalization signature of an atom's argument list: for each
 /// position, the rank of its variable among the atom's sorted distinct
@@ -30,42 +31,6 @@ pub fn atom_signature(args: &[VarId]) -> Vec<u32> {
     args.iter()
         .map(|v| sorted.binary_search(v).expect("present") as u32)
         .collect()
-}
-
-/// Normalizes an interned relation against an argument signature: keeps
-/// rows whose repeated positions agree, projects to one column per distinct
-/// variable (in rank order), and deduplicates.
-fn normalize(base: &IdRel, sig: &[u32]) -> IdRel {
-    let n_distinct = sig.iter().map(|&r| r + 1).max().unwrap_or(0) as usize;
-    // First source position of each rank.
-    let src_pos: Vec<usize> = (0..n_distinct as u32)
-        .map(|r| sig.iter().position(|&s| s == r).expect("rank present"))
-        .collect();
-    // Positions that must agree (repeated variables) — resolved to column
-    // slices once, outside the row loop.
-    let eq_cols: Vec<(&[ValueId], &[ValueId])> = sig
-        .iter()
-        .enumerate()
-        .filter_map(|(i, &r)| {
-            let first = src_pos[r as usize];
-            (first != i).then(|| (base.col(first), base.col(i)))
-        })
-        .collect();
-    let src_cols: Vec<&[ValueId]> = src_pos.iter().map(|&p| base.col(p)).collect();
-    let mut out = IdRel::with_capacity(n_distinct, base.len());
-    let mut seen = IdSet::with_capacity(base.len());
-    let mut buf: Vec<ValueId> = Vec::with_capacity(n_distinct);
-    for row in 0..base.len() {
-        if eq_cols.iter().any(|&(a, b)| a[row] != b[row]) {
-            continue;
-        }
-        buf.clear();
-        buf.extend(src_cols.iter().map(|c| c[row]));
-        if seen.insert(&buf) {
-            out.push_row(&buf);
-        }
-    }
-    out
 }
 
 /// A relation with named (variable-id) columns in sorted order, interned.
@@ -109,7 +74,7 @@ impl NodeRel {
     ) -> Result<(Vec<VarId>, Arc<IdRel>), String> {
         NodeRel::check_arity(atom, stored.arity())?;
         let sig = atom_signature(&atom.args);
-        let rel = ctx.derived_rel(stored, &sig, |base| normalize(base, &sig));
+        let rel = ctx.normalized_rel(stored, &sig);
         Ok((NodeRel::distinct_vars(atom), rel))
     }
 
